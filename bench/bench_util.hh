@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction binaries: fixed
+ * table formatting, the benchmark list, and accelerator configurations
+ * for the design-space sweeps.
+ */
+
+#ifndef ROBOX_BENCH_BENCH_UTIL_HH
+#define ROBOX_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "accel/config.hh"
+#include "core/evaluation.hh"
+#include "robots/robots.hh"
+
+namespace robox::bench
+{
+
+/** Print a banner naming the paper artifact being reproduced. */
+inline void
+banner(const char *artifact, const char *description)
+{
+    std::printf("==================================================="
+                "=============================\n");
+    std::printf("RoboX reproduction — %s\n%s\n", artifact, description);
+    std::printf("==================================================="
+                "=============================\n");
+}
+
+/** Accelerator configuration with a given total CU count. CU counts
+ *  below 16 shrink one cluster; larger counts add 16-CU clusters. */
+inline accel::AcceleratorConfig
+configWithCus(int total_cus)
+{
+    accel::AcceleratorConfig cfg = accel::AcceleratorConfig::paperDefault();
+    if (total_cus <= 16) {
+        cfg.numCcs = 1;
+        cfg.cusPerCc = total_cus;
+    } else {
+        cfg.numCcs = total_cus / 16;
+        cfg.cusPerCc = 16;
+    }
+    return cfg;
+}
+
+/** Geomean of speedups of RoboX over `platform` across all benchmarks. */
+inline double
+geomeanSpeedup(const std::string &platform, int horizon,
+               const accel::AcceleratorConfig &config =
+                   accel::AcceleratorConfig::paperDefault())
+{
+    std::vector<double> values;
+    for (const robots::Benchmark &bench : robots::allBenchmarks())
+        values.push_back(core::evaluateBenchmark(bench, horizon, config)
+                             .speedupOver(platform));
+    return core::geometricMean(values);
+}
+
+} // namespace robox::bench
+
+#endif // ROBOX_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Figure 5 reproduction: speedup of the Xeon E3 and RoboX over the ARM
+ * Cortex A57 baseline at a prediction horizon of 32 steps.
+ *
+ * Paper result: RoboX averages 29.4x over the ARM A57 and 7.3x over
+ * the Xeon E3, with per-benchmark speedups between 6.2x and 79.1x.
+ */
+
+#include "bench/bench_util.hh"
+
+using namespace robox;
+
+int
+main()
+{
+    bench::banner("Figure 5",
+                  "Speedup of Xeon E3 and RoboX over the ARM Cortex A57 "
+                  "baseline (N = 32).");
+
+    std::printf("%-13s %10s %10s\n", "Benchmark", "Xeon", "RoboX");
+    std::printf("%-13s %10s %10s\n", "---------", "----", "-----");
+
+    std::vector<double> xeon, robox;
+    for (const robots::Benchmark &b : robots::allBenchmarks()) {
+        core::BenchmarkEvaluation eval = core::evaluateBenchmark(b, 32);
+        double arm_s = eval.platform("ARM Cortex A57").seconds;
+        double xeon_x = arm_s / eval.platform("Intel Xeon E3").seconds;
+        double robox_x = eval.speedupOver("ARM Cortex A57");
+        std::printf("%-13s %9.2fx %9.2fx\n", b.name.c_str(), xeon_x,
+                    robox_x);
+        xeon.push_back(xeon_x);
+        robox.push_back(robox_x);
+    }
+    std::printf("%-13s %9.2fx %9.2fx\n", "Geomean",
+                core::geometricMean(xeon), core::geometricMean(robox));
+    std::printf("\nPaper: RoboX geomean 29.4x over ARM A57 (7.3x over "
+                "Xeon E3, i.e. Xeon ~4.0x over ARM).\n");
+    return 0;
+}

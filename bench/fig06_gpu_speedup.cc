@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Figure 6 reproduction: speedup of the Tegra X2, Tesla K40, and RoboX
+ * over the GTX 650 Ti baseline at a prediction horizon of 32 steps.
+ *
+ * Paper result: RoboX averages 2.0x over the GTX 650 Ti and 3.5x over
+ * the Tegra X2, while the Tesla K40 is ~1.3x faster than RoboX thanks
+ * to its 235 W power budget.
+ */
+
+#include "bench/bench_util.hh"
+
+using namespace robox;
+
+int
+main()
+{
+    bench::banner("Figure 6",
+                  "Speedup of GPUs and RoboX over the GTX 650 Ti "
+                  "baseline (N = 32).");
+
+    std::printf("%-13s %10s %10s %10s\n", "Benchmark", "Tegra X2",
+                "Tesla K40", "RoboX");
+    std::printf("%-13s %10s %10s %10s\n", "---------", "--------",
+                "---------", "-----");
+
+    std::vector<double> tegra, k40, robox;
+    for (const robots::Benchmark &b : robots::allBenchmarks()) {
+        core::BenchmarkEvaluation eval = core::evaluateBenchmark(b, 32);
+        double gtx_s = eval.platform("GTX 650 Ti").seconds;
+        double tegra_x = gtx_s / eval.platform("Tegra X2").seconds;
+        double k40_x = gtx_s / eval.platform("Tesla K40").seconds;
+        double robox_x = eval.speedupOver("GTX 650 Ti");
+        std::printf("%-13s %9.2fx %9.2fx %9.2fx\n", b.name.c_str(),
+                    tegra_x, k40_x, robox_x);
+        tegra.push_back(tegra_x);
+        k40.push_back(k40_x);
+        robox.push_back(robox_x);
+    }
+    std::printf("%-13s %9.2fx %9.2fx %9.2fx\n", "Geomean",
+                core::geometricMean(tegra), core::geometricMean(k40),
+                core::geometricMean(robox));
+    std::printf("\nPaper: RoboX geomean 2.0x over GTX 650 Ti, 3.5x over "
+                "Tegra X2; Tesla K40 ~1.3x faster than RoboX.\n");
+    return 0;
+}

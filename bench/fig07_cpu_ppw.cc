@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Figure 7 reproduction: performance-per-watt improvement of the Xeon
+ * E3 and RoboX over the ARM Cortex A57 baseline (N = 32).
+ *
+ * Paper result: RoboX averages 22.1x (range 4.5x-65.3x) over the ARM
+ * A57; the Xeon E3 lands at ~0.28x (its speed costs too much power).
+ */
+
+#include "bench/bench_util.hh"
+
+using namespace robox;
+
+int
+main()
+{
+    bench::banner("Figure 7",
+                  "Performance-per-Watt improvement of Xeon E3 and "
+                  "RoboX over the ARM Cortex A57 baseline (N = 32).");
+
+    std::printf("%-13s %10s %10s\n", "Benchmark", "Xeon", "RoboX");
+    std::printf("%-13s %10s %10s\n", "---------", "----", "-----");
+
+    std::vector<double> xeon, robox;
+    for (const robots::Benchmark &b : robots::allBenchmarks()) {
+        core::BenchmarkEvaluation eval = core::evaluateBenchmark(b, 32);
+        const core::PlatformResult &arm =
+            eval.platform("ARM Cortex A57");
+        const core::PlatformResult &xe = eval.platform("Intel Xeon E3");
+        double xeon_x = xe.perfPerWatt() / arm.perfPerWatt();
+        double robox_x = eval.ppwOver("ARM Cortex A57");
+        std::printf("%-13s %9.2fx %9.2fx\n", b.name.c_str(), xeon_x,
+                    robox_x);
+        xeon.push_back(xeon_x);
+        robox.push_back(robox_x);
+    }
+    std::printf("%-13s %9.2fx %9.2fx\n", "Geomean",
+                core::geometricMean(xeon), core::geometricMean(robox));
+    std::printf("\nPaper: RoboX geomean 22.1x over ARM A57; Xeon E3 "
+                "~0.28x.\n");
+    return 0;
+}

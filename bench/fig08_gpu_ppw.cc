@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Figure 8 reproduction: performance-per-watt improvement of the GPUs
+ * and RoboX over the GTX 650 Ti baseline (N = 32).
+ *
+ * Paper result: RoboX averages 65.5x over the GTX 650 Ti (range
+ * 52.5x-88.4x), 7.8x over the Tegra X2, and 71.8x over the Tesla K40.
+ */
+
+#include "bench/bench_util.hh"
+
+using namespace robox;
+
+int
+main()
+{
+    bench::banner("Figure 8",
+                  "Performance-per-Watt improvement of GPUs and RoboX "
+                  "over the GTX 650 Ti baseline (N = 32).");
+
+    std::printf("%-13s %10s %10s %10s\n", "Benchmark", "Tegra X2",
+                "Tesla K40", "RoboX");
+    std::printf("%-13s %10s %10s %10s\n", "---------", "--------",
+                "---------", "-----");
+
+    std::vector<double> tegra, k40, robox;
+    std::vector<double> vs_tegra, vs_k40;
+    for (const robots::Benchmark &b : robots::allBenchmarks()) {
+        core::BenchmarkEvaluation eval = core::evaluateBenchmark(b, 32);
+        const core::PlatformResult &gtx = eval.platform("GTX 650 Ti");
+        double tegra_x = eval.platform("Tegra X2").perfPerWatt() /
+                         gtx.perfPerWatt();
+        double k40_x = eval.platform("Tesla K40").perfPerWatt() /
+                       gtx.perfPerWatt();
+        double robox_x = eval.ppwOver("GTX 650 Ti");
+        std::printf("%-13s %9.2fx %9.2fx %9.2fx\n", b.name.c_str(),
+                    tegra_x, k40_x, robox_x);
+        tegra.push_back(tegra_x);
+        k40.push_back(k40_x);
+        robox.push_back(robox_x);
+        vs_tegra.push_back(eval.ppwOver("Tegra X2"));
+        vs_k40.push_back(eval.ppwOver("Tesla K40"));
+    }
+    std::printf("%-13s %9.2fx %9.2fx %9.2fx\n", "Geomean",
+                core::geometricMean(tegra), core::geometricMean(k40),
+                core::geometricMean(robox));
+    std::printf("\nRoboX perf/W geomeans: %.1fx over GTX 650 Ti, %.1fx "
+                "over Tegra X2, %.1fx over Tesla K40.\n",
+                core::geometricMean(robox),
+                core::geometricMean(vs_tegra),
+                core::geometricMean(vs_k40));
+    std::printf("Paper: 65.5x over GTX 650 Ti, 7.8x over Tegra X2, "
+                "71.8x over Tesla K40.\n");
+    return 0;
+}

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Figure 9 reproduction: speedup of RoboX over the ARM A57 baseline
+ * for prediction horizons of 32 to 1024 steps.
+ *
+ * Paper result: the average speedup grows with the horizon, from 29.4x
+ * at 32 steps to 38.7x at 1024 steps, with the Hexacopter the most
+ * sensitive benchmark.
+ */
+
+#include "bench/bench_util.hh"
+
+using namespace robox;
+
+int
+main()
+{
+    bench::banner("Figure 9",
+                  "Speedup of RoboX over the ARM A57 baseline across "
+                  "prediction horizon lengths.");
+
+    const int horizons[] = {32, 64, 128, 256, 512, 1024};
+
+    std::printf("%-13s", "Benchmark");
+    for (int n : horizons)
+        std::printf(" %8d", n);
+    std::printf("\n%-13s", "---------");
+    for (int n : horizons) {
+        (void)n;
+        std::printf(" %8s", "-----");
+    }
+    std::printf("\n");
+
+    std::vector<std::vector<double>> per_horizon(std::size(horizons));
+    for (const robots::Benchmark &b : robots::allBenchmarks()) {
+        std::printf("%-13s", b.name.c_str());
+        for (std::size_t i = 0; i < std::size(horizons); ++i) {
+            double x = core::evaluateBenchmark(b, horizons[i])
+                           .speedupOver("ARM Cortex A57");
+            per_horizon[i].push_back(x);
+            std::printf(" %7.1fx", x);
+        }
+        std::printf("\n");
+    }
+    std::printf("%-13s", "Geomean");
+    for (std::size_t i = 0; i < std::size(horizons); ++i)
+        std::printf(" %7.1fx", core::geometricMean(per_horizon[i]));
+    std::printf("\n\nPaper: geomean grows from 29.4x (N=32) to 38.7x "
+                "(N=1024).\n");
+    return 0;
+}

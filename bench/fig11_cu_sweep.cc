@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Figure 11 reproduction: sensitivity of the RoboX speedup over the
+ * ARM A57 to the number of Compute Units, at a horizon of 1024 steps.
+ *
+ * Paper result: speedup grows with the CU count and generally plateaus
+ * around 256 CUs as the solver's parallelism is exhausted; beyond that
+ * the added resources mostly add power.
+ */
+
+#include "bench/bench_util.hh"
+
+using namespace robox;
+
+int
+main()
+{
+    bench::banner("Figure 11",
+                  "Sensitivity of RoboX speedup over ARM A57 to the "
+                  "number of Compute Units (N = 1024).");
+
+    const int cu_counts[] = {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024};
+
+    std::printf("%-13s", "Benchmark");
+    for (int c : cu_counts)
+        std::printf(" %7d", c);
+    std::printf("\n");
+
+    std::vector<std::vector<double>> per_config(std::size(cu_counts));
+    for (const robots::Benchmark &b : robots::allBenchmarks()) {
+        std::printf("%-13s", b.name.c_str());
+        int iters = core::measureIterations(b, 1024);
+        for (std::size_t i = 0; i < std::size(cu_counts); ++i) {
+            accel::AcceleratorConfig cfg =
+                bench::configWithCus(cu_counts[i]);
+            double x = core::evaluateBenchmark(b, 1024, cfg, iters)
+                           .speedupOver("ARM Cortex A57");
+            per_config[i].push_back(x);
+            std::printf(" %6.1fx", x);
+        }
+        std::printf("\n");
+    }
+    std::printf("%-13s", "Geomean");
+    for (std::size_t i = 0; i < std::size(cu_counts); ++i)
+        std::printf(" %6.1fx", core::geometricMean(per_config[i]));
+    std::printf("\n\nPaper: near-linear growth at low CU counts, "
+                "plateau around 256 CUs.\n");
+    return 0;
+}

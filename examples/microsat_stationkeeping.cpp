@@ -1,0 +1,71 @@
+/**
+ * @file
+ * MicroSat station keeping: the Table III miniature satellite holds
+ * its attitude and orbital altitude while periodic disturbance
+ * impulses (thruster plume, gravity gradient) kick it — the "remain in
+ * proper orbit under potential disturbances" scenario of the paper.
+ *
+ * Run: ./build/examples/microsat_stationkeeping
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/controller.hh"
+#include "robots/robots.hh"
+
+int
+main()
+{
+    using namespace robox;
+
+    const robots::Benchmark &bench = robots::benchmark("MicroSat");
+    mpc::MpcOptions options = bench.options;
+    options.horizon = 24;
+
+    core::Controller controller(bench.source, options);
+    mpc::Plant plant(controller.model());
+
+    Vector x = bench.initialState;   // Slightly off-attitude, alt +1.
+    Vector ref = bench.reference;    // Identity attitude, alt 0.
+
+    double worst_after_recovery = 0.0;
+    std::printf("%6s %9s %9s %9s %9s  %s\n", "t", "|q_vec|", "|rate|",
+                "altitude", "q norm", "event");
+    for (int step = 0; step < 240; ++step) {
+        auto result = controller.step(x, ref);
+        x = plant.step(x, result.u0, ref, options.dt);
+
+        // Periodic disturbance: an angular-rate and altitude kick.
+        bool kicked = step > 0 && step % 80 == 0;
+        if (kicked) {
+            x[4] += 0.12;  // wx kick
+            x[6] -= 0.10;  // wz kick
+            x[7] += 0.8;   // altitude excursion
+            controller.reset();
+        }
+
+        double att = std::sqrt(x[1] * x[1] + x[2] * x[2] + x[3] * x[3]);
+        double rate = std::sqrt(x[4] * x[4] + x[5] * x[5] + x[6] * x[6]);
+        double norm = std::sqrt(x[0] * x[0] + x[1] * x[1] +
+                                x[2] * x[2] + x[3] * x[3]);
+        if (step % 20 == 0 || kicked) {
+            std::printf("%5.1fs %9.4f %9.4f %9.3f %9.4f  %s\n",
+                        step * options.dt, att, rate, x[7], norm,
+                        kicked ? "<-- disturbance" : "");
+        }
+        // Judge recovery over the tail of each disturbance period.
+        if (step % 80 > 60) {
+            worst_after_recovery = std::max(
+                worst_after_recovery,
+                std::max(att, std::abs(x[7]) / 10.0));
+        }
+    }
+
+    bool ok = worst_after_recovery < 0.05;
+    std::printf("\nWorst residual error in recovery windows: %.4f "
+                "(%s)\n",
+                worst_after_recovery,
+                ok ? "station kept" : "FAILED to hold station");
+    return ok ? 0 : 1;
+}

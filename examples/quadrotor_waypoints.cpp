@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Quadrotor motion planning: fly the Table III quadrotor through a
+ * sequence of waypoints, switching the reference as each waypoint is
+ * captured — the continuous re-planning loop of Fig. 1b.
+ *
+ * Run: ./build/examples/quadrotor_waypoints
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "core/controller.hh"
+#include "robots/robots.hh"
+
+int
+main()
+{
+    using namespace robox;
+
+    const robots::Benchmark &bench = robots::benchmark("Quadrotor");
+    mpc::MpcOptions options = bench.options;
+    options.horizon = 24;
+
+    core::Controller controller(bench.source, options);
+    mpc::Plant plant(controller.model());
+
+    // Waypoints: climb, traverse, descend, return.
+    std::vector<Vector> waypoints = {
+        Vector{0.0, 0.0, 2.0},
+        Vector{2.0, 0.0, 2.0},
+        Vector{2.0, 2.0, 1.0},
+        Vector{0.0, 0.0, 1.0},
+    };
+    const double capture_radius = 0.25;
+
+    Vector x = bench.initialState;
+    std::size_t target = 0;
+    int captures = 0;
+    std::printf("Flying %zu waypoints (capture radius %.2f m)\n\n",
+                waypoints.size(), capture_radius);
+    std::printf("%6s %7s %7s %7s %9s %8s %s\n", "t", "x", "y", "z",
+                "tilt", "dist", "waypoint");
+
+    for (int step = 0; step < 400 && target < waypoints.size(); ++step) {
+        const Vector &wp = waypoints[target];
+        auto result = controller.step(x, wp);
+        x = plant.step(x, result.u0, wp, options.dt);
+
+        double dist = std::sqrt(std::pow(x[0] - wp[0], 2) +
+                                std::pow(x[1] - wp[1], 2) +
+                                std::pow(x[2] - wp[2], 2));
+        double tilt = std::max(std::abs(x[6]), std::abs(x[7]));
+        if (step % 20 == 0) {
+            std::printf("%5.1fs %7.2f %7.2f %7.2f %8.2f%c %7.2fm "
+                        "#%zu\n",
+                        step * options.dt, x[0], x[1], x[2], tilt, ' ',
+                        dist, target);
+        }
+        if (dist < capture_radius) {
+            std::printf("%5.1fs waypoint #%zu captured at "
+                        "(%.2f, %.2f, %.2f)\n",
+                        step * options.dt, target, x[0], x[1], x[2]);
+            ++target;
+            ++captures;
+        }
+    }
+
+    std::printf("\nCaptured %d/%zu waypoints.\n", captures,
+                waypoints.size());
+    return captures == static_cast<int>(waypoints.size()) ? 0 : 1;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Configuration of the RoboX accelerator (Table IV defaults).
+ *
+ * The architecture is a two-level hierarchy: numCcs Compute Clusters,
+ * each with cusPerCc Compute Units, joined by a compute-enabled
+ * tree-bus whose hops carry multiply-add units engaged by a bypass
+ * shift register. The evaluated design point is 256 CUs (16 x 16) at
+ * 1 GHz with 512 KB of on-chip memory, 4096-entry LUTs, 128 Gb/s of
+ * peak external bandwidth, and a 3.4 W power envelope at 45 nm.
+ */
+
+#ifndef ROBOX_ACCEL_CONFIG_HH
+#define ROBOX_ACCEL_CONFIG_HH
+
+namespace robox::accel
+{
+
+/** Static configuration of one accelerator instance. */
+struct AcceleratorConfig
+{
+    int numCcs = 16;     //!< Compute Clusters.
+    int cusPerCc = 16;   //!< Compute Units per cluster.
+    double clockGhz = 1.0;
+    double bandwidthGbps = 128.0; //!< Peak external bandwidth.
+    int onChipMemoryKb = 512;
+    int lutEntries = 4096;
+
+    /** Enable the interconnect ALUs (Fig. 10 ablates this). */
+    bool computeEnabledInterconnect = true;
+
+    int divLatency = 8;       //!< Divider latency; one divider per CC.
+    int nonlinearLatency = 2; //!< LUT lookup + interpolation MAC.
+    int aluLatency = 1;       //!< Pipelined add/sub/mul throughput.
+    int busLatency = 1;       //!< Intra-CC shared-bus transfer.
+    int hopLatency = 1;       //!< Neighbor-hop / tree-level latency.
+
+    int totalCus() const { return numCcs * cusPerCc; }
+
+    /** Off-chip bytes transferred per cycle at the configured clock. */
+    double
+    bytesPerCycle() const
+    {
+        return bandwidthGbps * 1e9 / 8.0 / (clockGhz * 1e9);
+    }
+
+    /**
+     * Busy-power model, calibrated so the Table IV design point (256
+     * CUs, 1x bandwidth) draws 3.4 W: a fixed floor for memory, the
+     * interconnect, and the access engine, plus a per-CU datapath term.
+     */
+    double
+    powerWatts() const
+    {
+        double cu_fraction = static_cast<double>(totalCus()) / 256.0;
+        double bw_fraction = bandwidthGbps / 128.0;
+        return 0.5 + 2.7 * cu_fraction + 0.2 * bw_fraction;
+    }
+
+    /** The paper's evaluated design point. */
+    static AcceleratorConfig paperDefault() { return {}; }
+};
+
+} // namespace robox::accel
+
+#endif // ROBOX_ACCEL_CONFIG_HH

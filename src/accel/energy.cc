@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Implementation of the event-based energy model.
+ */
+
+#include "accel/energy.hh"
+
+namespace robox::accel
+{
+
+EnergyBreakdown
+energyBreakdown(const CycleStats &stats, const AcceleratorConfig &config,
+                std::uint64_t total_ops, const EnergyModel &model)
+{
+    EnergyBreakdown out;
+    out.computeJ = static_cast<double>(total_ops) * model.opJ;
+    out.busJ = static_cast<double>(stats.busTransfers) *
+               model.busTransferJ;
+    out.neighborJ = static_cast<double>(stats.neighborTransfers) *
+                    model.hopTransferJ;
+    out.treeJ = static_cast<double>(stats.treeTransfers) *
+                model.treeTransferJ;
+    out.aggregationJ = static_cast<double>(stats.aggregations) *
+                       model.aggregationJ;
+    out.memoryJ = static_cast<double>(stats.externalBytes) *
+                  model.memoryBytesJ;
+    out.staticJ = model.staticWatts * stats.seconds(config);
+    return out;
+}
+
+} // namespace robox::accel

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Per-event energy breakdown of an accelerator run.
+ *
+ * The paper reports a single synthesized power figure (3.4 W at 45 nm
+ * from Synopsys DC); without the synthesis flow we substitute an
+ * event-based energy model with per-operation, per-transfer, and
+ * per-byte constants plus static leakage, chosen so a fully-busy
+ * paper-configuration run dissipates on the order of the reported
+ * envelope. The flat CycleStats::energyJoules() (power x time at the
+ * Table IV envelope) remains the number used for performance-per-watt;
+ * this breakdown is the design-exploration diagnostic.
+ */
+
+#ifndef ROBOX_ACCEL_ENERGY_HH
+#define ROBOX_ACCEL_ENERGY_HH
+
+#include "accel/simulator.hh"
+
+namespace robox::accel
+{
+
+/** Energy constants of the 45 nm design point (joules per event). */
+struct EnergyModel
+{
+    double opJ = 12e-12;        //!< Per scalar ALU/LUT operation.
+    double busTransferJ = 8e-12;  //!< Per intra-CC shared-bus word.
+    double hopTransferJ = 2e-12;  //!< Per neighbor-hop word.
+    double treeTransferJ = 16e-12; //!< Per tree-bus word.
+    double aggregationJ = 6e-12;   //!< Per in-hop combine engaged.
+    double memoryBytesJ = 40e-12;  //!< Per off-chip byte.
+    double staticWatts = 1.2;      //!< Leakage + clock tree.
+};
+
+/** Itemized energy of one simulated run. */
+struct EnergyBreakdown
+{
+    double computeJ = 0.0;
+    double busJ = 0.0;
+    double neighborJ = 0.0;
+    double treeJ = 0.0;
+    double aggregationJ = 0.0;
+    double memoryJ = 0.0;
+    double staticJ = 0.0;
+
+    double
+    totalJ() const
+    {
+        return computeJ + busJ + neighborJ + treeJ + aggregationJ +
+               memoryJ + staticJ;
+    }
+
+    /** Implied average power over the run. */
+    double impliedWatts(double seconds) const
+    {
+        return totalJ() / seconds;
+    }
+};
+
+/**
+ * Itemize the energy of a run.
+ *
+ * @param stats Simulation statistics (one solver iteration).
+ * @param config Accelerator configuration (for the clock and busy-op
+ *        estimate).
+ * @param total_ops Scalar-equivalent operation count of the workload
+ *        (from the M-DFG), which drives the compute term.
+ * @param model Energy constants; defaults to the 45 nm point.
+ */
+EnergyBreakdown energyBreakdown(const CycleStats &stats,
+                                const AcceleratorConfig &config,
+                                std::uint64_t total_ops,
+                                const EnergyModel &model = EnergyModel());
+
+} // namespace robox::accel
+
+#endif // ROBOX_ACCEL_ENERGY_HH

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Implementation of the statistics report.
+ */
+
+#include "accel/report.hh"
+
+#include "support/stats.hh"
+
+namespace robox::accel
+{
+
+std::string
+formatReport(const std::string &name, const CycleStats &stats,
+             const AcceleratorConfig &config, std::uint64_t total_ops,
+             bool csv)
+{
+    using stats::Formula;
+    using stats::Scalar;
+    using stats::StatGroup;
+
+    Scalar cycles("cycles", "total cycles (max of compute, memory)");
+    cycles.set(static_cast<double>(stats.cycles));
+    Scalar compute("computeCycles", "datapath critical finish time");
+    compute.set(static_cast<double>(stats.computeCycles));
+    Scalar memory("memoryCycles", "access-engine streaming time");
+    memory.set(static_cast<double>(stats.memoryCycles));
+    Scalar ops("totalOps", "scalar-equivalent operations");
+    ops.set(static_cast<double>(total_ops));
+    Scalar bus("busTransfers", "intra-cluster shared-bus words");
+    bus.set(static_cast<double>(stats.busTransfers));
+    Scalar neighbor("neighborTransfers", "single-hop words");
+    neighbor.set(static_cast<double>(stats.neighborTransfers));
+    Scalar tree("treeTransfers", "tree-bus words");
+    tree.set(static_cast<double>(stats.treeTransfers));
+    Scalar aggs("aggregations", "GROUP reductions executed");
+    aggs.set(static_cast<double>(stats.aggregations));
+    Scalar bytes("externalBytes", "off-chip traffic");
+    bytes.set(static_cast<double>(stats.externalBytes));
+
+    std::vector<Scalar> phases;
+    phases.reserve(mdfg::kNumPhases);
+    for (int p = 0; p < mdfg::kNumPhases; ++p) {
+        phases.emplace_back(
+            std::string("busyCycles::") +
+                mdfg::phaseName(static_cast<mdfg::Phase>(p)),
+            "busy cycles attributed to the phase");
+        phases.back().set(
+            static_cast<double>(stats.busyCyclesPerPhase[p]));
+    }
+
+    Formula ops_per_cycle("opsPerCycle", "achieved throughput", [&] {
+        return stats.cycles ? static_cast<double>(total_ops) /
+                                  static_cast<double>(stats.cycles)
+                            : 0.0;
+    });
+    Formula utilization("utilization", "fraction of peak issue width",
+                        [&] {
+                            double peak = config.totalCus();
+                            return stats.cycles
+                                       ? static_cast<double>(total_ops) /
+                                             (peak * stats.cycles)
+                                       : 0.0;
+                        });
+    EnergyBreakdown energy =
+        energyBreakdown(stats, config, total_ops);
+    Formula energy_uj("energyMicroJoules", "event-model energy", [&] {
+        return energy.totalJ() * 1e6;
+    });
+    Formula implied_w("impliedWatts", "event-model average power", [&] {
+        return energy.impliedWatts(stats.seconds(config));
+    });
+
+    StatGroup group(name);
+    group.add(&cycles);
+    group.add(&compute);
+    group.add(&memory);
+    group.add(&ops);
+    group.add(&bus);
+    group.add(&neighbor);
+    group.add(&tree);
+    group.add(&aggs);
+    group.add(&bytes);
+    for (Scalar &s : phases)
+        group.add(&s);
+    group.add(&ops_per_cycle);
+    group.add(&utilization);
+    group.add(&energy_uj);
+    group.add(&implied_w);
+    return csv ? group.csv() : group.dump();
+}
+
+std::string
+formatLatencyHistograms(const std::string &name, const Trace &trace)
+{
+    stats::Histogram scalar("latency::scalar",
+                            "SCALAR node start-to-finish cycles", 0, 16,
+                            8);
+    stats::Histogram vector("latency::vector",
+                            "VECTOR node start-to-finish cycles", 0, 64,
+                            8);
+    stats::Histogram group("latency::group",
+                           "GROUP node start-to-finish cycles", 0, 64,
+                           8);
+    for (const TraceEvent &e : trace.events()) {
+        double cycles = static_cast<double>(e.finish - e.start);
+        switch (e.kind) {
+          case mdfg::NodeKind::Scalar: scalar.sample(cycles); break;
+          case mdfg::NodeKind::Vector: vector.sample(cycles); break;
+          case mdfg::NodeKind::Group: group.sample(cycles); break;
+        }
+    }
+    stats::StatGroup group_stats(name);
+    group_stats.add(&scalar);
+    group_stats.add(&vector);
+    group_stats.add(&group);
+    return group_stats.dump();
+}
+
+} // namespace robox::accel

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * gem5-style statistics report of a simulated accelerator run.
+ *
+ * Bridges CycleStats / EnergyBreakdown into the support/stats
+ * framework so runs dump in the familiar aligned "name value # desc"
+ * format (and CSV), uniform with other simulators in the field.
+ */
+
+#ifndef ROBOX_ACCEL_REPORT_HH
+#define ROBOX_ACCEL_REPORT_HH
+
+#include <string>
+
+#include "accel/energy.hh"
+#include "accel/simulator.hh"
+#include "accel/trace.hh"
+
+namespace robox::accel
+{
+
+/**
+ * Render one run's statistics.
+ *
+ * @param name Report name (e.g. the benchmark).
+ * @param stats Simulation results.
+ * @param config The simulated configuration.
+ * @param total_ops Scalar-equivalent op count of the workload.
+ * @param csv Render as CSV instead of the aligned text dump.
+ */
+std::string formatReport(const std::string &name, const CycleStats &stats,
+                         const AcceleratorConfig &config,
+                         std::uint64_t total_ops, bool csv = false);
+
+/**
+ * Render per-node-kind latency histograms from an execution trace
+ * (start-to-finish cycles of SCALAR / VECTOR / GROUP nodes).
+ */
+std::string formatLatencyHistograms(const std::string &name,
+                                    const Trace &trace);
+
+} // namespace robox::accel
+
+#endif // ROBOX_ACCEL_REPORT_HH

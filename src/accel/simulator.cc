@@ -1,0 +1,400 @@
+/**
+ * @file
+ * Implementation of the cycle-level accelerator simulator.
+ */
+
+#include "accel/simulator.hh"
+
+#include <algorithm>
+#include <unordered_map>
+#include <cmath>
+
+#include "support/logging.hh"
+
+namespace robox::accel
+{
+
+double
+CycleStats::seconds(const AcceleratorConfig &config) const
+{
+    return static_cast<double>(cycles) / (config.clockGhz * 1e9);
+}
+
+double
+CycleStats::energyJoules(const AcceleratorConfig &config) const
+{
+    return seconds(config) * config.powerWatts();
+}
+
+namespace
+{
+
+/** Integer log2 ceiling for tree-bus depth. */
+int
+log2Ceil(int n)
+{
+    int levels = 0;
+    int span = 1;
+    while (span < n) {
+        span *= 2;
+        ++levels;
+    }
+    return levels;
+}
+
+} // namespace
+
+CycleStats
+simulate(const translator::Workload &workload,
+         const compiler::ProgramMap &map, const AcceleratorConfig &config,
+         Trace *trace)
+{
+    const mdfg::Graph &graph = workload.graph;
+    const int ncu = config.cusPerCc;
+    const int nccs = config.numCcs;
+    const int tree_levels = log2Ceil(std::max(2, nccs));
+
+    CycleStats stats;
+
+    // Resource availability.
+    std::vector<std::uint64_t> cu_free(
+        static_cast<std::size_t>(config.totalCus()), 0);
+    std::vector<std::uint64_t> bus_free(static_cast<std::size_t>(nccs), 0);
+    // The tree-bus is segmented: transfers on disjoint subtrees proceed
+    // concurrently, giving roughly numCcs/2 usable channels.
+    std::vector<std::uint64_t> tree_free(
+        static_cast<std::size_t>(std::max(1, nccs / 2)), 0);
+    auto tree_channel = [&]() -> std::uint64_t & {
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < tree_free.size(); ++i)
+            if (tree_free[i] < tree_free[best])
+                best = i;
+        return tree_free[best];
+    };
+
+    // Memory streaming: stage k's inputs are resident after loadDone(k);
+    // the fixed data (references, terminal) arrives first. When the
+    // full horizon's intermediate working set exceeds the on-chip data
+    // capacity (half the memory; the rest holds microcode and LUTs),
+    // the access engine additionally spills and refetches each stage's
+    // intermediates between the assembly and factorization phases.
+    const double bpc = config.bytesPerCycle();
+    double data_capacity =
+        static_cast<double>(config.onChipMemoryKb) * 1024 * 3 / 4;
+    double total_ws = static_cast<double>(workload.horizon) *
+                      workload.bytesWorkingSetPerStage;
+    // Fraction of the intermediates that cannot stay resident; only
+    // the overflow streams, so the transition is gradual.
+    double spill_fraction =
+        total_ws > data_capacity ? (total_ws - data_capacity) / total_ws
+                                 : 0.0;
+    std::uint64_t spill_bytes = static_cast<std::uint64_t>(
+        spill_fraction * workload.bytesWorkingSetPerStage);
+    std::uint64_t in_per_stage = workload.bytesInPerStage + spill_bytes;
+    std::uint64_t out_per_stage =
+        workload.bytesOutPerStage + spill_bytes;
+    auto load_done = [&](int stage) {
+        int s = std::min(stage, workload.stages - 1);
+        double bytes = static_cast<double>(workload.bytesFixed) +
+                       static_cast<double>(s + 1) * in_per_stage;
+        return static_cast<std::uint64_t>(std::ceil(bytes / bpc));
+    };
+
+    std::uint64_t total_bytes =
+        workload.bytesFixed +
+        static_cast<std::uint64_t>(workload.stages) *
+            (in_per_stage + out_per_stage);
+    stats.externalBytes = total_bytes;
+    stats.memoryCycles =
+        static_cast<std::uint64_t>(std::ceil(total_bytes / bpc));
+
+    // Per-node completion time.
+    std::vector<std::uint64_t> ready(graph.size(), 0);
+    std::vector<std::uint32_t> unique_deps;
+
+    // Transfer memoization: a produced value moves to a given cluster
+    // once (multicast delivery); later consumers in that cluster read
+    // the local copy. Key = producer id * numCcs + destination CC.
+    std::unordered_map<std::uint64_t, std::uint64_t> delivered;
+
+    auto op_latency = [&](sym::Op op) -> int {
+        switch (op) {
+          case sym::Op::Div:
+            return config.divLatency;
+          case sym::Op::Sin:
+          case sym::Op::Cos:
+          case sym::Op::Tan:
+          case sym::Op::Asin:
+          case sym::Op::Acos:
+          case sym::Op::Atan:
+          case sym::Op::Exp:
+          case sym::Op::Sqrt:
+            return config.nonlinearLatency;
+          default:
+            return config.aluLatency;
+        }
+    };
+
+    for (std::uint32_t id = 0; id < graph.size(); ++id) {
+        const mdfg::Node &node = graph[id];
+        const compiler::Placement &pl = map.placement[id];
+
+        // ----------------------------------------------------------
+        // Operand arrival: producer finish plus transfer cost. Each
+        // distinct producer is transferred once; operands of CC-wide
+        // (SIMD/group) nodes produced in the same cluster are already
+        // distributed across the CU queues and cost nothing extra.
+        // ----------------------------------------------------------
+        std::uint64_t operands = 0;
+        unique_deps.clear();
+        for (std::uint32_t dep : node.deps)
+            if (unique_deps.empty() || unique_deps.back() != dep)
+                unique_deps.push_back(dep);
+        std::sort(unique_deps.begin(), unique_deps.end());
+        unique_deps.erase(
+            std::unique(unique_deps.begin(), unique_deps.end()),
+            unique_deps.end());
+        for (std::uint32_t dep : unique_deps) {
+            const compiler::Placement &dp = map.placement[dep];
+            std::uint64_t t = ready[dep];
+            bool same_cc = dp.cc == pl.cc;
+            bool cc_wide = pl.cu < 0 || dp.cu < 0;
+            if (same_cc && !cc_wide && dp.cu == pl.cu) {
+                // Local to the CU.
+            } else if (same_cc && cc_wide) {
+                // Distributed across the cluster's queues already.
+            } else if (same_cc &&
+                       (dp.cu - pl.cu == 1 || pl.cu - dp.cu == 1)) {
+                t += config.hopLatency;
+                ++stats.neighborTransfers;
+            } else if (same_cc) {
+                std::uint64_t key =
+                    static_cast<std::uint64_t>(dep) * nccs + pl.cc;
+                auto hit = delivered.find(key);
+                if (hit != delivered.end()) {
+                    t = std::max(t, hit->second);
+                } else {
+                    std::uint64_t start = std::max(t, bus_free[pl.cc]);
+                    bus_free[pl.cc] = start + config.busLatency;
+                    t = start + config.busLatency;
+                    ++stats.busTransfers;
+                    delivered.emplace(key, t);
+                }
+            } else {
+                std::uint64_t key =
+                    static_cast<std::uint64_t>(dep) * nccs + pl.cc;
+                auto hit = delivered.find(key);
+                if (hit != delivered.end()) {
+                    t = std::max(t, hit->second);
+                } else {
+                    std::uint64_t &chan = tree_channel();
+                    std::uint64_t start = std::max(t, chan);
+                    chan = start + config.busLatency;
+                    t = start + config.busLatency +
+                        static_cast<std::uint64_t>(tree_levels) *
+                            config.hopLatency;
+                    ++stats.treeTransfers;
+                    delivered.emplace(key, t);
+                }
+            }
+            operands = std::max(operands, t);
+        }
+
+        // Tape inputs stream from external memory.
+        if (node.phase == mdfg::Phase::Dynamics ||
+            node.phase == mdfg::Phase::Cost ||
+            node.phase == mdfg::Phase::Constraint) {
+            operands = std::max(operands, load_done(node.stage));
+        }
+
+        // ----------------------------------------------------------
+        // Issue on the mapped resource.
+        // ----------------------------------------------------------
+        std::uint64_t start = 0;
+        std::uint64_t finish = 0;
+        switch (node.kind) {
+          case mdfg::NodeKind::Scalar: {
+            int gcu = pl.cc * ncu + pl.cu;
+            start = std::max(operands, cu_free[gcu]);
+            int latency = op_latency(node.op);
+            finish = start + static_cast<std::uint64_t>(latency);
+            // The pipeline accepts one op per cycle except for the
+            // unpipelined divider.
+            cu_free[gcu] =
+                start + (node.op == sym::Op::Div
+                             ? static_cast<std::uint64_t>(latency)
+                             : 1);
+            break;
+          }
+          case mdfg::NodeKind::Vector: {
+            // SIMD across the CC; the single divider per CC serializes
+            // elementwise divisions.
+            std::uint64_t cc_free = 0;
+            for (int c = 0; c < ncu; ++c)
+                cc_free = std::max(cc_free, cu_free[pl.cc * ncu + c]);
+            start = std::max(operands, cc_free);
+            std::uint64_t cycles;
+            if (node.op == sym::Op::Div) {
+                cycles = static_cast<std::uint64_t>(node.length) * 2;
+            } else {
+                cycles = static_cast<std::uint64_t>(
+                    (node.length + ncu - 1) / ncu);
+            }
+            cycles = std::max<std::uint64_t>(
+                cycles, static_cast<std::uint64_t>(op_latency(node.op)));
+            finish = start + cycles;
+            for (int c = 0; c < ncu; ++c)
+                cu_free[pl.cc * ncu + c] = finish;
+            break;
+          }
+          case mdfg::NodeKind::Group: {
+            // The feeding SIMD multiply-accumulates distribute the
+            // elements across the cluster, so the reduction uses the
+            // full CU complement (bounded by the element count).
+            int participants = std::max(1, std::min(node.length, ncu));
+            std::uint64_t per = static_cast<std::uint64_t>(
+                (node.length + participants - 1) / participants);
+            ++stats.aggregations;
+
+            if (config.computeEnabledInterconnect) {
+                // Partial MACs stream through the neighbor-hop chain;
+                // cross-CC reductions finish on the tree-bus, whose
+                // hops also carry multiply-add units.
+                std::uint64_t cc_free = 0;
+                for (int c = 0; c < ncu; ++c)
+                    cc_free =
+                        std::max(cc_free, cu_free[pl.cc * ncu + c]);
+                start = std::max(operands, cc_free);
+                std::uint64_t cycles =
+                    per + static_cast<std::uint64_t>(participants) *
+                              config.hopLatency;
+                if (pl.crossCc) {
+                    std::uint64_t &chan = tree_channel();
+                    std::uint64_t tstart =
+                        std::max(start + cycles, chan);
+                    chan = tstart + per;
+                    cycles = (tstart - start) + per +
+                             static_cast<std::uint64_t>(tree_levels) *
+                                 config.hopLatency;
+                    ++stats.treeTransfers;
+                }
+                finish = start + cycles;
+                for (int c = 0; c < ncu; ++c)
+                    cu_free[pl.cc * ncu + c] =
+                        std::max(cu_free[pl.cc * ncu + c], start + per);
+            } else {
+                // No interconnect ALUs: the hops still move data in
+                // bypass mode, but the combines no longer ride the
+                // hops. The partials transit the neighbor chain to a
+                // destination CU, which executes the P-1 combines
+                // itself: the reduction's latency roughly doubles
+                // (transit + serial combine) and the destination CU is
+                // busy for the combine tail.
+                std::uint64_t cc_free = 0;
+                for (int c = 0; c < ncu; ++c)
+                    cc_free =
+                        std::max(cc_free, cu_free[pl.cc * ncu + c]);
+                start = std::max(operands, cc_free);
+                std::uint64_t transit =
+                    static_cast<std::uint64_t>(participants) *
+                    config.hopLatency;
+                // The destination combines each partial as it arrives,
+                // so the serial-combine tail overlaps the transit and
+                // only its pipeline drain is exposed.
+                std::uint64_t combine =
+                    static_cast<std::uint64_t>(participants) *
+                        config.aluLatency / 2 +
+                    config.aluLatency;
+                std::uint64_t cycles = per + transit + combine;
+                if (pl.crossCc) {
+                    std::uint64_t &chan = tree_channel();
+                    std::uint64_t tstart =
+                        std::max(start + cycles, chan);
+                    chan = tstart + per;
+                    cycles = (tstart - start) + per +
+                             static_cast<std::uint64_t>(tree_levels) *
+                                 config.hopLatency +
+                             static_cast<std::uint64_t>(
+                                 config.aluLatency) *
+                                 2;
+                    ++stats.treeTransfers;
+                }
+                finish = start + cycles;
+                // The feeding CUs are busy for their partials; the
+                // destination additionally absorbs the combine tail,
+                // which costs the cluster about one extra issue slot.
+                for (int c = 0; c < ncu; ++c)
+                    cu_free[pl.cc * ncu + c] = std::max(
+                        cu_free[pl.cc * ncu + c], start + per + 1);
+            }
+            break;
+          }
+        }
+
+        ready[id] = finish;
+        stats.busyCyclesPerPhase[static_cast<int>(node.phase)] +=
+            finish - start;
+        stats.computeCycles = std::max(stats.computeCycles, finish);
+
+        if (trace) {
+            TraceEvent event;
+            event.node = id;
+            event.kind = node.kind;
+            event.op = node.op;
+            event.phase = node.phase;
+            event.stage = node.stage;
+            event.cc = pl.cc;
+            event.cu = pl.cu;
+            event.start = start;
+            event.finish = finish;
+            trace->record(event);
+        }
+    }
+
+    stats.cycles = std::max(stats.computeCycles, stats.memoryCycles);
+    return stats;
+}
+
+CycleStats
+extrapolate(const CycleStats &slice, int slice_stages, int horizon)
+{
+    robox_assert(slice_stages >= 1 && horizon >= slice_stages);
+    if (horizon == slice_stages)
+        return slice;
+    double factor = static_cast<double>(horizon) / slice_stages;
+    CycleStats out = slice;
+    out.computeCycles = static_cast<std::uint64_t>(
+        std::llround(slice.computeCycles * factor));
+    out.memoryCycles = static_cast<std::uint64_t>(
+        std::llround(slice.memoryCycles * factor));
+    out.cycles = std::max(out.computeCycles, out.memoryCycles);
+    for (int p = 0; p < mdfg::kNumPhases; ++p) {
+        out.busyCyclesPerPhase[p] = static_cast<std::uint64_t>(
+            std::llround(slice.busyCyclesPerPhase[p] * factor));
+    }
+    out.busTransfers = static_cast<std::uint64_t>(
+        std::llround(slice.busTransfers * factor));
+    out.neighborTransfers = static_cast<std::uint64_t>(
+        std::llround(slice.neighborTransfers * factor));
+    out.treeTransfers = static_cast<std::uint64_t>(
+        std::llround(slice.treeTransfers * factor));
+    out.aggregations = static_cast<std::uint64_t>(
+        std::llround(slice.aggregations * factor));
+    out.externalBytes = static_cast<std::uint64_t>(
+        std::llround(slice.externalBytes * factor));
+    return out;
+}
+
+CycleStats
+simulateIteration(const mpc::MpcProblem &problem,
+                  const AcceleratorConfig &config, int max_slice_stages)
+{
+    int slice = std::min(problem.horizon(), max_slice_stages);
+    translator::Workload workload =
+        translator::buildSolverIteration(problem, slice);
+    compiler::ProgramMap map = compiler::mapGraph(workload.graph, config);
+    CycleStats stats = simulate(workload, map, config);
+    return extrapolate(stats, slice, problem.horizon());
+}
+
+} // namespace robox::accel

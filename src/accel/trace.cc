@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Implementation of the Chrome trace-event export.
+ */
+
+#include "accel/trace.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace robox::accel
+{
+
+std::string
+Trace::toChromeJson() const
+{
+    std::ostringstream os;
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    for (const TraceEvent &e : events_) {
+        if (!first)
+            os << ",";
+        first = false;
+        // pid = cluster, tid = CU (CC-wide work on lane 99).
+        os << "{\"name\":\"" << mdfg::nodeKindName(e.kind) << " "
+           << sym::opName(e.op) << "\",\"cat\":\""
+           << mdfg::phaseName(e.phase) << "\",\"ph\":\"X\",\"ts\":"
+           << e.start << ",\"dur\":"
+           << (e.finish > e.start ? e.finish - e.start : 1)
+           << ",\"pid\":" << e.cc << ",\"tid\":"
+           << (e.cu >= 0 ? e.cu : 99) << ",\"args\":{\"node\":"
+           << e.node << ",\"stage\":" << e.stage << "}}";
+    }
+    os << "]}";
+    return os.str();
+}
+
+void
+Trace::writeChromeJson(const std::string &path) const
+{
+    std::string json = toChromeJson();
+    std::FILE *file = std::fopen(path.c_str(), "wb");
+    if (!file)
+        fatal("cannot open '{}' for writing", path);
+    std::size_t written = std::fwrite(json.data(), 1, json.size(), file);
+    std::fclose(file);
+    if (written != json.size())
+        fatal("short write to '{}'", path);
+}
+
+} // namespace robox::accel

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Execution tracing for the cycle-level simulator.
+ *
+ * When a Trace is passed to accel::simulate(), every M-DFG node's
+ * placement and [start, finish) cycle window is recorded. The trace
+ * exports to the Chrome trace-event JSON format (load in
+ * chrome://tracing or Perfetto): clusters appear as processes, CUs as
+ * threads, with CC-wide SIMD/GROUP work on a dedicated lane.
+ */
+
+#ifndef ROBOX_ACCEL_TRACE_HH
+#define ROBOX_ACCEL_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mdfg/mdfg.hh"
+
+namespace robox::accel
+{
+
+/** One executed node occurrence. */
+struct TraceEvent
+{
+    std::uint32_t node = 0;
+    mdfg::NodeKind kind = mdfg::NodeKind::Scalar;
+    sym::Op op = sym::Op::Add;
+    mdfg::Phase phase = mdfg::Phase::Dynamics;
+    int stage = 0;
+    int cc = 0;
+    int cu = -1; //!< -1 for CC-wide execution.
+    std::uint64_t start = 0;
+    std::uint64_t finish = 0;
+};
+
+/** An append-only execution trace. */
+class Trace
+{
+  public:
+    void
+    record(TraceEvent event)
+    {
+        events_.push_back(event);
+    }
+
+    const std::vector<TraceEvent> &events() const { return events_; }
+    std::size_t size() const { return events_.size(); }
+    bool empty() const { return events_.empty(); }
+
+    /**
+     * Export as Chrome trace-event JSON ("traceEvents" array of "X"
+     * complete events; 1 cycle = 1 us of trace time).
+     */
+    std::string toChromeJson() const;
+
+    /** Write the JSON to a file; fatal() on I/O failure. */
+    void writeChromeJson(const std::string &path) const;
+
+  private:
+    std::vector<TraceEvent> events_;
+};
+
+} // namespace robox::accel
+
+#endif // ROBOX_ACCEL_TRACE_HH

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Implementation of the microprogram container.
+ */
+
+#include "compiler/binary.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace robox::compiler
+{
+
+namespace
+{
+
+void
+putWord(std::vector<std::uint8_t> &out, std::uint32_t word)
+{
+    out.push_back(static_cast<std::uint8_t>(word & 0xFF));
+    out.push_back(static_cast<std::uint8_t>((word >> 8) & 0xFF));
+    out.push_back(static_cast<std::uint8_t>((word >> 16) & 0xFF));
+    out.push_back(static_cast<std::uint8_t>((word >> 24) & 0xFF));
+}
+
+std::uint32_t
+getWord(const std::vector<std::uint8_t> &in, std::size_t &cursor)
+{
+    if (cursor + 4 > in.size())
+        fatal("program image truncated at byte {}", cursor);
+    std::uint32_t word = static_cast<std::uint32_t>(in[cursor]) |
+                         static_cast<std::uint32_t>(in[cursor + 1]) << 8 |
+                         static_cast<std::uint32_t>(in[cursor + 2]) << 16 |
+                         static_cast<std::uint32_t>(in[cursor + 3]) << 24;
+    cursor += 4;
+    return word;
+}
+
+} // namespace
+
+std::vector<std::uint8_t>
+packImage(const IsaStreams &streams)
+{
+    std::vector<std::uint8_t> image;
+    image.reserve(20 + streams.codeBytes());
+    putWord(image, kImageMagic);
+    putWord(image, kImageVersion);
+    putWord(image, static_cast<std::uint32_t>(streams.compute.size()));
+    putWord(image, static_cast<std::uint32_t>(streams.comm.size()));
+    putWord(image, static_cast<std::uint32_t>(streams.memory.size()));
+    for (const isa::ComputeInstr &in : streams.compute)
+        putWord(image, in.encode());
+    for (const isa::CommInstr &in : streams.comm)
+        putWord(image, in.encode());
+    for (const isa::MemInstr &in : streams.memory)
+        putWord(image, in.encode());
+    return image;
+}
+
+IsaStreams
+unpackImage(const std::vector<std::uint8_t> &image)
+{
+    std::size_t cursor = 0;
+    std::uint32_t magic = getWord(image, cursor);
+    if (magic != kImageMagic)
+        fatal("bad program image magic 0x{}", magic);
+    std::uint32_t version = getWord(image, cursor);
+    if (version != kImageVersion)
+        fatal("unsupported program image version {}", version);
+    std::uint32_t n_compute = getWord(image, cursor);
+    std::uint32_t n_comm = getWord(image, cursor);
+    std::uint32_t n_memory = getWord(image, cursor);
+
+    IsaStreams streams;
+    streams.compute.reserve(n_compute);
+    streams.comm.reserve(n_comm);
+    streams.memory.reserve(n_memory);
+    for (std::uint32_t i = 0; i < n_compute; ++i)
+        streams.compute.push_back(
+            isa::ComputeInstr::decode(getWord(image, cursor)));
+    for (std::uint32_t i = 0; i < n_comm; ++i)
+        streams.comm.push_back(
+            isa::CommInstr::decode(getWord(image, cursor)));
+    for (std::uint32_t i = 0; i < n_memory; ++i)
+        streams.memory.push_back(
+            isa::MemInstr::decode(getWord(image, cursor)));
+    return streams;
+}
+
+void
+writeImage(const IsaStreams &streams, const std::string &path)
+{
+    std::vector<std::uint8_t> image = packImage(streams);
+    std::FILE *file = std::fopen(path.c_str(), "wb");
+    if (!file)
+        fatal("cannot open '{}' for writing", path);
+    std::size_t written =
+        std::fwrite(image.data(), 1, image.size(), file);
+    std::fclose(file);
+    if (written != image.size())
+        fatal("short write to '{}' ({} of {} bytes)", path, written,
+              image.size());
+}
+
+IsaStreams
+readImage(const std::string &path)
+{
+    std::FILE *file = std::fopen(path.c_str(), "rb");
+    if (!file)
+        fatal("cannot open '{}' for reading", path);
+    std::fseek(file, 0, SEEK_END);
+    long size = std::ftell(file);
+    std::fseek(file, 0, SEEK_SET);
+    std::vector<std::uint8_t> image(static_cast<std::size_t>(size));
+    std::size_t read = std::fread(image.data(), 1, image.size(), file);
+    std::fclose(file);
+    if (read != image.size())
+        fatal("short read from '{}'", path);
+    return unpackImage(image);
+}
+
+std::string
+disassemble(const IsaStreams &streams)
+{
+    std::ostringstream os;
+    char buf[16];
+    os << ".compute  ; " << streams.compute.size() << " instructions\n";
+    for (const isa::ComputeInstr &in : streams.compute) {
+        std::snprintf(buf, sizeof(buf), "%08x", in.encode());
+        os << "  " << buf << "  " << in.str() << "\n";
+    }
+    os << ".comm  ; " << streams.comm.size() << " instructions\n";
+    for (const isa::CommInstr &in : streams.comm) {
+        std::snprintf(buf, sizeof(buf), "%08x", in.encode());
+        os << "  " << buf << "  " << in.str() << "\n";
+    }
+    os << ".memory  ; " << streams.memory.size() << " instructions\n";
+    for (const isa::MemInstr &in : streams.memory) {
+        std::snprintf(buf, sizeof(buf), "%08x", in.encode());
+        os << "  " << buf << "  " << in.str() << "\n";
+    }
+    return os.str();
+}
+
+} // namespace robox::compiler

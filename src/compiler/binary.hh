@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Microprogram container: serialization of the three ISA streams to a
+ * deployable binary image and back, plus whole-program disassembly.
+ *
+ * The image is what the host would flash into the accelerator's
+ * INSTRUCTION namespace: a fixed header (magic, version, stream
+ * lengths) followed by the three streams of 32-bit little-endian
+ * words in compute / communication / memory order.
+ */
+
+#ifndef ROBOX_COMPILER_BINARY_HH
+#define ROBOX_COMPILER_BINARY_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "compiler/codegen.hh"
+
+namespace robox::compiler
+{
+
+/** Magic number at the head of a RoboX program image ("RBX1"). */
+constexpr std::uint32_t kImageMagic = 0x31584252;
+/** Current image format version. */
+constexpr std::uint32_t kImageVersion = 1;
+
+/** Serialize the streams into a flat binary image. */
+std::vector<std::uint8_t> packImage(const IsaStreams &streams);
+
+/**
+ * Parse a binary image back into instruction streams. fatal() on a
+ * bad magic number, unsupported version, or truncated image.
+ */
+IsaStreams unpackImage(const std::vector<std::uint8_t> &image);
+
+/** Write an image to a file; fatal() on I/O failure. */
+void writeImage(const IsaStreams &streams, const std::string &path);
+
+/** Read an image from a file; fatal() on I/O failure. */
+IsaStreams readImage(const std::string &path);
+
+/** Disassemble all three streams into a human-readable listing. */
+std::string disassemble(const IsaStreams &streams);
+
+} // namespace robox::compiler
+
+#endif // ROBOX_COMPILER_BINARY_HH

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Implementation of ISA stream emission.
+ */
+
+#include "compiler/codegen.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "support/logging.hh"
+
+namespace robox::compiler
+{
+
+isa::AluFunction
+aluFunctionFor(sym::Op op)
+{
+    switch (op) {
+      case sym::Op::Add: return isa::AluFunction::Add;
+      case sym::Op::Sub: return isa::AluFunction::Sub;
+      case sym::Op::Neg: return isa::AluFunction::Sub;
+      case sym::Op::Mul: return isa::AluFunction::Mul;
+      case sym::Op::Pow: return isa::AluFunction::Mul;
+      case sym::Op::Div: return isa::AluFunction::Div;
+      case sym::Op::Min: return isa::AluFunction::Min;
+      case sym::Op::Max: return isa::AluFunction::Max;
+      case sym::Op::Sin: return isa::AluFunction::Sin;
+      case sym::Op::Cos: return isa::AluFunction::Cos;
+      case sym::Op::Tan: return isa::AluFunction::Tan;
+      case sym::Op::Asin: return isa::AluFunction::Asin;
+      case sym::Op::Acos: return isa::AluFunction::Acos;
+      case sym::Op::Atan: return isa::AluFunction::Atan;
+      case sym::Op::Exp: return isa::AluFunction::Exp;
+      case sym::Op::Sqrt: return isa::AluFunction::Sqrt;
+      default:
+        panic("no ALU function for op {}", sym::opName(op));
+    }
+}
+
+isa::AggFunction
+aggFunctionFor(sym::Op op)
+{
+    switch (op) {
+      case sym::Op::Add: return isa::AggFunction::Add;
+      case sym::Op::Mul: return isa::AggFunction::Mul;
+      case sym::Op::Min: return isa::AggFunction::Min;
+      case sym::Op::Max: return isa::AggFunction::Max;
+      default:
+        panic("no aggregation function for op {}", sym::opName(op));
+    }
+}
+
+IsaStreams
+emitStreams(const translator::Workload &workload, const ProgramMap &map,
+            const accel::AcceleratorConfig &config)
+{
+    const mdfg::Graph &graph = workload.graph;
+    IsaStreams out;
+
+    // ------------------------------------------------------------
+    // Compute and aggregation instructions, in topological order.
+    // ------------------------------------------------------------
+    std::size_t agg_cursor = 0;
+    for (std::uint32_t id = 0; id < graph.size(); ++id) {
+        const mdfg::Node &node = graph[id];
+        const Placement &pl = map.placement[id];
+
+        switch (node.kind) {
+          case mdfg::NodeKind::Scalar: {
+            isa::ComputeInstr in;
+            in.opcode = isa::ComputeOpcode::ScalarQueue;
+            in.function = aluFunctionFor(node.op);
+            in.dst = isa::Namespace::Interm;
+            in.src1 = isa::Namespace::Interm;
+            in.src1Pop = isa::PopMode::Pop;
+            in.src2 = isa::Namespace::Interm;
+            in.src2Pop = node.deps.size() > 1 ? isa::PopMode::Pop
+                                              : isa::PopMode::Keep;
+            out.compute.push_back(in);
+            break;
+          }
+          case mdfg::NodeKind::Vector: {
+            // SIMD over the CC with the repeat field covering the
+            // vector length; long vectors are split across repeats.
+            int per_cu =
+                (node.length + config.cusPerCc - 1) / config.cusPerCc;
+            while (per_cu > 0) {
+                int chunk = std::min(per_cu, 32);
+                isa::ComputeInstr in;
+                in.opcode = isa::ComputeOpcode::VectorQueue;
+                in.function = aluFunctionFor(node.op);
+                in.dst = isa::Namespace::Interm;
+                in.src1 = isa::Namespace::Interm;
+                in.src1Pop = isa::PopMode::Pop;
+                in.src2 = isa::Namespace::Interm;
+                in.src2Pop = isa::PopMode::Pop;
+                in.vectorLength = static_cast<std::uint8_t>(chunk - 1);
+                out.compute.push_back(in);
+                per_cu -= chunk;
+            }
+            break;
+          }
+          case mdfg::NodeKind::Group: {
+            robox_assert(agg_cursor < map.aggNodes.size() &&
+                         map.aggNodes[agg_cursor] == id);
+            // The feeding multiply-accumulates run in SIMD mode; the
+            // combine runs in the interconnect hops.
+            isa::ComputeInstr feed;
+            feed.opcode = isa::ComputeOpcode::VectorQueue;
+            feed.function = isa::AluFunction::Mac;
+            feed.dst = isa::Namespace::Interm;
+            feed.src1 = isa::Namespace::Interm;
+            feed.src1Pop = isa::PopMode::Pop;
+            feed.src2 = isa::Namespace::Interm;
+            feed.src2Pop = isa::PopMode::Pop;
+            int per_cu =
+                (node.length + config.cusPerCc - 1) / config.cusPerCc;
+            feed.vectorLength =
+                static_cast<std::uint8_t>(std::min(31, per_cu - 1));
+            out.compute.push_back(feed);
+
+            isa::CommInstr agg;
+            agg.opcode = pl.crossCc ? isa::CommOpcode::CcAggregation
+                                    : isa::CommOpcode::CuAggregation;
+            agg.aggFunction = aggFunctionFor(node.op);
+            agg.srcNamespace = isa::Namespace::Interm;
+            agg.srcPop = isa::PopMode::Pop;
+            agg.srcCc = static_cast<std::uint8_t>(pl.cc);
+            agg.mask = 0xF;
+            agg.dstNamespace = isa::Namespace::Interm;
+            out.comm.push_back(agg);
+            ++agg_cursor;
+            break;
+          }
+        }
+    }
+
+    // ------------------------------------------------------------
+    // Data-transfer instructions: coalesce per-producer fan-out into
+    // multicasts/broadcasts where possible.
+    // ------------------------------------------------------------
+    std::map<std::uint32_t, std::vector<const Transfer *>> by_producer;
+    for (const Transfer &t : map.transfers)
+        by_producer[t.producer].push_back(&t);
+
+    for (const auto &[producer, transfers] : by_producer) {
+        const Transfer *first = transfers.front();
+        isa::CommInstr in;
+        in.srcNamespace = isa::Namespace::Interm;
+        in.srcPop = isa::PopMode::PopRewrite;
+        in.srcCc = static_cast<std::uint8_t>(first->srcCc);
+        in.srcCu = static_cast<std::uint8_t>(std::max(0, first->srcCu));
+        in.dstNamespace = isa::Namespace::Interm;
+        if (transfers.size() == 1) {
+            in.opcode = isa::CommOpcode::Unicast;
+            in.dstCc = static_cast<std::uint8_t>(first->dstCc);
+            in.dstCu = static_cast<std::uint8_t>(
+                std::max(0, first->dstCu));
+            out.comm.push_back(in);
+            continue;
+        }
+        // Fan-out: same-CC destinations use a CU multicast, spanning
+        // destinations use a CC multicast, very wide fan-out broadcasts.
+        bool same_cc = std::all_of(
+            transfers.begin(), transfers.end(),
+            [&](const Transfer *t) { return t->dstCc == first->srcCc; });
+        if (transfers.size() >= 8) {
+            in.opcode = isa::CommOpcode::Broadcast;
+        } else if (same_cc) {
+            in.opcode = isa::CommOpcode::CuMulticast;
+            in.quarter = static_cast<std::uint8_t>(
+                std::max(0, first->dstCu) / 4);
+            in.mask = 0xF;
+        } else {
+            in.opcode = isa::CommOpcode::CcMulticast;
+            in.quarter = static_cast<std::uint8_t>(first->dstCc / 4);
+            in.mask = 0xF;
+        }
+        out.comm.push_back(in);
+    }
+    {
+        isa::CommInstr end;
+        end.opcode = isa::CommOpcode::EndOfCode;
+        out.comm.push_back(end);
+    }
+
+    // ------------------------------------------------------------
+    // Memory stream: per-stage burst loads of the trajectory slice,
+    // stores of the updates, with block-pointer management.
+    // ------------------------------------------------------------
+    auto emit_moves = [&](isa::MemOpcode opcode, std::uint64_t bytes,
+                          isa::Namespace ns) {
+        std::uint64_t words = (bytes + 3) / 4;
+        std::uint16_t offset = 0;
+        while (words > 0) {
+            isa::MemInstr in;
+            in.opcode = opcode;
+            in.ns = ns;
+            in.offset = offset;
+            in.burst =
+                static_cast<std::uint8_t>(std::min<std::uint64_t>(16,
+                                                                  words));
+            out.memory.push_back(in);
+            words -= in.burst;
+            offset = static_cast<std::uint16_t>(offset + in.burst);
+        }
+    };
+
+    for (int k = 0; k < workload.stages; ++k) {
+        isa::MemInstr blk;
+        blk.opcode = isa::MemOpcode::SetBlock;
+        blk.ns = isa::Namespace::State;
+        blk.block = static_cast<std::uint16_t>(k);
+        out.memory.push_back(blk);
+        emit_moves(isa::MemOpcode::Load, workload.bytesInPerStage,
+                   isa::Namespace::State);
+        emit_moves(isa::MemOpcode::Store, workload.bytesOutPerStage,
+                   isa::Namespace::State);
+    }
+    emit_moves(isa::MemOpcode::Load, workload.bytesFixed,
+               isa::Namespace::Reference);
+    {
+        isa::MemInstr end;
+        end.opcode = isa::MemOpcode::EndOfCode;
+        out.memory.push_back(end);
+    }
+
+    return out;
+}
+
+} // namespace robox::compiler

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Controller Compiler, part 2: microprogram emission.
+ *
+ * Lowers a mapped M-DFG into the three statically-scheduled RoboX ISA
+ * streams (Table II): compute instructions for the CUs (scalar and
+ * SIMD), communication instructions for the buses and the
+ * compute-enabled interconnect (unicast/multicast/broadcast plus CU/CC
+ * aggregations), and memory instructions for the programmable access
+ * engine (block management and burst loads/stores).
+ */
+
+#ifndef ROBOX_COMPILER_CODEGEN_HH
+#define ROBOX_COMPILER_CODEGEN_HH
+
+#include <vector>
+
+#include "compiler/mapper.hh"
+#include "isa/isa.hh"
+#include "translator/workload.hh"
+
+namespace robox::compiler
+{
+
+/** The three instruction streams of one controller program. */
+struct IsaStreams
+{
+    std::vector<isa::ComputeInstr> compute;
+    std::vector<isa::CommInstr> comm;
+    std::vector<isa::MemInstr> memory;
+
+    /** Encoded size in bytes (4 bytes per instruction). */
+    std::size_t
+    codeBytes() const
+    {
+        return 4 * (compute.size() + comm.size() + memory.size());
+    }
+};
+
+/** Map a symbolic operation to its ALU function. */
+isa::AluFunction aluFunctionFor(sym::Op op);
+
+/** Map a reduction operation to its aggregation function. */
+isa::AggFunction aggFunctionFor(sym::Op op);
+
+/** Emit the three ISA streams for a mapped workload. */
+IsaStreams emitStreams(const translator::Workload &workload,
+                       const ProgramMap &map,
+                       const accel::AcceleratorConfig &config);
+
+} // namespace robox::compiler
+
+#endif // ROBOX_COMPILER_CODEGEN_HH

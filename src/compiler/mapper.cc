@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Implementation of the Algorithm 1 mapping pass.
+ *
+ * Placement policy: every node has a home cluster determined by its
+ * horizon stage (stage mod numCcs), which parallelizes the
+ * stage-independent phases across clusters — the paper's "rows of
+ * larger arrays can be parallelized across the CCs" — while keeping
+ * each stage's producer/consumer chains cluster-local. Within a
+ * cluster, scalar operations follow Algorithm 1: reuse the CU of an
+ * already-placed source when one exists, otherwise take the next CU
+ * from the cluster's round-robin cursor. VECTOR nodes execute in SIMD
+ * mode on the home cluster; GROUP nodes aggregate over the cluster's
+ * inter-CU hops, or over the compute-enabled tree-bus when their
+ * producers span clusters.
+ */
+
+#include "compiler/mapper.hh"
+
+#include <set>
+
+#include "support/logging.hh"
+
+namespace robox::compiler
+{
+
+ProgramMap
+mapGraph(const mdfg::Graph &graph, const accel::AcceleratorConfig &config)
+{
+    const int ncu = config.cusPerCc;
+    const int ntotal = config.totalCus();
+    const int nccs = config.numCcs;
+
+    ProgramMap map;
+    map.placement.resize(graph.size());
+    map.opMap.assign(static_cast<std::size_t>(ntotal), {});
+
+    // Per-cluster round-robin CU cursor (Algorithm 1's cuidx, one per
+    // home cluster).
+    std::vector<int> cu_cursor(static_cast<std::size_t>(nccs), 0);
+
+    for (std::uint32_t id = 0; id < graph.size(); ++id) {
+        const mdfg::Node &node = graph[id];
+        // Every node lives on its stage's home cluster: the
+        // stage-parallel phases (tapes, Hessian assembly) then spread
+        // across clusters by stage, while the stage-serial Riccati
+        // recursion stays cluster-local with only the cost-to-go
+        // hand-off crossing the tree-bus.
+        const int home_cc = node.stage % nccs;
+        Placement pl;
+
+        switch (node.kind) {
+          case mdfg::NodeKind::Scalar: {
+            // Data affinity: reuse the first already-placed scalar
+            // producer's CU (Algorithm 1 steps 3-4); otherwise take the
+            // home cluster's round-robin CU.
+            int chosen = -1;
+            for (std::uint32_t dep : node.deps) {
+                const Placement &dp = map.placement[dep];
+                if (dp.cu >= 0) {
+                    chosen = dp.cc * ncu + dp.cu;
+                    break;
+                }
+            }
+            if (chosen < 0) {
+                chosen = home_cc * ncu + cu_cursor[home_cc];
+                cu_cursor[home_cc] = (cu_cursor[home_cc] + 1) % ncu;
+            }
+            pl.cc = chosen / ncu;
+            pl.cu = chosen % ncu;
+            map.opMap[chosen].push_back(id);
+            break;
+          }
+          case mdfg::NodeKind::Vector:
+            pl.cc = home_cc;
+            pl.cu = -1;
+            break;
+          case mdfg::NodeKind::Group: {
+            std::set<int> ccs;
+            std::set<int> cus;
+            for (std::uint32_t dep : node.deps) {
+                const Placement &dp = map.placement[dep];
+                ccs.insert(dp.cc);
+                if (dp.cu >= 0)
+                    cus.insert(dp.cc * ncu + dp.cu);
+            }
+            pl.cc = home_cc;
+            pl.cu = -1;
+            pl.crossCc = ccs.size() > 1 ||
+                         (ccs.size() == 1 && *ccs.begin() != home_cc);
+            map.aggNodes.push_back(id);
+            map.aggMap.emplace_back(cus.begin(), cus.end());
+            break;
+          }
+        }
+
+        map.placement[id] = pl;
+
+        // Communication map: record edges that leave the producing CU.
+        for (std::uint32_t dep : node.deps) {
+            const Placement &dp = map.placement[dep];
+            bool cross_cu = dp.cc != pl.cc ||
+                            (dp.cu >= 0 && pl.cu >= 0 && dp.cu != pl.cu);
+            if (!cross_cu)
+                continue;
+            Transfer t;
+            t.producer = dep;
+            t.consumer = id;
+            t.srcCc = dp.cc;
+            t.srcCu = dp.cu;
+            t.dstCc = pl.cc;
+            t.dstCu = pl.cu;
+            if (t.neighbor())
+                ++map.neighborTransfers;
+            if (!t.sameCc())
+                ++map.crossCcTransfers;
+            map.transfers.push_back(t);
+        }
+    }
+
+    return map;
+}
+
+} // namespace robox::compiler

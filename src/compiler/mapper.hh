@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Controller Compiler, part 1: compute-enabled-interconnect-aware
+ * mapping (Algorithm 1 of the paper).
+ *
+ * Walks the M-DFG in topological order and produces the four maps of
+ * Sec. VII: the operation map (node -> CU, with data-affinity placement
+ * of sources), the data map (which CU holds each operand), the
+ * communication map (which CUs must receive each produced value), and
+ * the aggregation map (which CUs feed each GROUP reduction). SCALAR
+ * nodes map to individual CUs; VECTOR nodes execute in SIMD mode
+ * across one CC; GROUP nodes aggregate over the inter-CU hops of one
+ * CC or over the compute-enabled tree-bus when their producers span
+ * clusters.
+ */
+
+#ifndef ROBOX_COMPILER_MAPPER_HH
+#define ROBOX_COMPILER_MAPPER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "accel/config.hh"
+#include "mdfg/mdfg.hh"
+
+namespace robox::compiler
+{
+
+/** Placement of one M-DFG node. */
+struct Placement
+{
+    int cc = 0;  //!< Cluster.
+    int cu = -1; //!< CU within the cluster; -1 = CC-wide (SIMD/group).
+    bool crossCc = false; //!< GROUP spans clusters (tree-bus agg).
+};
+
+/** One required data transfer (an edge crossing a CU boundary). */
+struct Transfer
+{
+    std::uint32_t producer = 0; //!< Producing node id.
+    std::uint32_t consumer = 0; //!< Consuming node id.
+    int srcCc = 0;
+    int srcCu = 0;
+    int dstCc = 0;
+    int dstCu = 0;
+
+    bool sameCc() const { return srcCc == dstCc; }
+    /** Single-hop neighbor transfer (bypasses the shared bus). */
+    bool
+    neighbor() const
+    {
+        return sameCc() && srcCu >= 0 && dstCu >= 0 &&
+               (srcCu - dstCu == 1 || dstCu - srcCu == 1);
+    }
+};
+
+/** The program map M produced by Algorithm 1. */
+struct ProgramMap
+{
+    /** Placement per node, indexed by node id. */
+    std::vector<Placement> placement;
+
+    /** Operation map M.O: node ids per global CU (cc * cusPerCc + cu). */
+    std::vector<std::vector<std::uint32_t>> opMap;
+
+    /** Communication map M.C: transfers in schedule order. */
+    std::vector<Transfer> transfers;
+
+    /**
+     * Aggregation map M.A: for each GROUP node, the global CU indices
+     * providing partial results. Parallel vector `aggNodes` holds the
+     * node ids.
+     */
+    std::vector<std::uint32_t> aggNodes;
+    std::vector<std::vector<int>> aggMap;
+
+    /** Count of transfers that use the single-hop neighbor links. */
+    std::size_t neighborTransfers = 0;
+    /** Count of transfers that cross clusters (tree-bus). */
+    std::size_t crossCcTransfers = 0;
+};
+
+/** Run Algorithm 1 over a graph for a given accelerator shape. */
+ProgramMap mapGraph(const mdfg::Graph &graph,
+                    const accel::AcceleratorConfig &config);
+
+} // namespace robox::compiler
+
+#endif // ROBOX_COMPILER_MAPPER_HH

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Implementation of the Controller facade.
+ */
+
+#include "core/controller.hh"
+
+#include "dsl/sema.hh"
+
+namespace robox::core
+{
+
+Controller::Controller(const std::string &source,
+                       const mpc::MpcOptions &options,
+                       const std::string &task_name)
+    : model_(dsl::analyzeSource(source, task_name)),
+      solver_(std::make_unique<mpc::IpmSolver>(model_, options))
+{
+}
+
+mpc::IpmSolver::Result
+Controller::step(const Vector &x, const Vector &ref)
+{
+    return solver_->solve(x, ref);
+}
+
+mpc::IpmSolver::Result
+Controller::step(const Vector &x, const std::vector<Vector> &refs)
+{
+    return solver_->solve(x, refs);
+}
+
+compiler::IsaStreams
+Controller::compileForAccelerator(const accel::AcceleratorConfig &config,
+                                  int slice_stages) const
+{
+    translator::Workload workload = translator::buildSolverIteration(
+        solver_->problem(),
+        std::min(slice_stages, solver_->problem().horizon()));
+    compiler::ProgramMap map =
+        compiler::mapGraph(workload.graph, config);
+    return compiler::emitStreams(workload, map, config);
+}
+
+} // namespace robox::core

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * robox::core::Controller — the end-to-end public API.
+ *
+ * A Controller is built from RoboX DSL source text (Sec. IV) plus the
+ * solver meta-parameters; construction runs the full frontend (lexer,
+ * parser, semantic analysis), the Program Translator (discretization,
+ * automatic differentiation, tape compilation), and instantiates the
+ * interior-point solver. step() performs one MPC invocation.
+ *
+ * The architectural path is exposed alongside: compile() lowers one
+ * solver iteration to the M-DFG, maps it with the Controller Compiler,
+ * emits the three ISA streams, and the accelerator simulator returns
+ * cycle-accurate timing for any accelerator configuration.
+ */
+
+#ifndef ROBOX_CORE_CONTROLLER_HH
+#define ROBOX_CORE_CONTROLLER_HH
+
+#include <memory>
+#include <string>
+
+#include "accel/simulator.hh"
+#include "compiler/codegen.hh"
+#include "dsl/model_spec.hh"
+#include "mpc/ipm.hh"
+#include "mpc/simulate.hh"
+
+namespace robox::core
+{
+
+/** An MPC controller compiled from RoboX DSL source. */
+class Controller
+{
+  public:
+    /**
+     * Compile DSL source into a controller.
+     *
+     * @param source Complete RoboX program text (System + Task
+     *        definitions, references, instantiation, task call).
+     * @param options Solver meta-parameters (horizon, rate, tolerance).
+     * @param task_name Select a specific task call; empty = the first
+     *        task call in the program.
+     */
+    Controller(const std::string &source, const mpc::MpcOptions &options,
+               const std::string &task_name = "");
+
+    /** Convenience factory. */
+    static Controller
+    fromSource(const std::string &source,
+               const mpc::MpcOptions &options = mpc::MpcOptions())
+    {
+        return Controller(source, options);
+    }
+
+    /** One controller invocation: measured state + references -> u0. */
+    mpc::IpmSolver::Result step(const Vector &x, const Vector &ref);
+
+    /** Invocation with a previewed reference trajectory: refs[k] is
+     *  applied at horizon stage k (refs[N] at the terminal stage). */
+    mpc::IpmSolver::Result step(const Vector &x,
+                                const std::vector<Vector> &refs);
+
+    /** Drop the warm start (e.g. after teleporting the robot). */
+    void reset() { solver_->reset(); }
+
+    const dsl::ModelSpec &model() const { return model_; }
+    const mpc::MpcProblem &problem() const { return solver_->problem(); }
+    mpc::IpmSolver &solver() { return *solver_; }
+    const mpc::SolveStats &lastStats() const
+    {
+        return solver_->lastStats();
+    }
+
+    /** Closed-loop simulation against the true continuous dynamics. */
+    mpc::SimulationResult
+    simulate(const Vector &x0, const Vector &ref, int steps)
+    {
+        return mpc::simulateClosedLoop(*solver_, x0, ref, steps);
+    }
+
+    /**
+     * Lower one solver iteration through the Controller Compiler for
+     * the given accelerator and return the emitted ISA streams.
+     */
+    compiler::IsaStreams
+    compileForAccelerator(const accel::AcceleratorConfig &config,
+                          int slice_stages = 32) const;
+
+    /**
+     * Cycle-accurate accelerator timing of one solver iteration,
+     * extrapolated to the full horizon.
+     */
+    accel::CycleStats
+    acceleratorIteration(const accel::AcceleratorConfig &config,
+                         int slice_stages = 64) const
+    {
+        return accel::simulateIteration(solver_->problem(), config,
+                                        slice_stages);
+    }
+
+  private:
+    dsl::ModelSpec model_;
+    std::unique_ptr<mpc::IpmSolver> solver_;
+};
+
+} // namespace robox::core
+
+#endif // ROBOX_CORE_CONTROLLER_HH

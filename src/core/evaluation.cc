@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Implementation of the shared evaluation harness.
+ */
+
+#include "core/evaluation.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "accel/simulator.hh"
+#include "mpc/ipm.hh"
+#include "mpc/simulate.hh"
+#include "perfmodel/profile.hh"
+#include "support/logging.hh"
+
+namespace robox::core
+{
+
+const PlatformResult &
+BenchmarkEvaluation::platform(const std::string &name) const
+{
+    for (const PlatformResult &r : baselines)
+        if (r.name == name)
+            return r;
+    fatal("no baseline platform '{}' in evaluation of {}", name,
+          benchmark);
+}
+
+double
+BenchmarkEvaluation::speedupOver(const std::string &name) const
+{
+    return platform(name).seconds / robox.seconds;
+}
+
+double
+BenchmarkEvaluation::ppwOver(const std::string &name) const
+{
+    return robox.perfPerWatt() / platform(name).perfPerWatt();
+}
+
+int
+measureIterations(const robots::Benchmark &bench, int horizon)
+{
+    // Iteration counts are cached per benchmark/horizon-cap pair: the
+    // sweeps re-evaluate the same benchmark many times.
+    static std::map<std::pair<std::string, int>, int> cache;
+    int capped = std::min(horizon, 64);
+    auto key = std::make_pair(bench.name, capped);
+    auto it = cache.find(key);
+    if (it != cache.end())
+        return it->second;
+
+    dsl::ModelSpec model = robots::analyzeBenchmark(bench);
+    mpc::MpcOptions opt = bench.options;
+    opt.horizon = capped;
+    mpc::IpmSolver solver(model, opt);
+    auto sim = mpc::simulateClosedLoop(solver, bench.initialState,
+                                       bench.reference, 6);
+    int iterations = std::max(
+        1, static_cast<int>(std::lround(sim.totalIterations / 6.0)));
+    cache.emplace(key, iterations);
+    return iterations;
+}
+
+BenchmarkEvaluation
+evaluateBenchmark(const robots::Benchmark &bench, int horizon,
+                  const accel::AcceleratorConfig &config,
+                  int iterations_override)
+{
+    BenchmarkEvaluation eval;
+    eval.benchmark = bench.name;
+    eval.horizon = horizon;
+    eval.ipmIterations = iterations_override > 0
+                             ? iterations_override
+                             : measureIterations(bench, horizon);
+
+    dsl::ModelSpec model = robots::analyzeBenchmark(bench);
+    mpc::MpcOptions opt = bench.options;
+    opt.horizon = horizon;
+    mpc::MpcProblem problem(model, opt);
+
+    // RoboX: cycle-accurate iteration timing scaled by the iteration
+    // count of one controller invocation.
+    accel::CycleStats iter_stats =
+        accel::simulateIteration(problem, config);
+    eval.robox.name = "RoboX";
+    eval.robox.seconds =
+        iter_stats.seconds(config) * eval.ipmIterations;
+    eval.robox.watts = config.powerWatts();
+
+    // Baselines: analytic models over the identical workload profile.
+    perfmodel::WorkloadProfile profile =
+        perfmodel::profileProblem(problem, eval.ipmIterations);
+    for (const perfmodel::PlatformSpec &platform :
+         perfmodel::allPlatforms()) {
+        PlatformResult r;
+        r.name = platform.name;
+        r.seconds = perfmodel::predictSeconds(platform, profile);
+        r.watts = platform.busyPowerWatts;
+        eval.baselines.push_back(r);
+    }
+    return eval;
+}
+
+double
+geometricMean(const std::vector<double> &values)
+{
+    robox_assert(!values.empty());
+    double log_sum = 0.0;
+    for (double v : values)
+        log_sum += std::log(v);
+    return std::exp(log_sum / values.size());
+}
+
+} // namespace robox::core

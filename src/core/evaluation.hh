@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Evaluation harness shared by the figure/table benchmarks: runs one
+ * Table III benchmark end-to-end, times RoboX with the cycle-level
+ * simulator, and times the five baseline platforms with the analytic
+ * models over the identical workload profile.
+ */
+
+#ifndef ROBOX_CORE_EVALUATION_HH
+#define ROBOX_CORE_EVALUATION_HH
+
+#include <string>
+#include <vector>
+
+#include "accel/config.hh"
+#include "perfmodel/platforms.hh"
+#include "robots/robots.hh"
+
+namespace robox::core
+{
+
+/** One platform's predicted results on one benchmark. */
+struct PlatformResult
+{
+    std::string name;
+    double seconds = 0.0;     //!< Per controller invocation.
+    double watts = 0.0;       //!< Busy power.
+    /** Performance per watt: 1 / (seconds * watts). */
+    double perfPerWatt() const { return 1.0 / (seconds * watts); }
+};
+
+/** Full evaluation of one benchmark at one horizon/configuration. */
+struct BenchmarkEvaluation
+{
+    std::string benchmark;
+    int horizon = 0;
+    int ipmIterations = 0;  //!< Measured solver iterations used.
+    PlatformResult robox;   //!< Cycle-accurate simulation.
+    std::vector<PlatformResult> baselines; //!< Table IV order.
+
+    /** Find a platform result by name (fatal if missing). */
+    const PlatformResult &platform(const std::string &name) const;
+    /** Speedup of RoboX over the named baseline. */
+    double speedupOver(const std::string &name) const;
+    /** Performance-per-watt improvement of RoboX over the baseline. */
+    double ppwOver(const std::string &name) const;
+};
+
+/**
+ * Evaluate one benchmark.
+ *
+ * @param bench The Table III benchmark.
+ * @param horizon Prediction horizon N.
+ * @param config Accelerator configuration for the RoboX side.
+ * @param iterations_override If positive, skip the measurement run and
+ *        assume this many IPM iterations per invocation.
+ */
+BenchmarkEvaluation evaluateBenchmark(
+    const robots::Benchmark &bench, int horizon,
+    const accel::AcceleratorConfig &config =
+        accel::AcceleratorConfig::paperDefault(),
+    int iterations_override = -1);
+
+/**
+ * Measure the typical warm-start IPM iteration count for a benchmark
+ * by running a short closed-loop episode at a capped horizon (the
+ * count is insensitive to the horizon; the cap keeps long-horizon
+ * sweeps fast).
+ */
+int measureIterations(const robots::Benchmark &bench, int horizon);
+
+/** Geometric mean helper used by the figure benchmarks. */
+double geometricMean(const std::vector<double> &values);
+
+} // namespace robox::core
+
+#endif // ROBOX_CORE_EVALUATION_HH

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Abstract syntax tree for the RoboX DSL.
+ *
+ * The grammar mirrors the language of Sec. IV: a program is a set of
+ * System components (each containing datatype declarations, symbolic and
+ * imperative assignments, and nested Task components), global reference
+ * declarations, a system instantiation, and a task call. Expressions
+ * support elementary operators, nonlinear functions, and group
+ * operations over range variables.
+ */
+
+#ifndef ROBOX_DSL_AST_HH
+#define ROBOX_DSL_AST_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace robox::dsl
+{
+
+/** Datatype keywords that introduce declarations (Table I). */
+enum class DeclKind
+{
+    Input,
+    State,
+    Param,
+    Penalty,
+    Constraint,
+    Reference,
+    Range,
+};
+
+/** Printable name of a declaration kind. */
+const char *declKindName(DeclKind kind);
+
+struct ExprAst;
+using ExprAstPtr = std::unique_ptr<ExprAst>;
+
+/** Expression node kinds. */
+enum class ExprAstKind
+{
+    Number,   //!< Numeric literal.
+    VarRef,   //!< Name with optional index expressions.
+    Unary,    //!< Unary minus.
+    Binary,   //!< + - * / ^.
+    Call,     //!< Nonlinear function call: sin(e), sqrt(e), ...
+    GroupOp,  //!< sum[i](e), norm[i](e), min[i](e), max[i](e).
+};
+
+/** One expression tree node. */
+struct ExprAst
+{
+    ExprAstKind kind = ExprAstKind::Number;
+    int line = 0;
+    int column = 0;
+
+    double number = 0.0;             //!< Number payload.
+    std::string name;                //!< VarRef base / Call fn / GroupOp fn.
+    std::vector<ExprAstPtr> indices; //!< VarRef index expressions.
+    char op = 0;                     //!< Unary/Binary operator character.
+    ExprAstPtr lhs;                  //!< Binary left / Unary operand.
+    ExprAstPtr rhs;                  //!< Binary right.
+    std::vector<ExprAstPtr> args;    //!< Call / GroupOp arguments.
+    std::vector<std::string> groupVars; //!< GroupOp range variable names.
+};
+
+/** Assignment target: name, optional indices, optional field. */
+struct LValueAst
+{
+    std::string name;
+    std::vector<ExprAstPtr> indices;
+    std::string field; //!< "", "dt", "lower_bound", "upper_bound",
+                       //!< "equals", "weight", "running", "terminal".
+    int line = 0;
+    int column = 0;
+};
+
+/** One declarator in a declaration statement: name plus dimensions. */
+struct DeclaratorAst
+{
+    std::string name;
+    std::vector<ExprAstPtr> dims; //!< Array dimensions (constant exprs).
+    ExprAstPtr rangeLo;           //!< range lower bound (range decls).
+    ExprAstPtr rangeHi;           //!< range upper bound (exclusive).
+};
+
+/** Declaration statement: `state pos[2], angle;`. */
+struct DeclStmtAst
+{
+    DeclKind kind = DeclKind::State;
+    std::vector<DeclaratorAst> decls;
+    int line = 0;
+};
+
+/** Assignment statement, symbolic (=) or imperative (<=). */
+struct AssignStmtAst
+{
+    LValueAst lhs;
+    bool imperative = false;
+    ExprAstPtr rhs;
+    int line = 0;
+};
+
+/** A body statement is either a declaration or an assignment. */
+struct StmtAst
+{
+    // Exactly one of decl/assign is populated.
+    std::unique_ptr<DeclStmtAst> decl;
+    std::unique_ptr<AssignStmtAst> assign;
+};
+
+/** Formal parameter of a System or Task: `param w` or `reference r`. */
+struct FormalParamAst
+{
+    DeclKind kind = DeclKind::Param; //!< Param or Reference.
+    std::string name;
+    int line = 0;
+};
+
+/** Task component nested in a System. */
+struct TaskDefAst
+{
+    std::string name;
+    std::vector<FormalParamAst> params;
+    std::vector<StmtAst> body;
+    int line = 0;
+};
+
+/** System component. */
+struct SystemDefAst
+{
+    std::string name;
+    std::vector<FormalParamAst> params;
+    std::vector<StmtAst> body;   //!< Declarations and assignments.
+    std::vector<TaskDefAst> tasks;
+    int line = 0;
+};
+
+/** Global reference declaration: `reference desired_x;`. */
+struct GlobalRefAst
+{
+    std::string name;
+    std::vector<ExprAstPtr> dims;
+    int line = 0;
+};
+
+/** System instantiation: `MobileRobot robot(0.1, 0.01);`. */
+struct InstantiationAst
+{
+    std::string systemName;
+    std::string instanceName;
+    std::vector<ExprAstPtr> args;
+    int line = 0;
+};
+
+/** Task invocation: `robot.moveTo(desired_x, desired_y, 1);`. */
+struct TaskCallAst
+{
+    std::string instanceName;
+    std::string taskName;
+    std::vector<ExprAstPtr> args;
+    int line = 0;
+};
+
+/** A complete RoboX program. */
+struct ProgramAst
+{
+    std::vector<SystemDefAst> systems;
+    std::vector<GlobalRefAst> references;
+    std::vector<InstantiationAst> instances;
+    std::vector<TaskCallAst> taskCalls;
+};
+
+} // namespace robox::dsl
+
+#endif // ROBOX_DSL_AST_HH

@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Implementation of the canonical formatter.
+ */
+
+#include "dsl/format.hh"
+
+#include <sstream>
+
+#include "dsl/parser.hh"
+#include "support/logging.hh"
+#include "support/strings.hh"
+
+namespace robox::dsl
+{
+
+namespace
+{
+
+/** Binding strength for parenthesization decisions. */
+int
+precedenceOf(const ExprAst &e)
+{
+    switch (e.kind) {
+      case ExprAstKind::Binary:
+        switch (e.op) {
+          case '+':
+          case '-':
+            return 1;
+          case '*':
+          case '/':
+            return 2;
+          case '^':
+            return 3;
+          default:
+            panic("bad binary op in formatter");
+        }
+      case ExprAstKind::Unary:
+        return 2; // Like a multiplication by -1.
+      default:
+        return 4; // Atoms never need parentheses.
+    }
+}
+
+void
+writeExpr(const ExprAst &e, std::ostringstream &os)
+{
+    switch (e.kind) {
+      case ExprAstKind::Number:
+        os << formatDouble(e.number);
+        return;
+      case ExprAstKind::VarRef:
+        os << e.name;
+        for (const ExprAstPtr &idx : e.indices) {
+            os << "[";
+            writeExpr(*idx, os);
+            os << "]";
+        }
+        return;
+      case ExprAstKind::Unary: {
+        os << "-";
+        bool paren = precedenceOf(*e.lhs) < precedenceOf(e);
+        if (paren)
+            os << "(";
+        writeExpr(*e.lhs, os);
+        if (paren)
+            os << ")";
+        return;
+      }
+      case ExprAstKind::Binary: {
+        int prec = precedenceOf(e);
+        bool lparen = precedenceOf(*e.lhs) < prec;
+        // Subtraction/division are left associative: a right child at
+        // equal precedence needs parentheses (a - (b - c)).
+        bool rparen = precedenceOf(*e.rhs) < prec ||
+                      (precedenceOf(*e.rhs) == prec &&
+                       (e.op == '-' || e.op == '/'));
+        if (lparen)
+            os << "(";
+        writeExpr(*e.lhs, os);
+        if (lparen)
+            os << ")";
+        os << " " << e.op << " ";
+        if (rparen)
+            os << "(";
+        writeExpr(*e.rhs, os);
+        if (rparen)
+            os << ")";
+        return;
+      }
+      case ExprAstKind::Call:
+        os << e.name << "(";
+        writeExpr(*e.args[0], os);
+        os << ")";
+        return;
+      case ExprAstKind::GroupOp:
+        os << e.name;
+        for (const std::string &var : e.groupVars)
+            os << "[" << var << "]";
+        os << "(";
+        writeExpr(*e.args[0], os);
+        os << ")";
+        return;
+    }
+}
+
+void
+writeDecl(const DeclStmtAst &decl, int indent, std::ostringstream &os)
+{
+    os << std::string(static_cast<std::size_t>(indent), ' ')
+       << declKindName(decl.kind) << " ";
+    bool first = true;
+    for (const DeclaratorAst &d : decl.decls) {
+        if (!first)
+            os << ", ";
+        first = false;
+        os << d.name;
+        if (decl.kind == DeclKind::Range) {
+            os << "[";
+            writeExpr(*d.rangeLo, os);
+            os << ":";
+            writeExpr(*d.rangeHi, os);
+            os << "]";
+        } else {
+            for (const ExprAstPtr &dim : d.dims) {
+                os << "[";
+                writeExpr(*dim, os);
+                os << "]";
+            }
+        }
+    }
+    os << ";\n";
+}
+
+void
+writeAssign(const AssignStmtAst &assign, int indent,
+            std::ostringstream &os)
+{
+    os << std::string(static_cast<std::size_t>(indent), ' ')
+       << assign.lhs.name;
+    for (const ExprAstPtr &idx : assign.lhs.indices) {
+        os << "[";
+        writeExpr(*idx, os);
+        os << "]";
+    }
+    if (!assign.lhs.field.empty())
+        os << "." << assign.lhs.field;
+    os << (assign.imperative ? " <= " : " = ");
+    writeExpr(*assign.rhs, os);
+    os << ";\n";
+}
+
+void
+writeBody(const std::vector<StmtAst> &body, int indent,
+          std::ostringstream &os)
+{
+    for (const StmtAst &stmt : body) {
+        if (stmt.decl)
+            writeDecl(*stmt.decl, indent, os);
+        else
+            writeAssign(*stmt.assign, indent, os);
+    }
+}
+
+void
+writeFormals(const std::vector<FormalParamAst> &params,
+             std::ostringstream &os)
+{
+    os << "(";
+    bool first = true;
+    for (const FormalParamAst &p : params) {
+        if (!first)
+            os << ", ";
+        first = false;
+        os << (p.kind == DeclKind::Reference ? "reference " : "param ")
+           << p.name;
+    }
+    os << ")";
+}
+
+void
+writeArgs(const std::vector<ExprAstPtr> &args, std::ostringstream &os)
+{
+    os << "(";
+    bool first = true;
+    for (const ExprAstPtr &a : args) {
+        if (!first)
+            os << ", ";
+        first = false;
+        writeExpr(*a, os);
+    }
+    os << ")";
+}
+
+} // namespace
+
+std::string
+formatExpr(const ExprAst &expr)
+{
+    std::ostringstream os;
+    writeExpr(expr, os);
+    return os.str();
+}
+
+std::string
+formatProgram(const ProgramAst &program)
+{
+    std::ostringstream os;
+    for (const SystemDefAst &sys : program.systems) {
+        os << "System " << sys.name;
+        writeFormals(sys.params, os);
+        os << " {\n";
+        writeBody(sys.body, 2, os);
+        for (const TaskDefAst &task : sys.tasks) {
+            os << "\n  Task " << task.name;
+            writeFormals(task.params, os);
+            os << " {\n";
+            writeBody(task.body, 4, os);
+            os << "  }\n";
+        }
+        os << "}\n\n";
+    }
+    for (const GlobalRefAst &ref : program.references) {
+        os << "reference " << ref.name;
+        for (const ExprAstPtr &dim : ref.dims) {
+            os << "[";
+            writeExpr(*dim, os);
+            os << "]";
+        }
+        os << ";\n";
+    }
+    for (const InstantiationAst &inst : program.instances) {
+        os << inst.systemName << " " << inst.instanceName;
+        writeArgs(inst.args, os);
+        os << ";\n";
+    }
+    for (const TaskCallAst &call : program.taskCalls) {
+        os << call.instanceName << "." << call.taskName;
+        writeArgs(call.args, os);
+        os << ";\n";
+    }
+    return os.str();
+}
+
+std::string
+formatSource(const std::string &source)
+{
+    return formatProgram(parseProgram(source));
+}
+
+} // namespace robox::dsl

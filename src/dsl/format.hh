@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Canonical formatter for RoboX programs.
+ *
+ * Renders a parsed ProgramAst back to source text with uniform
+ * two-space indentation and spacing. Formatting is semantics
+ * preserving: parsing the formatted text and analyzing it produces a
+ * model equivalent to the original (round-trip tested). Useful as a
+ * `robox-fmt` building block and for emitting machine-generated
+ * programs readably.
+ */
+
+#ifndef ROBOX_DSL_FORMAT_HH
+#define ROBOX_DSL_FORMAT_HH
+
+#include <string>
+
+#include "dsl/ast.hh"
+
+namespace robox::dsl
+{
+
+/** Render an expression subtree to source text. */
+std::string formatExpr(const ExprAst &expr);
+
+/** Render a complete program to canonical source text. */
+std::string formatProgram(const ProgramAst &program);
+
+/** Parse then re-render source text in canonical form. */
+std::string formatSource(const std::string &source);
+
+} // namespace robox::dsl
+
+#endif // ROBOX_DSL_FORMAT_HH

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Implementation of the RoboX DSL lexer.
+ */
+
+#include "dsl/lexer.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+#include "support/logging.hh"
+
+namespace robox::dsl
+{
+
+const char *
+tokenKindName(TokenKind kind)
+{
+    switch (kind) {
+      case TokenKind::Identifier: return "identifier";
+      case TokenKind::Number: return "number";
+      case TokenKind::KwSystem: return "'System'";
+      case TokenKind::KwTask: return "'Task'";
+      case TokenKind::KwInput: return "'input'";
+      case TokenKind::KwState: return "'state'";
+      case TokenKind::KwParam: return "'param'";
+      case TokenKind::KwPenalty: return "'penalty'";
+      case TokenKind::KwConstraint: return "'constraint'";
+      case TokenKind::KwReference: return "'reference'";
+      case TokenKind::KwRange: return "'range'";
+      case TokenKind::LParen: return "'('";
+      case TokenKind::RParen: return "')'";
+      case TokenKind::LBrace: return "'{'";
+      case TokenKind::RBrace: return "'}'";
+      case TokenKind::LBracket: return "'['";
+      case TokenKind::RBracket: return "']'";
+      case TokenKind::Semicolon: return "';'";
+      case TokenKind::Comma: return "','";
+      case TokenKind::Dot: return "'.'";
+      case TokenKind::Colon: return "':'";
+      case TokenKind::Assign: return "'='";
+      case TokenKind::ImpAssign: return "'<='";
+      case TokenKind::Plus: return "'+'";
+      case TokenKind::Minus: return "'-'";
+      case TokenKind::Star: return "'*'";
+      case TokenKind::Slash: return "'/'";
+      case TokenKind::Caret: return "'^'";
+      case TokenKind::EndOfFile: return "end of file";
+    }
+    return "?";
+}
+
+std::string
+Token::location() const
+{
+    return std::to_string(line) + ":" + std::to_string(column);
+}
+
+namespace
+{
+
+const std::unordered_map<std::string, TokenKind> kKeywords = {
+    {"System", TokenKind::KwSystem},
+    {"Task", TokenKind::KwTask},
+    {"input", TokenKind::KwInput},
+    {"state", TokenKind::KwState},
+    {"param", TokenKind::KwParam},
+    {"penalty", TokenKind::KwPenalty},
+    {"constraint", TokenKind::KwConstraint},
+    {"reference", TokenKind::KwReference},
+    {"range", TokenKind::KwRange},
+};
+
+} // namespace
+
+std::vector<Token>
+tokenize(const std::string &source)
+{
+    std::vector<Token> tokens;
+    int line = 1;
+    int column = 1;
+    std::size_t i = 0;
+    const std::size_t n = source.size();
+
+    auto peek = [&](std::size_t ahead = 0) -> char {
+        return i + ahead < n ? source[i + ahead] : '\0';
+    };
+    auto advance = [&]() {
+        if (source[i] == '\n') {
+            ++line;
+            column = 1;
+        } else {
+            ++column;
+        }
+        ++i;
+    };
+    auto push = [&](TokenKind kind, std::string text, int tline,
+                    int tcolumn) {
+        Token t;
+        t.kind = kind;
+        t.text = std::move(text);
+        t.line = tline;
+        t.column = tcolumn;
+        tokens.push_back(std::move(t));
+    };
+
+    while (i < n) {
+        char c = peek();
+        int tline = line;
+        int tcolumn = column;
+
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            advance();
+            continue;
+        }
+        // Line comments.
+        if (c == '/' && peek(1) == '/') {
+            while (i < n && peek() != '\n')
+                advance();
+            continue;
+        }
+        // Identifiers and keywords.
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            std::string word;
+            while (i < n &&
+                   (std::isalnum(static_cast<unsigned char>(peek())) ||
+                    peek() == '_')) {
+                word.push_back(peek());
+                advance();
+            }
+            auto it = kKeywords.find(word);
+            push(it != kKeywords.end() ? it->second : TokenKind::Identifier,
+                 word, tline, tcolumn);
+            continue;
+        }
+        // Numbers: integer, decimal, scientific.
+        if (std::isdigit(static_cast<unsigned char>(c)) ||
+            (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+            std::string lit;
+            bool seen_dot = false;
+            bool seen_exp = false;
+            while (i < n) {
+                char d = peek();
+                if (std::isdigit(static_cast<unsigned char>(d))) {
+                    lit.push_back(d);
+                    advance();
+                } else if (d == '.' && !seen_dot && !seen_exp) {
+                    // A '.' followed by an identifier is field access on
+                    // an integer-indexed name, not a decimal point.
+                    if (!std::isdigit(static_cast<unsigned char>(peek(1))))
+                        break;
+                    seen_dot = true;
+                    lit.push_back(d);
+                    advance();
+                } else if ((d == 'e' || d == 'E') && !seen_exp) {
+                    char next = peek(1);
+                    if (!std::isdigit(static_cast<unsigned char>(next)) &&
+                        !((next == '+' || next == '-') &&
+                          std::isdigit(static_cast<unsigned char>(
+                              i + 2 < n ? source[i + 2] : '\0')))) {
+                        break;
+                    }
+                    seen_exp = true;
+                    lit.push_back(d);
+                    advance();
+                    if (peek() == '+' || peek() == '-') {
+                        lit.push_back(peek());
+                        advance();
+                    }
+                } else {
+                    break;
+                }
+            }
+            Token t;
+            t.kind = TokenKind::Number;
+            t.text = lit;
+            t.number = std::strtod(lit.c_str(), nullptr);
+            t.line = tline;
+            t.column = tcolumn;
+            tokens.push_back(std::move(t));
+            continue;
+        }
+        // Operators and punctuation.
+        TokenKind kind;
+        std::string text(1, c);
+        switch (c) {
+          case '(': kind = TokenKind::LParen; break;
+          case ')': kind = TokenKind::RParen; break;
+          case '{': kind = TokenKind::LBrace; break;
+          case '}': kind = TokenKind::RBrace; break;
+          case '[': kind = TokenKind::LBracket; break;
+          case ']': kind = TokenKind::RBracket; break;
+          case ';': kind = TokenKind::Semicolon; break;
+          case ',': kind = TokenKind::Comma; break;
+          case '.': kind = TokenKind::Dot; break;
+          case ':': kind = TokenKind::Colon; break;
+          case '+': kind = TokenKind::Plus; break;
+          case '-': kind = TokenKind::Minus; break;
+          case '*': kind = TokenKind::Star; break;
+          case '/': kind = TokenKind::Slash; break;
+          case '^': kind = TokenKind::Caret; break;
+          case '=': kind = TokenKind::Assign; break;
+          case '<':
+            if (peek(1) == '=') {
+                kind = TokenKind::ImpAssign;
+                text = "<=";
+                advance();
+            } else {
+                fatal("lex error at {}:{}: stray '<' (did you mean '<='?)",
+                      tline, tcolumn);
+            }
+            break;
+          default:
+            fatal("lex error at {}:{}: unexpected character '{}'",
+                  tline, tcolumn, std::string(1, c));
+        }
+        advance();
+        push(kind, text, tline, tcolumn);
+    }
+
+    push(TokenKind::EndOfFile, "", line, column);
+    return tokens;
+}
+
+} // namespace robox::dsl

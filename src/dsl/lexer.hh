@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Lexer for the RoboX DSL.
+ *
+ * Converts program text into a token stream. Supports C++-style line
+ * comments, decimal and scientific number literals, and the keyword set
+ * of Table I. Lexical errors (stray characters, malformed numbers) are
+ * reported through fatal() with source locations.
+ */
+
+#ifndef ROBOX_DSL_LEXER_HH
+#define ROBOX_DSL_LEXER_HH
+
+#include <string>
+#include <vector>
+
+#include "dsl/token.hh"
+
+namespace robox::dsl
+{
+
+/** Tokenize an entire RoboX program; the result ends with EndOfFile. */
+std::vector<Token> tokenize(const std::string &source);
+
+} // namespace robox::dsl
+
+#endif // ROBOX_DSL_LEXER_HH

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * ModelSpec queries and the human-readable model summary.
+ */
+
+#include "dsl/model_spec.hh"
+
+#include <sstream>
+
+#include "support/strings.hh"
+
+namespace robox::dsl
+{
+
+int
+ModelSpec::numBoundConstraints() const
+{
+    int count = 0;
+    for (double b : stateLower)
+        count += b != -kUnbounded;
+    for (double b : stateUpper)
+        count += b != kUnbounded;
+    for (double b : inputLower)
+        count += b != -kUnbounded;
+    for (double b : inputUpper)
+        count += b != kUnbounded;
+    return count;
+}
+
+int
+ModelSpec::numRunningPenalties() const
+{
+    int count = 0;
+    for (const PenaltyTerm &p : penalties)
+        count += !p.terminal;
+    return count;
+}
+
+int
+ModelSpec::numTerminalPenalties() const
+{
+    int count = 0;
+    for (const PenaltyTerm &p : penalties)
+        count += p.terminal;
+    return count;
+}
+
+namespace
+{
+
+/** Render a bound pair like "[-1, 1]", eliding infinities. */
+std::string
+boundsText(double lo, double hi)
+{
+    std::string out = "[";
+    out += lo == -kUnbounded ? "-inf" : formatDouble(lo);
+    out += ", ";
+    out += hi == kUnbounded ? "inf" : formatDouble(hi);
+    out += "]";
+    return out;
+}
+
+} // namespace
+
+std::string
+ModelSpec::describe() const
+{
+    std::ostringstream os;
+    os << "System " << systemName << " / Task " << taskName << "\n";
+    os << "  states (" << nx() << "):\n";
+    for (int i = 0; i < nx(); ++i) {
+        os << "    " << stateNames[i] << " in "
+           << boundsText(stateLower[i], stateUpper[i])
+           << ", d/dt = " << dynamics[i].str() << "\n";
+    }
+    os << "  inputs (" << nu() << "):\n";
+    for (int i = 0; i < nu(); ++i) {
+        os << "    " << inputNames[i] << " in "
+           << boundsText(inputLower[i], inputUpper[i]) << "\n";
+    }
+    if (nref() > 0) {
+        os << "  references (" << nref() << "):";
+        for (const std::string &name : referenceNames)
+            os << " " << name;
+        os << "\n";
+    }
+    os << "  penalties (" << penalties.size() << "):\n";
+    for (const PenaltyTerm &p : penalties) {
+        os << "    " << p.name << " ["
+           << (p.terminal ? "terminal" : "running")
+           << ", w=" << formatDouble(p.weight)
+           << "] = " << p.expr.str() << "\n";
+    }
+    os << "  constraints (" << constraints.size() << "):\n";
+    for (const ConstraintTerm &c : constraints) {
+        os << "    " << c.name << " ["
+           << (c.terminal ? "terminal" : "running") << "] ";
+        if (c.isEquality) {
+            os << c.expr.str() << " == " << formatDouble(c.equalsValue);
+        } else {
+            os << c.expr.str() << " in "
+               << boundsText(c.lower, c.upper);
+        }
+        os << "\n";
+    }
+    return os.str();
+}
+
+} // namespace robox::dsl

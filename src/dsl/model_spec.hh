@@ -1,0 +1,97 @@
+/**
+ * @file
+ * ModelSpec: the concrete robot-plus-task model produced by semantic
+ * analysis of a RoboX program.
+ *
+ * A ModelSpec is the hand-off between the DSL frontend and the Program
+ * Translator: all System/Task parameters have been bound to values, all
+ * array variables flattened, and all group operations expanded, leaving
+ * plain symbolic expressions over a dense variable space laid out as
+ * [states | inputs | references].
+ */
+
+#ifndef ROBOX_DSL_MODEL_SPEC_HH
+#define ROBOX_DSL_MODEL_SPEC_HH
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "sym/expr.hh"
+
+namespace robox::dsl
+{
+
+/** Positive infinity used for "no bound". */
+constexpr double kUnbounded = std::numeric_limits<double>::infinity();
+
+/** One scalar penalty term of the task objective. */
+struct PenaltyTerm
+{
+    std::string name;   //!< Flattened name, e.g. "target_x" or "p[2]".
+    sym::Expr expr;     //!< The penalized expression p_i.
+    double weight = 1.0; //!< W_i in sum_i ||p_i||^2_{W_i}.
+    bool terminal = false; //!< Terminal (last step only) vs. running.
+};
+
+/** One scalar task constraint. */
+struct ConstraintTerm
+{
+    std::string name;
+    sym::Expr expr;
+    double lower = -kUnbounded; //!< Inequality lower bound.
+    double upper = kUnbounded;  //!< Inequality upper bound.
+    bool isEquality = false;    //!< True when the equals field was set.
+    double equalsValue = 0.0;   //!< Equality target.
+    bool terminal = false;      //!< Terminal vs. running enforcement.
+};
+
+/** The concrete model: system dynamics plus task objective. */
+struct ModelSpec
+{
+    std::string systemName;
+    std::string taskName;
+
+    /** Flattened state names, e.g. {"pos[0]", "pos[1]", "angle"}. */
+    std::vector<std::string> stateNames;
+    std::vector<std::string> inputNames;
+    std::vector<std::string> referenceNames;
+
+    /** dx_i/dt expressions over the [states|inputs|references] vars. */
+    std::vector<sym::Expr> dynamics;
+
+    /** Box bounds; +-kUnbounded when absent. */
+    std::vector<double> stateLower, stateUpper;
+    std::vector<double> inputLower, inputUpper;
+
+    std::vector<PenaltyTerm> penalties;
+    std::vector<ConstraintTerm> constraints;
+
+    int nx() const { return static_cast<int>(stateNames.size()); }
+    int nu() const { return static_cast<int>(inputNames.size()); }
+    int nref() const { return static_cast<int>(referenceNames.size()); }
+
+    /** Variable-id layout helpers: [states | inputs | references]. */
+    int stateVarId(int i) const { return i; }
+    int inputVarId(int i) const { return nx() + i; }
+    int refVarId(int i) const { return nx() + nu() + i; }
+    int numVars() const { return nx() + nu() + nref(); }
+
+    /** Number of box-bound inequality rows (finite bounds only). */
+    int numBoundConstraints() const;
+
+    /** Penalty/constraint counts split by timing, for Table III checks. */
+    int numRunningPenalties() const;
+    int numTerminalPenalties() const;
+
+    /**
+     * Human-readable summary of the analyzed model: variables,
+     * dynamics expressions, bounds, penalties, and constraints. Used
+     * by examples and diagnostics.
+     */
+    std::string describe() const;
+};
+
+} // namespace robox::dsl
+
+#endif // ROBOX_DSL_MODEL_SPEC_HH

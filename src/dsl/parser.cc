@@ -1,0 +1,518 @@
+/**
+ * @file
+ * Implementation of the RoboX DSL recursive-descent parser.
+ */
+
+#include "dsl/parser.hh"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "dsl/lexer.hh"
+#include "support/logging.hh"
+
+namespace robox::dsl
+{
+
+const char *
+declKindName(DeclKind kind)
+{
+    switch (kind) {
+      case DeclKind::Input: return "input";
+      case DeclKind::State: return "state";
+      case DeclKind::Param: return "param";
+      case DeclKind::Penalty: return "penalty";
+      case DeclKind::Constraint: return "constraint";
+      case DeclKind::Reference: return "reference";
+      case DeclKind::Range: return "range";
+    }
+    return "?";
+}
+
+namespace
+{
+
+const std::unordered_set<std::string> kNonlinearFns = {
+    "sin", "cos", "tan", "asin", "acos", "atan", "exp", "sqrt",
+};
+
+const std::unordered_set<std::string> kGroupFns = {
+    "sum", "norm", "min", "max",
+};
+
+const std::unordered_set<std::string> kFields = {
+    "dt", "lower_bound", "upper_bound", "equals", "weight",
+    "running", "terminal",
+};
+
+/** Token-stream cursor with error helpers. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &source)
+        : tokens_(tokenize(source)) {}
+
+    ProgramAst parseProgram();
+
+  private:
+    const Token &peek(int ahead = 0) const
+    {
+        std::size_t i = pos_ + static_cast<std::size_t>(ahead);
+        return i < tokens_.size() ? tokens_[i] : tokens_.back();
+    }
+
+    const Token &advance() { return tokens_[pos_++]; }
+
+    bool check(TokenKind kind) const { return peek().kind == kind; }
+
+    bool
+    match(TokenKind kind)
+    {
+        if (!check(kind))
+            return false;
+        advance();
+        return true;
+    }
+
+    const Token &
+    expect(TokenKind kind, const char *context)
+    {
+        if (!check(kind)) {
+            fatal("parse error at {}: expected {} {} but found {} '{}'",
+                  peek().location(), tokenKindName(kind), context,
+                  tokenKindName(peek().kind), peek().text);
+        }
+        return advance();
+    }
+
+    [[noreturn]] void
+    errorHere(const std::string &what)
+    {
+        fatal("parse error at {}: {} (found {} '{}')", peek().location(),
+              what, tokenKindName(peek().kind), peek().text);
+    }
+
+    /** True when the current token starts a declaration. */
+    bool
+    atDeclKeyword() const
+    {
+        switch (peek().kind) {
+          case TokenKind::KwInput:
+          case TokenKind::KwState:
+          case TokenKind::KwParam:
+          case TokenKind::KwPenalty:
+          case TokenKind::KwConstraint:
+          case TokenKind::KwReference:
+          case TokenKind::KwRange:
+            return true;
+          default:
+            return false;
+        }
+    }
+
+    DeclKind
+    declKindFromToken(const Token &t) const
+    {
+        switch (t.kind) {
+          case TokenKind::KwInput: return DeclKind::Input;
+          case TokenKind::KwState: return DeclKind::State;
+          case TokenKind::KwParam: return DeclKind::Param;
+          case TokenKind::KwPenalty: return DeclKind::Penalty;
+          case TokenKind::KwConstraint: return DeclKind::Constraint;
+          case TokenKind::KwReference: return DeclKind::Reference;
+          case TokenKind::KwRange: return DeclKind::Range;
+          default:
+            panic("declKindFromToken on {}", tokenKindName(t.kind));
+        }
+    }
+
+    SystemDefAst parseSystemDef();
+    TaskDefAst parseTaskDef();
+    std::vector<FormalParamAst> parseFormalParams();
+    DeclStmtAst parseDeclStmt();
+    AssignStmtAst parseAssignStmt();
+    LValueAst parseLValue();
+    ExprAstPtr parseExpr();
+    ExprAstPtr parseAddExpr();
+    ExprAstPtr parseMulExpr();
+    ExprAstPtr parsePowExpr();
+    ExprAstPtr parseUnary();
+    ExprAstPtr parsePrimary();
+
+    std::vector<Token> tokens_;
+    std::size_t pos_ = 0;
+};
+
+ExprAstPtr
+makeNode(ExprAstKind kind, const Token &at)
+{
+    auto node = std::make_unique<ExprAst>();
+    node->kind = kind;
+    node->line = at.line;
+    node->column = at.column;
+    return node;
+}
+
+std::vector<FormalParamAst>
+Parser::parseFormalParams()
+{
+    std::vector<FormalParamAst> params;
+    if (check(TokenKind::RParen))
+        return params;
+    do {
+        FormalParamAst p;
+        p.line = peek().line;
+        if (match(TokenKind::KwParam)) {
+            p.kind = DeclKind::Param;
+        } else if (match(TokenKind::KwReference)) {
+            p.kind = DeclKind::Reference;
+        } else {
+            errorHere("expected 'param' or 'reference' in parameter list");
+        }
+        p.name = expect(TokenKind::Identifier, "as parameter name").text;
+        params.push_back(std::move(p));
+    } while (match(TokenKind::Comma));
+    return params;
+}
+
+DeclStmtAst
+Parser::parseDeclStmt()
+{
+    DeclStmtAst stmt;
+    const Token &kw = advance();
+    stmt.kind = declKindFromToken(kw);
+    stmt.line = kw.line;
+    do {
+        DeclaratorAst d;
+        d.name = expect(TokenKind::Identifier, "as declared name").text;
+        while (match(TokenKind::LBracket)) {
+            ExprAstPtr first = parseExpr();
+            if (match(TokenKind::Colon)) {
+                if (stmt.kind != DeclKind::Range) {
+                    fatal("parse error at {}: '[lo:hi]' bounds are only "
+                          "valid on range declarations", kw.line);
+                }
+                d.rangeLo = std::move(first);
+                d.rangeHi = parseExpr();
+            } else {
+                d.dims.push_back(std::move(first));
+            }
+            expect(TokenKind::RBracket, "after dimension");
+        }
+        if (stmt.kind == DeclKind::Range && !d.rangeHi) {
+            fatal("parse error at line {}: range '{}' needs '[lo:hi]' "
+                  "bounds", stmt.line, d.name);
+        }
+        stmt.decls.push_back(std::move(d));
+    } while (match(TokenKind::Comma));
+    expect(TokenKind::Semicolon, "after declaration");
+    return stmt;
+}
+
+LValueAst
+Parser::parseLValue()
+{
+    LValueAst lv;
+    const Token &name = expect(TokenKind::Identifier, "as assignment target");
+    lv.name = name.text;
+    lv.line = name.line;
+    lv.column = name.column;
+    while (match(TokenKind::LBracket)) {
+        lv.indices.push_back(parseExpr());
+        expect(TokenKind::RBracket, "after index");
+    }
+    if (match(TokenKind::Dot)) {
+        const Token &field =
+            expect(TokenKind::Identifier, "as field name after '.'");
+        if (!kFields.count(field.text)) {
+            fatal("parse error at {}: unknown field '{}'; valid fields "
+                  "are dt, lower_bound, upper_bound, equals, weight, "
+                  "running, terminal", field.location(), field.text);
+        }
+        lv.field = field.text;
+    }
+    return lv;
+}
+
+AssignStmtAst
+Parser::parseAssignStmt()
+{
+    AssignStmtAst stmt;
+    stmt.lhs = parseLValue();
+    stmt.line = stmt.lhs.line;
+    if (match(TokenKind::Assign)) {
+        stmt.imperative = false;
+    } else if (match(TokenKind::ImpAssign)) {
+        stmt.imperative = true;
+    } else {
+        errorHere("expected '=' or '<=' in assignment");
+    }
+    stmt.rhs = parseExpr();
+    expect(TokenKind::Semicolon, "after assignment");
+    return stmt;
+}
+
+ExprAstPtr
+Parser::parseExpr()
+{
+    return parseAddExpr();
+}
+
+ExprAstPtr
+Parser::parseAddExpr()
+{
+    ExprAstPtr lhs = parseMulExpr();
+    while (check(TokenKind::Plus) || check(TokenKind::Minus)) {
+        const Token &op = advance();
+        ExprAstPtr node = makeNode(ExprAstKind::Binary, op);
+        node->op = op.kind == TokenKind::Plus ? '+' : '-';
+        node->lhs = std::move(lhs);
+        node->rhs = parseMulExpr();
+        lhs = std::move(node);
+    }
+    return lhs;
+}
+
+ExprAstPtr
+Parser::parseMulExpr()
+{
+    ExprAstPtr lhs = parsePowExpr();
+    while (check(TokenKind::Star) || check(TokenKind::Slash)) {
+        const Token &op = advance();
+        ExprAstPtr node = makeNode(ExprAstKind::Binary, op);
+        node->op = op.kind == TokenKind::Star ? '*' : '/';
+        node->lhs = std::move(lhs);
+        node->rhs = parsePowExpr();
+        lhs = std::move(node);
+    }
+    return lhs;
+}
+
+ExprAstPtr
+Parser::parsePowExpr()
+{
+    ExprAstPtr base = parseUnary();
+    if (check(TokenKind::Caret)) {
+        const Token &op = advance();
+        const Token &expo = expect(TokenKind::Number, "as exponent of '^'");
+        double intpart = 0.0;
+        if (std::modf(expo.number, &intpart) != 0.0) {
+            fatal("parse error at {}: '^' requires an integer exponent, "
+                  "got {}", expo.location(), expo.text);
+        }
+        ExprAstPtr node = makeNode(ExprAstKind::Binary, op);
+        node->op = '^';
+        node->lhs = std::move(base);
+        node->rhs = makeNode(ExprAstKind::Number, expo);
+        node->rhs->number = expo.number;
+        return node;
+    }
+    return base;
+}
+
+ExprAstPtr
+Parser::parseUnary()
+{
+    if (check(TokenKind::Minus)) {
+        const Token &op = advance();
+        ExprAstPtr node = makeNode(ExprAstKind::Unary, op);
+        node->op = '-';
+        node->lhs = parseUnary();
+        return node;
+    }
+    return parsePrimary();
+}
+
+ExprAstPtr
+Parser::parsePrimary()
+{
+    if (check(TokenKind::Number)) {
+        const Token &num = advance();
+        ExprAstPtr node = makeNode(ExprAstKind::Number, num);
+        node->number = num.number;
+        return node;
+    }
+    if (match(TokenKind::LParen)) {
+        ExprAstPtr inner = parseExpr();
+        expect(TokenKind::RParen, "to close parenthesized expression");
+        return inner;
+    }
+    if (!check(TokenKind::Identifier))
+        errorHere("expected an expression");
+
+    const Token &name = advance();
+
+    // Group operation: sum[i](expr), norm[i][j](expr), ...
+    if (kGroupFns.count(name.text) && check(TokenKind::LBracket)) {
+        ExprAstPtr node = makeNode(ExprAstKind::GroupOp, name);
+        node->name = name.text;
+        while (match(TokenKind::LBracket)) {
+            node->groupVars.push_back(
+                expect(TokenKind::Identifier, "as group range variable")
+                    .text);
+            expect(TokenKind::RBracket, "after group range variable");
+        }
+        expect(TokenKind::LParen, "to open group operation body");
+        node->args.push_back(parseExpr());
+        expect(TokenKind::RParen, "to close group operation body");
+        return node;
+    }
+
+    // Nonlinear function call: sin(expr) ...
+    if (kNonlinearFns.count(name.text) && check(TokenKind::LParen)) {
+        advance(); // '('
+        ExprAstPtr node = makeNode(ExprAstKind::Call, name);
+        node->name = name.text;
+        node->args.push_back(parseExpr());
+        expect(TokenKind::RParen, "to close function call");
+        return node;
+    }
+
+    // Plain variable reference with optional indices.
+    ExprAstPtr node = makeNode(ExprAstKind::VarRef, name);
+    node->name = name.text;
+    while (match(TokenKind::LBracket)) {
+        node->indices.push_back(parseExpr());
+        expect(TokenKind::RBracket, "after index expression");
+    }
+    return node;
+}
+
+TaskDefAst
+Parser::parseTaskDef()
+{
+    TaskDefAst task;
+    const Token &kw = expect(TokenKind::KwTask, "to begin task definition");
+    task.line = kw.line;
+    task.name = expect(TokenKind::Identifier, "as task name").text;
+    expect(TokenKind::LParen, "to open task parameter list");
+    task.params = parseFormalParams();
+    expect(TokenKind::RParen, "to close task parameter list");
+    expect(TokenKind::LBrace, "to open task body");
+    while (!check(TokenKind::RBrace)) {
+        StmtAst stmt;
+        if (atDeclKeyword()) {
+            stmt.decl = std::make_unique<DeclStmtAst>(parseDeclStmt());
+        } else if (check(TokenKind::Identifier)) {
+            stmt.assign =
+                std::make_unique<AssignStmtAst>(parseAssignStmt());
+        } else {
+            errorHere("expected a declaration or assignment in task body");
+        }
+        task.body.push_back(std::move(stmt));
+    }
+    expect(TokenKind::RBrace, "to close task body");
+    return task;
+}
+
+SystemDefAst
+Parser::parseSystemDef()
+{
+    SystemDefAst sys;
+    const Token &kw =
+        expect(TokenKind::KwSystem, "to begin system definition");
+    sys.line = kw.line;
+    sys.name = expect(TokenKind::Identifier, "as system name").text;
+    expect(TokenKind::LParen, "to open system parameter list");
+    sys.params = parseFormalParams();
+    expect(TokenKind::RParen, "to close system parameter list");
+    expect(TokenKind::LBrace, "to open system body");
+    while (!check(TokenKind::RBrace)) {
+        if (check(TokenKind::KwTask)) {
+            sys.tasks.push_back(parseTaskDef());
+            continue;
+        }
+        StmtAst stmt;
+        if (atDeclKeyword()) {
+            stmt.decl = std::make_unique<DeclStmtAst>(parseDeclStmt());
+        } else if (check(TokenKind::Identifier)) {
+            stmt.assign =
+                std::make_unique<AssignStmtAst>(parseAssignStmt());
+        } else {
+            errorHere("expected a declaration, assignment, or Task in "
+                      "system body");
+        }
+        sys.body.push_back(std::move(stmt));
+    }
+    expect(TokenKind::RBrace, "to close system body");
+    return sys;
+}
+
+ProgramAst
+Parser::parseProgram()
+{
+    ProgramAst program;
+    while (!check(TokenKind::EndOfFile)) {
+        if (check(TokenKind::KwSystem)) {
+            program.systems.push_back(parseSystemDef());
+            continue;
+        }
+        if (check(TokenKind::KwReference)) {
+            // Global reference declaration(s).
+            DeclStmtAst decl = parseDeclStmt();
+            for (DeclaratorAst &d : decl.decls) {
+                GlobalRefAst ref;
+                ref.name = d.name;
+                ref.dims = std::move(d.dims);
+                ref.line = decl.line;
+                program.references.push_back(std::move(ref));
+            }
+            continue;
+        }
+        if (check(TokenKind::Identifier)) {
+            const Token &first = advance();
+            if (check(TokenKind::Identifier)) {
+                // Instantiation: SystemName instanceName(args);
+                InstantiationAst inst;
+                inst.systemName = first.text;
+                inst.line = first.line;
+                inst.instanceName = advance().text;
+                expect(TokenKind::LParen, "to open instantiation arguments");
+                if (!check(TokenKind::RParen)) {
+                    do {
+                        inst.args.push_back(parseExpr());
+                    } while (match(TokenKind::Comma));
+                }
+                expect(TokenKind::RParen,
+                       "to close instantiation arguments");
+                expect(TokenKind::Semicolon, "after instantiation");
+                program.instances.push_back(std::move(inst));
+                continue;
+            }
+            if (check(TokenKind::Dot)) {
+                // Task call: instance.task(args);
+                advance(); // '.'
+                TaskCallAst call;
+                call.instanceName = first.text;
+                call.line = first.line;
+                call.taskName =
+                    expect(TokenKind::Identifier, "as task name").text;
+                expect(TokenKind::LParen, "to open task call arguments");
+                if (!check(TokenKind::RParen)) {
+                    do {
+                        call.args.push_back(parseExpr());
+                    } while (match(TokenKind::Comma));
+                }
+                expect(TokenKind::RParen, "to close task call arguments");
+                expect(TokenKind::Semicolon, "after task call");
+                program.taskCalls.push_back(std::move(call));
+                continue;
+            }
+            errorHere("expected an instantiation or task call at top level");
+        }
+        errorHere("expected 'System', 'reference', an instantiation, or a "
+                  "task call at top level");
+    }
+    return program;
+}
+
+} // namespace
+
+ProgramAst
+parseProgram(const std::string &source)
+{
+    Parser parser(source);
+    return parser.parseProgram();
+}
+
+} // namespace robox::dsl

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Recursive-descent parser for the RoboX DSL.
+ *
+ * Produces a ProgramAst from source text. All syntax errors are reported
+ * via fatal() with line:column locations and the expected token.
+ */
+
+#ifndef ROBOX_DSL_PARSER_HH
+#define ROBOX_DSL_PARSER_HH
+
+#include <string>
+
+#include "dsl/ast.hh"
+
+namespace robox::dsl
+{
+
+/** Parse a complete RoboX program. */
+ProgramAst parseProgram(const std::string &source);
+
+} // namespace robox::dsl
+
+#endif // ROBOX_DSL_PARSER_HH

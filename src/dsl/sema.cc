@@ -1,0 +1,1019 @@
+/**
+ * @file
+ * Implementation of RoboX DSL semantic analysis.
+ */
+
+#include "dsl/sema.hh"
+
+#include <cmath>
+#include <functional>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "dsl/parser.hh"
+#include "support/logging.hh"
+
+namespace robox::dsl
+{
+
+namespace
+{
+
+/** What a name refers to during analysis. */
+enum class SymKind
+{
+    State,
+    Input,
+    Param,
+    Reference,
+    Penalty,
+    Constraint,
+    Range,
+    Alias,
+};
+
+const char *
+symKindName(SymKind kind)
+{
+    switch (kind) {
+      case SymKind::State: return "state";
+      case SymKind::Input: return "input";
+      case SymKind::Param: return "param";
+      case SymKind::Reference: return "reference";
+      case SymKind::Penalty: return "penalty";
+      case SymKind::Constraint: return "constraint";
+      case SymKind::Range: return "range";
+      case SymKind::Alias: return "alias";
+    }
+    return "?";
+}
+
+/** Symbol table entry. */
+struct Symbol
+{
+    SymKind kind = SymKind::Alias;
+    std::vector<int> dims;          //!< Array dimensions; empty = scalar.
+    int flatBase = -1;              //!< State/Input/Reference flat offset.
+    int termBase = -1;              //!< Penalty/Constraint flat offset.
+    double paramValue = 0.0;        //!< Param value.
+    bool paramSet = false;          //!< Param has a value.
+    int rangeLo = 0, rangeHi = 0;   //!< Range interval [lo, hi).
+    std::vector<sym::Expr> alias;   //!< Alias payload (flattened).
+    std::vector<bool> aliasSet;     //!< Alias element defined.
+
+    int
+    flatSize() const
+    {
+        int n = 1;
+        for (int d : dims)
+            n *= d;
+        return n;
+    }
+};
+
+/** Name with a flattened index rendered like the DSL ("pos[1]"). */
+std::string
+elementName(const std::string &base, const std::vector<int> &dims, int flat)
+{
+    if (dims.empty())
+        return base;
+    std::vector<int> idx(dims.size());
+    int rem = flat;
+    for (std::size_t d = dims.size(); d-- > 0;) {
+        idx[d] = rem % dims[d];
+        rem /= dims[d];
+    }
+    std::string out = base;
+    for (int v : idx)
+        out += "[" + std::to_string(v) + "]";
+    return out;
+}
+
+/** The analyzer: walks one System + Task pair into a ModelSpec. */
+class Analyzer
+{
+  public:
+    ModelSpec
+    run(const ProgramAst &program, const std::string &task_name)
+    {
+        if (program.instances.empty())
+            fatal("program has no system instantiation");
+        const InstantiationAst &inst = program.instances.front();
+
+        const SystemDefAst *sys = nullptr;
+        for (const SystemDefAst &s : program.systems)
+            if (s.name == inst.systemName)
+                sys = &s;
+        if (!sys) {
+            fatal("line {}: instantiation of unknown system '{}'",
+                  inst.line, inst.systemName);
+        }
+
+        const TaskCallAst *call = nullptr;
+        for (const TaskCallAst &c : program.taskCalls) {
+            if (c.instanceName != inst.instanceName)
+                continue;
+            if (task_name.empty() || c.taskName == task_name) {
+                call = &c;
+                break;
+            }
+        }
+        if (!call) {
+            if (task_name.empty())
+                fatal("no task call on instance '{}'",
+                      inst.instanceName);
+            fatal("no call of task '{}' on instance '{}'", task_name,
+                  inst.instanceName);
+        }
+
+        const TaskDefAst *task = nullptr;
+        for (const TaskDefAst &t : sys->tasks)
+            if (t.name == call->taskName)
+                task = &t;
+        if (!task) {
+            fatal("line {}: system '{}' has no task '{}'", call->line,
+                  sys->name, call->taskName);
+        }
+
+        spec_.systemName = sys->name;
+        spec_.taskName = task->name;
+
+        registerGlobalReferences(program);
+        bindSystemParams(*sys, inst);
+        declarePass(*sys);
+        spec_.dynamics.assign(spec_.stateNames.size(), sym::Expr());
+        dynamics_set_.assign(spec_.stateNames.size(), false);
+        spec_.stateLower.assign(spec_.stateNames.size(), -kUnbounded);
+        spec_.stateUpper.assign(spec_.stateNames.size(), kUnbounded);
+        spec_.inputLower.assign(spec_.inputNames.size(), -kUnbounded);
+        spec_.inputUpper.assign(spec_.inputNames.size(), kUnbounded);
+
+        bodyPass(sys->body, /*in_task=*/false);
+        bindTaskParams(*task, *call, program);
+        bodyPass(task->body, /*in_task=*/true);
+        validate();
+        return spec_;
+    }
+
+  private:
+    // ---------------------------------------------------------------
+    // Symbol table helpers.
+    // ---------------------------------------------------------------
+
+    Symbol &
+    declare(const std::string &name, Symbol sym, int line)
+    {
+        if (table_.count(name)) {
+            fatal("line {}: redeclaration of '{}' (previously a {})",
+                  line, name, symKindName(table_[name].kind));
+        }
+        return table_[name] = std::move(sym);
+    }
+
+    Symbol *
+    lookup(const std::string &name)
+    {
+        auto it = table_.find(name);
+        return it == table_.end() ? nullptr : &it->second;
+    }
+
+    // ---------------------------------------------------------------
+    // Registration passes.
+    // ---------------------------------------------------------------
+
+    void
+    registerGlobalReferences(const ProgramAst &program)
+    {
+        for (const GlobalRefAst &ref : program.references) {
+            Symbol sym;
+            sym.kind = SymKind::Reference;
+            for (const ExprAstPtr &dim : ref.dims)
+                sym.dims.push_back(evalConstInt(*dim));
+            sym.flatBase = static_cast<int>(spec_.referenceNames.size());
+            for (int i = 0; i < sym.flatSize(); ++i)
+                spec_.referenceNames.push_back(
+                    elementName(ref.name, sym.dims, i));
+            declare(ref.name, std::move(sym), ref.line);
+        }
+    }
+
+    void
+    bindSystemParams(const SystemDefAst &sys, const InstantiationAst &inst)
+    {
+        if (inst.args.size() != sys.params.size()) {
+            fatal("line {}: system '{}' takes {} parameter(s) but "
+                  "instantiation passes {}", inst.line, sys.name,
+                  sys.params.size(), inst.args.size());
+        }
+        for (std::size_t i = 0; i < sys.params.size(); ++i) {
+            const FormalParamAst &formal = sys.params[i];
+            if (formal.kind != DeclKind::Param) {
+                fatal("line {}: system parameters must be 'param', '{}' "
+                      "is a reference", formal.line, formal.name);
+            }
+            Symbol sym;
+            sym.kind = SymKind::Param;
+            sym.paramValue = evalConstDouble(*inst.args[i]);
+            sym.paramSet = true;
+            declare(formal.name, std::move(sym), formal.line);
+        }
+    }
+
+    /** Register states, inputs (ids), so assignment order is free. */
+    void
+    declarePass(const SystemDefAst &sys)
+    {
+        for (const StmtAst &stmt : sys.body) {
+            if (!stmt.decl)
+                continue;
+            const DeclStmtAst &decl = *stmt.decl;
+            if (decl.kind != DeclKind::State && decl.kind != DeclKind::Input)
+                continue;
+            for (const DeclaratorAst &d : decl.decls) {
+                Symbol sym;
+                sym.kind = decl.kind == DeclKind::State ? SymKind::State
+                                                        : SymKind::Input;
+                for (const ExprAstPtr &dim : d.dims)
+                    sym.dims.push_back(evalConstInt(*dim));
+                auto &names = decl.kind == DeclKind::State
+                                  ? spec_.stateNames
+                                  : spec_.inputNames;
+                sym.flatBase = static_cast<int>(names.size());
+                for (int i = 0; i < sym.flatSize(); ++i)
+                    names.push_back(elementName(d.name, sym.dims, i));
+                declare(d.name, std::move(sym), decl.line);
+            }
+        }
+    }
+
+    void
+    bindTaskParams(const TaskDefAst &task, const TaskCallAst &call,
+                   const ProgramAst &program)
+    {
+        (void)program;
+        if (call.args.size() != task.params.size()) {
+            fatal("line {}: task '{}' takes {} parameter(s) but call "
+                  "passes {}", call.line, task.name, task.params.size(),
+                  call.args.size());
+        }
+        for (std::size_t i = 0; i < task.params.size(); ++i) {
+            const FormalParamAst &formal = task.params[i];
+            const ExprAst &arg = *call.args[i];
+            if (formal.kind == DeclKind::Reference) {
+                if (arg.kind != ExprAstKind::VarRef || !arg.indices.empty()) {
+                    fatal("line {}: argument for reference parameter '{}' "
+                          "must be a global reference name", call.line,
+                          formal.name);
+                }
+                Symbol *global = lookup(arg.name);
+                if (!global || global->kind != SymKind::Reference) {
+                    fatal("line {}: '{}' is not a declared reference",
+                          arg.line, arg.name);
+                }
+                Symbol sym = *global; // Same flat ids: an alias binding.
+                if (formal.name != arg.name)
+                    declare(formal.name, std::move(sym), formal.line);
+            } else {
+                Symbol sym;
+                sym.kind = SymKind::Param;
+                sym.paramValue = evalConstDouble(arg);
+                sym.paramSet = true;
+                declare(formal.name, std::move(sym), formal.line);
+            }
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Statement processing (program order).
+    // ---------------------------------------------------------------
+
+    void
+    bodyPass(const std::vector<StmtAst> &body, bool in_task)
+    {
+        for (const StmtAst &stmt : body) {
+            if (stmt.decl)
+                handleDecl(*stmt.decl, in_task);
+            else
+                handleAssign(*stmt.assign, in_task);
+        }
+    }
+
+    void
+    handleDecl(const DeclStmtAst &decl, bool in_task)
+    {
+        switch (decl.kind) {
+          case DeclKind::State:
+          case DeclKind::Input:
+            if (in_task) {
+                fatal("line {}: {} declarations belong in the System body",
+                      decl.line, declKindName(decl.kind));
+            }
+            return; // Handled by declarePass.
+          case DeclKind::Param:
+            for (const DeclaratorAst &d : decl.decls) {
+                if (!d.dims.empty()) {
+                    fatal("line {}: param '{}' must be scalar", decl.line,
+                          d.name);
+                }
+                Symbol sym;
+                sym.kind = SymKind::Param;
+                declare(d.name, std::move(sym), decl.line);
+            }
+            return;
+          case DeclKind::Range:
+            for (const DeclaratorAst &d : decl.decls) {
+                Symbol sym;
+                sym.kind = SymKind::Range;
+                sym.rangeLo = evalConstInt(*d.rangeLo);
+                sym.rangeHi = evalConstInt(*d.rangeHi);
+                if (sym.rangeHi <= sym.rangeLo) {
+                    fatal("line {}: range '{}' interval [{}:{}) is empty",
+                          decl.line, d.name, sym.rangeLo, sym.rangeHi);
+                }
+                declare(d.name, std::move(sym), decl.line);
+            }
+            return;
+          case DeclKind::Penalty:
+          case DeclKind::Constraint: {
+            if (!in_task) {
+                fatal("line {}: {} declarations belong in a Task body",
+                      decl.line, declKindName(decl.kind));
+            }
+            for (const DeclaratorAst &d : decl.decls) {
+                Symbol sym;
+                sym.kind = decl.kind == DeclKind::Penalty
+                               ? SymKind::Penalty
+                               : SymKind::Constraint;
+                for (const ExprAstPtr &dim : d.dims)
+                    sym.dims.push_back(evalConstInt(*dim));
+                int count = sym.flatSize();
+                if (decl.kind == DeclKind::Penalty) {
+                    sym.termBase = static_cast<int>(spec_.penalties.size());
+                    for (int i = 0; i < count; ++i) {
+                        PenaltyTerm term;
+                        term.name = elementName(d.name, sym.dims, i);
+                        spec_.penalties.push_back(std::move(term));
+                    }
+                } else {
+                    sym.termBase =
+                        static_cast<int>(spec_.constraints.size());
+                    for (int i = 0; i < count; ++i) {
+                        ConstraintTerm term;
+                        term.name = elementName(d.name, sym.dims, i);
+                        spec_.constraints.push_back(std::move(term));
+                    }
+                }
+                declare(d.name, std::move(sym), decl.line);
+            }
+            return;
+          }
+          case DeclKind::Reference:
+            fatal("line {}: references must be declared at global scope",
+                  decl.line);
+        }
+    }
+
+    /** Free range variables appearing in lvalue index expressions. */
+    std::vector<std::string>
+    freeRangeVars(const LValueAst &lv)
+    {
+        std::vector<std::string> out;
+        for (const ExprAstPtr &idx : lv.indices)
+            collectFreeRanges(*idx, out);
+        return out;
+    }
+
+    void
+    collectFreeRanges(const ExprAst &e, std::vector<std::string> &out)
+    {
+        if (e.kind == ExprAstKind::VarRef && e.indices.empty()) {
+            Symbol *sym = lookup(e.name);
+            if (sym && sym->kind == SymKind::Range &&
+                !range_bindings_.count(e.name)) {
+                for (const std::string &s : out)
+                    if (s == e.name)
+                        return;
+                out.push_back(e.name);
+            }
+            return;
+        }
+        for (const ExprAstPtr &c : e.indices)
+            collectFreeRanges(*c, out);
+        if (e.lhs)
+            collectFreeRanges(*e.lhs, out);
+        if (e.rhs)
+            collectFreeRanges(*e.rhs, out);
+        for (const ExprAstPtr &a : e.args)
+            collectFreeRanges(*a, out);
+    }
+
+    /**
+     * Expand an assignment over the Cartesian product of its free range
+     * variables, invoking fn once per binding.
+     */
+    void
+    forEachBinding(const std::vector<std::string> &ranges,
+                   const std::function<void()> &fn, std::size_t depth = 0)
+    {
+        if (depth == ranges.size()) {
+            fn();
+            return;
+        }
+        Symbol *sym = lookup(ranges[depth]);
+        robox_assert(sym && sym->kind == SymKind::Range);
+        for (int v = sym->rangeLo; v < sym->rangeHi; ++v) {
+            range_bindings_[ranges[depth]] = v;
+            forEachBinding(ranges, fn, depth + 1);
+        }
+        range_bindings_.erase(ranges[depth]);
+    }
+
+    void
+    handleAssign(const AssignStmtAst &stmt, bool in_task)
+    {
+        const LValueAst &lv = stmt.lhs;
+        Symbol *sym = lookup(lv.name);
+
+        // Implicit symbolic alias: undeclared scalar target of '='.
+        if (!sym) {
+            if (stmt.imperative) {
+                fatal("line {}: cannot imperatively assign to undeclared "
+                      "name '{}'", stmt.line, lv.name);
+            }
+            if (!lv.indices.empty() || !lv.field.empty()) {
+                fatal("line {}: undeclared name '{}' may only be used as "
+                      "a scalar symbolic alias", stmt.line, lv.name);
+            }
+            Symbol alias;
+            alias.kind = SymKind::Alias;
+            alias.alias.resize(1);
+            alias.aliasSet.resize(1, false);
+            sym = &declare(lv.name, std::move(alias), stmt.line);
+            sym->alias[0] = toExpr(*stmt.rhs);
+            sym->aliasSet[0] = true;
+            return;
+        }
+
+        std::vector<std::string> ranges = freeRangeVars(lv);
+        forEachBinding(ranges, [&] {
+            applyAssignment(stmt, *sym, in_task);
+        });
+    }
+
+    /** Flat element index of an lvalue under current range bindings. */
+    int
+    lvalueFlatIndex(const LValueAst &lv, const Symbol &sym)
+    {
+        if (lv.indices.empty())
+            return -1; // Whole variable.
+        if (lv.indices.size() != sym.dims.size()) {
+            fatal("line {}: '{}' has {} dimension(s) but {} index(es) "
+                  "given", lv.line, lv.name, sym.dims.size(),
+                  lv.indices.size());
+        }
+        int flat = 0;
+        for (std::size_t d = 0; d < sym.dims.size(); ++d) {
+            int idx = evalConstInt(*lv.indices[d]);
+            if (idx < 0 || idx >= sym.dims[d]) {
+                fatal("line {}: index {} out of range [0, {}) on '{}'",
+                      lv.line, idx, sym.dims[d], lv.name);
+            }
+            flat = flat * sym.dims[d] + idx;
+        }
+        return flat;
+    }
+
+    void
+    applyAssignment(const AssignStmtAst &stmt, Symbol &sym, bool in_task)
+    {
+        const LValueAst &lv = stmt.lhs;
+        int flat = lvalueFlatIndex(lv, sym);
+
+        switch (sym.kind) {
+          case SymKind::State:
+            if (lv.field == "dt") {
+                requireSymbolic(stmt, "dt");
+                assignDynamics(stmt, sym, flat);
+            } else if (lv.field == "lower_bound" ||
+                       lv.field == "upper_bound") {
+                requireImperative(stmt, lv.field);
+                assignBound(stmt, sym, flat, spec_.stateLower,
+                            spec_.stateUpper);
+            } else {
+                fatal("line {}: state '{}' supports fields .dt, "
+                      ".lower_bound, .upper_bound", stmt.line, lv.name);
+            }
+            return;
+          case SymKind::Input:
+            if (lv.field == "lower_bound" || lv.field == "upper_bound") {
+                requireImperative(stmt, lv.field);
+                assignBound(stmt, sym, flat, spec_.inputLower,
+                            spec_.inputUpper);
+            } else {
+                fatal("line {}: input '{}' supports fields .lower_bound "
+                      "and .upper_bound", stmt.line, lv.name);
+            }
+            return;
+          case SymKind::Param:
+            if (!lv.field.empty()) {
+                fatal("line {}: params have no fields", stmt.line);
+            }
+            requireImperative(stmt, "param");
+            sym.paramValue = evalConstDouble(*stmt.rhs);
+            sym.paramSet = true;
+            return;
+          case SymKind::Penalty: {
+            if (!in_task) {
+                fatal("line {}: penalties may only be assigned in a Task",
+                      stmt.line);
+            }
+            int base = sym.termBase;
+            int lo = flat < 0 ? 0 : flat;
+            int hi = flat < 0 ? sym.flatSize() : flat + 1;
+            if (lv.field == "running" || lv.field == "terminal") {
+                requireSymbolic(stmt, lv.field);
+                sym::Expr e = toExpr(*stmt.rhs);
+                for (int i = lo; i < hi; ++i) {
+                    PenaltyTerm &term = spec_.penalties[base + i];
+                    term.expr = e;
+                    term.terminal = lv.field == "terminal";
+                    penalty_set_.insert(base + i);
+                }
+            } else if (lv.field == "weight") {
+                requireImperative(stmt, "weight");
+                double w = evalConstDouble(*stmt.rhs);
+                for (int i = lo; i < hi; ++i)
+                    spec_.penalties[base + i].weight = w;
+            } else {
+                fatal("line {}: penalty '{}' supports fields .running, "
+                      ".terminal, .weight", stmt.line, lv.name);
+            }
+            return;
+          }
+          case SymKind::Constraint: {
+            if (!in_task) {
+                fatal("line {}: constraints may only be assigned in a "
+                      "Task", stmt.line);
+            }
+            int base = sym.termBase;
+            int lo = flat < 0 ? 0 : flat;
+            int hi = flat < 0 ? sym.flatSize() : flat + 1;
+            if (lv.field == "running" || lv.field == "terminal") {
+                requireSymbolic(stmt, lv.field);
+                sym::Expr e = toExpr(*stmt.rhs);
+                for (int i = lo; i < hi; ++i) {
+                    ConstraintTerm &term = spec_.constraints[base + i];
+                    term.expr = e;
+                    term.terminal = lv.field == "terminal";
+                    constraint_set_.insert(base + i);
+                }
+            } else if (lv.field == "lower_bound" ||
+                       lv.field == "upper_bound" || lv.field == "equals") {
+                requireImperative(stmt, lv.field);
+                double v = evalConstDouble(*stmt.rhs);
+                for (int i = lo; i < hi; ++i) {
+                    ConstraintTerm &term = spec_.constraints[base + i];
+                    if (lv.field == "lower_bound") {
+                        term.lower = v;
+                    } else if (lv.field == "upper_bound") {
+                        term.upper = v;
+                    } else {
+                        term.isEquality = true;
+                        term.equalsValue = v;
+                    }
+                }
+            } else {
+                fatal("line {}: constraint '{}' supports fields .running, "
+                      ".terminal, .lower_bound, .upper_bound, .equals",
+                      stmt.line, lv.name);
+            }
+            return;
+          }
+          case SymKind::Alias: {
+            if (stmt.imperative || !lv.field.empty()) {
+                fatal("line {}: alias '{}' only supports plain symbolic "
+                      "assignment", stmt.line, lv.name);
+            }
+            fatal("line {}: alias '{}' is already defined", stmt.line,
+                  lv.name);
+          }
+          case SymKind::Reference:
+          case SymKind::Range:
+            fatal("line {}: cannot assign to {} '{}'", stmt.line,
+                  symKindName(sym.kind), lv.name);
+        }
+    }
+
+    void
+    requireSymbolic(const AssignStmtAst &stmt, const std::string &what)
+    {
+        if (stmt.imperative) {
+            fatal("line {}: .{} requires a symbolic assignment '='",
+                  stmt.line, what);
+        }
+    }
+
+    void
+    requireImperative(const AssignStmtAst &stmt, const std::string &what)
+    {
+        if (!stmt.imperative) {
+            fatal("line {}: {} requires an imperative assignment '<='",
+                  stmt.line, what);
+        }
+    }
+
+    void
+    assignDynamics(const AssignStmtAst &stmt, const Symbol &sym, int flat)
+    {
+        sym::Expr e = toExpr(*stmt.rhs);
+        int lo = flat < 0 ? 0 : flat;
+        int hi = flat < 0 ? sym.flatSize() : flat + 1;
+        for (int i = lo; i < hi; ++i) {
+            int state = sym.flatBase + i;
+            if (dynamics_set_[state]) {
+                fatal("line {}: dynamics of '{}' already defined",
+                      stmt.line, spec_.stateNames[state]);
+            }
+            spec_.dynamics[state] = e;
+            dynamics_set_[state] = true;
+        }
+    }
+
+    void
+    assignBound(const AssignStmtAst &stmt, const Symbol &sym, int flat,
+                std::vector<double> &lower, std::vector<double> &upper)
+    {
+        double v = evalConstDouble(*stmt.rhs);
+        bool is_lower = stmt.lhs.field == "lower_bound";
+        int lo = flat < 0 ? 0 : flat;
+        int hi = flat < 0 ? sym.flatSize() : flat + 1;
+        for (int i = lo; i < hi; ++i) {
+            if (is_lower)
+                lower[sym.flatBase + i] = v;
+            else
+                upper[sym.flatBase + i] = v;
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Expression conversion.
+    // ---------------------------------------------------------------
+
+    /** Imperative (compile-time) evaluation to a double. */
+    double
+    evalConstDouble(const ExprAst &e)
+    {
+        switch (e.kind) {
+          case ExprAstKind::Number:
+            return e.number;
+          case ExprAstKind::Unary:
+            return -evalConstDouble(*e.lhs);
+          case ExprAstKind::Binary: {
+            if (e.op == '^') {
+                return std::pow(evalConstDouble(*e.lhs),
+                                evalConstDouble(*e.rhs));
+            }
+            double a = evalConstDouble(*e.lhs);
+            double b = evalConstDouble(*e.rhs);
+            switch (e.op) {
+              case '+': return a + b;
+              case '-': return a - b;
+              case '*': return a * b;
+              case '/': return b != 0.0
+                             ? a / b
+                             : throwDivZero(e);
+              default: panic("bad binary op '{}'", std::string(1, e.op));
+            }
+          }
+          case ExprAstKind::Call: {
+            double a = evalConstDouble(*e.args[0]);
+            if (e.name == "sin") return std::sin(a);
+            if (e.name == "cos") return std::cos(a);
+            if (e.name == "tan") return std::tan(a);
+            if (e.name == "asin") return std::asin(a);
+            if (e.name == "acos") return std::acos(a);
+            if (e.name == "atan") return std::atan(a);
+            if (e.name == "exp") return std::exp(a);
+            if (e.name == "sqrt") return std::sqrt(a);
+            panic("bad call '{}'", e.name);
+          }
+          case ExprAstKind::VarRef: {
+            Symbol *sym = lookup(e.name);
+            if (!sym) {
+                fatal("line {}: undeclared name '{}' in imperative "
+                      "expression", e.line, e.name);
+            }
+            if (sym->kind == SymKind::Param) {
+                if (!sym->paramSet) {
+                    fatal("line {}: param '{}' used before it was given "
+                          "a value", e.line, e.name);
+                }
+                return sym->paramValue;
+            }
+            if (sym->kind == SymKind::Range) {
+                auto it = range_bindings_.find(e.name);
+                if (it == range_bindings_.end()) {
+                    fatal("line {}: range variable '{}' is unbound here",
+                          e.line, e.name);
+                }
+                return static_cast<double>(it->second);
+            }
+            fatal("line {}: imperative expressions may only use params "
+                  "and numbers; '{}' is a {}", e.line, e.name,
+                  symKindName(sym->kind));
+          }
+          case ExprAstKind::GroupOp: {
+            // Imperative group op over bound ranges.
+            double acc = e.name == "min" ? kUnbounded
+                       : e.name == "max" ? -kUnbounded
+                       : 0.0;
+            bool first = true;
+            forEachGroupBinding(e, [&] {
+                double v = evalConstDouble(*e.args[0]);
+                if (e.name == "sum") {
+                    acc += v;
+                } else if (e.name == "norm") {
+                    acc += v * v;
+                } else if (e.name == "min") {
+                    acc = first ? v : std::fmin(acc, v);
+                } else {
+                    acc = first ? v : std::fmax(acc, v);
+                }
+                first = false;
+            });
+            return e.name == "norm" ? std::sqrt(acc) : acc;
+          }
+        }
+        panic("evalConstDouble: unreachable");
+    }
+
+    [[noreturn]] double
+    throwDivZero(const ExprAst &e)
+    {
+        fatal("line {}: division by zero in imperative expression",
+              e.line);
+    }
+
+    int
+    evalConstInt(const ExprAst &e)
+    {
+        double v = evalConstDouble(e);
+        double intpart = 0.0;
+        if (std::modf(v, &intpart) != 0.0) {
+            fatal("line {}: expected an integer, got {}", e.line, v);
+        }
+        return static_cast<int>(intpart);
+    }
+
+    /** Iterate the Cartesian product of a group op's range variables. */
+    void
+    forEachGroupBinding(const ExprAst &e, const std::function<void()> &fn,
+                        std::size_t depth = 0)
+    {
+        if (depth == e.groupVars.size()) {
+            fn();
+            return;
+        }
+        const std::string &name = e.groupVars[depth];
+        Symbol *sym = lookup(name);
+        if (!sym || sym->kind != SymKind::Range) {
+            fatal("line {}: group operation variable '{}' is not a "
+                  "declared range", e.line, name);
+        }
+        if (range_bindings_.count(name)) {
+            fatal("line {}: range variable '{}' is already bound by an "
+                  "enclosing operation", e.line, name);
+        }
+        for (int v = sym->rangeLo; v < sym->rangeHi; ++v) {
+            range_bindings_[name] = v;
+            forEachGroupBinding(e, fn, depth + 1);
+        }
+        range_bindings_.erase(name);
+    }
+
+    /** Symbolic conversion to a sym::Expr. */
+    sym::Expr
+    toExpr(const ExprAst &e)
+    {
+        switch (e.kind) {
+          case ExprAstKind::Number:
+            return sym::Expr(e.number);
+          case ExprAstKind::Unary:
+            return -toExpr(*e.lhs);
+          case ExprAstKind::Binary:
+            switch (e.op) {
+              case '+': return toExpr(*e.lhs) + toExpr(*e.rhs);
+              case '-': return toExpr(*e.lhs) - toExpr(*e.rhs);
+              case '*': return toExpr(*e.lhs) * toExpr(*e.rhs);
+              case '/': return toExpr(*e.lhs) / toExpr(*e.rhs);
+              case '^':
+                return sym::pow(toExpr(*e.lhs), evalConstInt(*e.rhs));
+              default:
+                panic("bad binary op");
+            }
+          case ExprAstKind::Call: {
+            sym::Expr a = toExpr(*e.args[0]);
+            if (e.name == "sin") return sym::sin(a);
+            if (e.name == "cos") return sym::cos(a);
+            if (e.name == "tan") return sym::tan(a);
+            if (e.name == "asin") return sym::asin(a);
+            if (e.name == "acos") return sym::acos(a);
+            if (e.name == "atan") return sym::atan(a);
+            if (e.name == "exp") return sym::exp(a);
+            if (e.name == "sqrt") return sym::sqrt(a);
+            panic("bad call '{}'", e.name);
+          }
+          case ExprAstKind::VarRef:
+            return varRefToExpr(e);
+          case ExprAstKind::GroupOp:
+            return groupOpToExpr(e);
+        }
+        panic("toExpr: unreachable");
+    }
+
+    sym::Expr
+    varRefToExpr(const ExprAst &e)
+    {
+        Symbol *sym = lookup(e.name);
+        if (!sym) {
+            fatal("line {}: undeclared name '{}' in expression", e.line,
+                  e.name);
+        }
+        switch (sym->kind) {
+          case SymKind::Param:
+            if (!sym->paramSet) {
+                fatal("line {}: param '{}' used before it was given a "
+                      "value", e.line, e.name);
+            }
+            return sym::Expr(sym->paramValue);
+          case SymKind::Range: {
+            auto it = range_bindings_.find(e.name);
+            if (it == range_bindings_.end()) {
+                fatal("line {}: range variable '{}' is unbound here",
+                      e.line, e.name);
+            }
+            return sym::Expr(static_cast<double>(it->second));
+          }
+          case SymKind::State:
+          case SymKind::Input:
+          case SymKind::Reference: {
+            int flat = flatIndexOf(e, *sym);
+            int var_id;
+            std::string name;
+            if (sym->kind == SymKind::State) {
+                var_id = spec_.stateVarId(sym->flatBase + flat);
+                name = spec_.stateNames[sym->flatBase + flat];
+            } else if (sym->kind == SymKind::Input) {
+                var_id = spec_.inputVarId(sym->flatBase + flat);
+                name = spec_.inputNames[sym->flatBase + flat];
+            } else {
+                var_id = spec_.refVarId(sym->flatBase + flat);
+                name = spec_.referenceNames[sym->flatBase + flat];
+            }
+            return sym::Expr::variable(var_id, name);
+          }
+          case SymKind::Alias: {
+            int flat = flatIndexOf(e, *sym);
+            if (!sym->aliasSet[flat]) {
+                fatal("line {}: alias '{}' used before assignment",
+                      e.line, e.name);
+            }
+            return sym->alias[flat];
+          }
+          case SymKind::Penalty:
+          case SymKind::Constraint:
+            fatal("line {}: {} '{}' cannot appear in an expression",
+                  e.line, symKindName(sym->kind), e.name);
+        }
+        panic("varRefToExpr: unreachable");
+    }
+
+    int
+    flatIndexOf(const ExprAst &e, const Symbol &sym)
+    {
+        if (e.indices.empty()) {
+            if (!sym.dims.empty()) {
+                fatal("line {}: '{}' is an array; index it or use a group "
+                      "operation", e.line, e.name);
+            }
+            return 0;
+        }
+        if (e.indices.size() != sym.dims.size()) {
+            fatal("line {}: '{}' has {} dimension(s) but {} index(es)",
+                  e.line, e.name, sym.dims.size(), e.indices.size());
+        }
+        int flat = 0;
+        for (std::size_t d = 0; d < sym.dims.size(); ++d) {
+            int idx = evalConstInt(*e.indices[d]);
+            if (idx < 0 || idx >= sym.dims[d]) {
+                fatal("line {}: index {} out of range [0, {}) on '{}'",
+                      e.line, idx, sym.dims[d], e.name);
+            }
+            flat = flat * sym.dims[d] + idx;
+        }
+        return flat;
+    }
+
+    sym::Expr
+    groupOpToExpr(const ExprAst &e)
+    {
+        if (e.name == "sum" || e.name == "norm") {
+            sym::Expr acc(0.0);
+            forEachGroupBinding(e, [&] {
+                sym::Expr v = toExpr(*e.args[0]);
+                acc = e.name == "norm" ? acc + v * v : acc + v;
+            });
+            return e.name == "norm" ? sym::sqrt(acc) : acc;
+        }
+        // min / max fold.
+        bool first = true;
+        sym::Expr acc;
+        forEachGroupBinding(e, [&] {
+            sym::Expr v = toExpr(*e.args[0]);
+            if (first) {
+                acc = v;
+                first = false;
+            } else {
+                acc = e.name == "min" ? sym::min(acc, v)
+                                      : sym::max(acc, v);
+            }
+        });
+        return acc;
+    }
+
+    // ---------------------------------------------------------------
+    // Final validation.
+    // ---------------------------------------------------------------
+
+    void
+    validate()
+    {
+        if (spec_.stateNames.empty())
+            fatal("system '{}' declares no states", spec_.systemName);
+        if (spec_.inputNames.empty())
+            fatal("system '{}' declares no inputs", spec_.systemName);
+        for (std::size_t i = 0; i < spec_.stateNames.size(); ++i) {
+            if (!dynamics_set_[i]) {
+                fatal("state '{}' has no dynamics (.dt was never "
+                      "assigned)", spec_.stateNames[i]);
+            }
+        }
+        for (std::size_t i = 0; i < spec_.penalties.size(); ++i) {
+            if (!penalty_set_.count(static_cast<int>(i))) {
+                fatal("penalty '{}' was declared but never assigned",
+                      spec_.penalties[i].name);
+            }
+        }
+        for (std::size_t i = 0; i < spec_.constraints.size(); ++i) {
+            const ConstraintTerm &c = spec_.constraints[i];
+            if (!constraint_set_.count(static_cast<int>(i))) {
+                fatal("constraint '{}' was declared but never assigned",
+                      c.name);
+            }
+            if (!c.isEquality && c.lower == -kUnbounded &&
+                c.upper == kUnbounded) {
+                fatal("constraint '{}' has no bounds and no equals",
+                      c.name);
+            }
+        }
+        for (std::size_t i = 0; i < spec_.inputNames.size(); ++i) {
+            if (spec_.inputLower[i] > spec_.inputUpper[i]) {
+                fatal("input '{}' has lower bound {} above upper bound "
+                      "{}", spec_.inputNames[i], spec_.inputLower[i],
+                      spec_.inputUpper[i]);
+            }
+        }
+        for (std::size_t i = 0; i < spec_.stateNames.size(); ++i) {
+            if (spec_.stateLower[i] > spec_.stateUpper[i]) {
+                fatal("state '{}' has lower bound {} above upper bound "
+                      "{}", spec_.stateNames[i], spec_.stateLower[i],
+                      spec_.stateUpper[i]);
+            }
+        }
+    }
+
+    ModelSpec spec_;
+    std::unordered_map<std::string, Symbol> table_;
+    std::unordered_map<std::string, int> range_bindings_;
+    std::vector<bool> dynamics_set_;
+    std::set<int> penalty_set_;
+    std::set<int> constraint_set_;
+};
+
+} // namespace
+
+ModelSpec
+analyze(const ProgramAst &program, const std::string &task_name)
+{
+    Analyzer analyzer;
+    return analyzer.run(program, task_name);
+}
+
+ModelSpec
+analyzeSource(const std::string &source, const std::string &task_name)
+{
+    return analyze(parseProgram(source), task_name);
+}
+
+} // namespace robox::dsl

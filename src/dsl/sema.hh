@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Semantic analysis for the RoboX DSL.
+ *
+ * Binds a parsed program's instantiation and task call, evaluates all
+ * imperative expressions in program order (Sec. IV), expands array
+ * variables and group operations, and produces the concrete ModelSpec
+ * consumed by the Program Translator. All semantic errors (undeclared
+ * names, missing dynamics, out-of-range indices, misuse of symbolic vs.
+ * imperative assignment) are reported via fatal().
+ */
+
+#ifndef ROBOX_DSL_SEMA_HH
+#define ROBOX_DSL_SEMA_HH
+
+#include <string>
+
+#include "dsl/ast.hh"
+#include "dsl/model_spec.hh"
+
+namespace robox::dsl
+{
+
+/**
+ * Analyze a parsed program, using its first instantiation and the first
+ * task call on that instance. Pass a task name to select a specific
+ * task call instead (a System may define several tasks; the paper's
+ * programs call them like methods).
+ */
+ModelSpec analyze(const ProgramAst &program,
+                  const std::string &task_name = "");
+
+/** Convenience: parse then analyze. */
+ModelSpec analyzeSource(const std::string &source,
+                        const std::string &task_name = "");
+
+} // namespace robox::dsl
+
+#endif // ROBOX_DSL_SEMA_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Token definitions for the RoboX DSL lexer.
+ */
+
+#ifndef ROBOX_DSL_TOKEN_HH
+#define ROBOX_DSL_TOKEN_HH
+
+#include <string>
+
+namespace robox::dsl
+{
+
+/** Token kinds of the RoboX language (Table I plus punctuation). */
+enum class TokenKind
+{
+    // Literals and names.
+    Identifier,
+    Number,
+
+    // Component keywords.
+    KwSystem,
+    KwTask,
+
+    // Datatype keywords.
+    KwInput,
+    KwState,
+    KwParam,
+    KwPenalty,
+    KwConstraint,
+    KwReference,
+    KwRange,
+
+    // Punctuation and operators.
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semicolon,
+    Comma,
+    Dot,
+    Colon,
+    Assign,      //!< '='  (symbolic assignment)
+    ImpAssign,   //!< '<=' (imperative assignment)
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Caret,
+
+    EndOfFile,
+};
+
+/** Printable name of a token kind, for diagnostics. */
+const char *tokenKindName(TokenKind kind);
+
+/** A lexed token with its source location. */
+struct Token
+{
+    TokenKind kind = TokenKind::EndOfFile;
+    std::string text;    //!< Identifier spelling or number literal text.
+    double number = 0.0; //!< Parsed value when kind == Number.
+    int line = 0;        //!< 1-based source line.
+    int column = 0;      //!< 1-based source column.
+
+    /** Location string "line:col" for error messages. */
+    std::string location() const;
+};
+
+} // namespace robox::dsl
+
+#endif // ROBOX_DSL_TOKEN_HH

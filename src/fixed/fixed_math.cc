@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Implementation of LUT-backed fixed-point math with range reduction.
+ */
+
+#include "fixed/fixed_math.hh"
+
+#include <cmath>
+#include <numbers>
+
+namespace robox
+{
+
+namespace
+{
+constexpr double kPi = std::numbers::pi;
+constexpr double kLn2 = std::numbers::ln2;
+} // namespace
+
+FixedMath::FixedMath(int lut_entries)
+    : lut_entries_(lut_entries),
+      sin_lut_("sin", [](double x) { return std::sin(x); },
+               -kPi, kPi, lut_entries),
+      asin_lut_("asin", [](double x) { return std::asin(x); },
+                -1.0, 1.0, lut_entries),
+      atan_lut_("atan", [](double x) { return std::atan(x); },
+                -1.0, 1.0, lut_entries),
+      exp_lut_("exp", [](double x) { return std::exp(x); },
+               0.0, kLn2, lut_entries),
+      sqrt_lut_("sqrt", [](double x) { return std::sqrt(x); },
+                0.25, 1.0, lut_entries)
+{
+}
+
+const FixedMath &
+FixedMath::instance()
+{
+    static FixedMath fm(4096);
+    return fm;
+}
+
+double
+FixedMath::reduceAngle(double x)
+{
+    double r = std::fmod(x + kPi, 2.0 * kPi);
+    if (r < 0)
+        r += 2.0 * kPi;
+    return r - kPi;
+}
+
+Fixed
+FixedMath::sin(Fixed x) const
+{
+    return sin_lut_.lookupInterp(Fixed::fromDouble(reduceAngle(x.toDouble())));
+}
+
+Fixed
+FixedMath::cos(Fixed x) const
+{
+    double shifted = reduceAngle(x.toDouble() + kPi / 2.0);
+    return sin_lut_.lookupInterp(Fixed::fromDouble(shifted));
+}
+
+Fixed
+FixedMath::tan(Fixed x) const
+{
+    // The CU evaluates tan as sin/cos using its divider.
+    return sin(x) / cos(x);
+}
+
+Fixed
+FixedMath::asin(Fixed x) const
+{
+    double v = x.toDouble();
+    if (v <= -1.0)
+        return Fixed::fromDouble(-kPi / 2.0);
+    if (v >= 1.0)
+        return Fixed::fromDouble(kPi / 2.0);
+    return asin_lut_.lookupInterp(x);
+}
+
+Fixed
+FixedMath::acos(Fixed x) const
+{
+    // acos(x) = pi/2 - asin(x): one subtract after the table lookup.
+    return Fixed::fromDouble(kPi / 2.0) - asin(x);
+}
+
+Fixed
+FixedMath::atan(Fixed x) const
+{
+    double v = x.toDouble();
+    if (v >= -1.0 && v <= 1.0)
+        return atan_lut_.lookupInterp(x);
+    // |x| > 1: atan(x) = sign(x) * pi/2 - atan(1/x).
+    Fixed recip = Fixed::fromDouble(1.0) / x;
+    Fixed half_pi = Fixed::fromDouble(kPi / 2.0);
+    Fixed core = atan_lut_.lookupInterp(recip);
+    return v > 0 ? half_pi - core : -half_pi - core;
+}
+
+Fixed
+FixedMath::exp(Fixed x) const
+{
+    double v = x.toDouble();
+    // exp saturates well before the argument leaves this window.
+    if (v >= 10.0)
+        return Fixed::fromDouble(std::exp(10.0));
+    if (v <= -10.0)
+        return Fixed::fromDouble(std::exp(-10.0));
+    // Split x = k*ln2 + r with r in [0, ln2): exp(x) = 2^k * exp(r).
+    double k = std::floor(v / kLn2);
+    double r = v - k * kLn2;
+    Fixed core = exp_lut_.lookupInterp(Fixed::fromDouble(r));
+    Fixed pow2 = Fixed::fromDouble(std::ldexp(1.0, static_cast<int>(k)));
+    return core * pow2;
+}
+
+Fixed
+FixedMath::sqrt(Fixed x) const
+{
+    double v = x.toDouble();
+    if (v <= 0.0)
+        return Fixed::fromDouble(0.0);
+    // Normalize x = m * 4^k with m in [0.25, 1): sqrt(x) = 2^k * sqrt(m).
+    int k = 0;
+    double m = v;
+    while (m >= 1.0) {
+        m *= 0.25;
+        ++k;
+    }
+    while (m < 0.25) {
+        m *= 4.0;
+        --k;
+    }
+    Fixed core = sqrt_lut_.lookupInterp(Fixed::fromDouble(m));
+    Fixed pow2 = Fixed::fromDouble(std::ldexp(1.0, k));
+    return core * pow2;
+}
+
+} // namespace robox

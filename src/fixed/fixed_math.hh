@@ -1,0 +1,63 @@
+/**
+ * @file
+ * LUT-backed nonlinear math for the accelerator datapath.
+ *
+ * The RoboX DSL exposes the nonlinear operations sin, cos, tan, asin,
+ * acos, atan, exp, and sqrt (Table I); Compute Units implement them as
+ * lookup tables (Sec. V). FixedMath combines 4096-entry core-interval
+ * tables with the standard hardware range reductions (quadrant folding
+ * for trigonometry, power-of-two normalization for sqrt, base-2 argument
+ * splitting for exp) so the tables stay small while covering the full
+ * Q14.17 dynamic range.
+ */
+
+#ifndef ROBOX_FIXED_FIXED_MATH_HH
+#define ROBOX_FIXED_FIXED_MATH_HH
+
+#include "fixed/fixed.hh"
+#include "fixed/lut.hh"
+
+namespace robox
+{
+
+/**
+ * A set of nonlinear-function evaluators over Fixed values. One instance
+ * corresponds to one hardware LUT configuration; the default instance
+ * uses the paper's 4096-entry tables.
+ */
+class FixedMath
+{
+  public:
+    /** Build the tables with the given entry count per table. */
+    explicit FixedMath(int lut_entries = 4096);
+
+    /** The process-wide instance with the paper's configuration. */
+    static const FixedMath &instance();
+
+    Fixed sin(Fixed x) const;
+    Fixed cos(Fixed x) const;
+    Fixed tan(Fixed x) const;
+    Fixed asin(Fixed x) const;
+    Fixed acos(Fixed x) const;
+    Fixed atan(Fixed x) const;
+    Fixed exp(Fixed x) const;
+    Fixed sqrt(Fixed x) const;
+
+    /** Entry count used to build the tables. */
+    int lutEntries() const { return lut_entries_; }
+
+  private:
+    /** Reduce an angle into [-pi, pi). */
+    static double reduceAngle(double x);
+
+    int lut_entries_;
+    Lut sin_lut_;   //!< sin over [-pi, pi]
+    Lut asin_lut_;  //!< asin over [-1, 1]
+    Lut atan_lut_;  //!< atan over [-1, 1]
+    Lut exp_lut_;   //!< exp over [0, ln 2]
+    Lut sqrt_lut_;  //!< sqrt over [0.25, 1]
+};
+
+} // namespace robox
+
+#endif // ROBOX_FIXED_FIXED_MATH_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Implementation of the nonlinear-function lookup table.
+ */
+
+#include "fixed/lut.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.hh"
+
+namespace robox
+{
+
+Lut::Lut(std::string name, const std::function<double(double)> &fn,
+         double lo, double hi, int entries)
+    : name_(std::move(name)), lo_(lo), hi_(hi)
+{
+    if (entries < 2)
+        fatal("LUT '{}' needs at least 2 entries, got {}", name_, entries);
+    if (!(hi > lo))
+        fatal("LUT '{}' has empty domain [{}, {}]", name_, lo, hi);
+    step_ = (hi - lo) / (entries - 1);
+    table_.reserve(entries);
+    for (int i = 0; i < entries; ++i)
+        table_.push_back(Fixed::fromDouble(fn(lo + i * step_)));
+}
+
+Fixed
+Lut::lookup(Fixed x) const
+{
+    double v = x.toDouble();
+    double idx = (v - lo_) / step_;
+    long i = std::lround(idx);
+    i = std::clamp<long>(i, 0, static_cast<long>(table_.size()) - 1);
+    return table_[static_cast<std::size_t>(i)];
+}
+
+Fixed
+Lut::lookupInterp(Fixed x) const
+{
+    double v = x.toDouble();
+    double idx = (v - lo_) / step_;
+    if (idx <= 0)
+        return table_.front();
+    if (idx >= static_cast<double>(table_.size() - 1))
+        return table_.back();
+    auto i = static_cast<std::size_t>(idx);
+    Fixed frac = Fixed::fromDouble(idx - static_cast<double>(i));
+    // y = y0 + frac * (y1 - y0): one subtract plus one multiply-add.
+    return Fixed::mulAdd(frac, table_[i + 1] - table_[i], table_[i]);
+}
+
+double
+Lut::maxInterpError(const std::function<double(double)> &fn,
+                    int probes) const
+{
+    double worst = 0.0;
+    for (int i = 0; i <= probes; ++i) {
+        double x = lo_ + (hi_ - lo_) * i / probes;
+        double got = lookupInterp(Fixed::fromDouble(x)).toDouble();
+        worst = std::max(worst, std::abs(got - fn(x)));
+    }
+    return worst;
+}
+
+} // namespace robox

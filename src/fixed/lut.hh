@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Lookup tables for nonlinear functions on the accelerator.
+ *
+ * Each Compute Unit supports nonlinear operations through lookup tables
+ * (paper Sec. V); the evaluated configuration uses 4096-entry tables
+ * (Table IV). A Lut samples a scalar function uniformly over a core
+ * interval. FixedMath (fixed_math.hh) layers hardware-style range
+ * reduction on top so the tables only need to cover a small canonical
+ * domain.
+ */
+
+#ifndef ROBOX_FIXED_LUT_HH
+#define ROBOX_FIXED_LUT_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fixed/fixed.hh"
+
+namespace robox
+{
+
+/**
+ * A uniformly-sampled lookup table over [lo, hi] with optional linear
+ * interpolation between adjacent entries (one extra multiply-add in
+ * hardware). Inputs outside the domain clamp to the nearest endpoint.
+ */
+class Lut
+{
+  public:
+    /**
+     * Build a table by sampling fn.
+     *
+     * @param name Debug name (e.g. "sin").
+     * @param fn The function to sample, evaluated in double precision.
+     * @param lo Lower end of the sampled domain.
+     * @param hi Upper end of the sampled domain.
+     * @param entries Number of table entries (4096 in the paper config).
+     */
+    Lut(std::string name, const std::function<double(double)> &fn,
+        double lo, double hi, int entries = 4096);
+
+    /** Nearest-entry lookup. */
+    Fixed lookup(Fixed x) const;
+
+    /** Linearly interpolated lookup (uses two entries and one MAC). */
+    Fixed lookupInterp(Fixed x) const;
+
+    /** Table name for diagnostics. */
+    const std::string &name() const { return name_; }
+
+    /** Number of entries. */
+    int entries() const { return static_cast<int>(table_.size()); }
+
+    /** Sampled domain. */
+    double lo() const { return lo_; }
+    double hi() const { return hi_; }
+
+    /**
+     * Worst-case absolute error of interpolated lookups against the
+     * sampled function, probed at a dense grid. Used by accuracy tests.
+     */
+    double maxInterpError(const std::function<double(double)> &fn,
+                          int probes = 65536) const;
+
+  private:
+    std::string name_;
+    double lo_;
+    double hi_;
+    double step_;
+    std::vector<Fixed> table_;
+};
+
+} // namespace robox
+
+#endif // ROBOX_FIXED_LUT_HH

@@ -1,0 +1,412 @@
+/**
+ * @file
+ * Encoders, decoders, and disassembly for the RoboX ISA.
+ */
+
+#include "isa/isa.hh"
+
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace robox::isa
+{
+
+namespace
+{
+
+/** Insert `value` at [hi:lo], checking the range fits. */
+std::uint32_t
+field(std::uint32_t value, int hi, int lo, const char *what)
+{
+    std::uint32_t width = static_cast<std::uint32_t>(hi - lo + 1);
+    std::uint32_t limit = width >= 32 ? 0xFFFFFFFFu : ((1u << width) - 1);
+    if (value > limit)
+        fatal("ISA encode: {} value {} exceeds {}-bit field", what, value,
+              width);
+    return value << lo;
+}
+
+/** Extract [hi:lo]. */
+std::uint32_t
+bits(std::uint32_t word, int hi, int lo)
+{
+    std::uint32_t width = static_cast<std::uint32_t>(hi - lo + 1);
+    std::uint32_t mask = width >= 32 ? 0xFFFFFFFFu : ((1u << width) - 1);
+    return (word >> lo) & mask;
+}
+
+} // namespace
+
+const char *
+namespaceName(Namespace ns)
+{
+    switch (ns) {
+      case Namespace::Input: return "INPUT";
+      case Namespace::State: return "STATE";
+      case Namespace::Gradient: return "GRADIENT";
+      case Namespace::Hessian: return "HESSIAN";
+      case Namespace::Interm: return "INTERM";
+      case Namespace::LeftNeighbor: return "LEFT_NEIGHBOR";
+      case Namespace::RightNeighbor: return "RIGHT_NEIGHBOR";
+      case Namespace::Reference: return "REFERENCE";
+      case Namespace::Instruction: return "INSTRUCTION";
+    }
+    return "?";
+}
+
+const char *
+aluFunctionName(AluFunction fn)
+{
+    switch (fn) {
+      case AluFunction::Add: return "add";
+      case AluFunction::Sub: return "sub";
+      case AluFunction::Mul: return "mul";
+      case AluFunction::Div: return "div";
+      case AluFunction::Mac: return "mac";
+      case AluFunction::Min: return "min";
+      case AluFunction::Max: return "max";
+      case AluFunction::Sin: return "sin";
+      case AluFunction::Cos: return "cos";
+      case AluFunction::Tan: return "tan";
+      case AluFunction::Asin: return "asin";
+      case AluFunction::Acos: return "acos";
+      case AluFunction::Atan: return "atan";
+      case AluFunction::Exp: return "exp";
+      case AluFunction::Sqrt: return "sqrt";
+      case AluFunction::Nop: return "nop";
+    }
+    return "?";
+}
+
+bool
+isNonlinear(AluFunction fn)
+{
+    switch (fn) {
+      case AluFunction::Sin:
+      case AluFunction::Cos:
+      case AluFunction::Tan:
+      case AluFunction::Asin:
+      case AluFunction::Acos:
+      case AluFunction::Atan:
+      case AluFunction::Exp:
+      case AluFunction::Sqrt:
+        return true;
+      default:
+        return false;
+    }
+}
+
+const char *
+popModeName(PopMode mode)
+{
+    switch (mode) {
+      case PopMode::Keep: return "keep";
+      case PopMode::Pop: return "pop";
+      case PopMode::PopRewrite: return "popw";
+    }
+    return "?";
+}
+
+const char *
+aggFunctionName(AggFunction fn)
+{
+    switch (fn) {
+      case AggFunction::Add: return "ADD";
+      case AggFunction::Mul: return "MUL";
+      case AggFunction::Min: return "MIN";
+      case AggFunction::Max: return "MAX";
+    }
+    return "?";
+}
+
+// ---------------------------------------------------------------------
+// Compute instructions.
+//
+// [31:29] opcode  [28:25] function  [24:22] dst ns
+// [21:19] src1 ns [18:17] src1 pop  [16:14] src1 idx
+// queue:  [13:11] src2 ns [10:9] src2 pop [8:6] src2 idx
+// imm:    [13:6] immediate
+// [5:1] vector length  [0] reserved
+// ---------------------------------------------------------------------
+
+std::uint32_t
+ComputeInstr::encode() const
+{
+    if (dst >= Namespace::Reference || src1 >= Namespace::Reference)
+        fatal("compute instructions cannot address namespace {}",
+              namespaceName(dst >= Namespace::Reference ? dst : src1));
+    std::uint32_t word = 0;
+    word |= field(static_cast<std::uint32_t>(opcode), 31, 29, "opcode");
+    word |= field(static_cast<std::uint32_t>(function), 28, 25, "function");
+    word |= field(static_cast<std::uint32_t>(dst), 24, 22, "dst ns");
+    word |= field(static_cast<std::uint32_t>(src1), 21, 19, "src1 ns");
+    word |= field(static_cast<std::uint32_t>(src1Pop), 18, 17, "src1 pop");
+    word |= field(src1Index, 16, 14, "src1 index");
+    bool imm = opcode == ComputeOpcode::ScalarImm ||
+               opcode == ComputeOpcode::VectorImm;
+    if (imm) {
+        word |= field(immediate, 13, 6, "immediate");
+    } else {
+        if (src2 >= Namespace::Reference)
+            fatal("compute instructions cannot address namespace {}",
+                  namespaceName(src2));
+        word |= field(static_cast<std::uint32_t>(src2), 13, 11, "src2 ns");
+        word |= field(static_cast<std::uint32_t>(src2Pop), 10, 9,
+                      "src2 pop");
+        word |= field(src2Index, 8, 6, "src2 index");
+    }
+    word |= field(vectorLength, 5, 1, "vector length");
+    return word;
+}
+
+ComputeInstr
+ComputeInstr::decode(std::uint32_t word)
+{
+    ComputeInstr in;
+    in.opcode = static_cast<ComputeOpcode>(bits(word, 31, 29));
+    in.function = static_cast<AluFunction>(bits(word, 28, 25));
+    in.dst = static_cast<Namespace>(bits(word, 24, 22));
+    in.src1 = static_cast<Namespace>(bits(word, 21, 19));
+    in.src1Pop = static_cast<PopMode>(bits(word, 18, 17));
+    in.src1Index = static_cast<std::uint8_t>(bits(word, 16, 14));
+    bool imm = in.opcode == ComputeOpcode::ScalarImm ||
+               in.opcode == ComputeOpcode::VectorImm;
+    if (imm) {
+        in.immediate = static_cast<std::uint8_t>(bits(word, 13, 6));
+    } else {
+        in.src2 = static_cast<Namespace>(bits(word, 13, 11));
+        in.src2Pop = static_cast<PopMode>(bits(word, 10, 9));
+        in.src2Index = static_cast<std::uint8_t>(bits(word, 8, 6));
+    }
+    in.vectorLength = static_cast<std::uint8_t>(bits(word, 5, 1));
+    return in;
+}
+
+std::string
+ComputeInstr::str() const
+{
+    std::ostringstream os;
+    bool vec = opcode == ComputeOpcode::VectorQueue ||
+               opcode == ComputeOpcode::VectorImm;
+    bool imm = opcode == ComputeOpcode::ScalarImm ||
+               opcode == ComputeOpcode::VectorImm;
+    os << (vec ? "v" : "") << aluFunctionName(function) << " "
+       << namespaceName(dst) << " <- " << namespaceName(src1) << "["
+       << int(src1Index) << "]:" << popModeName(src1Pop);
+    if (imm) {
+        os << ", #" << int(immediate);
+    } else {
+        os << ", " << namespaceName(src2) << "[" << int(src2Index)
+           << "]:" << popModeName(src2Pop);
+    }
+    if (vec)
+        os << " x" << int(vectorLength) + 1;
+    return os.str();
+}
+
+// ---------------------------------------------------------------------
+// Communication instructions.
+//
+// [31:29] opcode  [28:26] src ns  [25:24] src pop  [23:21] src idx
+// [20:17] src CC  [16:13] src CU
+// unicast:     [12:9] dst CC  [8:5] dst CU
+// multicast:   [12:11] quarter  [10:7] mask
+// aggregation: [12:11] agg fn   [10:7] mask
+// [4:2] dst ns
+// ---------------------------------------------------------------------
+
+std::uint32_t
+CommInstr::encode() const
+{
+    std::uint32_t word = 0;
+    word |= field(static_cast<std::uint32_t>(opcode), 31, 29, "opcode");
+    word |= field(static_cast<std::uint32_t>(srcNamespace), 28, 26,
+                  "src ns");
+    word |= field(static_cast<std::uint32_t>(srcPop), 25, 24, "src pop");
+    word |= field(srcIndex, 23, 21, "src index");
+    word |= field(srcCc, 20, 17, "src CC");
+    word |= field(srcCu, 16, 13, "src CU");
+    switch (opcode) {
+      case CommOpcode::Unicast:
+        word |= field(dstCc, 12, 9, "dst CC");
+        word |= field(dstCu, 8, 5, "dst CU");
+        break;
+      case CommOpcode::CuMulticast:
+      case CommOpcode::CcMulticast:
+        word |= field(quarter, 12, 11, "quarter");
+        word |= field(mask, 10, 7, "mask");
+        break;
+      case CommOpcode::CuAggregation:
+      case CommOpcode::CcAggregation:
+        word |= field(static_cast<std::uint32_t>(aggFunction), 12, 11,
+                      "agg fn");
+        word |= field(mask, 10, 7, "mask");
+        break;
+      case CommOpcode::Broadcast:
+      case CommOpcode::EndOfCode:
+        break;
+    }
+    word |= field(static_cast<std::uint32_t>(dstNamespace), 4, 2,
+                  "dst ns");
+    return word;
+}
+
+CommInstr
+CommInstr::decode(std::uint32_t word)
+{
+    CommInstr in;
+    in.opcode = static_cast<CommOpcode>(bits(word, 31, 29));
+    in.srcNamespace = static_cast<Namespace>(bits(word, 28, 26));
+    in.srcPop = static_cast<PopMode>(bits(word, 25, 24));
+    in.srcIndex = static_cast<std::uint8_t>(bits(word, 23, 21));
+    in.srcCc = static_cast<std::uint8_t>(bits(word, 20, 17));
+    in.srcCu = static_cast<std::uint8_t>(bits(word, 16, 13));
+    switch (in.opcode) {
+      case CommOpcode::Unicast:
+        in.dstCc = static_cast<std::uint8_t>(bits(word, 12, 9));
+        in.dstCu = static_cast<std::uint8_t>(bits(word, 8, 5));
+        break;
+      case CommOpcode::CuMulticast:
+      case CommOpcode::CcMulticast:
+        in.quarter = static_cast<std::uint8_t>(bits(word, 12, 11));
+        in.mask = static_cast<std::uint8_t>(bits(word, 10, 7));
+        break;
+      case CommOpcode::CuAggregation:
+      case CommOpcode::CcAggregation:
+        in.aggFunction = static_cast<AggFunction>(bits(word, 12, 11));
+        in.mask = static_cast<std::uint8_t>(bits(word, 10, 7));
+        break;
+      case CommOpcode::Broadcast:
+      case CommOpcode::EndOfCode:
+        break;
+    }
+    in.dstNamespace = static_cast<Namespace>(bits(word, 4, 2));
+    return in;
+}
+
+std::string
+CommInstr::str() const
+{
+    std::ostringstream os;
+    switch (opcode) {
+      case CommOpcode::Unicast:
+        os << "unicast cc" << int(srcCc) << ".cu" << int(srcCu) << " -> cc"
+           << int(dstCc) << ".cu" << int(dstCu);
+        break;
+      case CommOpcode::Broadcast:
+        os << "broadcast cc" << int(srcCc) << ".cu" << int(srcCu)
+           << " -> all";
+        break;
+      case CommOpcode::CuMulticast:
+        os << "cu_multicast cc" << int(srcCc) << ".cu" << int(srcCu)
+           << " -> q" << int(quarter) << "/0x" << std::hex << int(mask)
+           << std::dec;
+        break;
+      case CommOpcode::CcMulticast:
+        os << "cc_multicast cc" << int(srcCc) << ".cu" << int(srcCu)
+           << " -> q" << int(quarter) << "/0x" << std::hex << int(mask)
+           << std::dec;
+        break;
+      case CommOpcode::CuAggregation:
+        os << "cu_agg " << aggFunctionName(aggFunction) << " cc"
+           << int(srcCc) << " mask 0x" << std::hex << int(mask)
+           << std::dec;
+        break;
+      case CommOpcode::CcAggregation:
+        os << "cc_agg " << aggFunctionName(aggFunction) << " mask 0x"
+           << std::hex << int(mask) << std::dec;
+        break;
+      case CommOpcode::EndOfCode:
+        return "end_of_code";
+    }
+    os << " (" << namespaceName(srcNamespace) << "[" << int(srcIndex)
+       << "]:" << popModeName(srcPop) << " -> "
+       << namespaceName(dstNamespace) << ")";
+    return os.str();
+}
+
+// ---------------------------------------------------------------------
+// Memory instructions.
+//
+// [31:29] opcode  [28:25] namespace
+// load/store: [24:9] offset  [8:6] shift  [5:2] burst-1
+// set block:  [24:9] block number
+// ---------------------------------------------------------------------
+
+std::uint32_t
+MemInstr::encode() const
+{
+    std::uint32_t word = 0;
+    word |= field(static_cast<std::uint32_t>(opcode), 31, 29, "opcode");
+    word |= field(static_cast<std::uint32_t>(ns), 28, 25, "namespace");
+    switch (opcode) {
+      case MemOpcode::Load:
+      case MemOpcode::Store:
+        if (ns == Namespace::Interm || ns == Namespace::LeftNeighbor ||
+            ns == Namespace::RightNeighbor) {
+            fatal("memory instructions cannot address namespace {}",
+                  namespaceName(ns));
+        }
+        word |= field(offset, 24, 9, "offset");
+        word |= field(shift, 8, 6, "shift");
+        if (burst < 1 || burst > 16)
+            fatal("memory burst {} out of range [1, 16]", burst);
+        word |= field(static_cast<std::uint32_t>(burst - 1), 5, 2,
+                      "burst");
+        break;
+      case MemOpcode::SetBlock:
+        word |= field(block, 24, 9, "block");
+        break;
+      case MemOpcode::EndOfCode:
+        break;
+    }
+    return word;
+}
+
+MemInstr
+MemInstr::decode(std::uint32_t word)
+{
+    MemInstr in;
+    in.opcode = static_cast<MemOpcode>(bits(word, 31, 29));
+    in.ns = static_cast<Namespace>(bits(word, 28, 25));
+    switch (in.opcode) {
+      case MemOpcode::Load:
+      case MemOpcode::Store:
+        in.offset = static_cast<std::uint16_t>(bits(word, 24, 9));
+        in.shift = static_cast<std::uint8_t>(bits(word, 8, 6));
+        in.burst = static_cast<std::uint8_t>(bits(word, 5, 2) + 1);
+        break;
+      case MemOpcode::SetBlock:
+        in.block = static_cast<std::uint16_t>(bits(word, 24, 9));
+        break;
+      case MemOpcode::EndOfCode:
+        break;
+    }
+    return in;
+}
+
+std::string
+MemInstr::str() const
+{
+    std::ostringstream os;
+    switch (opcode) {
+      case MemOpcode::Load:
+        os << "load " << namespaceName(ns) << "+" << offset << " shift "
+           << int(shift) << " burst " << int(burst);
+        break;
+      case MemOpcode::Store:
+        os << "store " << namespaceName(ns) << "+" << offset << " shift "
+           << int(shift) << " burst " << int(burst);
+        break;
+      case MemOpcode::SetBlock:
+        os << "set_block " << namespaceName(ns) << " = " << block;
+        break;
+      case MemOpcode::EndOfCode:
+        os << "end_of_code";
+        break;
+    }
+    return os.str();
+}
+
+} // namespace robox::isa

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Implementation of Cholesky factorization and triangular solves.
+ */
+
+#include "linalg/cholesky.hh"
+
+#include <cmath>
+
+#include "support/logging.hh"
+
+namespace robox
+{
+
+namespace
+{
+
+/** Attempt the factorization; return false if a pivot is non-positive. */
+bool
+tryCholesky(const Matrix &a, Matrix &l)
+{
+    std::size_t n = a.rows();
+    l = Matrix(n, n);
+    for (std::size_t j = 0; j < n; ++j) {
+        double diag = a(j, j);
+        for (std::size_t k = 0; k < j; ++k)
+            diag -= l(j, k) * l(j, k);
+        if (diag <= 0.0 || !std::isfinite(diag))
+            return false;
+        double ljj = std::sqrt(diag);
+        l(j, j) = ljj;
+        for (std::size_t i = j + 1; i < n; ++i) {
+            double acc = a(i, j);
+            for (std::size_t k = 0; k < j; ++k)
+                acc -= l(i, k) * l(j, k);
+            l(i, j) = acc / ljj;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+Matrix
+cholesky(const Matrix &a)
+{
+    robox_assert(a.rows() == a.cols());
+    Matrix l;
+    if (!tryCholesky(a, l))
+        fatal("cholesky: matrix of order {} is not positive definite",
+              a.rows());
+    return l;
+}
+
+Matrix
+choleskyRegularized(const Matrix &a, double &reg)
+{
+    robox_assert(a.rows() == a.cols());
+    Matrix l;
+    if (tryCholesky(a, l)) {
+        reg = 0.0;
+        return l;
+    }
+    double shift = reg > 0.0 ? reg : 1e-10;
+    for (int attempt = 0; attempt < 60; ++attempt) {
+        Matrix shifted = a;
+        shifted.addDiagonal(shift);
+        if (tryCholesky(shifted, l)) {
+            reg = shift;
+            return l;
+        }
+        shift *= 10.0;
+    }
+    fatal("choleskyRegularized: could not factor matrix of order {}",
+          a.rows());
+}
+
+Vector
+forwardSubstitute(const Matrix &l, const Vector &b)
+{
+    std::size_t n = l.rows();
+    robox_assert(l.cols() == n && b.size() == n);
+    Vector y(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        double acc = b[i];
+        for (std::size_t k = 0; k < i; ++k)
+            acc -= l(i, k) * y[k];
+        y[i] = acc / l(i, i);
+    }
+    return y;
+}
+
+Vector
+backwardSubstitute(const Matrix &l, const Vector &y)
+{
+    std::size_t n = l.rows();
+    robox_assert(l.cols() == n && y.size() == n);
+    Vector x(n);
+    for (std::size_t ii = n; ii-- > 0;) {
+        double acc = y[ii];
+        for (std::size_t k = ii + 1; k < n; ++k)
+            acc -= l(k, ii) * x[k];
+        x[ii] = acc / l(ii, ii);
+    }
+    return x;
+}
+
+Vector
+choleskySolve(const Matrix &l, const Vector &b)
+{
+    return backwardSubstitute(l, forwardSubstitute(l, b));
+}
+
+Matrix
+choleskySolveMatrix(const Matrix &l, const Matrix &b)
+{
+    std::size_t n = l.rows();
+    robox_assert(b.rows() == n);
+    Matrix x(n, b.cols());
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+        Vector col(n);
+        for (std::size_t i = 0; i < n; ++i)
+            col[i] = b(i, j);
+        Vector sol = choleskySolve(l, col);
+        for (std::size_t i = 0; i < n; ++i)
+            x(i, j) = sol[i];
+    }
+    return x;
+}
+
+Vector
+gaussianSolve(Matrix a, Vector b)
+{
+    std::size_t n = a.rows();
+    robox_assert(a.cols() == n && b.size() == n);
+    for (std::size_t col = 0; col < n; ++col) {
+        // Partial pivoting: find the largest magnitude pivot in the column.
+        std::size_t pivot = col;
+        for (std::size_t r = col + 1; r < n; ++r)
+            if (std::abs(a(r, col)) > std::abs(a(pivot, col)))
+                pivot = r;
+        if (std::abs(a(pivot, col)) < 1e-300)
+            fatal("gaussianSolve: singular matrix of order {}", n);
+        if (pivot != col) {
+            for (std::size_t c = 0; c < n; ++c)
+                std::swap(a(col, c), a(pivot, c));
+            std::swap(b[col], b[pivot]);
+        }
+        for (std::size_t r = col + 1; r < n; ++r) {
+            double f = a(r, col) / a(col, col);
+            if (f == 0.0)
+                continue;
+            for (std::size_t c = col; c < n; ++c)
+                a(r, c) -= f * a(col, c);
+            b[r] -= f * b[col];
+        }
+    }
+    Vector x(n);
+    for (std::size_t ii = n; ii-- > 0;) {
+        double acc = b[ii];
+        for (std::size_t c = ii + 1; c < n; ++c)
+            acc -= a(ii, c) * x[c];
+        x[ii] = acc / a(ii, ii);
+    }
+    return x;
+}
+
+} // namespace robox

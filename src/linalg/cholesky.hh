@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Cholesky factorization and triangular solves.
+ *
+ * The paper's solver (Sec. II-B) factors the Newton/KKT systems with a
+ * combination of Cholesky decomposition and forward/backward
+ * substitution. These routines operate on the dense stage matrices used
+ * by the Riccati recursion in src/mpc and by the flat reference solver.
+ */
+
+#ifndef ROBOX_LINALG_CHOLESKY_HH
+#define ROBOX_LINALG_CHOLESKY_HH
+
+#include "linalg/matrix.hh"
+
+namespace robox
+{
+
+/**
+ * Lower-triangular Cholesky factor of a symmetric positive-definite
+ * matrix: A = L L^T. Throws FatalError if A is not (numerically)
+ * positive definite.
+ */
+Matrix cholesky(const Matrix &a);
+
+/**
+ * Cholesky with adaptive diagonal regularization: retries with
+ * increasing Levenberg shifts until the factorization succeeds.
+ *
+ * @param a The symmetric matrix to factor.
+ * @param[in,out] reg On entry, the initial shift to try when the plain
+ *        factorization fails (0 means start at 1e-10); on exit, the
+ *        shift actually applied (0 if none was needed).
+ */
+Matrix choleskyRegularized(const Matrix &a, double &reg);
+
+/** Solve L y = b with L lower triangular (forward substitution). */
+Vector forwardSubstitute(const Matrix &l, const Vector &b);
+
+/** Solve L^T x = y with L lower triangular (backward substitution). */
+Vector backwardSubstitute(const Matrix &l, const Vector &y);
+
+/** Solve A x = b given the Cholesky factor L of A. */
+Vector choleskySolve(const Matrix &l, const Vector &b);
+
+/** Solve A X = B column-by-column given the Cholesky factor L of A. */
+Matrix choleskySolveMatrix(const Matrix &l, const Matrix &b);
+
+/**
+ * Solve a general square system via Gaussian elimination with partial
+ * pivoting. Used for small non-symmetric systems (e.g. implicit
+ * manipulator mass-matrix solves) and as a test oracle for the
+ * structured solver.
+ */
+Vector gaussianSolve(Matrix a, Vector b);
+
+} // namespace robox
+
+#endif // ROBOX_LINALG_CHOLESKY_HH

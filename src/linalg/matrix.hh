@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Dense small-matrix linear algebra for the RoboX solver.
+ *
+ * This is the repository's substitute for BLASFEO, the BLAS-like library
+ * for small-to-medium matrices that the paper's HPMPC baseline builds on.
+ * MPC stage matrices are at most a few dozen rows, so a straightforward
+ * row-major dense implementation with tight loops is appropriate; the
+ * stagewise Riccati factorization in src/mpc keeps the overall solve
+ * linear in the horizon length.
+ */
+
+#ifndef ROBOX_LINALG_MATRIX_HH
+#define ROBOX_LINALG_MATRIX_HH
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace robox
+{
+
+class Matrix;
+
+/** A dense column vector of doubles. */
+class Vector
+{
+  public:
+    Vector() = default;
+    /** Zero vector of the given size. */
+    explicit Vector(std::size_t n) : data_(n, 0.0) {}
+    /** Vector from a braced list. */
+    Vector(std::initializer_list<double> init) : data_(init) {}
+
+    std::size_t size() const { return data_.size(); }
+    double &operator[](std::size_t i);
+    double operator[](std::size_t i) const;
+    double *data() { return data_.data(); }
+    const double *data() const { return data_.data(); }
+
+    Vector operator+(const Vector &o) const;
+    Vector operator-(const Vector &o) const;
+    Vector operator*(double s) const;
+    Vector &operator+=(const Vector &o);
+    Vector &operator-=(const Vector &o);
+    Vector &operator*=(double s);
+    Vector operator-() const;
+
+    /** Dot product. */
+    double dot(const Vector &o) const;
+    /** Euclidean norm. */
+    double norm() const;
+    /** Infinity norm. */
+    double normInf() const;
+    /** Set every element to the given value. */
+    void fill(double value);
+    /** Copy [offset, offset+n) into a new vector. */
+    Vector segment(std::size_t offset, std::size_t n) const;
+    /** Write src into [offset, offset+src.size()). */
+    void setSegment(std::size_t offset, const Vector &src);
+    /** Append an element. */
+    void push_back(double v) { data_.push_back(v); }
+    /** Human-readable rendering for diagnostics. */
+    std::string str() const;
+
+  private:
+    std::vector<double> data_;
+};
+
+/** Scalar-vector product. */
+Vector operator*(double s, const Vector &v);
+
+/** A dense row-major matrix of doubles. */
+class Matrix
+{
+  public:
+    Matrix() : rows_(0), cols_(0) {}
+    /** Zero matrix of the given shape. */
+    Matrix(std::size_t rows, std::size_t cols)
+        : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+    /** Identity matrix of order n. */
+    static Matrix identity(std::size_t n);
+    /** Diagonal matrix from a vector. */
+    static Matrix diagonal(const Vector &d);
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+    double &operator()(std::size_t r, std::size_t c);
+    double operator()(std::size_t r, std::size_t c) const;
+    double *data() { return data_.data(); }
+    const double *data() const { return data_.data(); }
+
+    Matrix operator+(const Matrix &o) const;
+    Matrix operator-(const Matrix &o) const;
+    Matrix operator*(const Matrix &o) const;
+    Matrix operator*(double s) const;
+    Matrix &operator+=(const Matrix &o);
+    Vector operator*(const Vector &v) const;
+
+    /** Transpose. */
+    Matrix transposed() const;
+    /** this^T * v without forming the transpose. */
+    Vector transposeMul(const Vector &v) const;
+    /** this^T * o without forming the transpose. */
+    Matrix transposeMul(const Matrix &o) const;
+    /** this * o^T without forming the transpose. */
+    Matrix mulTranspose(const Matrix &o) const;
+    /** Add s * I in place. */
+    void addDiagonal(double s);
+    /** Frobenius norm. */
+    double normFro() const;
+    /** Max absolute element. */
+    double normMax() const;
+    /** Copy a block into a new matrix. */
+    Matrix block(std::size_t r0, std::size_t c0,
+                 std::size_t nr, std::size_t nc) const;
+    /** Write src at (r0, c0). */
+    void setBlock(std::size_t r0, std::size_t c0, const Matrix &src);
+    /** Set every element to the given value. */
+    void fill(double value);
+    /** Human-readable rendering for diagnostics. */
+    std::string str() const;
+
+  private:
+    std::size_t rows_;
+    std::size_t cols_;
+    std::vector<double> data_;
+};
+
+} // namespace robox
+
+#endif // ROBOX_LINALG_MATRIX_HH

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Implementation of the macro dataflow graph.
+ */
+
+#include "mdfg/mdfg.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/logging.hh"
+
+namespace robox::mdfg
+{
+
+namespace
+{
+constexpr std::uint32_t kNoNode = std::numeric_limits<std::uint32_t>::max();
+} // namespace
+
+const char *
+nodeKindName(NodeKind kind)
+{
+    switch (kind) {
+      case NodeKind::Scalar: return "SCALAR";
+      case NodeKind::Vector: return "VECTOR";
+      case NodeKind::Group: return "GROUP";
+    }
+    return "?";
+}
+
+const char *
+phaseName(Phase phase)
+{
+    switch (phase) {
+      case Phase::Dynamics: return "dynamics";
+      case Phase::Cost: return "cost";
+      case Phase::Constraint: return "constraint";
+      case Phase::Hessian: return "hessian";
+      case Phase::Factor: return "factor";
+      case Phase::Rollout: return "rollout";
+    }
+    return "?";
+}
+
+std::uint32_t
+Graph::add(Node node)
+{
+    std::uint32_t id = static_cast<std::uint32_t>(nodes_.size());
+    for (std::uint32_t dep : node.deps) {
+        if (dep != kNoNode && dep >= id)
+            panic("mdfg: node {} depends on not-yet-added node {}", id, dep);
+    }
+    // Drop external-input placeholders from the dependency list.
+    node.deps.erase(std::remove(node.deps.begin(), node.deps.end(), kNoNode),
+                    node.deps.end());
+    nodes_.push_back(std::move(node));
+    return id;
+}
+
+bool
+Graph::isTopologicallyOrdered() const
+{
+    for (std::size_t i = 0; i < nodes_.size(); ++i)
+        for (std::uint32_t dep : nodes_[i].deps)
+            if (dep >= i)
+                return false;
+    return true;
+}
+
+std::size_t
+Graph::nodeOps(const Node &node)
+{
+    switch (node.kind) {
+      case NodeKind::Scalar:
+        return 1;
+      case NodeKind::Vector:
+        return static_cast<std::size_t>(node.length);
+      case NodeKind::Group:
+        // A reduction of L values costs L-1 combining operations.
+        return node.length > 1 ? static_cast<std::size_t>(node.length - 1)
+                               : 1;
+    }
+    return 1;
+}
+
+GraphStats
+Graph::stats() const
+{
+    GraphStats s;
+    std::vector<std::uint32_t> depth(nodes_.size(), 1);
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        const Node &n = nodes_[i];
+        switch (n.kind) {
+          case NodeKind::Scalar: ++s.scalarNodes; break;
+          case NodeKind::Vector: ++s.vectorNodes; break;
+          case NodeKind::Group: ++s.groupNodes; break;
+        }
+        std::size_t ops = nodeOps(n);
+        s.totalOps += ops;
+        s.opsPerPhase[static_cast<int>(n.phase)] += ops;
+        for (std::uint32_t dep : n.deps)
+            depth[i] = std::max(depth[i], depth[dep] + 1);
+        s.criticalPath = std::max<std::size_t>(s.criticalPath, depth[i]);
+    }
+    return s;
+}
+
+void
+Graph::addTape(const sym::Tape &tape,
+               const std::vector<std::uint32_t> &input_nodes, Phase phase,
+               int stage, std::vector<std::uint32_t> &output_nodes)
+{
+    robox_assert(static_cast<int>(input_nodes.size()) == tape.numVars());
+
+    // slot -> node id; external inputs and constants map to kNoNode.
+    std::vector<std::uint32_t> slot_node(
+        static_cast<std::size_t>(tape.numSlots()), kNoNode);
+    for (int i = 0; i < tape.numVars(); ++i)
+        slot_node[i] = input_nodes[i];
+
+    for (const sym::Tape::Instr &in : tape.instrs()) {
+        Node node;
+        node.kind = NodeKind::Scalar;
+        node.op = in.op;
+        node.phase = phase;
+        node.stage = stage;
+        node.deps.push_back(slot_node[in.a]);
+        if (in.b >= 0)
+            node.deps.push_back(slot_node[in.b]);
+        slot_node[in.dst] = add(std::move(node));
+    }
+
+    output_nodes.clear();
+    output_nodes.reserve(tape.outputSlots().size());
+    for (int slot : tape.outputSlots())
+        output_nodes.push_back(slot_node[slot]);
+}
+
+} // namespace robox::mdfg

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Macro dataflow graph (M-DFG) of the MPC control algorithm.
+ *
+ * The Program Translator lowers each construct of the RoboX program to
+ * an M-DFG node (Sec. VII): elementary and nonlinear operations become
+ * SCALAR nodes, operations over range intervals become VECTOR nodes,
+ * and group operations become GROUP aggregation nodes. The Controller
+ * Compiler consumes this graph to produce the static schedules for the
+ * compute units, the compute-enabled interconnect, and the memory
+ * access engine.
+ *
+ * Nodes are stored in a topological order by construction: every
+ * dependency index is smaller than the dependent node's index.
+ */
+
+#ifndef ROBOX_MDFG_MDFG_HH
+#define ROBOX_MDFG_MDFG_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sym/expr.hh"
+#include "sym/tape.hh"
+
+namespace robox::mdfg
+{
+
+/** Node granularity classes of the M-DFG. */
+enum class NodeKind
+{
+    Scalar, //!< One elementary/nonlinear operation.
+    Vector, //!< The same operation applied elementwise over a range.
+    Group,  //!< A reduction (sum/mul/min/max) over a range.
+};
+
+/** Printable name of a node kind. */
+const char *nodeKindName(NodeKind kind);
+
+/** Workload phases of one solver iteration (for grouped statistics). */
+enum class Phase
+{
+    Dynamics,   //!< Dynamics and Jacobian tape evaluation.
+    Cost,       //!< Penalty residual/Jacobian tape evaluation.
+    Constraint, //!< Inequality row/Jacobian tape evaluation.
+    Hessian,    //!< Stage Hessian/gradient assembly (J^T W J, ...).
+    Factor,     //!< Riccati backward recursion (Cholesky, gains).
+    Rollout,    //!< Forward rollout and slack/dual updates.
+};
+
+/** Printable name of a phase. */
+const char *phaseName(Phase phase);
+/** Number of distinct phases. */
+constexpr int kNumPhases = 6;
+
+/** One M-DFG node. */
+struct Node
+{
+    NodeKind kind = NodeKind::Scalar;
+    sym::Op op = sym::Op::Add; //!< Operation (aggregation fn for Group).
+    int length = 1;            //!< Elements (Vector) or reduced count
+                               //!< (Group); 1 for Scalar.
+    Phase phase = Phase::Dynamics;
+    int stage = 0;             //!< Horizon stage this node belongs to.
+    std::vector<std::uint32_t> deps; //!< Indices of producer nodes.
+};
+
+/** Aggregate statistics over a graph. */
+struct GraphStats
+{
+    std::size_t scalarNodes = 0;
+    std::size_t vectorNodes = 0;
+    std::size_t groupNodes = 0;
+    std::size_t totalOps = 0;     //!< Scalar-equivalent operation count.
+    std::size_t criticalPath = 0; //!< Longest dependency chain (nodes).
+    std::size_t opsPerPhase[kNumPhases] = {};
+};
+
+/** The macro dataflow graph. */
+class Graph
+{
+  public:
+    /** Append a node; its dependencies must already exist. */
+    std::uint32_t add(Node node);
+
+    const std::vector<Node> &nodes() const { return nodes_; }
+    std::size_t size() const { return nodes_.size(); }
+    const Node &operator[](std::uint32_t id) const { return nodes_[id]; }
+
+    /** Verify the topological invariant (deps precede dependents). */
+    bool isTopologicallyOrdered() const;
+
+    /** Compute aggregate statistics including the critical path. */
+    GraphStats stats() const;
+
+    /**
+     * Append an entire tape as Scalar nodes.
+     *
+     * @param tape The compiled tape.
+     * @param input_nodes Node ids standing for the tape's variable
+     *        slots; entries may be UINT32_MAX for external inputs with
+     *        no producer (e.g. data loaded from memory).
+     * @param phase Phase tag for the appended nodes.
+     * @param stage Stage tag for the appended nodes.
+     * @param[out] output_nodes Node id of each tape output (entries are
+     *        UINT32_MAX when an output aliases an external input).
+     */
+    void addTape(const sym::Tape &tape,
+                 const std::vector<std::uint32_t> &input_nodes,
+                 Phase phase, int stage,
+                 std::vector<std::uint32_t> &output_nodes);
+
+    /** Scalar-equivalent op count of one node. */
+    static std::size_t nodeOps(const Node &node);
+
+  private:
+    std::vector<Node> nodes_;
+};
+
+} // namespace robox::mdfg
+
+#endif // ROBOX_MDFG_MDFG_HH

@@ -1,0 +1,600 @@
+/**
+ * @file
+ * Implementation of the primal-dual interior-point MPC solver.
+ */
+
+#include "mpc/ipm.hh"
+
+#include "mpc/dense_kkt.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.hh"
+
+namespace robox::mpc
+{
+
+namespace
+{
+
+/** Barrier curvature lam/s with an overflow guard: rows pinned hard
+ *  against their bound can otherwise drive sigma to infinity in
+ *  unconverged solves. */
+double
+cappedSigma(double lam, double s)
+{
+    return std::min(lam / s, 1e10);
+}
+
+/** Dual safeguard applied after each accepted step. */
+constexpr double kLambdaCap = 1e10;
+
+} // namespace
+
+IpmSolver::IpmSolver(const dsl::ModelSpec &model, const MpcOptions &options)
+    : problem_(model, options)
+{
+    for (int i = 0; i < problem_.numRunningIneq(); ++i) {
+        full_run_rows_.push_back(i);
+        if (!problem_.runningRowUsesState()[i])
+            stage0_run_rows_.push_back(i);
+    }
+    for (int i = 0; i < problem_.numTerminalIneq(); ++i)
+        term_rows_.push_back(i);
+}
+
+void
+IpmSolver::initializeTrajectory(const Vector &x0,
+                                const std::vector<Vector> &refs)
+{
+    const int n_stages = problem_.horizon();
+    const int nx = problem_.nx();
+    const int nu = problem_.nu();
+
+    if (warm_ && static_cast<int>(us_.size()) == n_stages) {
+        // Shift the previous plan by one step; repeat the last input.
+        for (int k = 0; k + 1 < n_stages; ++k)
+            us_[k] = us_[k + 1];
+        xs_[0] = x0;
+        for (int k = 0; k < n_stages; ++k)
+            xs_[k + 1] =
+                problem_.dynamicsValue(xs_[k], us_[k], refs[k]);
+        return;
+    }
+
+    // Cold start: inputs at the midpoint of their finite bounds (zero
+    // when unbounded), states from a rollout.
+    const dsl::ModelSpec &model = problem_.model();
+    Vector u_init(static_cast<std::size_t>(nu));
+    for (int i = 0; i < nu; ++i) {
+        double lo = model.inputLower[i];
+        double hi = model.inputUpper[i];
+        if (lo != -dsl::kUnbounded && hi != dsl::kUnbounded)
+            u_init[i] = 0.5 * (lo + hi);
+        else if (lo != -dsl::kUnbounded)
+            u_init[i] = lo + 0.1;
+        else if (hi != dsl::kUnbounded)
+            u_init[i] = hi - 0.1;
+        else
+            u_init[i] = 0.0;
+    }
+    us_.assign(n_stages, u_init);
+    xs_.assign(n_stages + 1, Vector(static_cast<std::size_t>(nx)));
+    xs_[0] = x0;
+    for (int k = 0; k < n_stages; ++k)
+        xs_[k + 1] = problem_.dynamicsValue(xs_[k], us_[k], refs[k]);
+}
+
+void
+IpmSolver::evaluateIneq(IneqBlock &blk, const StageEval &eval) const
+{
+    const std::size_t rows = blk.rows.size();
+    blk.h = Vector(rows);
+    blk.hx = Matrix(rows, eval.jx.cols());
+    blk.hu = Matrix(rows, eval.ju.cols());
+    for (std::size_t i = 0; i < rows; ++i) {
+        int src = blk.rows[i];
+        blk.h[i] = eval.value[src];
+        for (std::size_t j = 0; j < eval.jx.cols(); ++j)
+            blk.hx(i, j) = eval.jx(src, j);
+        for (std::size_t j = 0; j < eval.ju.cols(); ++j)
+            blk.hu(i, j) = eval.ju(src, j);
+    }
+}
+
+double
+IpmSolver::initializeSlacks(const std::vector<Vector> &refs,
+                            double mu_init)
+{
+    const int n_stages = problem_.horizon();
+    const double floor = problem_.options().slackFloor;
+
+    bool shift = warm_ &&
+                 static_cast<int>(ineq_.size()) == n_stages + 1;
+    std::vector<IneqBlock> previous;
+    if (shift)
+        previous = ineq_;
+
+    ineq_.assign(n_stages + 1, IneqBlock());
+    StageEval eval;
+    for (int k = 0; k <= n_stages; ++k) {
+        IneqBlock &blk = ineq_[k];
+        if (k == n_stages) {
+            blk.rows = term_rows_;
+            problem_.evalTerminalIneq(xs_[k], refs[k], eval);
+        } else {
+            blk.rows = k == 0 ? stage0_run_rows_ : full_run_rows_;
+            problem_.evalRunningIneq(xs_[k], us_[k], refs[k], eval);
+        }
+        evaluateIneq(blk, eval);
+        std::size_t rows = blk.rows.size();
+        blk.s = Vector(rows);
+        blk.lam = Vector(rows);
+        // Warm source: the next stage of the previous plan (the same
+        // stage for the terminal block).
+        const IneqBlock *prev = nullptr;
+        if (shift)
+            prev = k < n_stages ? &previous[k + 1] : &previous[k];
+        for (std::size_t i = 0; i < rows; ++i) {
+            double s = std::max(floor, -blk.h[i]);
+            double lam = mu_init / s;
+            if (prev) {
+                // Match rows by their tape-row index.
+                for (std::size_t j = 0; j < prev->rows.size(); ++j) {
+                    if (prev->rows[j] == blk.rows[i]) {
+                        s = std::max(floor * 1e-2, prev->s[j]);
+                        lam = std::max(floor * 1e-2, prev->lam[j]);
+                        break;
+                    }
+                }
+            }
+            blk.s[i] = s;
+            blk.lam[i] = lam;
+        }
+    }
+
+    // Barrier start: for warm starts, resume near the carried-over
+    // complementarity instead of re-climbing from muInit.
+    double comp_sum = 0.0;
+    std::size_t count = 0;
+    for (const IneqBlock &blk : ineq_) {
+        for (std::size_t i = 0; i < blk.rows.size(); ++i) {
+            comp_sum += blk.s[i] * blk.lam[i];
+            ++count;
+        }
+    }
+    if (!shift || count == 0)
+        return mu_init;
+    double comp_avg = comp_sum / count;
+    return std::clamp(0.5 * comp_avg, problem_.options().muMin * 10.0,
+                      mu_init);
+}
+
+double
+IpmSolver::meritFunction(const std::vector<Vector> &xs,
+                         const std::vector<Vector> &us,
+                         const std::vector<IneqBlock> &blocks,
+                         const Vector &x0,
+                         const std::vector<Vector> &refs, double mu,
+                         double rho)
+{
+    const int n_stages = problem_.horizon();
+    double merit = problem_.objective(xs, us, refs);
+    ++stats_.lineSearchEvals;
+
+    double infeas = 0.0;
+    for (std::size_t i = 0; i < x0.size(); ++i)
+        infeas += std::abs(xs[0][i] - x0[i]);
+    for (int k = 0; k < n_stages; ++k) {
+        Vector next = problem_.dynamicsValue(xs[k], us[k], refs[k]);
+        for (std::size_t i = 0; i < next.size(); ++i)
+            infeas += std::abs(next[i] - xs[k + 1][i]);
+    }
+    for (int k = 0; k <= n_stages; ++k) {
+        const IneqBlock &blk = blocks[k];
+        Vector h_full =
+            k == n_stages
+                ? problem_.terminalIneqValue(xs[k], refs[k])
+                : problem_.runningIneqValue(xs[k], us[k], refs[k]);
+        for (std::size_t i = 0; i < blk.rows.size(); ++i) {
+            infeas += std::abs(h_full[blk.rows[i]] + blk.s[i]);
+            if (blk.s[i] <= 0.0)
+                return std::numeric_limits<double>::infinity();
+            merit -= mu * std::log(blk.s[i]);
+        }
+    }
+    return merit + rho * infeas;
+}
+
+IpmSolver::Result
+IpmSolver::solve(const Vector &x0, const Vector &ref)
+{
+    std::vector<Vector> refs(
+        static_cast<std::size_t>(problem_.horizon()) + 1, ref);
+    return solve(x0, refs);
+}
+
+IpmSolver::Result
+IpmSolver::solve(const Vector &x0, const std::vector<Vector> &refs)
+{
+    const MpcOptions &opt = problem_.options();
+    robox_assert(static_cast<int>(refs.size()) ==
+                 problem_.horizon() + 1);
+    const int n_stages = opt.horizon;
+    const int nx = problem_.nx();
+    const int nu = problem_.nu();
+    const int np_run = problem_.numRunningResiduals();
+    const int np_term = problem_.numTerminalResiduals();
+
+    stats_ = SolveStats();
+    initializeTrajectory(x0, refs);
+    double mu = initializeSlacks(refs, opt.muInit);
+    std::vector<StageQp> stages(n_stages);
+    std::vector<StageEval> dyn(n_stages);
+    StageEval cost_eval;
+    StageEval ineq_eval;
+
+    Result result;
+
+    // Gradient bases (cost terms only); the barrier gradient is applied
+    // separately so the predictor-corrector can re-target it without
+    // re-assembling the Hessians.
+    std::vector<Vector> qv0(n_stages), rv0(n_stages);
+    Vector qnv0(static_cast<std::size_t>(nx));
+    Matrix qn(nx, nx);
+    Vector qnv(static_cast<std::size_t>(nx));
+    std::vector<Vector> yblk(n_stages + 1);
+
+    // Apply a given set of barrier target vectors y to the gradients.
+    auto apply_gradients = [&](std::vector<StageQp> &st_list) {
+        for (int k = 0; k < n_stages; ++k) {
+            StageQp &st = st_list[k];
+            st.qv = qv0[k];
+            st.rv = rv0[k];
+            const IneqBlock &blk = ineq_[k];
+            for (std::size_t i = 0; i < blk.rows.size(); ++i) {
+                double y = yblk[k][i];
+                for (int a = 0; a < nx; ++a)
+                    st.qv[a] += blk.hx(i, a) * y;
+                for (int a = 0; a < nu; ++a)
+                    st.rv[a] += blk.hu(i, a) * y;
+            }
+        }
+        qnv = qnv0;
+        const IneqBlock &term = ineq_[n_stages];
+        for (std::size_t i = 0; i < term.rows.size(); ++i) {
+            double y = yblk[n_stages][i];
+            for (int a = 0; a < nx; ++a)
+                qnv[a] += term.hx(i, a) * y;
+        }
+    };
+
+    // Solve the structured QP with the selected backend.
+    auto solve_kkt = [&](const std::vector<StageQp> &st_list,
+                         const Vector &dx0) {
+        RiccatiSolution sol =
+            opt.kktSolver == KktSolver::Dense
+                ? solveDenseKkt(st_list, qn, qnv, dx0)
+                : solveRiccati(st_list, qn, qnv, dx0,
+                               opt.initialRegularization);
+        stats_.riccatiFlops += sol.flops;
+        return sol;
+    };
+
+    // Slack/dual steps for a primal direction under barrier targets y,
+    // plus the fraction-to-boundary step length.
+    auto compute_steps = [&](const RiccatiSolution &sol) {
+        double alpha = 1.0;
+        const double tau = opt.fractionToBoundary;
+        for (int k = 0; k <= n_stages; ++k) {
+            IneqBlock &blk = ineq_[k];
+            std::size_t rows = blk.rows.size();
+            blk.ds = Vector(rows);
+            blk.dlam = Vector(rows);
+            if (rows == 0)
+                continue;
+            Vector hdz = blk.hx * sol.dx[k];
+            if (k < n_stages)
+                hdz += blk.hu * sol.du[k];
+            for (std::size_t i = 0; i < rows; ++i) {
+                double sigma = cappedSigma(blk.lam[i], blk.s[i]);
+                blk.ds[i] = -(blk.h[i] + blk.s[i]) - hdz[i];
+                blk.dlam[i] =
+                    sigma * hdz[i] + (yblk[k][i] - blk.lam[i]);
+                if (blk.ds[i] < 0.0)
+                    alpha = std::min(alpha, -tau * blk.s[i] / blk.ds[i]);
+                if (blk.dlam[i] < 0.0)
+                    alpha = std::min(alpha,
+                                     -tau * blk.lam[i] / blk.dlam[i]);
+            }
+        }
+        return alpha;
+    };
+
+    for (int iter = 0; iter < opt.maxIterations; ++iter) {
+        // --------------------------------------------------------
+        // Evaluate stage data and build the Newton/LQR subproblem.
+        // --------------------------------------------------------
+        double eq_residual = 0.0;
+        for (int k = 0; k < n_stages; ++k) {
+            problem_.evalDynamics(xs_[k], us_[k], refs[k], dyn[k]);
+            StageQp &st = stages[k];
+            st.a = dyn[k].jx;
+            st.b = dyn[k].ju;
+            st.c = dyn[k].value - xs_[k + 1];
+            eq_residual = std::max(eq_residual, st.c.normInf());
+
+            st.q = Matrix(nx, nx);
+            st.r = Matrix(nu, nu);
+            st.s = Matrix(nu, nx);
+            qv0[k] = Vector(static_cast<std::size_t>(nx));
+            rv0[k] = Vector(static_cast<std::size_t>(nu));
+
+            if (np_run > 0) {
+                problem_.evalRunningCost(xs_[k], us_[k], refs[k],
+                                         cost_eval);
+                const auto &w = problem_.runningWeights();
+                // Gauss-Newton: H += 2 J^T W J, g += 2 J^T W r.
+                for (int i = 0; i < np_run; ++i) {
+                    double wi = 2.0 * w[i];
+                    double ri = cost_eval.value[i];
+                    for (int a = 0; a < nx; ++a) {
+                        double ja = cost_eval.jx(i, a);
+                        if (ja == 0.0 && ri == 0.0)
+                            continue;
+                        qv0[k][a] += wi * ja * ri;
+                        for (int b = 0; b <= a; ++b)
+                            st.q(a, b) += wi * ja * cost_eval.jx(i, b);
+                    }
+                    for (int a = 0; a < nu; ++a) {
+                        double ja = cost_eval.ju(i, a);
+                        rv0[k][a] += wi * ja * ri;
+                        for (int b = 0; b <= a; ++b)
+                            st.r(a, b) += wi * ja * cost_eval.ju(i, b);
+                        for (int b = 0; b < nx; ++b)
+                            st.s(a, b) += wi * ja * cost_eval.jx(i, b);
+                    }
+                }
+            }
+
+            // Barrier Hessian contributions of the stage inequalities.
+            IneqBlock &blk = ineq_[k];
+            if (!blk.rows.empty()) {
+                problem_.evalRunningIneq(xs_[k], us_[k], refs[k],
+                                         ineq_eval);
+                evaluateIneq(blk, ineq_eval);
+                for (std::size_t i = 0; i < blk.rows.size(); ++i) {
+                    double sigma = cappedSigma(blk.lam[i], blk.s[i]);
+                    for (int a = 0; a < nx; ++a) {
+                        double ha = blk.hx(i, a);
+                        if (ha != 0.0) {
+                            for (int b = 0; b <= a; ++b)
+                                st.q(a, b) += sigma * ha * blk.hx(i, b);
+                        }
+                    }
+                    for (int a = 0; a < nu; ++a) {
+                        double ha = blk.hu(i, a);
+                        if (ha != 0.0) {
+                            for (int b = 0; b <= a; ++b)
+                                st.r(a, b) += sigma * ha * blk.hu(i, b);
+                            for (int b = 0; b < nx; ++b)
+                                st.s(a, b) += sigma * ha * blk.hx(i, b);
+                        }
+                    }
+                }
+            }
+
+            // Mirror the lower triangles built above.
+            for (int a = 0; a < nx; ++a)
+                for (int b = a + 1; b < nx; ++b)
+                    st.q(a, b) = st.q(b, a);
+            for (int a = 0; a < nu; ++a)
+                for (int b = a + 1; b < nu; ++b)
+                    st.r(a, b) = st.r(b, a);
+        }
+
+        // Terminal stage.
+        qn = Matrix(nx, nx);
+        qnv0 = Vector(static_cast<std::size_t>(nx));
+        if (np_term > 0) {
+            problem_.evalTerminalCost(xs_[n_stages], refs[n_stages],
+                                      cost_eval);
+            const auto &w = problem_.terminalWeights();
+            for (int i = 0; i < np_term; ++i) {
+                double wi = 2.0 * w[i];
+                double ri = cost_eval.value[i];
+                for (int a = 0; a < nx; ++a) {
+                    double ja = cost_eval.jx(i, a);
+                    if (ja == 0.0 && ri == 0.0)
+                        continue;
+                    qnv0[a] += wi * ja * ri;
+                    for (int b = 0; b <= a; ++b)
+                        qn(a, b) += wi * ja * cost_eval.jx(i, b);
+                }
+            }
+        }
+        IneqBlock &term = ineq_[n_stages];
+        if (!term.rows.empty()) {
+            problem_.evalTerminalIneq(xs_[n_stages], refs[n_stages],
+                                      ineq_eval);
+            evaluateIneq(term, ineq_eval);
+            for (std::size_t i = 0; i < term.rows.size(); ++i) {
+                double sigma = cappedSigma(term.lam[i], term.s[i]);
+                for (int a = 0; a < nx; ++a) {
+                    double ha = term.hx(i, a);
+                    if (ha != 0.0) {
+                        for (int b = 0; b <= a; ++b)
+                            qn(a, b) += sigma * ha * term.hx(i, b);
+                    }
+                }
+            }
+        }
+        for (int a = 0; a < nx; ++a)
+            for (int b = a + 1; b < nx; ++b)
+                qn(a, b) = qn(b, a);
+
+        // Current average complementarity (for the adaptive centering).
+        double comp_now = 0.0;
+        std::size_t comp_rows = 0;
+        for (const IneqBlock &blk : ineq_) {
+            for (std::size_t i = 0; i < blk.rows.size(); ++i) {
+                comp_now += blk.s[i] * blk.lam[i];
+                ++comp_rows;
+            }
+        }
+        if (comp_rows)
+            comp_now /= comp_rows;
+
+        // --------------------------------------------------------
+        // Newton step: plain barrier step, or Mehrotra-style
+        // predictor-corrector (affine solve -> adaptive centering ->
+        // corrected solve).
+        // --------------------------------------------------------
+        Vector dx0 = x0 - xs_[0];
+        auto barrier_targets = [&](double mu_t, bool corrector) {
+            for (int k = 0; k <= n_stages; ++k) {
+                const IneqBlock &blk = ineq_[k];
+                yblk[k] = Vector(blk.rows.size());
+                for (std::size_t i = 0; i < blk.rows.size(); ++i) {
+                    double sigma = cappedSigma(blk.lam[i], blk.s[i]);
+                    double y = blk.lam[i] + sigma * blk.h[i] +
+                               mu_t / blk.s[i];
+                    if (corrector)
+                        y -= blk.ds[i] * blk.dlam[i] / blk.s[i];
+                    yblk[k][i] = std::clamp(y, -1e12, 1e12);
+                }
+            }
+        };
+
+        RiccatiSolution sol;
+        double alpha = 1.0;
+        if (opt.predictorCorrector && comp_rows) {
+            // Affine predictor: mu = 0.
+            barrier_targets(0.0, false);
+            apply_gradients(stages);
+            sol = solve_kkt(stages, dx0);
+            double alpha_aff = compute_steps(sol);
+            // Complementarity after the full affine step.
+            double comp_aff = 0.0;
+            for (const IneqBlock &blk : ineq_) {
+                for (std::size_t i = 0; i < blk.rows.size(); ++i) {
+                    comp_aff += (blk.s[i] + alpha_aff * blk.ds[i]) *
+                                (blk.lam[i] + alpha_aff * blk.dlam[i]);
+                }
+            }
+            comp_aff /= comp_rows;
+            double ratio = comp_now > 0.0 ? comp_aff / comp_now : 0.0;
+            double centering = ratio * ratio * ratio;
+            mu = std::max(opt.muMin, centering * comp_now);
+            // Corrector with second-order term from the affine steps.
+            barrier_targets(mu, true);
+            apply_gradients(stages);
+            sol = solve_kkt(stages, dx0);
+            alpha = compute_steps(sol);
+        } else {
+            barrier_targets(mu, false);
+            apply_gradients(stages);
+            sol = solve_kkt(stages, dx0);
+            alpha = compute_steps(sol);
+        }
+
+        double step_inf = 0.0;
+        for (int k = 0; k <= n_stages; ++k)
+            step_inf = std::max(step_inf, sol.dx[k].normInf());
+        for (int k = 0; k < n_stages; ++k)
+            step_inf = std::max(step_inf, sol.du[k].normInf());
+
+        // --------------------------------------------------------
+        // Backtracking line search on an l1 merit function.
+        // --------------------------------------------------------
+        double max_lam = 0.0;
+        for (const IneqBlock &blk : ineq_)
+            max_lam = std::max(max_lam, blk.lam.size() ? blk.lam.normInf()
+                                                       : 0.0);
+        double rho = 10.0 * (1.0 + max_lam);
+        double merit0 =
+            meritFunction(xs_, us_, ineq_, x0, refs, mu, rho);
+
+        std::vector<Vector> trial_xs = xs_;
+        std::vector<Vector> trial_us = us_;
+        std::vector<IneqBlock> trial_ineq = ineq_;
+        double used_alpha = alpha;
+        bool accepted = false;
+        for (int ls = 0; ls < 8; ++ls) {
+            for (int k = 0; k <= n_stages; ++k) {
+                trial_xs[k] = xs_[k] + sol.dx[k] * used_alpha;
+                IneqBlock &blk = trial_ineq[k];
+                for (std::size_t i = 0; i < blk.rows.size(); ++i) {
+                    blk.s[i] = ineq_[k].s[i] + used_alpha * ineq_[k].ds[i];
+                    blk.lam[i] = std::min(
+                        kLambdaCap,
+                        ineq_[k].lam[i] + used_alpha * ineq_[k].dlam[i]);
+                }
+            }
+            for (int k = 0; k < n_stages; ++k)
+                trial_us[k] = us_[k] + sol.du[k] * used_alpha;
+            double merit = meritFunction(trial_xs, trial_us, trial_ineq,
+                                         x0, refs, mu, rho);
+            if (merit <= merit0 + 1e-9 * std::abs(merit0) + 1e-12) {
+                accepted = true;
+                break;
+            }
+            used_alpha *= 0.5;
+        }
+        // Even if the merit check failed at every trial length, take the
+        // smallest step rather than stalling; the barrier keeps iterates
+        // strictly feasible.
+        xs_ = trial_xs;
+        us_ = trial_us;
+        ineq_ = trial_ineq;
+        (void)accepted;
+
+        // --------------------------------------------------------
+        // Barrier update and convergence test.
+        // --------------------------------------------------------
+        double comp_sum = 0.0;
+        std::size_t comp_count = 0;
+        for (const IneqBlock &blk : ineq_) {
+            for (std::size_t i = 0; i < blk.rows.size(); ++i) {
+                comp_sum += blk.s[i] * blk.lam[i];
+                ++comp_count;
+            }
+        }
+        double comp_avg = comp_count ? comp_sum / comp_count : 0.0;
+        if (!opt.predictorCorrector) {
+            mu = std::max(opt.muMin,
+                          std::min(mu, opt.muShrink * comp_avg));
+        }
+
+        stats_.iterations = iter + 1;
+        stats_.eqResidual = eq_residual;
+        stats_.compAverage = comp_avg;
+
+        if (step_inf * used_alpha < opt.tolerance &&
+            eq_residual < 10.0 * opt.tolerance &&
+            (comp_count == 0 || comp_avg < 1e-6)) {
+            stats_.converged = true;
+            break;
+        }
+    }
+
+    stats_.objective = problem_.objective(xs_, us_, refs);
+    warm_ = true;
+
+    // The interior point method converges to the bounds from the
+    // inside but an early stop can leave micro-violations; the command
+    // actually issued to the actuators is projected onto their limits.
+    result.u0 = us_[0];
+    const dsl::ModelSpec &model = problem_.model();
+    for (int i = 0; i < problem_.nu(); ++i) {
+        result.u0[i] = std::clamp(result.u0[i], model.inputLower[i],
+                                  model.inputUpper[i]);
+    }
+    result.converged = stats_.converged;
+    result.iterations = stats_.iterations;
+    result.objective = stats_.objective;
+    return result;
+}
+
+} // namespace robox::mpc

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Primal-dual interior-point solver for RoboX MPC problems.
+ *
+ * Implements the paper's solver (Sec. II-B): a slack-based primal-dual
+ * interior point method whose Newton systems are factored stage-wise
+ * with Cholesky decompositions and forward/backward substitution
+ * (mpc/riccati.hh). The cost Hessian uses the Gauss-Newton
+ * approximation, which is exact in structure for the translator's
+ * weighted-norm objective sum_i ||p_i||^2_{W_i}. Successive controller
+ * invocations warm-start from the shifted previous trajectory.
+ */
+
+#ifndef ROBOX_MPC_IPM_HH
+#define ROBOX_MPC_IPM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mpc/problem.hh"
+#include "mpc/riccati.hh"
+
+namespace robox::mpc
+{
+
+/** Statistics from the most recent solve, fed to performance models. */
+struct SolveStats
+{
+    int iterations = 0;
+    bool converged = false;
+    double objective = 0.0;
+    double eqResidual = 0.0;    //!< Final inf-norm of dynamics residual.
+    double compAverage = 0.0;   //!< Final average complementarity.
+    std::uint64_t riccatiFlops = 0;
+    int lineSearchEvals = 0;
+};
+
+/** The interior-point MPC solver. */
+class IpmSolver
+{
+  public:
+    IpmSolver(const dsl::ModelSpec &model, const MpcOptions &options);
+
+    /** Result of one controller invocation. */
+    struct Result
+    {
+        Vector u0;          //!< First control of the optimized plan.
+        bool converged = false;
+        int iterations = 0;
+        double objective = 0.0;
+    };
+
+    /**
+     * Solve the MPC problem from the measured state and current
+     * reference values; warm-starts from the previous invocation.
+     */
+    Result solve(const Vector &x0, const Vector &ref);
+
+    /**
+     * Solve with per-stage references: refs[k] applies at horizon
+     * stage k (refs[N] at the terminal stage). This is how a
+     * trajectory-tracking task feeds the future reference trajectory
+     * to the controller; refs.size() must be horizon + 1.
+     */
+    Result solve(const Vector &x0, const std::vector<Vector> &refs);
+
+    /** Drop the warm start (e.g. after a large disturbance). */
+    void reset() { warm_ = false; }
+
+    const MpcProblem &problem() const { return problem_; }
+    const SolveStats &lastStats() const { return stats_; }
+
+    /** Planned trajectories from the last solve. */
+    const std::vector<Vector> &stateTrajectory() const { return xs_; }
+    const std::vector<Vector> &inputTrajectory() const { return us_; }
+
+  private:
+    /** Per-stage slack/dual block. */
+    struct IneqBlock
+    {
+        std::vector<int> rows; //!< Active row indices into the tape rows.
+        Vector h;              //!< Current h values (selected rows).
+        Matrix hx;             //!< Jacobian w.r.t. x.
+        Matrix hu;             //!< Jacobian w.r.t. u (running only).
+        Vector s;              //!< Slacks.
+        Vector lam;            //!< Duals.
+        Vector ds;             //!< Slack step.
+        Vector dlam;           //!< Dual step.
+    };
+
+    void initializeTrajectory(const Vector &x0,
+                              const std::vector<Vector> &refs);
+    /** Initialize slacks/duals; warm invocations shift the previous
+     *  solve's values by one stage and return a matching barrier. */
+    double initializeSlacks(const std::vector<Vector> &refs,
+                            double mu_init);
+    void evaluateIneq(IneqBlock &blk, const StageEval &eval) const;
+    double meritFunction(const std::vector<Vector> &xs,
+                         const std::vector<Vector> &us,
+                         const std::vector<IneqBlock> &blocks,
+                         const Vector &x0,
+                         const std::vector<Vector> &refs, double mu,
+                         double rho);
+
+    MpcProblem problem_;
+    bool warm_ = false;
+    std::vector<Vector> xs_; //!< N+1 states.
+    std::vector<Vector> us_; //!< N inputs.
+    std::vector<IneqBlock> ineq_; //!< N running blocks + 1 terminal.
+    SolveStats stats_;
+    std::vector<int> full_run_rows_;   //!< 0..nh_run-1.
+    std::vector<int> stage0_run_rows_; //!< Rows valid at the fixed x_0.
+    std::vector<int> term_rows_;       //!< 0..nh_term-1.
+};
+
+} // namespace robox::mpc
+
+#endif // ROBOX_MPC_IPM_HH

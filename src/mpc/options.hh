@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Solver meta-parameters for RoboX MPC.
+ *
+ * These are the user-provided meta-parameters of Sec. III (prediction
+ * horizon length, controller rate, convergence criteria) plus the
+ * interior-point tuning knobs the paper's parameterized solver template
+ * fixes internally.
+ */
+
+#ifndef ROBOX_MPC_OPTIONS_HH
+#define ROBOX_MPC_OPTIONS_HH
+
+namespace robox::mpc
+{
+
+/** Linear-system backend for the interior-point Newton steps. */
+enum class KktSolver
+{
+    Riccati, //!< Stagewise Cholesky recursion, O(N) in the horizon.
+    Dense,   //!< Full KKT assembly + elimination, O(N^3); ablation.
+};
+
+/** Integration scheme for discretizing the continuous dynamics. */
+enum class Integrator
+{
+    Euler, //!< Explicit Euler: x+ = x + dt f(x, u).
+    Rk4,   //!< Classic fourth-order Runge-Kutta.
+};
+
+/** Meta-parameters of one MPC controller instance. */
+struct MpcOptions
+{
+    /** Prediction horizon length N (time steps). */
+    int horizon = 32;
+
+    /** Discretization/controller period in seconds. */
+    double dt = 0.05;
+
+    /** Integrator used to build the discrete dynamics. */
+    Integrator integrator = Integrator::Euler;
+
+    /** Newton-step linear solver (Riccati is the paper's choice). */
+    KktSolver kktSolver = KktSolver::Riccati;
+
+    /**
+     * Use a Mehrotra-style predictor-corrector step: an affine
+     * (mu = 0) solve sets the centering parameter adaptively and
+     * contributes a second-order correction, typically cutting the
+     * iteration count at the cost of two structured solves per
+     * iteration.
+     */
+    bool predictorCorrector = false;
+
+    /** Maximum interior-point iterations per controller invocation. */
+    int maxIterations = 60;
+
+    /** Convergence tolerance on step size and equality residuals. */
+    double tolerance = 1e-6;
+
+    /** Initial barrier parameter. */
+    double muInit = 1e-1;
+
+    /** Barrier parameter floor (also the complementarity target). */
+    double muMin = 1e-9;
+
+    /** Barrier reduction factor per accepted iteration. */
+    double muShrink = 0.2;
+
+    /** Fraction-to-boundary factor for slack/dual steps. */
+    double fractionToBoundary = 0.995;
+
+    /** Initial slack floor when initializing from the start trajectory. */
+    double slackFloor = 1e-3;
+
+    /** Levenberg regularization added when stage Hessians fail Cholesky. */
+    double initialRegularization = 1e-8;
+
+    /** Relaxation half-width used to pose equality task constraints as
+     *  two-sided inequalities. */
+    double equalityRelaxation = 1e-6;
+
+    /**
+     * Evaluate all problem tapes in the accelerator's Q14.17 fixed
+     * point with LUT nonlinears instead of double precision. Used to
+     * validate the paper's claim that 32-bit fixed point with 17
+     * fractional bits leaves convergence unaffected (Sec. VIII-A).
+     */
+    bool fixedPointTapes = false;
+
+    /** LUT entries per nonlinear function in fixed-point mode (the
+     *  paper found 4096 sufficient; Sec. VIII-A). */
+    int lutEntries = 4096;
+};
+
+} // namespace robox::mpc
+
+#endif // ROBOX_MPC_OPTIONS_HH

@@ -1,0 +1,409 @@
+/**
+ * @file
+ * Implementation of MpcProblem: symbolic discretization, derivative
+ * generation, and tape compilation.
+ */
+
+#include "mpc/problem.hh"
+
+#include <cmath>
+
+#include "support/logging.hh"
+
+namespace robox::mpc
+{
+
+namespace
+{
+
+/** True if the expression references any variable id in [lo, hi). */
+bool
+referencesRange(const sym::Expr &e, int lo, int hi)
+{
+    for (int id : e.variables())
+        if (id >= lo && id < hi)
+            return true;
+    return false;
+}
+
+} // namespace
+
+std::vector<sym::Expr>
+MpcProblem::discretize() const
+{
+    const int nx = nx_;
+    const int total = nx_ + nu_ + nref_;
+    const double dt = options_.dt;
+    const std::vector<sym::Expr> &f = model_.dynamics;
+
+    auto state_var = [&](int i) {
+        return sym::Expr::variable(i, model_.stateNames[i]);
+    };
+
+    if (options_.integrator == Integrator::Euler) {
+        std::vector<sym::Expr> next(nx);
+        for (int i = 0; i < nx; ++i)
+            next[i] = state_var(i) + sym::Expr(dt) * f[i];
+        return next;
+    }
+
+    // Classic RK4, composed symbolically via substitution of the state
+    // variables by intermediate stage estimates.
+    auto shift_state = [&](const std::vector<sym::Expr> &k, double scale) {
+        std::vector<sym::Expr> repl(total);
+        std::vector<bool> active(total, false);
+        for (int i = 0; i < nx; ++i) {
+            repl[i] = state_var(i) + sym::Expr(scale) * k[i];
+            active[i] = true;
+        }
+        std::vector<sym::Expr> out(nx);
+        for (int i = 0; i < nx; ++i)
+            out[i] = f[i].substitute(repl, active);
+        return out;
+    };
+
+    std::vector<sym::Expr> k1 = f;
+    std::vector<sym::Expr> k2 = shift_state(k1, dt / 2.0);
+    std::vector<sym::Expr> k3 = shift_state(k2, dt / 2.0);
+    std::vector<sym::Expr> k4 = shift_state(k3, dt);
+
+    std::vector<sym::Expr> next(nx);
+    for (int i = 0; i < nx; ++i) {
+        next[i] = state_var(i) +
+                  sym::Expr(dt / 6.0) *
+                      (k1[i] + sym::Expr(2.0) * k2[i] +
+                       sym::Expr(2.0) * k3[i] + k4[i]);
+    }
+    return next;
+}
+
+MpcProblem::MpcProblem(const dsl::ModelSpec &model,
+                       const MpcOptions &options)
+    : model_(model), options_(options), nx_(model.nx()), nu_(model.nu()),
+      nref_(model.nref())
+{
+    if (options_.horizon < 1)
+        fatal("MPC horizon must be at least 1, got {}", options_.horizon);
+    if (options_.dt <= 0.0)
+        fatal("MPC dt must be positive, got {}", options_.dt);
+    if (options_.fixedPointTapes)
+        fixed_math_ = std::make_unique<FixedMath>(options_.lutEntries);
+
+    const int total = nx_ + nu_ + nref_;
+
+    // ------------------------------------------------------------
+    // Dynamics tape: [F | dF/dx row-major | dF/du row-major].
+    // ------------------------------------------------------------
+    std::vector<sym::Expr> f_next = discretize();
+    std::vector<sym::Expr> dyn_outputs;
+    dyn_outputs.reserve(nx_ + nx_ * nx_ + nx_ * nu_);
+    for (int i = 0; i < nx_; ++i)
+        dyn_outputs.push_back(f_next[i]);
+    for (int i = 0; i < nx_; ++i)
+        for (int j = 0; j < nx_; ++j)
+            dyn_outputs.push_back(f_next[i].diff(j));
+    for (int i = 0; i < nx_; ++i)
+        for (int j = 0; j < nu_; ++j)
+            dyn_outputs.push_back(f_next[i].diff(nx_ + j));
+    dyn_tape_ = sym::Tape(dyn_outputs, total);
+
+    // ------------------------------------------------------------
+    // Penalty residual tapes.
+    // ------------------------------------------------------------
+    std::vector<sym::Expr> run_res;
+    std::vector<sym::Expr> term_res;
+    for (const dsl::PenaltyTerm &p : model_.penalties) {
+        if (p.terminal) {
+            if (referencesRange(p.expr, nx_, nx_ + nu_)) {
+                fatal("terminal penalty '{}' may not reference control "
+                      "inputs", p.name);
+            }
+            term_res.push_back(p.expr);
+            terminal_weights_.push_back(p.weight);
+        } else {
+            run_res.push_back(p.expr);
+            running_weights_.push_back(p.weight);
+        }
+    }
+
+    std::vector<sym::Expr> run_cost_outputs;
+    for (const sym::Expr &r : run_res)
+        run_cost_outputs.push_back(r);
+    for (const sym::Expr &r : run_res)
+        for (int j = 0; j < nx_; ++j)
+            run_cost_outputs.push_back(r.diff(j));
+    for (const sym::Expr &r : run_res)
+        for (int j = 0; j < nu_; ++j)
+            run_cost_outputs.push_back(r.diff(nx_ + j));
+    run_cost_tape_ = sym::Tape(run_cost_outputs, total);
+
+    std::vector<sym::Expr> term_cost_outputs;
+    for (const sym::Expr &r : term_res)
+        term_cost_outputs.push_back(r);
+    for (const sym::Expr &r : term_res)
+        for (int j = 0; j < nx_; ++j)
+            term_cost_outputs.push_back(r.diff(j));
+    term_cost_tape_ = sym::Tape(term_cost_outputs, total);
+
+    // ------------------------------------------------------------
+    // Inequality rows h <= 0: box bounds plus task constraints.
+    // ------------------------------------------------------------
+    std::vector<sym::Expr> run_rows;
+    std::vector<sym::Expr> term_rows;
+
+    auto add_bound_rows = [&](const sym::Expr &var, double lo, double hi,
+                              const std::string &name,
+                              std::vector<sym::Expr> &rows,
+                              std::vector<std::string> &names) {
+        if (lo != -dsl::kUnbounded) {
+            rows.push_back(sym::Expr(lo) - var);
+            names.push_back(name + " >= " + std::to_string(lo));
+        }
+        if (hi != dsl::kUnbounded) {
+            rows.push_back(var - sym::Expr(hi));
+            names.push_back(name + " <= " + std::to_string(hi));
+        }
+    };
+
+    for (int i = 0; i < nu_; ++i) {
+        sym::Expr u = sym::Expr::variable(nx_ + i, model_.inputNames[i]);
+        add_bound_rows(u, model_.inputLower[i], model_.inputUpper[i],
+                       model_.inputNames[i], run_rows, run_ineq_names_);
+    }
+    for (int i = 0; i < nx_; ++i) {
+        sym::Expr x = sym::Expr::variable(i, model_.stateNames[i]);
+        add_bound_rows(x, model_.stateLower[i], model_.stateUpper[i],
+                       model_.stateNames[i], run_rows, run_ineq_names_);
+        add_bound_rows(x, model_.stateLower[i], model_.stateUpper[i],
+                       model_.stateNames[i], term_rows, term_ineq_names_);
+    }
+
+    for (const dsl::ConstraintTerm &c : model_.constraints) {
+        std::vector<sym::Expr> *rows =
+            c.terminal ? &term_rows : &run_rows;
+        std::vector<std::string> *names =
+            c.terminal ? &term_ineq_names_ : &run_ineq_names_;
+        if (c.terminal && referencesRange(c.expr, nx_, nx_ + nu_)) {
+            fatal("terminal constraint '{}' may not reference control "
+                  "inputs", c.name);
+        }
+        if (c.isEquality) {
+            // Pose e == v as a relaxed two-sided inequality so the
+            // slack-based interior point method keeps strict interiors.
+            double eps = options_.equalityRelaxation;
+            rows->push_back(c.expr - sym::Expr(c.equalsValue + eps));
+            names->push_back(c.name + " == upper");
+            rows->push_back(sym::Expr(c.equalsValue - eps) - c.expr);
+            names->push_back(c.name + " == lower");
+        } else {
+            if (c.lower != -dsl::kUnbounded) {
+                rows->push_back(sym::Expr(c.lower) - c.expr);
+                names->push_back(c.name + " lower");
+            }
+            if (c.upper != dsl::kUnbounded) {
+                rows->push_back(c.expr - sym::Expr(c.upper));
+                names->push_back(c.name + " upper");
+            }
+        }
+    }
+
+    num_run_ineq_ = static_cast<int>(run_rows.size());
+    run_row_uses_state_.reserve(run_rows.size());
+    for (const sym::Expr &h : run_rows)
+        run_row_uses_state_.push_back(referencesRange(h, 0, nx_));
+    num_term_ineq_ = static_cast<int>(term_rows.size());
+
+    std::vector<sym::Expr> run_ineq_outputs;
+    for (const sym::Expr &h : run_rows)
+        run_ineq_outputs.push_back(h);
+    for (const sym::Expr &h : run_rows)
+        for (int j = 0; j < nx_; ++j)
+            run_ineq_outputs.push_back(h.diff(j));
+    for (const sym::Expr &h : run_rows)
+        for (int j = 0; j < nu_; ++j)
+            run_ineq_outputs.push_back(h.diff(nx_ + j));
+    run_ineq_tape_ = sym::Tape(run_ineq_outputs, total);
+
+    std::vector<sym::Expr> term_ineq_outputs;
+    for (const sym::Expr &h : term_rows)
+        term_ineq_outputs.push_back(h);
+    for (const sym::Expr &h : term_rows)
+        for (int j = 0; j < nx_; ++j)
+            term_ineq_outputs.push_back(h.diff(j));
+    term_ineq_tape_ = sym::Tape(term_ineq_outputs, total);
+}
+
+std::vector<double>
+MpcProblem::packRunning(const Vector &x, const Vector &u,
+                        const Vector &ref) const
+{
+    robox_assert(static_cast<int>(x.size()) == nx_);
+    robox_assert(static_cast<int>(u.size()) == nu_);
+    robox_assert(static_cast<int>(ref.size()) == nref_);
+    std::vector<double> env(nx_ + nu_ + nref_);
+    for (int i = 0; i < nx_; ++i)
+        env[i] = x[i];
+    for (int i = 0; i < nu_; ++i)
+        env[nx_ + i] = u[i];
+    for (int i = 0; i < nref_; ++i)
+        env[nx_ + nu_ + i] = ref[i];
+    return env;
+}
+
+std::vector<double>
+MpcProblem::packTerminal(const Vector &x, const Vector &ref) const
+{
+    return packRunning(x, Vector(static_cast<std::size_t>(nu_)), ref);
+}
+
+std::vector<double>
+MpcProblem::runTape(const sym::Tape &tape,
+                    const std::vector<double> &env) const
+{
+    if (!options_.fixedPointTapes)
+        return tape.eval(env);
+    // Accelerator datapath: quantize inputs, evaluate with saturating
+    // Q14.17 arithmetic and LUT nonlinears, and dequantize the results.
+    std::vector<Fixed> fenv;
+    fenv.reserve(env.size());
+    for (double v : env)
+        fenv.push_back(Fixed::fromDouble(v));
+    std::vector<Fixed> fout = tape.evalFixed(fenv, *fixed_math_);
+    std::vector<double> out;
+    out.reserve(fout.size());
+    for (Fixed v : fout)
+        out.push_back(v.toDouble());
+    return out;
+}
+
+namespace
+{
+
+/** Unpack a tape result laid out as [value | Jx | Ju]. */
+void
+unpack(const std::vector<double> &out, int rows, int nx, int nu,
+       StageEval &eval)
+{
+    eval.value = Vector(static_cast<std::size_t>(rows));
+    eval.jx = Matrix(rows, nx);
+    for (int i = 0; i < rows; ++i)
+        eval.value[i] = out[i];
+    int at = rows;
+    for (int i = 0; i < rows; ++i)
+        for (int j = 0; j < nx; ++j)
+            eval.jx(i, j) = out[at++];
+    if (nu > 0) {
+        eval.ju = Matrix(rows, nu);
+        for (int i = 0; i < rows; ++i)
+            for (int j = 0; j < nu; ++j)
+                eval.ju(i, j) = out[at++];
+    } else {
+        eval.ju = Matrix(rows, 0);
+    }
+}
+
+} // namespace
+
+void
+MpcProblem::evalDynamics(const Vector &x, const Vector &u,
+                         const Vector &ref, StageEval &out) const
+{
+    auto result = runTape(dyn_tape_, packRunning(x, u, ref));
+    unpack(result, nx_, nx_, nu_, out);
+}
+
+void
+MpcProblem::evalRunningCost(const Vector &x, const Vector &u,
+                            const Vector &ref, StageEval &out) const
+{
+    auto result = runTape(run_cost_tape_, packRunning(x, u, ref));
+    unpack(result, numRunningResiduals(), nx_, nu_, out);
+}
+
+void
+MpcProblem::evalTerminalCost(const Vector &x, const Vector &ref,
+                             StageEval &out) const
+{
+    auto result = runTape(term_cost_tape_, packTerminal(x, ref));
+    unpack(result, numTerminalResiduals(), nx_, 0, out);
+}
+
+void
+MpcProblem::evalRunningIneq(const Vector &x, const Vector &u,
+                            const Vector &ref, StageEval &out) const
+{
+    auto result = runTape(run_ineq_tape_, packRunning(x, u, ref));
+    unpack(result, num_run_ineq_, nx_, nu_, out);
+}
+
+void
+MpcProblem::evalTerminalIneq(const Vector &x, const Vector &ref,
+                             StageEval &out) const
+{
+    auto result = runTape(term_ineq_tape_, packTerminal(x, ref));
+    unpack(result, num_term_ineq_, nx_, 0, out);
+}
+
+double
+MpcProblem::objective(const std::vector<Vector> &xs,
+                      const std::vector<Vector> &us,
+                      const Vector &ref) const
+{
+    std::vector<Vector> refs(xs.size(), ref);
+    return objective(xs, us, refs);
+}
+
+double
+MpcProblem::objective(const std::vector<Vector> &xs,
+                      const std::vector<Vector> &us,
+                      const std::vector<Vector> &refs) const
+{
+    robox_assert(xs.size() == us.size() + 1);
+    double total = 0.0;
+    for (std::size_t k = 0; k < us.size(); ++k) {
+        // Value-only use of the tapes; Jacobian slots are ignored.
+        auto out =
+            runTape(run_cost_tape_, packRunning(xs[k], us[k], refs[k]));
+        for (int i = 0; i < numRunningResiduals(); ++i)
+            total += running_weights_[i] * out[i] * out[i];
+    }
+    auto out =
+        runTape(term_cost_tape_, packTerminal(xs.back(), refs.back()));
+    for (int i = 0; i < numTerminalResiduals(); ++i)
+        total += terminal_weights_[i] * out[i] * out[i];
+    return total;
+}
+
+Vector
+MpcProblem::runningIneqValue(const Vector &x, const Vector &u,
+                             const Vector &ref) const
+{
+    auto out = runTape(run_ineq_tape_, packRunning(x, u, ref));
+    Vector h(static_cast<std::size_t>(num_run_ineq_));
+    for (int i = 0; i < num_run_ineq_; ++i)
+        h[i] = out[i];
+    return h;
+}
+
+Vector
+MpcProblem::terminalIneqValue(const Vector &x, const Vector &ref) const
+{
+    auto out = runTape(term_ineq_tape_, packTerminal(x, ref));
+    Vector h(static_cast<std::size_t>(num_term_ineq_));
+    for (int i = 0; i < num_term_ineq_; ++i)
+        h[i] = out[i];
+    return h;
+}
+
+Vector
+MpcProblem::dynamicsValue(const Vector &x, const Vector &u,
+                          const Vector &ref) const
+{
+    auto out = runTape(dyn_tape_, packRunning(x, u, ref));
+    Vector f(static_cast<std::size_t>(nx_));
+    for (int i = 0; i < nx_; ++i)
+        f[i] = out[i];
+    return f;
+}
+
+} // namespace robox::mpc

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * MpcProblem: the discretized optimal-control problem compiled from a
+ * ModelSpec.
+ *
+ * This performs the Program Translator's numerical half (Sec. VII):
+ * it discretizes the continuous dynamics symbolically (Euler or RK4),
+ * collects the running/terminal penalty residuals and inequality rows
+ * (task constraints plus state/input box bounds), differentiates
+ * everything with the symbolic engine, and compiles five tapes that the
+ * solver (and later the accelerator workload builder) evaluate per
+ * stage:
+ *
+ *  - dynamics tape:   [F, dF/dx, dF/du](x, u, ref)
+ *  - running cost:    [r, dr/dx, dr/du](x, u, ref)
+ *  - terminal cost:   [t, dt/dx](x, ref)
+ *  - running ineq:    [h, dh/dx, dh/du](x, u, ref)
+ *  - terminal ineq:   [ht, dht/dx](x, ref)
+ */
+
+#ifndef ROBOX_MPC_PROBLEM_HH
+#define ROBOX_MPC_PROBLEM_HH
+
+#include <string>
+#include <vector>
+
+#include "dsl/model_spec.hh"
+#include "linalg/matrix.hh"
+#include "mpc/options.hh"
+#include "sym/tape.hh"
+
+#include <memory>
+
+namespace robox::mpc
+{
+
+/** Evaluated stage data filled by MpcProblem::eval* methods. */
+struct StageEval
+{
+    Vector value;  //!< Function value (F, r, or h).
+    Matrix jx;     //!< Jacobian with respect to x.
+    Matrix ju;     //!< Jacobian with respect to u (running only).
+};
+
+/** The discretized problem with compiled evaluation tapes. */
+class MpcProblem
+{
+  public:
+    MpcProblem(const dsl::ModelSpec &model, const MpcOptions &options);
+
+    int nx() const { return nx_; }
+    int nu() const { return nu_; }
+    int nref() const { return nref_; }
+    int horizon() const { return options_.horizon; }
+    const MpcOptions &options() const { return options_; }
+    const dsl::ModelSpec &model() const { return model_; }
+
+    /** Number of running penalty residuals. */
+    int numRunningResiduals() const { return static_cast<int>(
+        running_weights_.size()); }
+    /** Number of terminal penalty residuals. */
+    int numTerminalResiduals() const { return static_cast<int>(
+        terminal_weights_.size()); }
+    /** Number of running inequality rows h(x, u) <= 0. */
+    int numRunningIneq() const { return num_run_ineq_; }
+    /** Number of terminal inequality rows ht(x) <= 0. */
+    int numTerminalIneq() const { return num_term_ineq_; }
+
+    /** Penalty weights (diagonal of W). */
+    const std::vector<double> &runningWeights() const
+    {
+        return running_weights_;
+    }
+    const std::vector<double> &terminalWeights() const
+    {
+        return terminal_weights_;
+    }
+
+    /** Discrete dynamics and Jacobians at (x, u, ref). */
+    void evalDynamics(const Vector &x, const Vector &u, const Vector &ref,
+                      StageEval &out) const;
+    /** Running residuals and Jacobians. */
+    void evalRunningCost(const Vector &x, const Vector &u,
+                         const Vector &ref, StageEval &out) const;
+    /** Terminal residuals and Jacobian. */
+    void evalTerminalCost(const Vector &x, const Vector &ref,
+                          StageEval &out) const;
+    /** Running inequalities and Jacobians; no-op when there are none. */
+    void evalRunningIneq(const Vector &x, const Vector &u,
+                         const Vector &ref, StageEval &out) const;
+    /** Terminal inequalities and Jacobian. */
+    void evalTerminalIneq(const Vector &x, const Vector &ref,
+                          StageEval &out) const;
+
+    /** Value-only objective of a trajectory (for line-search merit). */
+    double objective(const std::vector<Vector> &xs,
+                     const std::vector<Vector> &us,
+                     const Vector &ref) const;
+
+    /** Objective under per-stage references (refs.size() == N + 1). */
+    double objective(const std::vector<Vector> &xs,
+                     const std::vector<Vector> &us,
+                     const std::vector<Vector> &refs) const;
+
+    /** Value-only constraint evaluation (for line search). */
+    Vector runningIneqValue(const Vector &x, const Vector &u,
+                            const Vector &ref) const;
+    Vector terminalIneqValue(const Vector &x, const Vector &ref) const;
+    Vector dynamicsValue(const Vector &x, const Vector &u,
+                         const Vector &ref) const;
+
+    /** Access the compiled tapes (workload input for the accelerator). */
+    const sym::Tape &dynamicsTape() const { return dyn_tape_; }
+    const sym::Tape &runningCostTape() const { return run_cost_tape_; }
+    const sym::Tape &terminalCostTape() const { return term_cost_tape_; }
+    const sym::Tape &runningIneqTape() const { return run_ineq_tape_; }
+    const sym::Tape &terminalIneqTape() const { return term_ineq_tape_; }
+
+    /** Per running row: does h_i reference any state variable? Rows
+     *  that do are not enforced at the fixed initial stage. */
+    const std::vector<bool> &runningRowUsesState() const
+    {
+        return run_row_uses_state_;
+    }
+
+    /** Human-readable labels for inequality rows (diagnostics). */
+    const std::vector<std::string> &runningIneqNames() const
+    {
+        return run_ineq_names_;
+    }
+    const std::vector<std::string> &terminalIneqNames() const
+    {
+        return term_ineq_names_;
+    }
+
+  private:
+    /** Build the symbolic discrete-time dynamics F(x, u, ref). */
+    std::vector<sym::Expr> discretize() const;
+
+    /** Evaluate a tape in double or fixed point per the options. */
+    std::vector<double> runTape(const sym::Tape &tape,
+                                const std::vector<double> &env) const;
+
+    /** Environment packing: [x | u | ref] for running tapes. */
+    std::vector<double> packRunning(const Vector &x, const Vector &u,
+                                    const Vector &ref) const;
+    /** Environment packing: [x | ref] for terminal tapes. */
+    std::vector<double> packTerminal(const Vector &x,
+                                     const Vector &ref) const;
+
+    dsl::ModelSpec model_;
+    MpcOptions options_;
+    int nx_;
+    int nu_;
+    int nref_;
+    int num_run_ineq_ = 0;
+    int num_term_ineq_ = 0;
+
+    std::vector<double> running_weights_;
+    std::vector<double> terminal_weights_;
+    std::vector<std::string> run_ineq_names_;
+    std::vector<bool> run_row_uses_state_;
+    std::vector<std::string> term_ineq_names_;
+
+    std::unique_ptr<FixedMath> fixed_math_; //!< Fixed-point mode only.
+    sym::Tape dyn_tape_;
+    sym::Tape run_cost_tape_;
+    sym::Tape term_cost_tape_;
+    sym::Tape run_ineq_tape_;
+    sym::Tape term_ineq_tape_;
+};
+
+} // namespace robox::mpc
+
+#endif // ROBOX_MPC_PROBLEM_HH

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Implementation of the backward Riccati recursion and forward rollout.
+ */
+
+#include "mpc/riccati.hh"
+
+#include "linalg/cholesky.hh"
+#include "support/logging.hh"
+
+namespace robox::mpc
+{
+
+namespace
+{
+
+/** Approximate flop count of an m x n by n x p matrix product. */
+std::uint64_t
+matmulFlops(std::size_t m, std::size_t n, std::size_t p)
+{
+    return static_cast<std::uint64_t>(2) * m * n * p;
+}
+
+} // namespace
+
+RiccatiSolution
+solveRiccati(const std::vector<StageQp> &stages, const Matrix &qn,
+             const Vector &qnv, const Vector &dx0,
+             double initial_regularization)
+{
+    const std::size_t n_stages = stages.size();
+    robox_assert(n_stages > 0);
+    const std::size_t nx = stages[0].a.rows();
+    const std::size_t nu = stages[0].b.cols();
+
+    RiccatiSolution sol;
+    sol.dx.resize(n_stages + 1);
+    sol.du.resize(n_stages);
+
+    // Backward pass: cost-to-go P_k, p_k and feedback gains K_k, d_k.
+    std::vector<Matrix> gain_k(n_stages);
+    std::vector<Vector> gain_d(n_stages);
+
+    Matrix p_mat = qn;
+    Vector p_vec = qnv;
+    double total_reg = 0.0;
+
+    for (std::size_t kk = n_stages; kk-- > 0;) {
+        const StageQp &st = stages[kk];
+
+        // P' A and P' B reused across the stage updates.
+        Matrix pa = p_mat * st.a;
+        Matrix pb = p_mat * st.b;
+        Vector pc = p_vec + p_mat * st.c;
+        sol.flops += matmulFlops(nx, nx, nx) + matmulFlops(nx, nx, nu) +
+                     matmulFlops(nx, nx, 1);
+
+        Matrix f_xx = st.q + st.a.transposeMul(pa);
+        Matrix f_ux = st.s + st.b.transposeMul(pa);
+        Matrix f_uu = st.r + st.b.transposeMul(pb);
+        Vector f_x = st.qv + st.a.transposeMul(pc);
+        Vector f_u = st.rv + st.b.transposeMul(pc);
+        sol.flops += matmulFlops(nx, nx, nx) + matmulFlops(nu, nx, nx) +
+                     matmulFlops(nu, nx, nu) + matmulFlops(nx, nx, 1) +
+                     matmulFlops(nu, nx, 1);
+
+        // Factor the input Hessian, shifting the diagonal if needed.
+        double reg = initial_regularization;
+        Matrix l = choleskyRegularized(f_uu, reg);
+        total_reg += reg;
+        sol.flops += static_cast<std::uint64_t>(nu) * nu * nu / 3;
+
+        // K = F_uu^{-1} F_ux, d = F_uu^{-1} f_u.
+        gain_k[kk] = choleskySolveMatrix(l, f_ux);
+        gain_d[kk] = choleskySolve(l, f_u);
+        sol.flops += matmulFlops(nu, nu, nx) + matmulFlops(nu, nu, 1);
+
+        // Cost-to-go update: P = F_xx - F_ux' K, p = f_x - F_ux' d.
+        p_mat = f_xx - f_ux.transposeMul(gain_k[kk]);
+        p_vec = f_x - f_ux.transposeMul(gain_d[kk]);
+        sol.flops += matmulFlops(nx, nu, nx) + matmulFlops(nx, nu, 1);
+
+        // Symmetrize to suppress drift from rounding.
+        for (std::size_t i = 0; i < nx; ++i) {
+            for (std::size_t j = i + 1; j < nx; ++j) {
+                double avg = 0.5 * (p_mat(i, j) + p_mat(j, i));
+                p_mat(i, j) = avg;
+                p_mat(j, i) = avg;
+            }
+        }
+    }
+
+    // Forward rollout.
+    sol.dx[0] = dx0;
+    for (std::size_t kk = 0; kk < n_stages; ++kk) {
+        const StageQp &st = stages[kk];
+        sol.du[kk] = -(gain_k[kk] * sol.dx[kk]) - gain_d[kk];
+        sol.dx[kk + 1] = st.a * sol.dx[kk] + st.b * sol.du[kk] + st.c;
+        sol.flops += matmulFlops(nu, nx, 1) + matmulFlops(nx, nx, 1) +
+                     matmulFlops(nx, nu, 1);
+    }
+
+    sol.regularization = total_reg;
+    return sol;
+}
+
+} // namespace robox::mpc

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Stagewise (Riccati) factorization of the MPC KKT system.
+ *
+ * The interior-point Newton step (Eq. 6 of the paper) is a sparse linear
+ * system whose block-tridiagonal structure follows the horizon. Like the
+ * HPMPC solver the paper uses as its CPU baseline, we factor it with a
+ * backward Riccati recursion of dense stage-sized Cholesky
+ * factorizations plus forward/backward substitutions, making the solve
+ * linear in the horizon length and cubic only in the stage dimensions.
+ */
+
+#ifndef ROBOX_MPC_RICCATI_HH
+#define ROBOX_MPC_RICCATI_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.hh"
+
+namespace robox::mpc
+{
+
+/** One stage of the condensed Newton/LQR subproblem. */
+struct StageQp
+{
+    Matrix a;  //!< Dynamics Jacobian dF/dx (nx x nx).
+    Matrix b;  //!< Dynamics Jacobian dF/du (nx x nu).
+    Vector c;  //!< Dynamics residual F(x_k, u_k) - x_{k+1} (nx).
+    Matrix q;  //!< Hessian block d2/dx2 (nx x nx).
+    Matrix r;  //!< Hessian block d2/du2 (nu x nu).
+    Matrix s;  //!< Hessian cross block d2/du dx (nu x nx).
+    Vector qv; //!< Gradient w.r.t. x (nx).
+    Vector rv; //!< Gradient w.r.t. u (nu).
+};
+
+/** Solution of the stagewise QP. */
+struct RiccatiSolution
+{
+    std::vector<Vector> dx; //!< State steps, size N+1.
+    std::vector<Vector> du; //!< Input steps, size N.
+    double regularization = 0.0; //!< Total Levenberg shift applied.
+    std::uint64_t flops = 0;     //!< Approximate floating-point ops.
+};
+
+/**
+ * Solve the equality-constrained QP
+ *
+ *   min  sum_k 1/2 [dx;du]' [Q S'; S R] [dx;du] + qv'dx + rv'du
+ *        + 1/2 dx_N' Qn dx_N + qn'dx_N
+ *   s.t. dx_{k+1} = A_k dx_k + B_k du_k + c_k,  dx_0 given
+ *
+ * via backward Riccati recursion with regularized Cholesky on the input
+ * Hessians, then a forward rollout.
+ */
+RiccatiSolution solveRiccati(const std::vector<StageQp> &stages,
+                             const Matrix &qn, const Vector &qnv,
+                             const Vector &dx0,
+                             double initial_regularization = 1e-8);
+
+} // namespace robox::mpc
+
+#endif // ROBOX_MPC_RICCATI_HH

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Implementation of the closed-loop simulation helper.
+ */
+
+#include "mpc/simulate.hh"
+
+#include "support/logging.hh"
+
+namespace robox::mpc
+{
+
+Plant::Plant(const dsl::ModelSpec &model)
+    : nx_(model.nx()), nu_(model.nu()), nref_(model.nref()),
+      tape_(model.dynamics, model.numVars())
+{
+}
+
+Vector
+Plant::derivative(const Vector &x, const Vector &u,
+                  const Vector &ref) const
+{
+    std::vector<double> env(nx_ + nu_ + nref_);
+    for (int i = 0; i < nx_; ++i)
+        env[i] = x[i];
+    for (int i = 0; i < nu_; ++i)
+        env[nx_ + i] = u[i];
+    for (int i = 0; i < nref_; ++i)
+        env[nx_ + nu_ + i] = ref[i];
+    auto out = tape_.eval(env);
+    Vector dx(static_cast<std::size_t>(nx_));
+    for (int i = 0; i < nx_; ++i)
+        dx[i] = out[i];
+    return dx;
+}
+
+Vector
+Plant::step(const Vector &x, const Vector &u, const Vector &ref,
+            double dt, int substeps) const
+{
+    robox_assert(substeps >= 1);
+    Vector state = x;
+    double h = dt / substeps;
+    for (int s = 0; s < substeps; ++s) {
+        Vector k1 = derivative(state, u, ref);
+        Vector k2 = derivative(state + k1 * (h / 2), u, ref);
+        Vector k3 = derivative(state + k2 * (h / 2), u, ref);
+        Vector k4 = derivative(state + k3 * h, u, ref);
+        state += (k1 + k2 * 2.0 + k3 * 2.0 + k4) * (h / 6.0);
+    }
+    return state;
+}
+
+SimulationResult
+simulateClosedLoop(IpmSolver &solver, const Vector &x0,
+                   const std::function<Vector(int step)> &ref_at,
+                   int steps, int substeps)
+{
+    Plant plant(solver.problem().model());
+    double dt = solver.problem().options().dt;
+
+    SimulationResult result;
+    result.states.push_back(x0);
+    result.times.push_back(0.0);
+
+    Vector x = x0;
+    for (int k = 0; k < steps; ++k) {
+        Vector ref = ref_at(k);
+        IpmSolver::Result sol = solver.solve(x, ref);
+        result.allConverged = result.allConverged && sol.converged;
+        result.totalIterations += sol.iterations;
+        x = plant.step(x, sol.u0, ref, dt, substeps);
+        result.inputs.push_back(sol.u0);
+        result.states.push_back(x);
+        result.times.push_back((k + 1) * dt);
+    }
+    return result;
+}
+
+SimulationResult
+simulateClosedLoop(IpmSolver &solver, const Vector &x0, const Vector &ref,
+                   int steps, int substeps)
+{
+    return simulateClosedLoop(
+        solver, x0, [&ref](int) { return ref; }, steps, substeps);
+}
+
+} // namespace robox::mpc

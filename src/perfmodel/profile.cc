@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Implementation of MPC workload profiling.
+ */
+
+#include "perfmodel/profile.hh"
+
+#include <algorithm>
+
+#include "translator/workload.hh"
+
+namespace robox::perfmodel
+{
+
+WorkloadProfile
+profileProblem(const mpc::MpcProblem &problem, int iterations,
+               int slice_stages)
+{
+    int slice = std::min(problem.horizon(), slice_stages);
+    translator::Workload wl =
+        translator::buildSolverIteration(problem, slice);
+    mdfg::GraphStats stats = wl.graph.stats();
+
+    double scale = static_cast<double>(problem.horizon()) / slice;
+
+    WorkloadProfile profile;
+    profile.iterations = iterations;
+    profile.horizon = problem.horizon();
+    profile.flopsPerIteration = stats.totalOps * scale;
+
+    std::size_t serial_ops =
+        stats.opsPerPhase[static_cast<int>(mdfg::Phase::Factor)] +
+        stats.opsPerPhase[static_cast<int>(mdfg::Phase::Rollout)];
+    profile.serialFraction =
+        stats.totalOps ? static_cast<double>(serial_ops) / stats.totalOps
+                       : 0.0;
+
+    // Baselines run in double precision: 8 bytes per word, and the
+    // stage intermediates are written once and read once per iteration.
+    double ws_bytes_double = 2.0 * wl.bytesWorkingSetPerStage;
+    profile.workingSetBytes = ws_bytes_double * problem.horizon();
+    profile.bytesPerIteration = 2.0 * profile.workingSetBytes;
+
+    return profile;
+}
+
+} // namespace robox::perfmodel

@@ -1,0 +1,584 @@
+/**
+ * @file
+ * DSL programs and metadata for the six Table III benchmark robots.
+ */
+
+#include "robots/robots.hh"
+
+#include "dsl/sema.hh"
+#include "support/logging.hh"
+
+namespace robox::robots
+{
+
+namespace
+{
+
+// ---------------------------------------------------------------------
+// MobileRobot: two-wheel mobile robot, trajectory tracking [21].
+// 3 states, 2 inputs, 5 penalties, 2 constraints.
+// ---------------------------------------------------------------------
+const char *kMobileRobot = R"(
+System MobileRobot( param vel_bound, param ang_bound ) {
+  state pos[2], angle;
+  input vel, ang_vel;
+
+  pos[0].dt = vel * cos(angle);
+  pos[1].dt = vel * sin(angle);
+  angle.dt = ang_vel;
+
+  vel.lower_bound <= -vel_bound;
+  vel.upper_bound <= vel_bound;
+  ang_vel.lower_bound <= -ang_bound;
+  ang_vel.upper_bound <= ang_bound;
+
+  Task trackTrajectory( reference ref_x, reference ref_y,
+                        reference ref_angle, param w_pos, param w_ang ) {
+    penalty track_x, track_y, track_angle, effort_v, effort_w;
+    track_x.running = pos[0] - ref_x;
+    track_x.weight <= w_pos;
+    track_y.running = pos[1] - ref_y;
+    track_y.weight <= w_pos;
+    track_angle.running = angle - ref_angle;
+    track_angle.weight <= w_ang;
+    effort_v.running = vel;
+    effort_v.weight <= 0.05;
+    effort_w.running = ang_vel;
+    effort_w.weight <= 0.05;
+  }
+}
+reference ref_x;
+reference ref_y;
+reference ref_angle;
+MobileRobot robot(1.0, 2.0);
+robot.trackTrajectory(ref_x, ref_y, ref_angle, 1.0, 0.3);
+)";
+
+// ---------------------------------------------------------------------
+// Manipulator: two-link arm, reaching [24].
+// 4 states, 2 inputs, 6 penalties, 10 constraints.
+// ---------------------------------------------------------------------
+const char *kManipulator = R"(
+System Manipulator( param tau_bound, param dq_bound ) {
+  state q[2], dq[2];
+  input tau[2];
+  range j[0:2];
+
+  // Two-link dynamics: M(q) ddq + c(q, dq) + g(q) = tau, with the 2x2
+  // mass matrix inverted in closed form.
+  cos2 = cos(q[1]);
+  sin2 = sin(q[1]);
+  m11 = 1.7 + 1.0 * cos2;
+  m12 = 0.35 + 0.5 * cos2;
+  det = m11 * 0.35 - m12 * m12;
+  grav1 = 14.715 * cos(q[0]) + 4.905 * cos(q[0] + q[1]);
+  grav2 = 4.905 * cos(q[0] + q[1]);
+  cor1 = -0.5 * sin2 * (2 * dq[0] * dq[1] + dq[1] * dq[1]);
+  cor2 = 0.5 * sin2 * dq[0] * dq[0];
+  rhs1 = tau[0] - cor1 - grav1 - 0.2 * dq[0];
+  rhs2 = tau[1] - cor2 - grav2 - 0.2 * dq[1];
+
+  q[0].dt = dq[0];
+  q[1].dt = dq[1];
+  dq[0].dt = (0.35 * rhs1 - m12 * rhs2) / det;
+  dq[1].dt = (m11 * rhs2 - m12 * rhs1) / det;
+
+  tau[j].lower_bound <= -tau_bound;
+  tau[j].upper_bound <= tau_bound;
+  q[j].lower_bound <= -3.1;
+  q[j].upper_bound <= 3.1;
+  dq[j].lower_bound <= -dq_bound;
+  dq[j].upper_bound <= dq_bound;
+
+  Task reach( reference target_x, reference target_y, param w_pos ) {
+    ee_x = cos(q[0]) + cos(q[0] + q[1]);
+    ee_y = sin(q[0]) + sin(q[0] + q[1]);
+
+    penalty reach_x, reach_y, damp[2];
+    reach_x.running = ee_x - target_x;
+    reach_x.weight <= w_pos;
+    reach_y.running = ee_y - target_y;
+    reach_y.weight <= w_pos;
+    damp[j].running = dq[j];
+    damp[j].weight <= 0.05;
+
+    penalty final_x, final_y;
+    final_x.terminal = ee_x - target_x;
+    final_x.weight <= 10 * w_pos;
+    final_y.terminal = ee_y - target_y;
+    final_y.weight <= 10 * w_pos;
+
+    // Workspace and safety constraints.
+    constraint ws_x, ws_y, elbow_y, speed_sq;
+    ws_x.running = ee_x;
+    ws_x.lower_bound <= -2.2;
+    ws_x.upper_bound <= 2.2;
+    ws_y.running = ee_y;
+    ws_y.lower_bound <= -2.2;
+    ws_y.upper_bound <= 2.2;
+    elbow_y.running = sin(q[0]);
+    elbow_y.lower_bound <= -1.5;
+    speed_sq.running = dq[0]^2 + dq[1]^2;
+    speed_sq.upper_bound <= 20;
+  }
+}
+reference target_x;
+reference target_y;
+Manipulator arm(30.0, 4.0);
+arm.reach(target_x, target_y, 2.0);
+)";
+
+// ---------------------------------------------------------------------
+// AutoVehicle: four-wheel vehicle, high-speed racing [20].
+// 6 states, 2 inputs, 8 penalties, 8 constraints.
+// ---------------------------------------------------------------------
+const char *kAutoVehicle = R"(
+System AutoVehicle( param v_max, param steer_max ) {
+  state x, y, psi, vx, vy, omega;
+  input throttle, steer;
+
+  // Dynamic bicycle model with linear tires and drivetrain losses.
+  alpha_f = atan((vy + 0.5 * omega) / vx) - steer;
+  alpha_r = atan((vy - 0.5 * omega) / vx);
+  force_fy = -5.0 * alpha_f;
+  force_ry = -5.0 * alpha_r;
+  force_rx = 3.0 * throttle - 0.2 - 0.1 * vx * vx;
+
+  x.dt = vx * cos(psi) - vy * sin(psi);
+  y.dt = vx * sin(psi) + vy * cos(psi);
+  psi.dt = omega;
+  vx.dt = force_rx - force_fy * sin(steer) + vy * omega;
+  vy.dt = force_ry + force_fy * cos(steer) - vx * omega;
+  omega.dt = (force_fy * 0.5 * cos(steer) - force_ry * 0.5) / 0.3;
+
+  throttle.lower_bound <= -1.0;
+  throttle.upper_bound <= 1.0;
+  steer.lower_bound <= -steer_max;
+  steer.upper_bound <= steer_max;
+  vx.lower_bound <= 0.3;
+  vx.upper_bound <= v_max;
+  vy.lower_bound <= -1.0;
+  vy.upper_bound <= 1.0;
+  omega.lower_bound <= -3.0;
+  omega.upper_bound <= 3.0;
+
+  Task race( reference center_x, reference center_y, reference center_psi,
+             param v_target, param track_radius ) {
+    penalty track_cx, track_cy, heading, speed, slip, yaw_damp;
+    penalty effort_d, effort_s;
+    track_cx.running = x - center_x;
+    track_cx.weight <= 1.0;
+    track_cy.running = y - center_y;
+    track_cy.weight <= 1.0;
+    heading.running = psi - center_psi;
+    heading.weight <= 0.5;
+    speed.running = vx - v_target;
+    speed.weight <= 0.8;
+    slip.running = vy;
+    slip.weight <= 0.2;
+    yaw_damp.running = omega;
+    yaw_damp.weight <= 0.05;
+    effort_d.running = throttle;
+    effort_d.weight <= 0.05;
+    effort_s.running = steer;
+    effort_s.weight <= 0.05;
+
+    // Stay inside the track's lateral bounds, limit front slip, and
+    // cap drivetrain power.
+    constraint track_dev, front_slip, power;
+    track_dev.running = y - center_y;
+    track_dev.lower_bound <= -track_radius;
+    track_dev.upper_bound <= track_radius;
+    front_slip.running = vy + 0.5 * omega;
+    front_slip.lower_bound <= -1.2;
+    front_slip.upper_bound <= 1.2;
+    power.running = throttle * vx;
+    power.upper_bound <= 3.5;
+  }
+}
+reference center_x;
+reference center_y;
+reference center_psi;
+AutoVehicle car(4.0, 0.45);
+car.race(center_x, center_y, center_psi, 3.0, 1.5);
+)";
+
+// ---------------------------------------------------------------------
+// MicroSat: miniature satellite, orbit control [22].
+// 8 states, 4 inputs, 12 penalties, 12 constraints.
+// ---------------------------------------------------------------------
+const char *kMicroSat = R"(
+System MicroSat( param f_max, param w_max ) {
+  state qw, qx, qy, qz, wx, wy, wz, alt;
+  input f[4];
+
+  // Thruster mapping to body torques and net radial thrust.
+  torque_x = 0.1 * (f[0] - f[1]);
+  torque_y = 0.1 * (f[2] - f[3]);
+  torque_z = 0.05 * (f[0] + f[1] - f[2] - f[3]);
+  thrust_total = f[0] + f[1] + f[2] + f[3];
+
+  // Quaternion kinematics.
+  qw.dt = -0.5 * (qx * wx + qy * wy + qz * wz);
+  qx.dt = 0.5 * (qw * wx + qy * wz - qz * wy);
+  qy.dt = 0.5 * (qw * wy + qz * wx - qx * wz);
+  qz.dt = 0.5 * (qw * wz + qx * wy - qy * wx);
+
+  // Euler rigid-body dynamics with diagonal inertia (1.0, 1.2, 0.8).
+  wx.dt = (torque_x + 0.4 * wy * wz) / 1.0;
+  wy.dt = (torque_y - 0.2 * wx * wz) / 1.2;
+  wz.dt = (torque_z + 0.2 * wx * wy) / 0.8;
+
+  // Radial orbit deviation: net thrust against a 2.0 nominal.
+  alt.dt = 0.25 * (thrust_total - 2.0) - 0.05 * alt;
+
+  f[0].lower_bound <= 0;    f[0].upper_bound <= f_max;
+  f[1].lower_bound <= 0;    f[1].upper_bound <= f_max;
+  f[2].lower_bound <= 0;    f[2].upper_bound <= f_max;
+  f[3].lower_bound <= 0;    f[3].upper_bound <= f_max;
+  wx.lower_bound <= -w_max; wx.upper_bound <= w_max;
+  wy.lower_bound <= -w_max; wy.upper_bound <= w_max;
+  wz.lower_bound <= -w_max; wz.upper_bound <= w_max;
+  alt.lower_bound <= -5.0;  alt.upper_bound <= 5.0;
+
+  Task holdOrbit( reference ref_qx, reference ref_qy, reference ref_qz,
+                  reference ref_alt, param w_att, param w_alt ) {
+    range i[0:4];
+    penalty att_x, att_y, att_z, att_w, rate_x, rate_y, rate_z, altp;
+    penalty effort[4];
+    att_x.running = qx - ref_qx;
+    att_x.weight <= w_att;
+    att_y.running = qy - ref_qy;
+    att_y.weight <= w_att;
+    att_z.running = qz - ref_qz;
+    att_z.weight <= w_att;
+    att_w.running = qw - 1;
+    att_w.weight <= 0.1;
+    rate_x.running = wx;
+    rate_x.weight <= 0.5;
+    rate_y.running = wy;
+    rate_y.weight <= 0.5;
+    rate_z.running = wz;
+    rate_z.weight <= 0.5;
+    altp.running = alt - ref_alt;
+    altp.weight <= w_alt;
+    effort[i].running = f[i] - 0.5;
+    effort[i].weight <= 0.02;
+
+    // Keep the quaternion near unit norm, the boresight within the
+    // pointing cone, and thruster pairs balanced.
+    constraint quat_norm, cone, pair_a, pair_b;
+    quat_norm.running = qw^2 + qx^2 + qy^2 + qz^2;
+    quat_norm.lower_bound <= 0.95;
+    quat_norm.upper_bound <= 1.05;
+    cone.running = 1 - 2 * (qx^2 + qy^2);
+    cone.lower_bound <= 0.0;
+    pair_a.running = f[0] - f[1];
+    pair_a.lower_bound <= -0.8;
+    pair_a.upper_bound <= 0.8;
+    pair_b.running = f[2] - f[3];
+    pair_b.lower_bound <= -0.8;
+    pair_b.upper_bound <= 0.8;
+  }
+}
+reference ref_qx;
+reference ref_qy;
+reference ref_qz;
+reference ref_alt;
+MicroSat sat(1.0, 0.5);
+sat.holdOrbit(ref_qx, ref_qy, ref_qz, ref_alt, 5.0, 2.0);
+)";
+
+// ---------------------------------------------------------------------
+// Quadrotor: four-rotor micro UAV, motion planning [23, 27].
+// 12 states, 4 inputs, 10 penalties, 7 constraints.
+// ---------------------------------------------------------------------
+const char *kQuadrotor = R"(
+System Quadrotor( param u_max, param tilt_max ) {
+  state px, py, pz, vx, vy, vz, roll, pitch, yaw, p, q, r;
+  input u[4];
+
+  thrust = u[0] + u[1] + u[2] + u[3];
+  acc = thrust / 0.5;
+
+  px.dt = vx;
+  py.dt = vy;
+  pz.dt = vz;
+  vx.dt = acc * (cos(roll) * sin(pitch) * cos(yaw) + sin(roll) * sin(yaw))
+          - 0.05 * vx;
+  vy.dt = acc * (cos(roll) * sin(pitch) * sin(yaw) - sin(roll) * cos(yaw))
+          - 0.05 * vy;
+  vz.dt = acc * cos(roll) * cos(pitch) - 9.81 - 0.05 * vz;
+  roll.dt = p;
+  pitch.dt = q;
+  yaw.dt = r;
+  p.dt = (0.2 * (u[1] - u[3]) - 0.004 * q * r) / 0.005;
+  q.dt = (0.2 * (u[2] - u[0]) + 0.004 * p * r) / 0.005;
+  r.dt = (0.01 * (u[0] - u[1] + u[2] - u[3])) / 0.009;
+
+  u[0].lower_bound <= 0;  u[0].upper_bound <= u_max;
+  u[1].lower_bound <= 0;  u[1].upper_bound <= u_max;
+  u[2].lower_bound <= 0;  u[2].upper_bound <= u_max;
+  u[3].lower_bound <= 0;  u[3].upper_bound <= u_max;
+  roll.lower_bound <= -tilt_max;
+  roll.upper_bound <= tilt_max;
+  pitch.lower_bound <= -tilt_max;
+  pitch.upper_bound <= tilt_max;
+  pz.lower_bound <= 0.05;
+
+  Task flyTo( reference gx, reference gy, reference gz, param w_pos ) {
+    penalty pos_x, pos_y, pos_z, vel_x, vel_y, vel_z;
+    penalty level_r, level_p, head, hover;
+    pos_x.running = px - gx;
+    pos_x.weight <= w_pos;
+    pos_y.running = py - gy;
+    pos_y.weight <= w_pos;
+    pos_z.running = pz - gz;
+    pos_z.weight <= w_pos;
+    vel_x.running = vx;
+    vel_x.weight <= 0.1;
+    vel_y.running = vy;
+    vel_y.weight <= 0.1;
+    vel_z.running = vz;
+    vel_z.weight <= 0.1;
+    level_r.running = roll;
+    level_r.weight <= 0.5;
+    level_p.running = pitch;
+    level_p.weight <= 0.5;
+    head.running = yaw;
+    head.weight <= 0.5;
+    hover.running = u[0] + u[1] + u[2] + u[3] - 4.905;
+    hover.weight <= 0.01;
+  }
+}
+reference gx;
+reference gy;
+reference gz;
+Quadrotor quad(4.0, 0.6);
+quad.flyTo(gx, gy, gz, 1.0);
+)";
+
+// ---------------------------------------------------------------------
+// Hexacopter: six-rotor micro UAV, attitude control [6].
+// 12 states, 6 inputs, 19 penalties, 10 constraints.
+// ---------------------------------------------------------------------
+const char *kHexacopter = R"(
+System Hexacopter( param u_max, param tilt_max ) {
+  state px, py, pz, vx, vy, vz, roll, pitch, yaw, p, q, r;
+  input u[6];
+  range i[0:6];
+
+  // Rotor geometry: arms at 0, 60, ..., 300 degrees, alternating spin.
+  thrust = sum[i](u[i]);
+  acc = thrust / 0.8;
+  torque_roll = 0.25 * (0.866 * u[1] + 0.866 * u[2] - 0.866 * u[4]
+                        - 0.866 * u[5]);
+  torque_pitch = 0.25 * (u[0] + 0.5 * u[1] - 0.5 * u[2] - u[3]
+                         - 0.5 * u[4] + 0.5 * u[5]);
+  torque_yaw = 0.015 * (u[0] - u[1] + u[2] - u[3] + u[4] - u[5]);
+
+  px.dt = vx;
+  py.dt = vy;
+  pz.dt = vz;
+  vx.dt = acc * (cos(roll) * sin(pitch) * cos(yaw) + sin(roll) * sin(yaw))
+          - 0.08 * vx - 0.002 * vx^3;
+  vy.dt = acc * (cos(roll) * sin(pitch) * sin(yaw) - sin(roll) * cos(yaw))
+          - 0.08 * vy - 0.002 * vy^3;
+  vz.dt = acc * cos(roll) * cos(pitch) - 9.81 - 0.08 * vz - 0.002 * vz^3;
+  roll.dt = p + sin(roll) * tan(pitch) * q + cos(roll) * tan(pitch) * r;
+  pitch.dt = cos(roll) * q - sin(roll) * r;
+  yaw.dt = (sin(roll) * q + cos(roll) * r) / cos(pitch);
+  p.dt = (torque_roll - 0.003 * q * r) / 0.009;
+  q.dt = (torque_pitch + 0.003 * p * r) / 0.009;
+  r.dt = (torque_yaw - 0.001 * p * q) / 0.016;
+
+  u[i].lower_bound <= 0;
+  u[i].upper_bound <= u_max;
+  roll.lower_bound <= -tilt_max;
+  roll.upper_bound <= tilt_max;
+  pitch.lower_bound <= -tilt_max;
+  pitch.upper_bound <= tilt_max;
+  pz.lower_bound <= 0.05;
+
+  Task trackAttitude( reference ref_roll, reference ref_pitch,
+                      reference ref_yaw, param w_att, param w_rate ) {
+    penalty att_r, att_p, att_y, rate_p, rate_q, rate_r;
+    penalty hold_x, hold_y, hold_z, vel_x, vel_y, vel_z;
+    penalty effort[6], thrust_trim;
+    att_r.running = roll - ref_roll;
+    att_r.weight <= w_att;
+    att_p.running = pitch - ref_pitch;
+    att_p.weight <= w_att;
+    att_y.running = yaw - ref_yaw;
+    att_y.weight <= w_att;
+    rate_p.running = p;
+    rate_p.weight <= w_rate;
+    rate_q.running = q;
+    rate_q.weight <= w_rate;
+    rate_r.running = r;
+    rate_r.weight <= w_rate;
+    hold_x.running = px;
+    hold_x.weight <= 0.01;
+    hold_y.running = py;
+    hold_y.weight <= 0.01;
+    hold_z.running = pz - 1.0;
+    hold_z.weight <= 0.5;
+    vel_x.running = vx;
+    vel_x.weight <= 0.02;
+    vel_y.running = vy;
+    vel_y.weight <= 0.02;
+    vel_z.running = vz;
+    vel_z.weight <= 0.1;
+    effort[i].running = u[i] - 1.308;
+    effort[i].weight <= 0.02;
+    thrust_trim.running = sum[i](u[i]) - 7.848;
+    thrust_trim.weight <= 0.01;
+
+    constraint yaw_rate;
+    yaw_rate.running = r;
+    yaw_rate.lower_bound <= -2.0;
+    yaw_rate.upper_bound <= 2.0;
+  }
+}
+reference ref_roll;
+reference ref_pitch;
+reference ref_yaw;
+Hexacopter hexa(3.0, 0.5);
+hexa.trackAttitude(ref_roll, ref_pitch, ref_yaw, 4.0, 0.4);
+)";
+
+std::vector<Benchmark>
+buildBenchmarks()
+{
+    std::vector<Benchmark> list;
+
+    {
+        Benchmark b;
+        b.name = "MobileRobot";
+        b.taskLabel = "Trajectory Tracking";
+        b.source = kMobileRobot;
+        b.options.dt = 0.1;
+        b.initialState = Vector{0.0, 0.0, 0.0};
+        b.reference = Vector{1.5, 1.0, 0.6};
+        b.expStates = 3;
+        b.expInputs = 2;
+        b.expPenalties = 5;
+        b.expConstraints = 2;
+        list.push_back(std::move(b));
+    }
+    {
+        Benchmark b;
+        b.name = "Manipulator";
+        b.taskLabel = "Reaching";
+        b.source = kManipulator;
+        b.options.dt = 0.02;
+        b.initialState = Vector{-1.2, 0.6, 0.0, 0.0};
+        b.reference = Vector{1.2, 1.0};
+        b.expStates = 4;
+        b.expInputs = 2;
+        b.expPenalties = 6;
+        b.expConstraints = 10;
+        list.push_back(std::move(b));
+    }
+    {
+        Benchmark b;
+        b.name = "AutoVehicle";
+        b.taskLabel = "High-Speed Racing";
+        b.source = kAutoVehicle;
+        b.options.dt = 0.05;
+        b.initialState = Vector{0.0, 0.0, 0.0, 1.0, 0.0, 0.0};
+        b.reference = Vector{2.0, 0.0, 0.0};
+        b.expStates = 6;
+        b.expInputs = 2;
+        b.expPenalties = 8;
+        b.expConstraints = 8;
+        list.push_back(std::move(b));
+    }
+    {
+        Benchmark b;
+        b.name = "MicroSat";
+        b.taskLabel = "Orbit Control";
+        b.source = kMicroSat;
+        b.options.dt = 0.1;
+        b.initialState = Vector{1.0, 0.05, -0.04, 0.03,
+                                0.0, 0.0, 0.0, 1.0};
+        b.reference = Vector{0.0, 0.0, 0.0, 0.0};
+        b.expStates = 8;
+        b.expInputs = 4;
+        b.expPenalties = 12;
+        b.expConstraints = 12;
+        list.push_back(std::move(b));
+    }
+    {
+        Benchmark b;
+        b.name = "Quadrotor";
+        b.taskLabel = "Motion Planning";
+        b.source = kQuadrotor;
+        b.options.dt = 0.05;
+        b.initialState = Vector{0.0, 0.0, 1.0, 0.0, 0.0, 0.0,
+                                0.0, 0.0, 0.0, 0.0, 0.0, 0.0};
+        b.reference = Vector{1.5, 1.0, 2.0};
+        b.expStates = 12;
+        b.expInputs = 4;
+        b.expPenalties = 10;
+        b.expConstraints = 7;
+        list.push_back(std::move(b));
+    }
+    {
+        Benchmark b;
+        b.name = "Hexacopter";
+        b.taskLabel = "Attitude Control";
+        b.source = kHexacopter;
+        b.options.dt = 0.02;
+        b.initialState = Vector{0.0, 0.0, 1.0, 0.0, 0.0, 0.0,
+                                0.0, 0.0, 0.0, 0.0, 0.0, 0.0};
+        b.reference = Vector{0.25, -0.2, 0.4};
+        b.expStates = 12;
+        b.expInputs = 6;
+        b.expPenalties = 19;
+        b.expConstraints = 10;
+        list.push_back(std::move(b));
+    }
+    return list;
+}
+
+} // namespace
+
+const std::vector<Benchmark> &
+allBenchmarks()
+{
+    static const std::vector<Benchmark> benchmarks = buildBenchmarks();
+    return benchmarks;
+}
+
+const Benchmark &
+benchmark(const std::string &name)
+{
+    for (const Benchmark &b : allBenchmarks())
+        if (b.name == name)
+            return b;
+    fatal("unknown benchmark '{}'", name);
+}
+
+dsl::ModelSpec
+analyzeBenchmark(const Benchmark &bench)
+{
+    return dsl::analyzeSource(bench.source);
+}
+
+int
+tableConstraintCount(const dsl::ModelSpec &model)
+{
+    int bounded_vars = 0;
+    for (int i = 0; i < model.nx(); ++i) {
+        bounded_vars += model.stateLower[i] != -dsl::kUnbounded ||
+                        model.stateUpper[i] != dsl::kUnbounded;
+    }
+    for (int i = 0; i < model.nu(); ++i) {
+        bounded_vars += model.inputLower[i] != -dsl::kUnbounded ||
+                        model.inputUpper[i] != dsl::kUnbounded;
+    }
+    return bounded_vars + static_cast<int>(model.constraints.size());
+}
+
+} // namespace robox::robots

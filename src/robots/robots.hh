@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The six benchmark robot systems of Table III, written in the RoboX
+ * DSL: MobileRobot (trajectory tracking), Manipulator (reaching),
+ * AutoVehicle (high-speed racing), MicroSat (orbit control), Quadrotor
+ * (motion planning), and Hexacopter (attitude control).
+ *
+ * Each benchmark carries its DSL program, recommended solver
+ * meta-parameters, a representative initial state and reference, and
+ * the Table III model/task parameter counts it must reproduce.
+ */
+
+#ifndef ROBOX_ROBOTS_ROBOTS_HH
+#define ROBOX_ROBOTS_ROBOTS_HH
+
+#include <string>
+#include <vector>
+
+#include "dsl/model_spec.hh"
+#include "linalg/matrix.hh"
+#include "mpc/options.hh"
+
+namespace robox::robots
+{
+
+/** One benchmark: DSL program plus evaluation metadata. */
+struct Benchmark
+{
+    std::string name;        //!< System name, e.g. "MobileRobot".
+    std::string taskLabel;   //!< Table III task, e.g. "Trajectory Tracking".
+    std::string source;      //!< Complete RoboX DSL program.
+    mpc::MpcOptions options; //!< Recommended solver meta-parameters.
+    Vector initialState;     //!< Representative initial condition.
+    Vector reference;        //!< Representative reference values.
+
+    // Expected Table III parameters.
+    int expStates = 0;
+    int expInputs = 0;
+    int expPenalties = 0;
+    int expConstraints = 0;
+};
+
+/** All six benchmarks in Table III order. */
+const std::vector<Benchmark> &allBenchmarks();
+
+/** Look up a benchmark by system name; fatal() if unknown. */
+const Benchmark &benchmark(const std::string &name);
+
+/** Analyze a benchmark's DSL program into a ModelSpec. */
+dsl::ModelSpec analyzeBenchmark(const Benchmark &bench);
+
+/**
+ * The Table III "Constraints" count of a model: constrained variables
+ * (states/inputs with at least one finite bound) plus task constraint
+ * terms.
+ */
+int tableConstraintCount(const dsl::ModelSpec &model);
+
+} // namespace robox::robots
+
+#endif // ROBOX_ROBOTS_ROBOTS_HH

@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Implementation of the logging backend.
+ */
+
+#include "support/logging.hh"
+
+namespace robox
+{
+namespace detail
+{
+
+void
+emit(const char *tag, const std::string &msg)
+{
+    std::fprintf(stderr, "robox: %s: %s\n", tag, msg.c_str());
+    std::fflush(stderr);
+}
+
+} // namespace detail
+} // namespace robox

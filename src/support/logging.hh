@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Logging and error-reporting facilities for RoboX.
+ *
+ * Follows the gem5 discipline: panic() is reserved for conditions that
+ * indicate a bug in RoboX itself (it aborts, so a debugger can catch it),
+ * while fatal() reports user errors -- malformed DSL programs, invalid
+ * configurations -- and throws a FatalError so embedding applications and
+ * tests can recover. warn() and inform() report non-fatal conditions.
+ */
+
+#ifndef ROBOX_SUPPORT_LOGGING_HH
+#define ROBOX_SUPPORT_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace robox
+{
+
+/**
+ * Exception thrown by fatal() for user-caused errors. Carries the
+ * formatted message so callers (and gtest assertions) can inspect it.
+ */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+namespace detail
+{
+
+/** Append a single value to the message stream. */
+template <typename T>
+void
+appendArg(std::ostringstream &os, T &&value)
+{
+    os << std::forward<T>(value);
+}
+
+/**
+ * Minimal positional formatter: each "{}" in fmt is replaced by the next
+ * argument, streamed via operator<<. Extra arguments are appended at the
+ * end; missing arguments leave the "{}" literal in place.
+ */
+template <typename... Args>
+std::string
+format(const std::string &fmt, Args &&...args)
+{
+    std::ostringstream os;
+    std::ostringstream extras;
+    std::size_t pos = 0;
+    [[maybe_unused]] auto emit_one = [&](auto &&value) {
+        std::size_t brace = fmt.find("{}", pos);
+        if (brace == std::string::npos) {
+            extras << ' ';
+            appendArg(extras, std::forward<decltype(value)>(value));
+        } else {
+            os << fmt.substr(pos, brace - pos);
+            appendArg(os, std::forward<decltype(value)>(value));
+            pos = brace + 2;
+        }
+    };
+    (emit_one(std::forward<Args>(args)), ...);
+    os << fmt.substr(pos) << extras.str();
+    return os.str();
+}
+
+/** Emit a tagged message on stderr. */
+void emit(const char *tag, const std::string &msg);
+
+} // namespace detail
+
+/**
+ * Report a user-caused error (bad DSL program, invalid configuration) and
+ * throw FatalError. Never returns normally.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(const std::string &fmt, Args &&...args)
+{
+    std::string msg = detail::format(fmt, std::forward<Args>(args)...);
+    detail::emit("fatal", msg);
+    throw FatalError(msg);
+}
+
+/**
+ * Report an internal invariant violation (a RoboX bug) and abort so the
+ * failure is loud and debuggable. Never returns.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(const std::string &fmt, Args &&...args)
+{
+    detail::emit("panic", detail::format(fmt, std::forward<Args>(args)...));
+    std::abort();
+}
+
+/** Report a suspicious but survivable condition. */
+template <typename... Args>
+void
+warn(const std::string &fmt, Args &&...args)
+{
+    detail::emit("warn", detail::format(fmt, std::forward<Args>(args)...));
+}
+
+/** Report normal operational status. */
+template <typename... Args>
+void
+inform(const std::string &fmt, Args &&...args)
+{
+    detail::emit("info", detail::format(fmt, std::forward<Args>(args)...));
+}
+
+/** Abort via panic() when cond is false. Used for internal invariants. */
+#define robox_assert(cond)                                                  \
+    do {                                                                    \
+        if (!(cond))                                                        \
+            ::robox::panic("assertion '" #cond "' failed at {}:{}",         \
+                           __FILE__, __LINE__);                             \
+    } while (0)
+
+} // namespace robox
+
+#endif // ROBOX_SUPPORT_LOGGING_HH

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Implementation of the statistics framework.
+ */
+
+#include "support/stats.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "support/logging.hh"
+#include "support/strings.hh"
+
+namespace robox::stats
+{
+
+Histogram::Histogram(std::string name, std::string desc, double lo,
+                     double hi, int buckets)
+    : name_(std::move(name)), desc_(std::move(desc)), lo_(lo), hi_(hi)
+{
+    if (buckets < 1)
+        fatal("histogram '{}' needs at least one bucket", name_);
+    if (!(hi > lo))
+        fatal("histogram '{}' has empty range [{}, {}]", name_, lo, hi);
+    counts_.assign(static_cast<std::size_t>(buckets), 0);
+}
+
+void
+Histogram::sample(double v, std::uint64_t count)
+{
+    if (samples_ == 0) {
+        min_ = v;
+        max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    samples_ += count;
+    sum_ += v * static_cast<double>(count);
+    if (v < lo_) {
+        underflow_ += count;
+    } else if (v >= hi_) {
+        overflow_ += count;
+    } else {
+        double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+        auto idx = static_cast<std::size_t>((v - lo_) / width);
+        idx = std::min(idx, counts_.size() - 1);
+        counts_[idx] += count;
+    }
+}
+
+double
+Histogram::mean() const
+{
+    return samples_ ? sum_ / static_cast<double>(samples_) : 0.0;
+}
+
+std::uint64_t
+Histogram::bucketCount(int i) const
+{
+    robox_assert(i >= 0 && i < numBuckets());
+    return counts_[static_cast<std::size_t>(i)];
+}
+
+void
+Histogram::reset()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    underflow_ = 0;
+    overflow_ = 0;
+    samples_ = 0;
+    sum_ = 0.0;
+    min_ = 0.0;
+    max_ = 0.0;
+}
+
+namespace
+{
+
+void
+dumpLine(std::ostringstream &os, const std::string &group,
+         const std::string &name, const std::string &value,
+         const std::string &desc)
+{
+    char buf[256];
+    std::snprintf(buf, sizeof(buf), "%-44s %16s  # %s\n",
+                  (group + "." + name).c_str(), value.c_str(),
+                  desc.c_str());
+    os << buf;
+}
+
+} // namespace
+
+std::string
+StatGroup::dump() const
+{
+    std::ostringstream os;
+    os << "---------- Begin Simulation Statistics (" << name_
+       << ") ----------\n";
+    for (const Scalar *s : scalars_)
+        dumpLine(os, name_, s->name(), formatDouble(s->value()),
+                 s->description());
+    for (const Formula *f : formulas_)
+        dumpLine(os, name_, f->name(), formatDouble(f->value()),
+                 f->description());
+    for (const Histogram *h : histograms_) {
+        dumpLine(os, name_, h->name() + "::samples",
+                 std::to_string(h->totalSamples()), h->description());
+        dumpLine(os, name_, h->name() + "::mean",
+                 formatDouble(h->mean()), h->description());
+        dumpLine(os, name_, h->name() + "::min",
+                 formatDouble(h->min()), h->description());
+        dumpLine(os, name_, h->name() + "::max",
+                 formatDouble(h->max()), h->description());
+        dumpLine(os, name_, h->name() + "::underflows",
+                 std::to_string(h->underflow()), h->description());
+        dumpLine(os, name_, h->name() + "::overflows",
+                 std::to_string(h->overflow()), h->description());
+    }
+    os << "---------- End Simulation Statistics   (" << name_
+       << ") ----------\n";
+    return os.str();
+}
+
+std::string
+StatGroup::csv() const
+{
+    std::ostringstream os;
+    os << "stat,value\n";
+    for (const Scalar *s : scalars_)
+        os << name_ << "." << s->name() << ","
+           << formatDouble(s->value()) << "\n";
+    for (const Formula *f : formulas_)
+        os << name_ << "." << f->name() << ","
+           << formatDouble(f->value()) << "\n";
+    return os.str();
+}
+
+void
+StatGroup::resetAll()
+{
+    for (Scalar *s : scalars_)
+        s->reset();
+    for (Histogram *h : histograms_)
+        h->reset();
+}
+
+} // namespace robox::stats

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Implementation of the derivative convenience API.
+ */
+
+#include "sym/derivatives.hh"
+
+#include "support/logging.hh"
+
+namespace robox::sym
+{
+
+std::vector<Expr>
+gradient(const Expr &e, const std::vector<int> &vars)
+{
+    std::vector<Expr> out;
+    out.reserve(vars.size());
+    for (int v : vars)
+        out.push_back(e.diff(v));
+    return out;
+}
+
+std::vector<Expr>
+jacobian(const std::vector<Expr> &exprs, const std::vector<int> &vars)
+{
+    std::vector<Expr> out;
+    out.reserve(exprs.size() * vars.size());
+    for (const Expr &e : exprs)
+        for (int v : vars)
+            out.push_back(e.diff(v));
+    return out;
+}
+
+std::vector<Expr>
+hessian(const Expr &e, const std::vector<int> &vars)
+{
+    const std::size_t n = vars.size();
+    std::vector<Expr> out(n * n);
+    std::vector<Expr> grad = gradient(e, vars);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i; j < n; ++j) {
+            Expr second = grad[i].diff(vars[j]);
+            out[i * n + j] = second;
+            out[j * n + i] = second;
+        }
+    }
+    return out;
+}
+
+std::vector<double>
+gaussNewton(const std::vector<Expr> &residuals,
+            const std::vector<double> &weights,
+            const std::vector<int> &vars,
+            const std::vector<double> &point)
+{
+    robox_assert(residuals.size() == weights.size());
+    const std::size_t n = vars.size();
+    std::vector<double> out(n * n, 0.0);
+    std::vector<double> row(n);
+    for (std::size_t r = 0; r < residuals.size(); ++r) {
+        for (std::size_t j = 0; j < n; ++j)
+            row[j] = residuals[r].diff(vars[j]).eval(point);
+        for (std::size_t i = 0; i < n; ++i)
+            for (std::size_t j = 0; j < n; ++j)
+                out[i * n + j] += 2.0 * weights[r] * row[i] * row[j];
+    }
+    return out;
+}
+
+} // namespace robox::sym

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Derivative convenience API over the symbolic engine.
+ *
+ * The Program Translator uses automatic differentiation to compute
+ * "all necessary gradients" (Sec. VII); these helpers package the
+ * common shapes — gradient vectors, Jacobian matrices, and (exact,
+ * symmetric) Hessians — for library users building their own
+ * formulations on top of robox::sym.
+ */
+
+#ifndef ROBOX_SYM_DERIVATIVES_HH
+#define ROBOX_SYM_DERIVATIVES_HH
+
+#include <vector>
+
+#include "sym/expr.hh"
+
+namespace robox::sym
+{
+
+/** Gradient of e with respect to the listed variables. */
+std::vector<Expr> gradient(const Expr &e, const std::vector<int> &vars);
+
+/**
+ * Jacobian of a vector function: row-major, rows follow `exprs`,
+ * columns follow `vars`.
+ */
+std::vector<Expr> jacobian(const std::vector<Expr> &exprs,
+                           const std::vector<int> &vars);
+
+/**
+ * Exact second-derivative matrix of e (row-major, vars x vars). The
+ * result is symmetric by construction: the upper triangle is computed
+ * and mirrored.
+ */
+std::vector<Expr> hessian(const Expr &e, const std::vector<int> &vars);
+
+/**
+ * Numeric Gauss-Newton Hessian approximation sum_i w_i * J_i^T J_i of
+ * a weighted residual vector at the given point: the structure the
+ * translator's objective sum_i ||p_i||^2_{W_i} makes exact-in-shape.
+ * Returns a row-major vars x vars matrix of doubles.
+ */
+std::vector<double> gaussNewton(const std::vector<Expr> &residuals,
+                                const std::vector<double> &weights,
+                                const std::vector<int> &vars,
+                                const std::vector<double> &point);
+
+} // namespace robox::sym
+
+#endif // ROBOX_SYM_DERIVATIVES_HH

@@ -1,0 +1,572 @@
+/**
+ * @file
+ * Implementation of the symbolic expression DAG, including the local
+ * simplifier, the memoized evaluator, and symbolic differentiation.
+ */
+
+#include "sym/expr.hh"
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace robox::sym
+{
+
+bool
+isUnary(Op op)
+{
+    switch (op) {
+      case Op::Neg:
+      case Op::Sin:
+      case Op::Cos:
+      case Op::Tan:
+      case Op::Asin:
+      case Op::Acos:
+      case Op::Atan:
+      case Op::Exp:
+      case Op::Sqrt:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isBinary(Op op)
+{
+    switch (op) {
+      case Op::Add:
+      case Op::Sub:
+      case Op::Mul:
+      case Op::Div:
+      case Op::Min:
+      case Op::Max:
+        return true;
+      default:
+        return false;
+    }
+}
+
+const char *
+opName(Op op)
+{
+    switch (op) {
+      case Op::Const: return "const";
+      case Op::Var: return "var";
+      case Op::Add: return "add";
+      case Op::Sub: return "sub";
+      case Op::Mul: return "mul";
+      case Op::Div: return "div";
+      case Op::Neg: return "neg";
+      case Op::Pow: return "pow";
+      case Op::Sin: return "sin";
+      case Op::Cos: return "cos";
+      case Op::Tan: return "tan";
+      case Op::Asin: return "asin";
+      case Op::Acos: return "acos";
+      case Op::Atan: return "atan";
+      case Op::Exp: return "exp";
+      case Op::Sqrt: return "sqrt";
+      case Op::Min: return "min";
+      case Op::Max: return "max";
+    }
+    return "?";
+}
+
+namespace
+{
+
+std::shared_ptr<const ExprNode>
+makeConstNode(double v)
+{
+    auto n = std::make_shared<ExprNode>();
+    n->op = Op::Const;
+    n->value = v;
+    return n;
+}
+
+/** Evaluate a unary operation in double precision. */
+double
+applyUnary(Op op, double x)
+{
+    switch (op) {
+      case Op::Neg: return -x;
+      case Op::Sin: return std::sin(x);
+      case Op::Cos: return std::cos(x);
+      case Op::Tan: return std::tan(x);
+      case Op::Asin: return std::asin(x);
+      case Op::Acos: return std::acos(x);
+      case Op::Atan: return std::atan(x);
+      case Op::Exp: return std::exp(x);
+      case Op::Sqrt: return std::sqrt(x);
+      default: panic("applyUnary: bad op {}", opName(op));
+    }
+}
+
+/** Evaluate a binary operation in double precision. */
+double
+applyBinary(Op op, double x, double y)
+{
+    switch (op) {
+      case Op::Add: return x + y;
+      case Op::Sub: return x - y;
+      case Op::Mul: return x * y;
+      case Op::Div: return x / y;
+      case Op::Min: return std::fmin(x, y);
+      case Op::Max: return std::fmax(x, y);
+      default: panic("applyBinary: bad op {}", opName(op));
+    }
+}
+
+} // namespace
+
+Expr::Expr() : node_(makeConstNode(0.0)) {}
+
+Expr::Expr(double value) : node_(makeConstNode(value)) {}
+
+Expr
+Expr::variable(int var_id, std::string name)
+{
+    robox_assert(var_id >= 0);
+    auto n = std::make_shared<ExprNode>();
+    n->op = Op::Var;
+    n->varId = var_id;
+    n->varName = std::move(name);
+    return Expr(std::move(n));
+}
+
+Expr
+Expr::left() const
+{
+    robox_assert(node_->a != nullptr);
+    return Expr(node_->a);
+}
+
+Expr
+Expr::right() const
+{
+    robox_assert(node_->b != nullptr);
+    return Expr(node_->b);
+}
+
+Expr
+Expr::makeUnary(Op op, const Expr &a)
+{
+    if (a.isConst())
+        return Expr(applyUnary(op, a.value()));
+    if (op == Op::Neg && a.op() == Op::Neg)
+        return a.left();
+    auto n = std::make_shared<ExprNode>();
+    n->op = op;
+    n->a = a.node_;
+    return Expr(std::move(n));
+}
+
+Expr
+Expr::makeBinary(Op op, const Expr &a, const Expr &b)
+{
+    if (a.isConst() && b.isConst())
+        return Expr(applyBinary(op, a.value(), b.value()));
+    switch (op) {
+      case Op::Add:
+        if (a.isConst(0.0))
+            return b;
+        if (b.isConst(0.0))
+            return a;
+        break;
+      case Op::Sub:
+        if (b.isConst(0.0))
+            return a;
+        if (a.isConst(0.0))
+            return makeUnary(Op::Neg, b);
+        if (a.id() == b.id())
+            return Expr(0.0);
+        break;
+      case Op::Mul:
+        if (a.isConst(0.0) || b.isConst(0.0))
+            return Expr(0.0);
+        if (a.isConst(1.0))
+            return b;
+        if (b.isConst(1.0))
+            return a;
+        if (a.isConst(-1.0))
+            return makeUnary(Op::Neg, b);
+        if (b.isConst(-1.0))
+            return makeUnary(Op::Neg, a);
+        break;
+      case Op::Div:
+        if (a.isConst(0.0))
+            return Expr(0.0);
+        if (b.isConst(1.0))
+            return a;
+        if (b.isConst(-1.0))
+            return makeUnary(Op::Neg, a);
+        break;
+      case Op::Min:
+      case Op::Max:
+        if (a.id() == b.id())
+            return a;
+        break;
+      default:
+        panic("makeBinary: bad op {}", opName(op));
+    }
+    auto n = std::make_shared<ExprNode>();
+    n->op = op;
+    n->a = a.node_;
+    n->b = b.node_;
+    return Expr(std::move(n));
+}
+
+Expr
+operator+(const Expr &a, const Expr &b)
+{
+    return Expr::makeBinary(Op::Add, a, b);
+}
+
+Expr
+operator-(const Expr &a, const Expr &b)
+{
+    return Expr::makeBinary(Op::Sub, a, b);
+}
+
+Expr
+operator*(const Expr &a, const Expr &b)
+{
+    return Expr::makeBinary(Op::Mul, a, b);
+}
+
+Expr
+operator/(const Expr &a, const Expr &b)
+{
+    return Expr::makeBinary(Op::Div, a, b);
+}
+
+Expr
+operator-(const Expr &a)
+{
+    return Expr::makeUnary(Op::Neg, a);
+}
+
+Expr
+pow(const Expr &a, int exponent)
+{
+    if (exponent == 0)
+        return Expr(1.0);
+    if (exponent == 1)
+        return a;
+    if (a.isConst())
+        return Expr(std::pow(a.value(), exponent));
+    auto n = std::make_shared<ExprNode>();
+    n->op = Op::Pow;
+    n->ipow = exponent;
+    n->a = a.node_;
+    return Expr(std::move(n));
+}
+
+Expr sin(const Expr &a) { return Expr::makeUnary(Op::Sin, a); }
+Expr cos(const Expr &a) { return Expr::makeUnary(Op::Cos, a); }
+Expr tan(const Expr &a) { return Expr::makeUnary(Op::Tan, a); }
+Expr asin(const Expr &a) { return Expr::makeUnary(Op::Asin, a); }
+Expr acos(const Expr &a) { return Expr::makeUnary(Op::Acos, a); }
+Expr atan(const Expr &a) { return Expr::makeUnary(Op::Atan, a); }
+Expr exp(const Expr &a) { return Expr::makeUnary(Op::Exp, a); }
+Expr sqrt(const Expr &a) { return Expr::makeUnary(Op::Sqrt, a); }
+
+Expr
+min(const Expr &a, const Expr &b)
+{
+    return Expr::makeBinary(Op::Min, a, b);
+}
+
+Expr
+max(const Expr &a, const Expr &b)
+{
+    return Expr::makeBinary(Op::Max, a, b);
+}
+
+double
+Expr::evalNode(const ExprNode *n, const std::vector<double> &env,
+               std::unordered_map<const ExprNode *, double> &memo) const
+{
+    auto it = memo.find(n);
+    if (it != memo.end())
+        return it->second;
+    double result = 0.0;
+    switch (n->op) {
+      case Op::Const:
+        result = n->value;
+        break;
+      case Op::Var:
+        if (static_cast<std::size_t>(n->varId) >= env.size())
+            panic("eval: variable id {} ('{}') outside environment of "
+                  "size {}", n->varId, n->varName, env.size());
+        result = env[n->varId];
+        break;
+      case Op::Pow:
+        result = std::pow(evalNode(n->a.get(), env, memo), n->ipow);
+        break;
+      default:
+        if (isUnary(n->op)) {
+            result = applyUnary(n->op, evalNode(n->a.get(), env, memo));
+        } else {
+            result = applyBinary(n->op, evalNode(n->a.get(), env, memo),
+                                 evalNode(n->b.get(), env, memo));
+        }
+        break;
+    }
+    memo.emplace(n, result);
+    return result;
+}
+
+double
+Expr::eval(const std::vector<double> &env) const
+{
+    std::unordered_map<const ExprNode *, double> memo;
+    return evalNode(node_.get(), env, memo);
+}
+
+Expr
+Expr::diffNode(const ExprNode *n, int var_id,
+               std::unordered_map<const ExprNode *, Expr> &memo) const
+{
+    auto it = memo.find(n);
+    if (it != memo.end())
+        return it->second;
+
+    Expr result;
+    switch (n->op) {
+      case Op::Const:
+        result = Expr(0.0);
+        break;
+      case Op::Var:
+        result = Expr(n->varId == var_id ? 1.0 : 0.0);
+        break;
+      case Op::Add:
+        result = diffNode(n->a.get(), var_id, memo) +
+                 diffNode(n->b.get(), var_id, memo);
+        break;
+      case Op::Sub:
+        result = diffNode(n->a.get(), var_id, memo) -
+                 diffNode(n->b.get(), var_id, memo);
+        break;
+      case Op::Mul: {
+        Expr a(n->a);
+        Expr b(n->b);
+        result = diffNode(n->a.get(), var_id, memo) * b +
+                 a * diffNode(n->b.get(), var_id, memo);
+        break;
+      }
+      case Op::Div: {
+        Expr a(n->a);
+        Expr b(n->b);
+        Expr da = diffNode(n->a.get(), var_id, memo);
+        Expr db = diffNode(n->b.get(), var_id, memo);
+        result = (da * b - a * db) / (b * b);
+        break;
+      }
+      case Op::Neg:
+        result = -diffNode(n->a.get(), var_id, memo);
+        break;
+      case Op::Pow: {
+        Expr a(n->a);
+        Expr da = diffNode(n->a.get(), var_id, memo);
+        result = Expr(static_cast<double>(n->ipow)) *
+                 pow(a, n->ipow - 1) * da;
+        break;
+      }
+      case Op::Sin: {
+        Expr a(n->a);
+        result = cos(a) * diffNode(n->a.get(), var_id, memo);
+        break;
+      }
+      case Op::Cos: {
+        Expr a(n->a);
+        result = -sin(a) * diffNode(n->a.get(), var_id, memo);
+        break;
+      }
+      case Op::Tan: {
+        Expr a(n->a);
+        Expr c = cos(a);
+        result = diffNode(n->a.get(), var_id, memo) / (c * c);
+        break;
+      }
+      case Op::Asin: {
+        Expr a(n->a);
+        result = diffNode(n->a.get(), var_id, memo) /
+                 sqrt(Expr(1.0) - a * a);
+        break;
+      }
+      case Op::Acos: {
+        Expr a(n->a);
+        result = -diffNode(n->a.get(), var_id, memo) /
+                 sqrt(Expr(1.0) - a * a);
+        break;
+      }
+      case Op::Atan: {
+        Expr a(n->a);
+        result = diffNode(n->a.get(), var_id, memo) /
+                 (Expr(1.0) + a * a);
+        break;
+      }
+      case Op::Exp: {
+        Expr a(n->a);
+        result = exp(a) * diffNode(n->a.get(), var_id, memo);
+        break;
+      }
+      case Op::Sqrt: {
+        Expr a(n->a);
+        result = diffNode(n->a.get(), var_id, memo) /
+                 (Expr(2.0) * sqrt(a));
+        break;
+      }
+      case Op::Min:
+      case Op::Max:
+        fatal("cannot differentiate {}: min/max may only appear in "
+              "imperative (non-differentiated) expressions", opName(n->op));
+    }
+    memo.emplace(n, result);
+    return result;
+}
+
+Expr
+Expr::diff(int var_id) const
+{
+    std::unordered_map<const ExprNode *, Expr> memo;
+    return diffNode(node_.get(), var_id, memo);
+}
+
+Expr
+Expr::substNode(const ExprNode *n, const std::vector<Expr> &replacements,
+                const std::vector<bool> &active,
+                std::unordered_map<const ExprNode *, Expr> &memo) const
+{
+    auto it = memo.find(n);
+    if (it != memo.end())
+        return it->second;
+    Expr result;
+    switch (n->op) {
+      case Op::Const:
+        result = Expr(n->value);
+        break;
+      case Op::Var:
+        if (static_cast<std::size_t>(n->varId) < active.size() &&
+            active[n->varId]) {
+            result = replacements[n->varId];
+        } else {
+            result = Expr::variable(n->varId, n->varName);
+        }
+        break;
+      case Op::Pow:
+        result = pow(substNode(n->a.get(), replacements, active, memo),
+                     n->ipow);
+        break;
+      default:
+        if (isUnary(n->op)) {
+            result = makeUnary(
+                n->op, substNode(n->a.get(), replacements, active, memo));
+        } else {
+            result = makeBinary(
+                n->op, substNode(n->a.get(), replacements, active, memo),
+                substNode(n->b.get(), replacements, active, memo));
+        }
+        break;
+    }
+    memo.emplace(n, result);
+    return result;
+}
+
+Expr
+Expr::substitute(const std::vector<Expr> &replacements,
+                 const std::vector<bool> &active) const
+{
+    robox_assert(replacements.size() == active.size());
+    std::unordered_map<const ExprNode *, Expr> memo;
+    return substNode(node_.get(), replacements, active, memo);
+}
+
+std::vector<int>
+Expr::variables() const
+{
+    std::set<int> ids;
+    std::vector<const ExprNode *> stack{node_.get()};
+    std::set<const ExprNode *> seen;
+    while (!stack.empty()) {
+        const ExprNode *n = stack.back();
+        stack.pop_back();
+        if (!seen.insert(n).second)
+            continue;
+        if (n->op == Op::Var)
+            ids.insert(n->varId);
+        if (n->a)
+            stack.push_back(n->a.get());
+        if (n->b)
+            stack.push_back(n->b.get());
+    }
+    return {ids.begin(), ids.end()};
+}
+
+std::size_t
+Expr::opCount() const
+{
+    std::size_t count = 0;
+    std::vector<const ExprNode *> stack{node_.get()};
+    std::set<const ExprNode *> seen;
+    while (!stack.empty()) {
+        const ExprNode *n = stack.back();
+        stack.pop_back();
+        if (!seen.insert(n).second)
+            continue;
+        if (n->op != Op::Const && n->op != Op::Var)
+            ++count;
+        if (n->a)
+            stack.push_back(n->a.get());
+        if (n->b)
+            stack.push_back(n->b.get());
+    }
+    return count;
+}
+
+namespace
+{
+
+void
+strNode(const ExprNode *n, std::ostringstream &os)
+{
+    switch (n->op) {
+      case Op::Const:
+        os << n->value;
+        return;
+      case Op::Var:
+        os << n->varName;
+        return;
+      case Op::Pow:
+        os << "(pow ";
+        strNode(n->a.get(), os);
+        os << " " << n->ipow << ")";
+        return;
+      default:
+        os << "(" << opName(n->op) << " ";
+        strNode(n->a.get(), os);
+        if (n->b) {
+            os << " ";
+            strNode(n->b.get(), os);
+        }
+        os << ")";
+        return;
+    }
+}
+
+} // namespace
+
+std::string
+Expr::str() const
+{
+    std::ostringstream os;
+    strNode(node_.get(), os);
+    return os.str();
+}
+
+} // namespace robox::sym

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Symbolic expression DAG for the RoboX toolchain.
+ *
+ * The DSL's symbolic assignments (Sec. IV) build expressions relating
+ * states, inputs, parameters, and references. The Program Translator
+ * differentiates these expressions automatically to obtain the gradients
+ * and Jacobians the interior-point solver needs (Sec. VII). Expr is an
+ * immutable, shared, lightly-simplified expression node; differentiation
+ * and evaluation walk the DAG with memoization so shared subterms are
+ * processed once.
+ */
+
+#ifndef ROBOX_SYM_EXPR_HH
+#define ROBOX_SYM_EXPR_HH
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace robox::sym
+{
+
+/** Operation tag of an expression node. */
+enum class Op
+{
+    Const,  //!< Numeric literal.
+    Var,    //!< Free variable, identified by a dense integer id.
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Neg,
+    Pow,    //!< Integer power (the DSL's ^ operator).
+    Sin,
+    Cos,
+    Tan,
+    Asin,
+    Acos,
+    Atan,
+    Exp,
+    Sqrt,
+    Min,    //!< Binary minimum (group-op support; not differentiable).
+    Max,    //!< Binary maximum (group-op support; not differentiable).
+};
+
+/** True for the single-operand operations (Neg and the nonlinears). */
+bool isUnary(Op op);
+/** True for Add/Sub/Mul/Div. */
+bool isBinary(Op op);
+/** Operation name for printing ("add", "sin", ...). */
+const char *opName(Op op);
+
+class Expr;
+
+/** Internal immutable DAG node. Use Expr, the shared handle, instead. */
+struct ExprNode
+{
+    Op op = Op::Const;
+    double value = 0.0;                 //!< Const payload.
+    int varId = -1;                     //!< Var payload.
+    std::string varName;                //!< Var payload (diagnostics).
+    int ipow = 0;                       //!< Pow exponent.
+    std::shared_ptr<const ExprNode> a;  //!< First operand.
+    std::shared_ptr<const ExprNode> b;  //!< Second operand.
+};
+
+/**
+ * A shared, immutable symbolic expression.
+ *
+ * Construction applies local algebraic simplifications (constant folding,
+ * additive/multiplicative identities, double negation) so the downstream
+ * dataflow graphs stay compact. Expressions are cheap value types: they
+ * hold one shared_ptr.
+ */
+class Expr
+{
+  public:
+    /** The zero constant. */
+    Expr();
+    /** A numeric literal. */
+    Expr(double value); // NOLINT: implicit by design, mirrors math notation
+    /** A free variable with a dense id and a debug name. */
+    static Expr variable(int var_id, std::string name);
+
+    Op op() const { return node_->op; }
+    double value() const { return node_->value; }
+    int varId() const { return node_->varId; }
+    const std::string &varName() const { return node_->varName; }
+    int ipow() const { return node_->ipow; }
+    /** First operand (unary and binary nodes). */
+    Expr left() const;
+    /** Second operand (binary nodes). */
+    Expr right() const;
+    /** Identity of the underlying node, for memo tables. */
+    const ExprNode *id() const { return node_.get(); }
+
+    bool isConst() const { return node_->op == Op::Const; }
+    /** True if this is the literal constant v. */
+    bool isConst(double v) const { return isConst() && value() == v; }
+
+    /**
+     * Evaluate over a dense environment indexed by variable id.
+     * Shared subterms are evaluated once per call.
+     */
+    double eval(const std::vector<double> &env) const;
+
+    /**
+     * Symbolic derivative with respect to the variable with the given
+     * id. Shared subterms are differentiated once.
+     */
+    Expr diff(int var_id) const;
+
+    /** Collect the distinct variable ids referenced, in ascending order. */
+    std::vector<int> variables() const;
+
+    /**
+     * Replace variables by expressions: vars with id i are replaced by
+     * replacements[i] when i < replacements.size() and the entry's
+     * `active` flag is set. Shared subterms are rewritten once.
+     */
+    Expr substitute(const std::vector<Expr> &replacements,
+                    const std::vector<bool> &active) const;
+
+    /** Number of distinct non-leaf nodes (a size measure for tests). */
+    std::size_t opCount() const;
+
+    /** Render as an S-expression-ish string for diagnostics and tests. */
+    std::string str() const;
+
+    friend Expr operator+(const Expr &a, const Expr &b);
+    friend Expr operator-(const Expr &a, const Expr &b);
+    friend Expr operator*(const Expr &a, const Expr &b);
+    friend Expr operator/(const Expr &a, const Expr &b);
+    friend Expr operator-(const Expr &a);
+    friend Expr pow(const Expr &a, int exponent);
+    friend Expr sin(const Expr &a);
+    friend Expr cos(const Expr &a);
+    friend Expr tan(const Expr &a);
+    friend Expr asin(const Expr &a);
+    friend Expr acos(const Expr &a);
+    friend Expr atan(const Expr &a);
+    friend Expr exp(const Expr &a);
+    friend Expr sqrt(const Expr &a);
+    friend Expr min(const Expr &a, const Expr &b);
+    friend Expr max(const Expr &a, const Expr &b);
+
+  private:
+    explicit Expr(std::shared_ptr<const ExprNode> node)
+        : node_(std::move(node)) {}
+
+    static Expr makeUnary(Op op, const Expr &a);
+    static Expr makeBinary(Op op, const Expr &a, const Expr &b);
+
+    double evalNode(const ExprNode *n,
+                    const std::vector<double> &env,
+                    std::unordered_map<const ExprNode *, double> &memo) const;
+    Expr diffNode(const ExprNode *n, int var_id,
+                  std::unordered_map<const ExprNode *, Expr> &memo) const;
+    Expr substNode(const ExprNode *n,
+                   const std::vector<Expr> &replacements,
+                   const std::vector<bool> &active,
+                   std::unordered_map<const ExprNode *, Expr> &memo) const;
+
+    std::shared_ptr<const ExprNode> node_;
+};
+
+Expr operator+(const Expr &a, const Expr &b);
+Expr operator-(const Expr &a, const Expr &b);
+Expr operator*(const Expr &a, const Expr &b);
+Expr operator/(const Expr &a, const Expr &b);
+Expr operator-(const Expr &a);
+Expr pow(const Expr &a, int exponent);
+Expr sin(const Expr &a);
+Expr cos(const Expr &a);
+Expr tan(const Expr &a);
+Expr asin(const Expr &a);
+Expr acos(const Expr &a);
+Expr atan(const Expr &a);
+Expr exp(const Expr &a);
+Expr sqrt(const Expr &a);
+Expr min(const Expr &a, const Expr &b);
+Expr max(const Expr &a, const Expr &b);
+
+} // namespace robox::sym
+
+#endif // ROBOX_SYM_EXPR_HH

@@ -1,0 +1,315 @@
+/**
+ * @file
+ * Tests for the cycle-level accelerator simulator: determinism,
+ * scaling with compute resources and bandwidth, the compute-enabled
+ * interconnect ablation, extrapolation exactness, and the energy/power
+ * model, plus the end-to-end fixed-point fidelity check.
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/energy.hh"
+#include "accel/functional.hh"
+#include "accel/simulator.hh"
+#include "mpc/ipm.hh"
+#include "robots/robots.hh"
+
+namespace robox::accel
+{
+namespace
+{
+
+mpc::MpcProblem
+makeProblem(const std::string &name, int horizon)
+{
+    const robots::Benchmark &bench = robots::benchmark(name);
+    dsl::ModelSpec model = robots::analyzeBenchmark(bench);
+    mpc::MpcOptions opt = bench.options;
+    opt.horizon = horizon;
+    return mpc::MpcProblem(model, opt);
+}
+
+TEST(Config, PaperDefaultMatchesTableIV)
+{
+    AcceleratorConfig cfg = AcceleratorConfig::paperDefault();
+    EXPECT_EQ(cfg.totalCus(), 256);
+    EXPECT_DOUBLE_EQ(cfg.clockGhz, 1.0);
+    EXPECT_EQ(cfg.onChipMemoryKb, 512);
+    EXPECT_EQ(cfg.lutEntries, 4096);
+    EXPECT_DOUBLE_EQ(cfg.bandwidthGbps, 128.0);
+    EXPECT_NEAR(cfg.powerWatts(), 3.4, 1e-9);
+    EXPECT_NEAR(cfg.bytesPerCycle(), 16.0, 1e-12);
+}
+
+TEST(Config, PowerScalesWithResources)
+{
+    AcceleratorConfig small = AcceleratorConfig::paperDefault();
+    small.numCcs = 4;
+    AcceleratorConfig big = AcceleratorConfig::paperDefault();
+    big.cusPerCc = 64;
+    EXPECT_LT(small.powerWatts(), 3.4);
+    EXPECT_GT(big.powerWatts(), 3.4);
+}
+
+TEST(Simulator, DeterministicResults)
+{
+    mpc::MpcProblem prob = makeProblem("MobileRobot", 16);
+    AcceleratorConfig cfg;
+    CycleStats a = simulateIteration(prob, cfg);
+    CycleStats b = simulateIteration(prob, cfg);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.busTransfers, b.busTransfers);
+    EXPECT_EQ(a.aggregations, b.aggregations);
+}
+
+TEST(Simulator, CyclesPositiveAndBoundedBelowByWork)
+{
+    mpc::MpcProblem prob = makeProblem("Quadrotor", 16);
+    AcceleratorConfig cfg;
+    translator::Workload wl =
+        translator::buildSolverIteration(prob, 16);
+    compiler::ProgramMap map = compiler::mapGraph(wl.graph, cfg);
+    CycleStats stats = simulate(wl, map, cfg);
+    EXPECT_GT(stats.cycles, 0u);
+    // Cannot be faster than total work over peak issue width.
+    std::uint64_t floor = wl.totalOps() /
+                          (static_cast<std::uint64_t>(cfg.totalCus()) * 2);
+    EXPECT_GT(stats.computeCycles, floor / 4);
+}
+
+TEST(Simulator, MoreComputeUnitsNeverHurt)
+{
+    mpc::MpcProblem prob = makeProblem("MicroSat", 32);
+    std::uint64_t previous = ~0ull;
+    for (int nccs : {1, 2, 4, 8, 16}) {
+        AcceleratorConfig cfg;
+        cfg.numCcs = nccs;
+        CycleStats stats = simulateIteration(prob, cfg);
+        EXPECT_LE(stats.cycles, previous + previous / 10)
+            << nccs << " CCs";
+        previous = stats.cycles;
+    }
+}
+
+TEST(Simulator, SpeedupSaturatesAtHighCuCounts)
+{
+    mpc::MpcProblem prob = makeProblem("Quadrotor", 64);
+    AcceleratorConfig small;
+    small.numCcs = 1;
+    small.cusPerCc = 4;
+    AcceleratorConfig paper;
+    AcceleratorConfig huge;
+    huge.numCcs = 64;
+    std::uint64_t t_small = simulateIteration(prob, small).cycles;
+    std::uint64_t t_paper = simulateIteration(prob, paper).cycles;
+    std::uint64_t t_huge = simulateIteration(prob, huge).cycles;
+    // Scaling from 4 CUs to 256 CUs is large; 256 -> 1024 is marginal.
+    EXPECT_GT(static_cast<double>(t_small) / t_paper, 2.0);
+    EXPECT_GT(static_cast<double>(t_paper) / t_huge, 0.95);
+    EXPECT_LT(static_cast<double>(t_paper) / t_huge, 1.6);
+}
+
+TEST(Simulator, InterconnectAblationSlowsReductions)
+{
+    for (const char *name : {"MobileRobot", "Hexacopter"}) {
+        mpc::MpcProblem prob = makeProblem(name, 32);
+        AcceleratorConfig with;
+        AcceleratorConfig without;
+        without.computeEnabledInterconnect = false;
+        std::uint64_t t_with = simulateIteration(prob, with).cycles;
+        std::uint64_t t_without =
+            simulateIteration(prob, without).cycles;
+        EXPECT_GT(t_without, t_with) << name;
+    }
+}
+
+TEST(Simulator, BandwidthMattersForLongHorizons)
+{
+    mpc::MpcProblem prob = makeProblem("Hexacopter", 1024);
+    AcceleratorConfig slow;
+    slow.bandwidthGbps = 32.0;
+    AcceleratorConfig fast;
+    fast.bandwidthGbps = 512.0;
+    std::uint64_t t_slow = simulateIteration(prob, slow).cycles;
+    std::uint64_t t_fast = simulateIteration(prob, fast).cycles;
+    EXPECT_GT(static_cast<double>(t_slow) / t_fast, 1.5);
+}
+
+TEST(Simulator, BandwidthBarelyMattersForShortHorizons)
+{
+    mpc::MpcProblem prob = makeProblem("MobileRobot", 8);
+    AcceleratorConfig slow;
+    slow.bandwidthGbps = 32.0;
+    AcceleratorConfig fast;
+    fast.bandwidthGbps = 512.0;
+    std::uint64_t t_slow = simulateIteration(prob, slow).cycles;
+    std::uint64_t t_fast = simulateIteration(prob, fast).cycles;
+    EXPECT_LT(static_cast<double>(t_slow) / t_fast, 1.1);
+}
+
+TEST(Simulator, ExtrapolationIsExactScaling)
+{
+    mpc::MpcProblem prob = makeProblem("AutoVehicle", 64);
+    AcceleratorConfig cfg;
+    translator::Workload wl =
+        translator::buildSolverIteration(prob, 16);
+    compiler::ProgramMap map = compiler::mapGraph(wl.graph, cfg);
+    CycleStats slice = simulate(wl, map, cfg);
+    CycleStats full = extrapolate(slice, 16, 64);
+    EXPECT_NEAR(static_cast<double>(full.computeCycles),
+                4.0 * slice.computeCycles, 2.0);
+    EXPECT_NEAR(static_cast<double>(full.externalBytes),
+                4.0 * slice.externalBytes, 2.0);
+    CycleStats same = extrapolate(slice, 16, 16);
+    EXPECT_EQ(same.cycles, slice.cycles);
+}
+
+TEST(Simulator, SecondsAndEnergyFollowConfig)
+{
+    mpc::MpcProblem prob = makeProblem("MobileRobot", 16);
+    AcceleratorConfig cfg;
+    CycleStats stats = simulateIteration(prob, cfg);
+    double seconds = stats.seconds(cfg);
+    EXPECT_NEAR(seconds, stats.cycles / 1e9, 1e-15);
+    EXPECT_NEAR(stats.energyJoules(cfg), seconds * 3.4, 1e-12);
+}
+
+TEST(Simulator, HexacopterHeavierThanMobileRobot)
+{
+    AcceleratorConfig cfg;
+    std::uint64_t mobile =
+        simulateIteration(makeProblem("MobileRobot", 32), cfg).cycles;
+    std::uint64_t hexa =
+        simulateIteration(makeProblem("Hexacopter", 32), cfg).cycles;
+    EXPECT_GT(hexa, 4 * mobile);
+}
+
+TEST(FixedPoint, SolverConvergesWithAcceleratorArithmetic)
+{
+    // The paper's fidelity claim: Q14.17 with 4096-entry LUTs leaves
+    // solver convergence effectively unchanged.
+    const robots::Benchmark &bench = robots::benchmark("MobileRobot");
+    dsl::ModelSpec model = robots::analyzeBenchmark(bench);
+    mpc::MpcOptions opt = bench.options;
+    opt.horizon = 16;
+    opt.tolerance = 1e-3; // Fixed point cannot reach 1e-6 steps.
+    opt.fixedPointTapes = true;
+
+    mpc::IpmSolver fixed_solver(model, opt);
+    auto fixed_result =
+        fixed_solver.solve(bench.initialState, bench.reference);
+
+    mpc::MpcOptions dopt = opt;
+    dopt.fixedPointTapes = false;
+    mpc::IpmSolver double_solver(model, dopt);
+    auto double_result =
+        double_solver.solve(bench.initialState, bench.reference);
+
+    ASSERT_EQ(fixed_result.u0.size(), double_result.u0.size());
+    for (std::size_t i = 0; i < fixed_result.u0.size(); ++i)
+        EXPECT_NEAR(fixed_result.u0[i], double_result.u0[i], 0.05) << i;
+}
+
+class FunctionalExecution : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(FunctionalExecution, MappedTapeMatchesReferenceBitForBit)
+{
+    // Execute every benchmark's dynamics tape on the mapped machine:
+    // outputs must equal Tape::evalFixed exactly, proving Algorithm 1's
+    // communication map delivers every operand.
+    mpc::MpcProblem prob = makeProblem(GetParam(), 4);
+    const sym::Tape &tape = prob.dynamicsTape();
+    const FixedMath &fm = FixedMath::instance();
+
+    std::vector<Fixed> inputs;
+    for (int i = 0; i < tape.numVars(); ++i)
+        inputs.push_back(Fixed::fromDouble(0.05 * (i + 1) - 0.3));
+
+    AcceleratorConfig cfg;
+    FunctionalResult run = executeTapeMapped(tape, inputs, fm, cfg);
+    std::vector<Fixed> expect = tape.evalFixed(inputs, fm);
+    ASSERT_EQ(run.outputs.size(), expect.size());
+    for (std::size_t i = 0; i < expect.size(); ++i)
+        EXPECT_EQ(run.outputs[i].raw(), expect[i].raw()) << i;
+    EXPECT_GT(run.localReads, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Benchmarks, FunctionalExecution,
+                         ::testing::Values("MobileRobot", "Manipulator",
+                                           "AutoVehicle", "MicroSat",
+                                           "Quadrotor", "Hexacopter"));
+
+TEST(FunctionalExecutionShape, SingleCuNeedsNoTransfers)
+{
+    mpc::MpcProblem prob = makeProblem("MobileRobot", 2);
+    const sym::Tape &tape = prob.dynamicsTape();
+    std::vector<Fixed> inputs(
+        static_cast<std::size_t>(tape.numVars()),
+        Fixed::fromDouble(0.1));
+    AcceleratorConfig one;
+    one.numCcs = 1;
+    one.cusPerCc = 1;
+    FunctionalResult run = executeTapeMapped(
+        tape, inputs, FixedMath::instance(), one);
+    EXPECT_EQ(run.transfersApplied, 0u);
+}
+
+TEST(FunctionalExecutionShape, CostAndIneqTapesAlsoExecute)
+{
+    mpc::MpcProblem prob = makeProblem("AutoVehicle", 2);
+    const FixedMath &fm = FixedMath::instance();
+    for (const sym::Tape *tape :
+         {&prob.runningCostTape(), &prob.runningIneqTape(),
+          &prob.terminalIneqTape()}) {
+        std::vector<Fixed> inputs;
+        for (int i = 0; i < tape->numVars(); ++i)
+            inputs.push_back(Fixed::fromDouble(0.03 * i));
+        FunctionalResult run = executeTapeMapped(
+            *tape, inputs, fm, AcceleratorConfig());
+        std::vector<Fixed> expect = tape->evalFixed(inputs, fm);
+        ASSERT_EQ(run.outputs.size(), expect.size());
+        for (std::size_t i = 0; i < expect.size(); ++i)
+            EXPECT_EQ(run.outputs[i].raw(), expect[i].raw()) << i;
+    }
+}
+
+TEST(Energy, BreakdownItemizesAndSums)
+{
+    mpc::MpcProblem prob = makeProblem("Quadrotor", 32);
+    AcceleratorConfig cfg;
+    translator::Workload wl = translator::buildSolverIteration(prob, 32);
+    compiler::ProgramMap map = compiler::mapGraph(wl.graph, cfg);
+    CycleStats stats = simulate(wl, map, cfg);
+    EnergyBreakdown e = energyBreakdown(stats, cfg, wl.totalOps());
+    EXPECT_GT(e.computeJ, 0.0);
+    EXPECT_GT(e.memoryJ, 0.0);
+    EXPECT_GT(e.staticJ, 0.0);
+    EXPECT_NEAR(e.totalJ(),
+                e.computeJ + e.busJ + e.neighborJ + e.treeJ +
+                    e.aggregationJ + e.memoryJ + e.staticJ,
+                1e-18);
+    // The implied power should be in the neighborhood of the Table IV
+    // envelope (the flat model pins it at exactly 3.4 W).
+    double watts = e.impliedWatts(stats.seconds(cfg));
+    EXPECT_GT(watts, 1.0);
+    EXPECT_LT(watts, 8.0);
+}
+
+TEST(Energy, MoreWorkMoreEnergy)
+{
+    AcceleratorConfig cfg;
+    auto energy_of = [&](const char *name) {
+        mpc::MpcProblem prob = makeProblem(name, 32);
+        translator::Workload wl =
+            translator::buildSolverIteration(prob, 32);
+        compiler::ProgramMap map = compiler::mapGraph(wl.graph, cfg);
+        CycleStats stats = simulate(wl, map, cfg);
+        return energyBreakdown(stats, cfg, wl.totalOps()).totalJ();
+    };
+    EXPECT_GT(energy_of("Hexacopter"), 2.0 * energy_of("MobileRobot"));
+}
+
+} // namespace
+} // namespace robox::accel

@@ -1,0 +1,283 @@
+/**
+ * @file
+ * Tests for the Controller Compiler: the Algorithm 1 mapping pass
+ * (placement completeness, data affinity, communication/aggregation
+ * maps) and ISA stream emission (validity, encodability, coverage).
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "compiler/binary.hh"
+#include "compiler/codegen.hh"
+#include "compiler/mapper.hh"
+#include "robots/robots.hh"
+#include "support/logging.hh"
+
+namespace robox::compiler
+{
+namespace
+{
+
+translator::Workload
+makeWorkload(const std::string &name, int horizon)
+{
+    const robots::Benchmark &bench = robots::benchmark(name);
+    dsl::ModelSpec model = robots::analyzeBenchmark(bench);
+    mpc::MpcOptions opt = bench.options;
+    opt.horizon = horizon;
+    mpc::MpcProblem prob(model, opt);
+    return translator::buildSolverIteration(prob);
+}
+
+TEST(Mapper, EveryNodeIsPlaced)
+{
+    translator::Workload wl = makeWorkload("MobileRobot", 8);
+    accel::AcceleratorConfig cfg;
+    ProgramMap map = mapGraph(wl.graph, cfg);
+    ASSERT_EQ(map.placement.size(), wl.graph.size());
+    for (std::uint32_t id = 0; id < wl.graph.size(); ++id) {
+        const Placement &pl = map.placement[id];
+        EXPECT_GE(pl.cc, 0);
+        EXPECT_LT(pl.cc, cfg.numCcs);
+        if (wl.graph[id].kind == mdfg::NodeKind::Scalar) {
+            EXPECT_GE(pl.cu, 0);
+            EXPECT_LT(pl.cu, cfg.cusPerCc);
+        } else {
+            EXPECT_EQ(pl.cu, -1);
+        }
+    }
+}
+
+TEST(Mapper, OpMapCoversAllScalarNodes)
+{
+    translator::Workload wl = makeWorkload("Manipulator", 4);
+    accel::AcceleratorConfig cfg;
+    ProgramMap map = mapGraph(wl.graph, cfg);
+    std::size_t mapped = 0;
+    for (const auto &ops : map.opMap)
+        mapped += ops.size();
+    std::size_t scalars = wl.graph.stats().scalarNodes;
+    EXPECT_EQ(mapped, scalars);
+}
+
+TEST(Mapper, StagesSpreadAcrossClusters)
+{
+    translator::Workload wl = makeWorkload("AutoVehicle", 16);
+    accel::AcceleratorConfig cfg;
+    cfg.numCcs = 8;
+    ProgramMap map = mapGraph(wl.graph, cfg);
+    std::set<int> ccs_used;
+    for (const Placement &pl : map.placement)
+        ccs_used.insert(pl.cc);
+    EXPECT_EQ(static_cast<int>(ccs_used.size()), cfg.numCcs);
+}
+
+TEST(Mapper, ScalarAffinityKeepsChainsLocal)
+{
+    // A chain a -> b -> c must stay on one CU (Algorithm 1 affinity).
+    mdfg::Graph g;
+    mdfg::Node n;
+    n.kind = mdfg::NodeKind::Scalar;
+    n.op = sym::Op::Add;
+    std::uint32_t a = g.add(n);
+    n.deps = {a};
+    std::uint32_t b = g.add(n);
+    n.deps = {b};
+    g.add(n);
+    accel::AcceleratorConfig cfg;
+    ProgramMap map = mapGraph(g, cfg);
+    EXPECT_EQ(map.placement[0].cu, map.placement[1].cu);
+    EXPECT_EQ(map.placement[1].cu, map.placement[2].cu);
+    EXPECT_TRUE(map.transfers.empty());
+}
+
+TEST(Mapper, IndependentScalarsRoundRobin)
+{
+    mdfg::Graph g;
+    mdfg::Node n;
+    n.kind = mdfg::NodeKind::Scalar;
+    n.op = sym::Op::Add;
+    for (int i = 0; i < 8; ++i)
+        g.add(n);
+    accel::AcceleratorConfig cfg;
+    ProgramMap map = mapGraph(g, cfg);
+    std::set<int> cus;
+    for (const Placement &pl : map.placement)
+        cus.insert(pl.cu);
+    EXPECT_EQ(cus.size(), 8u);
+}
+
+TEST(Mapper, AggregationMapTracksGroupNodes)
+{
+    translator::Workload wl = makeWorkload("MicroSat", 4);
+    accel::AcceleratorConfig cfg;
+    ProgramMap map = mapGraph(wl.graph, cfg);
+    EXPECT_EQ(map.aggNodes.size(), wl.graph.stats().groupNodes);
+    EXPECT_EQ(map.aggNodes.size(), map.aggMap.size());
+    // Agg node ids must be ascending (schedule order).
+    for (std::size_t i = 1; i < map.aggNodes.size(); ++i)
+        EXPECT_GT(map.aggNodes[i], map.aggNodes[i - 1]);
+}
+
+TEST(Mapper, TransfersReferenceValidEndpoints)
+{
+    translator::Workload wl = makeWorkload("Quadrotor", 4);
+    accel::AcceleratorConfig cfg;
+    ProgramMap map = mapGraph(wl.graph, cfg);
+    for (const Transfer &t : map.transfers) {
+        EXPECT_LT(t.producer, t.consumer);
+        EXPECT_GE(t.srcCc, 0);
+        EXPECT_LT(t.srcCc, cfg.numCcs);
+        EXPECT_GE(t.dstCc, 0);
+        EXPECT_LT(t.dstCc, cfg.numCcs);
+    }
+    EXPECT_GE(map.transfers.size(), map.crossCcTransfers);
+}
+
+TEST(Codegen, AluFunctionMapping)
+{
+    EXPECT_EQ(aluFunctionFor(sym::Op::Add), isa::AluFunction::Add);
+    EXPECT_EQ(aluFunctionFor(sym::Op::Pow), isa::AluFunction::Mul);
+    EXPECT_EQ(aluFunctionFor(sym::Op::Neg), isa::AluFunction::Sub);
+    EXPECT_EQ(aluFunctionFor(sym::Op::Sqrt), isa::AluFunction::Sqrt);
+    EXPECT_EQ(aggFunctionFor(sym::Op::Min), isa::AggFunction::Min);
+    EXPECT_EQ(aggFunctionFor(sym::Op::Add), isa::AggFunction::Add);
+}
+
+TEST(Codegen, StreamsCoverWorkload)
+{
+    translator::Workload wl = makeWorkload("MobileRobot", 8);
+    accel::AcceleratorConfig cfg;
+    ProgramMap map = mapGraph(wl.graph, cfg);
+    IsaStreams streams = emitStreams(wl, map, cfg);
+
+    mdfg::GraphStats stats = wl.graph.stats();
+    // At least one compute instruction per non-group node, plus the
+    // feeding MACs for groups.
+    EXPECT_GE(streams.compute.size(),
+              stats.scalarNodes + stats.vectorNodes + stats.groupNodes);
+    // One aggregation per group plus transfers plus end-of-code.
+    EXPECT_GE(streams.comm.size(), stats.groupNodes + 1);
+    EXPECT_GE(streams.memory.size(),
+              static_cast<std::size_t>(wl.stages) + 1);
+    EXPECT_GT(streams.codeBytes(), 0u);
+}
+
+TEST(Codegen, EveryEmittedInstructionEncodes)
+{
+    translator::Workload wl = makeWorkload("Hexacopter", 2);
+    accel::AcceleratorConfig cfg;
+    ProgramMap map = mapGraph(wl.graph, cfg);
+    IsaStreams streams = emitStreams(wl, map, cfg);
+    for (const isa::ComputeInstr &in : streams.compute)
+        EXPECT_EQ(isa::ComputeInstr::decode(in.encode()), in);
+    for (const isa::CommInstr &in : streams.comm)
+        EXPECT_EQ(isa::CommInstr::decode(in.encode()), in);
+    for (const isa::MemInstr &in : streams.memory)
+        EXPECT_EQ(isa::MemInstr::decode(in.encode()), in);
+}
+
+TEST(Codegen, StreamsEndWithEndOfCode)
+{
+    translator::Workload wl = makeWorkload("MobileRobot", 2);
+    accel::AcceleratorConfig cfg;
+    ProgramMap map = mapGraph(wl.graph, cfg);
+    IsaStreams streams = emitStreams(wl, map, cfg);
+    EXPECT_EQ(streams.comm.back().opcode, isa::CommOpcode::EndOfCode);
+    EXPECT_EQ(streams.memory.back().opcode, isa::MemOpcode::EndOfCode);
+}
+
+TEST(Codegen, AggregationsUseTreeBusWhenCrossCluster)
+{
+    translator::Workload wl = makeWorkload("Quadrotor", 8);
+    accel::AcceleratorConfig cfg;
+    ProgramMap map = mapGraph(wl.graph, cfg);
+    IsaStreams streams = emitStreams(wl, map, cfg);
+    bool saw_cu_agg = false;
+    for (const isa::CommInstr &in : streams.comm) {
+        if (in.opcode == isa::CommOpcode::CuAggregation)
+            saw_cu_agg = true;
+    }
+    EXPECT_TRUE(saw_cu_agg);
+}
+
+TEST(Binary, PackUnpackRoundTrip)
+{
+    translator::Workload wl = makeWorkload("AutoVehicle", 4);
+    accel::AcceleratorConfig cfg;
+    ProgramMap map = mapGraph(wl.graph, cfg);
+    IsaStreams streams = emitStreams(wl, map, cfg);
+
+    auto image = packImage(streams);
+    EXPECT_EQ(image.size(), 20 + streams.codeBytes());
+    IsaStreams back = unpackImage(image);
+    ASSERT_EQ(back.compute.size(), streams.compute.size());
+    ASSERT_EQ(back.comm.size(), streams.comm.size());
+    ASSERT_EQ(back.memory.size(), streams.memory.size());
+    for (std::size_t i = 0; i < streams.compute.size(); ++i)
+        EXPECT_EQ(back.compute[i], streams.compute[i]);
+    for (std::size_t i = 0; i < streams.comm.size(); ++i)
+        EXPECT_EQ(back.comm[i], streams.comm[i]);
+    for (std::size_t i = 0; i < streams.memory.size(); ++i)
+        EXPECT_EQ(back.memory[i], streams.memory[i]);
+}
+
+TEST(Binary, RejectsCorruptImages)
+{
+    translator::Workload wl = makeWorkload("MobileRobot", 2);
+    accel::AcceleratorConfig cfg;
+    ProgramMap map = mapGraph(wl.graph, cfg);
+    IsaStreams streams = emitStreams(wl, map, cfg);
+    auto image = packImage(streams);
+
+    auto bad_magic = image;
+    bad_magic[0] ^= 0xFF;
+    EXPECT_THROW(unpackImage(bad_magic), robox::FatalError);
+
+    auto truncated = image;
+    truncated.resize(truncated.size() / 2);
+    EXPECT_THROW(unpackImage(truncated), robox::FatalError);
+
+    auto bad_version = image;
+    bad_version[4] = 99;
+    EXPECT_THROW(unpackImage(bad_version), robox::FatalError);
+}
+
+TEST(Binary, FileRoundTrip)
+{
+    translator::Workload wl = makeWorkload("MobileRobot", 2);
+    accel::AcceleratorConfig cfg;
+    ProgramMap map = mapGraph(wl.graph, cfg);
+    IsaStreams streams = emitStreams(wl, map, cfg);
+
+    std::string path = ::testing::TempDir() + "robox_image_test.rbx";
+    writeImage(streams, path);
+    IsaStreams back = readImage(path);
+    EXPECT_EQ(back.compute.size(), streams.compute.size());
+    EXPECT_EQ(back.memory.size(), streams.memory.size());
+    std::remove(path.c_str());
+    EXPECT_THROW(readImage(path), robox::FatalError);
+}
+
+TEST(Binary, DisassemblyListsEveryInstruction)
+{
+    translator::Workload wl = makeWorkload("MobileRobot", 2);
+    accel::AcceleratorConfig cfg;
+    ProgramMap map = mapGraph(wl.graph, cfg);
+    IsaStreams streams = emitStreams(wl, map, cfg);
+    std::string listing = disassemble(streams);
+    // One line per instruction plus three section headers.
+    std::size_t lines =
+        std::count(listing.begin(), listing.end(), '\n');
+    EXPECT_EQ(lines, streams.compute.size() + streams.comm.size() +
+                         streams.memory.size() + 3);
+    EXPECT_NE(listing.find(".compute"), std::string::npos);
+    EXPECT_NE(listing.find("end_of_code"), std::string::npos);
+}
+
+} // namespace
+} // namespace robox::compiler

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Tests for the RoboX ISA: encode/decode round trips for every
+ * instruction category, field-range validation, namespace legality, and
+ * disassembly formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/isa.hh"
+#include "support/logging.hh"
+
+namespace robox::isa
+{
+namespace
+{
+
+TEST(ComputeInstr, ScalarQueueRoundTrip)
+{
+    ComputeInstr in;
+    in.opcode = ComputeOpcode::ScalarQueue;
+    in.function = AluFunction::Mul;
+    in.dst = Namespace::Hessian;
+    in.src1 = Namespace::Gradient;
+    in.src1Pop = PopMode::Pop;
+    in.src1Index = 5;
+    in.src2 = Namespace::Interm;
+    in.src2Pop = PopMode::PopRewrite;
+    in.src2Index = 7;
+    EXPECT_EQ(ComputeInstr::decode(in.encode()), in);
+}
+
+TEST(ComputeInstr, VectorImmRoundTrip)
+{
+    ComputeInstr in;
+    in.opcode = ComputeOpcode::VectorImm;
+    in.function = AluFunction::Mac;
+    in.dst = Namespace::Interm;
+    in.src1 = Namespace::State;
+    in.src1Pop = PopMode::Keep;
+    in.src1Index = 3;
+    in.immediate = 201;
+    in.vectorLength = 31;
+    EXPECT_EQ(ComputeInstr::decode(in.encode()), in);
+}
+
+TEST(ComputeInstr, AllFunctionsRoundTrip)
+{
+    for (int fn = 0; fn <= 15; ++fn) {
+        ComputeInstr in;
+        in.function = static_cast<AluFunction>(fn);
+        EXPECT_EQ(ComputeInstr::decode(in.encode()).function,
+                  in.function);
+    }
+}
+
+TEST(ComputeInstr, RejectsMemoryNamespaces)
+{
+    ComputeInstr in;
+    in.dst = Namespace::Reference;
+    EXPECT_THROW(in.encode(), FatalError);
+    in.dst = Namespace::Interm;
+    in.src1 = Namespace::Instruction;
+    EXPECT_THROW(in.encode(), FatalError);
+}
+
+TEST(ComputeInstr, RejectsOutOfRangeIndex)
+{
+    ComputeInstr in;
+    in.src1Index = 8; // Only the top 8 queue entries are addressable.
+    EXPECT_THROW(in.encode(), FatalError);
+}
+
+TEST(ComputeInstr, DisassemblyMentionsPieces)
+{
+    ComputeInstr in;
+    in.opcode = ComputeOpcode::VectorQueue;
+    in.function = AluFunction::Sin;
+    in.vectorLength = 7;
+    std::string text = in.str();
+    EXPECT_NE(text.find("vsin"), std::string::npos);
+    EXPECT_NE(text.find("x8"), std::string::npos);
+}
+
+TEST(CommInstr, UnicastRoundTrip)
+{
+    CommInstr in;
+    in.opcode = CommOpcode::Unicast;
+    in.srcNamespace = Namespace::Gradient;
+    in.srcPop = PopMode::Pop;
+    in.srcIndex = 2;
+    in.srcCc = 11;
+    in.srcCu = 15;
+    in.dstCc = 3;
+    in.dstCu = 9;
+    in.dstNamespace = Namespace::Interm;
+    EXPECT_EQ(CommInstr::decode(in.encode()), in);
+}
+
+TEST(CommInstr, MulticastRoundTrip)
+{
+    CommInstr in;
+    in.opcode = CommOpcode::CuMulticast;
+    in.quarter = 2;
+    in.mask = 0xB;
+    in.srcCc = 4;
+    in.srcCu = 1;
+    EXPECT_EQ(CommInstr::decode(in.encode()), in);
+    in.opcode = CommOpcode::CcMulticast;
+    EXPECT_EQ(CommInstr::decode(in.encode()), in);
+}
+
+TEST(CommInstr, AggregationRoundTrip)
+{
+    for (AggFunction fn : {AggFunction::Add, AggFunction::Mul,
+                           AggFunction::Min, AggFunction::Max}) {
+        CommInstr in;
+        in.opcode = CommOpcode::CcAggregation;
+        in.aggFunction = fn;
+        in.mask = 0xF;
+        CommInstr out = CommInstr::decode(in.encode());
+        EXPECT_EQ(out.aggFunction, fn);
+        EXPECT_EQ(out.opcode, CommOpcode::CcAggregation);
+    }
+}
+
+TEST(CommInstr, BroadcastAndEndOfCodeRoundTrip)
+{
+    CommInstr in;
+    in.opcode = CommOpcode::Broadcast;
+    in.srcCc = 7;
+    in.srcCu = 2;
+    EXPECT_EQ(CommInstr::decode(in.encode()), in);
+    CommInstr end;
+    end.opcode = CommOpcode::EndOfCode;
+    EXPECT_EQ(CommInstr::decode(end.encode()).opcode,
+              CommOpcode::EndOfCode);
+    EXPECT_EQ(end.str(), "end_of_code");
+}
+
+TEST(CommInstr, RejectsOversizedIds)
+{
+    CommInstr in;
+    in.srcCc = 16; // 4-bit field.
+    EXPECT_THROW(in.encode(), FatalError);
+}
+
+TEST(MemInstr, LoadStoreRoundTrip)
+{
+    MemInstr in;
+    in.opcode = MemOpcode::Load;
+    in.ns = Namespace::Reference;
+    in.offset = 12345;
+    in.shift = 5;
+    in.burst = 16;
+    EXPECT_EQ(MemInstr::decode(in.encode()), in);
+    in.opcode = MemOpcode::Store;
+    in.ns = Namespace::Hessian;
+    in.burst = 1;
+    EXPECT_EQ(MemInstr::decode(in.encode()), in);
+}
+
+TEST(MemInstr, SetBlockRoundTrip)
+{
+    MemInstr in;
+    in.opcode = MemOpcode::SetBlock;
+    in.ns = Namespace::Instruction;
+    in.block = 40000;
+    EXPECT_EQ(MemInstr::decode(in.encode()), in);
+}
+
+TEST(MemInstr, RejectsComputeOnlyNamespaces)
+{
+    MemInstr in;
+    in.opcode = MemOpcode::Load;
+    in.ns = Namespace::Interm;
+    EXPECT_THROW(in.encode(), FatalError);
+    in.ns = Namespace::LeftNeighbor;
+    EXPECT_THROW(in.encode(), FatalError);
+}
+
+TEST(MemInstr, RejectsBadBurst)
+{
+    MemInstr in;
+    in.opcode = MemOpcode::Load;
+    in.ns = Namespace::State;
+    in.burst = 0;
+    EXPECT_THROW(in.encode(), FatalError);
+    in.burst = 17;
+    EXPECT_THROW(in.encode(), FatalError);
+}
+
+TEST(Isa, InstructionsAre32Bits)
+{
+    // Encodings must fit (and use) one 32-bit word: check the helpers
+    // return uint32_t and high opcode bits are where Table II puts them.
+    ComputeInstr c;
+    c.opcode = ComputeOpcode::VectorImm; // opcode 3 -> bits 31:29.
+    EXPECT_EQ(c.encode() >> 29, 3u);
+    CommInstr m;
+    m.opcode = CommOpcode::EndOfCode; // opcode 7.
+    EXPECT_EQ(m.encode() >> 29, 7u);
+    MemInstr mem;
+    mem.opcode = MemOpcode::SetBlock; // opcode 2.
+    EXPECT_EQ(mem.encode() >> 29, 2u);
+}
+
+TEST(Isa, NonlinearClassification)
+{
+    EXPECT_TRUE(isNonlinear(AluFunction::Sin));
+    EXPECT_TRUE(isNonlinear(AluFunction::Sqrt));
+    EXPECT_FALSE(isNonlinear(AluFunction::Add));
+    EXPECT_FALSE(isNonlinear(AluFunction::Mac));
+}
+
+} // namespace
+} // namespace robox::isa

@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Unit and property tests for the dense linear algebra substrate:
+ * vector/matrix operations, Cholesky factorization, triangular solves,
+ * and the Gaussian-elimination oracle.
+ */
+
+#include <cmath>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "linalg/cholesky.hh"
+#include "linalg/matrix.hh"
+#include "support/logging.hh"
+
+namespace robox
+{
+namespace
+{
+
+Matrix
+randomMatrix(std::size_t rows, std::size_t cols, std::mt19937 &rng)
+{
+    std::uniform_real_distribution<double> dist(-2.0, 2.0);
+    Matrix m(rows, cols);
+    for (std::size_t i = 0; i < rows; ++i)
+        for (std::size_t j = 0; j < cols; ++j)
+            m(i, j) = dist(rng);
+    return m;
+}
+
+Vector
+randomVector(std::size_t n, std::mt19937 &rng)
+{
+    std::uniform_real_distribution<double> dist(-2.0, 2.0);
+    Vector v(n);
+    for (std::size_t i = 0; i < n; ++i)
+        v[i] = dist(rng);
+    return v;
+}
+
+/** A random symmetric positive definite matrix A = B B^T + n*I. */
+Matrix
+randomSpd(std::size_t n, std::mt19937 &rng)
+{
+    Matrix b = randomMatrix(n, n, rng);
+    Matrix a = b.mulTranspose(b);
+    a.addDiagonal(static_cast<double>(n));
+    return a;
+}
+
+TEST(Vector, ArithmeticAndNorms)
+{
+    Vector a{1.0, 2.0, 3.0};
+    Vector b{4.0, -5.0, 6.0};
+    Vector sum = a + b;
+    EXPECT_DOUBLE_EQ(sum[0], 5.0);
+    EXPECT_DOUBLE_EQ(sum[1], -3.0);
+    EXPECT_DOUBLE_EQ((a - b)[2], -3.0);
+    EXPECT_DOUBLE_EQ(a.dot(b), 4.0 - 10.0 + 18.0);
+    EXPECT_DOUBLE_EQ(Vector({3.0, 4.0}).norm(), 5.0);
+    EXPECT_DOUBLE_EQ(b.normInf(), 6.0);
+    EXPECT_DOUBLE_EQ((2.0 * a)[2], 6.0);
+    EXPECT_DOUBLE_EQ((-a)[1], -2.0);
+}
+
+TEST(Vector, SegmentRoundTrip)
+{
+    Vector v{0.0, 1.0, 2.0, 3.0, 4.0};
+    Vector mid = v.segment(1, 3);
+    ASSERT_EQ(mid.size(), 3u);
+    EXPECT_DOUBLE_EQ(mid[0], 1.0);
+    Vector w(5);
+    w.setSegment(1, mid);
+    EXPECT_DOUBLE_EQ(w[3], 3.0);
+    EXPECT_DOUBLE_EQ(w[0], 0.0);
+}
+
+TEST(Matrix, IdentityAndDiagonal)
+{
+    Matrix i3 = Matrix::identity(3);
+    EXPECT_DOUBLE_EQ(i3(1, 1), 1.0);
+    EXPECT_DOUBLE_EQ(i3(0, 2), 0.0);
+    Matrix d = Matrix::diagonal(Vector{2.0, 3.0});
+    EXPECT_DOUBLE_EQ(d(0, 0), 2.0);
+    EXPECT_DOUBLE_EQ(d(1, 0), 0.0);
+}
+
+TEST(Matrix, MultiplyMatchesHandComputed)
+{
+    Matrix a(2, 3);
+    a(0, 0) = 1; a(0, 1) = 2; a(0, 2) = 3;
+    a(1, 0) = 4; a(1, 1) = 5; a(1, 2) = 6;
+    Matrix b(3, 2);
+    b(0, 0) = 7; b(0, 1) = 8;
+    b(1, 0) = 9; b(1, 1) = 10;
+    b(2, 0) = 11; b(2, 1) = 12;
+    Matrix c = a * b;
+    EXPECT_DOUBLE_EQ(c(0, 0), 58.0);
+    EXPECT_DOUBLE_EQ(c(0, 1), 64.0);
+    EXPECT_DOUBLE_EQ(c(1, 0), 139.0);
+    EXPECT_DOUBLE_EQ(c(1, 1), 154.0);
+}
+
+TEST(Matrix, TransposeVariantsAgree)
+{
+    std::mt19937 rng(7);
+    Matrix a = randomMatrix(4, 6, rng);
+    Matrix b = randomMatrix(4, 5, rng);
+    Vector v = randomVector(4, rng);
+
+    Matrix atb = a.transposeMul(b);
+    Matrix atb_ref = a.transposed() * b;
+    EXPECT_LT((atb - atb_ref).normMax(), 1e-12);
+
+    Vector atv = a.transposeMul(v);
+    Vector atv_ref = a.transposed() * v;
+    for (std::size_t i = 0; i < atv.size(); ++i)
+        EXPECT_NEAR(atv[i], atv_ref[i], 1e-12);
+
+    Matrix c = randomMatrix(3, 6, rng);
+    Matrix act = a.mulTranspose(c);
+    Matrix act_ref = a * c.transposed();
+    EXPECT_LT((act - act_ref).normMax(), 1e-12);
+}
+
+TEST(Matrix, BlockRoundTrip)
+{
+    std::mt19937 rng(3);
+    Matrix a = randomMatrix(6, 6, rng);
+    Matrix blk = a.block(1, 2, 3, 4);
+    Matrix b(6, 6);
+    b.setBlock(1, 2, blk);
+    EXPECT_DOUBLE_EQ(b(2, 3), a(2, 3));
+    EXPECT_DOUBLE_EQ(b(0, 0), 0.0);
+}
+
+TEST(Cholesky, FactorsKnownMatrix)
+{
+    // A = [[4, 2], [2, 3]] -> L = [[2, 0], [1, sqrt(2)]].
+    Matrix a(2, 2);
+    a(0, 0) = 4; a(0, 1) = 2; a(1, 0) = 2; a(1, 1) = 3;
+    Matrix l = cholesky(a);
+    EXPECT_DOUBLE_EQ(l(0, 0), 2.0);
+    EXPECT_DOUBLE_EQ(l(1, 0), 1.0);
+    EXPECT_NEAR(l(1, 1), std::sqrt(2.0), 1e-15);
+    EXPECT_DOUBLE_EQ(l(0, 1), 0.0);
+}
+
+TEST(Cholesky, ThrowsOnIndefiniteMatrix)
+{
+    Matrix a(2, 2);
+    a(0, 0) = 1; a(0, 1) = 2; a(1, 0) = 2; a(1, 1) = 1;
+    EXPECT_THROW(cholesky(a), FatalError);
+}
+
+TEST(Cholesky, RegularizedRecoversIndefiniteMatrix)
+{
+    Matrix a(2, 2);
+    a(0, 0) = 1; a(0, 1) = 2; a(1, 0) = 2; a(1, 1) = 1;
+    double reg = 0.0;
+    Matrix l = choleskyRegularized(a, reg);
+    EXPECT_GT(reg, 0.0);
+    Matrix shifted = a;
+    shifted.addDiagonal(reg);
+    EXPECT_LT((l.mulTranspose(l) - shifted).normMax(), 1e-9);
+}
+
+TEST(Cholesky, RegularizedLeavesSpdAlone)
+{
+    std::mt19937 rng(11);
+    Matrix a = randomSpd(5, rng);
+    double reg = 0.0;
+    Matrix l = choleskyRegularized(a, reg);
+    EXPECT_EQ(reg, 0.0);
+    EXPECT_LT((l.mulTranspose(l) - a).normMax(), 1e-9);
+}
+
+/** Property sweep over sizes: L L^T == A and solves invert A. */
+class CholeskyProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(CholeskyProperty, FactorizationAndSolveRoundTrip)
+{
+    std::mt19937 rng(static_cast<unsigned>(GetParam()));
+    std::size_t n = static_cast<std::size_t>(GetParam());
+    Matrix a = randomSpd(n, rng);
+    Matrix l = cholesky(a);
+
+    // Reconstruction.
+    EXPECT_LT((l.mulTranspose(l) - a).normMax(), 1e-9 * a.normMax());
+
+    // Solve round trip.
+    Vector x_true = randomVector(n, rng);
+    Vector b = a * x_true;
+    Vector x = choleskySolve(l, b);
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_NEAR(x[i], x_true[i], 1e-8);
+
+    // Matrix right-hand side.
+    Matrix rhs = randomMatrix(n, 3, rng);
+    Matrix sol = choleskySolveMatrix(l, rhs);
+    EXPECT_LT((a * sol - rhs).normMax(), 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CholeskyProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+TEST(Substitution, TriangularSolvesInvertEachOther)
+{
+    std::mt19937 rng(5);
+    Matrix a = randomSpd(6, rng);
+    Matrix l = cholesky(a);
+    Vector b = randomVector(6, rng);
+    Vector y = forwardSubstitute(l, b);
+    // L y == b.
+    Vector ly = l * y;
+    for (std::size_t i = 0; i < 6; ++i)
+        EXPECT_NEAR(ly[i], b[i], 1e-10);
+    Vector x = backwardSubstitute(l, y);
+    Vector ltx = l.transposed() * x;
+    for (std::size_t i = 0; i < 6; ++i)
+        EXPECT_NEAR(ltx[i], y[i], 1e-10);
+}
+
+TEST(GaussianSolve, MatchesCholeskyOnSpdSystems)
+{
+    std::mt19937 rng(9);
+    Matrix a = randomSpd(7, rng);
+    Vector b = randomVector(7, rng);
+    Vector x_chol = choleskySolve(cholesky(a), b);
+    Vector x_gauss = gaussianSolve(a, b);
+    for (std::size_t i = 0; i < 7; ++i)
+        EXPECT_NEAR(x_gauss[i], x_chol[i], 1e-8);
+}
+
+TEST(GaussianSolve, HandlesNonSymmetricAndPivots)
+{
+    // Requires a row swap: zero on the leading diagonal.
+    Matrix a(2, 2);
+    a(0, 0) = 0; a(0, 1) = 1; a(1, 0) = 1; a(1, 1) = 0;
+    Vector x = gaussianSolve(a, Vector{3.0, 4.0});
+    EXPECT_DOUBLE_EQ(x[0], 4.0);
+    EXPECT_DOUBLE_EQ(x[1], 3.0);
+}
+
+TEST(GaussianSolve, ThrowsOnSingularMatrix)
+{
+    Matrix a(2, 2);
+    a(0, 0) = 1; a(0, 1) = 2; a(1, 0) = 2; a(1, 1) = 4;
+    EXPECT_THROW(gaussianSolve(a, Vector{1.0, 1.0}), FatalError);
+}
+
+} // namespace
+} // namespace robox

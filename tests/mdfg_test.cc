@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Tests for the macro dataflow graph: node construction, topological
+ * invariants, statistics/critical path, and tape lowering.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mdfg/mdfg.hh"
+#include "support/logging.hh"
+
+namespace robox::mdfg
+{
+namespace
+{
+
+constexpr std::uint32_t kExt = std::numeric_limits<std::uint32_t>::max();
+
+Node
+scalarNode(sym::Op op, std::vector<std::uint32_t> deps,
+           Phase phase = Phase::Dynamics, int stage = 0)
+{
+    Node n;
+    n.kind = NodeKind::Scalar;
+    n.op = op;
+    n.phase = phase;
+    n.stage = stage;
+    n.deps = std::move(deps);
+    return n;
+}
+
+TEST(Graph, AddAssignsSequentialIds)
+{
+    Graph g;
+    EXPECT_EQ(g.add(scalarNode(sym::Op::Add, {})), 0u);
+    EXPECT_EQ(g.add(scalarNode(sym::Op::Mul, {0})), 1u);
+    EXPECT_EQ(g.size(), 2u);
+    EXPECT_TRUE(g.isTopologicallyOrdered());
+}
+
+TEST(Graph, ExternalPlaceholdersAreDropped)
+{
+    Graph g;
+    g.add(scalarNode(sym::Op::Add, {kExt, kExt}));
+    EXPECT_TRUE(g[0].deps.empty());
+}
+
+TEST(Graph, NodeOpsByKind)
+{
+    Node s = scalarNode(sym::Op::Add, {});
+    EXPECT_EQ(Graph::nodeOps(s), 1u);
+    Node v;
+    v.kind = NodeKind::Vector;
+    v.length = 10;
+    EXPECT_EQ(Graph::nodeOps(v), 10u);
+    Node r;
+    r.kind = NodeKind::Group;
+    r.length = 10;
+    EXPECT_EQ(Graph::nodeOps(r), 9u); // L-1 combines.
+    r.length = 1;
+    EXPECT_EQ(Graph::nodeOps(r), 1u);
+}
+
+TEST(Graph, StatsCountKindsAndCriticalPath)
+{
+    Graph g;
+    // Chain of 3 plus one independent node: critical path 3.
+    std::uint32_t a = g.add(scalarNode(sym::Op::Add, {}));
+    std::uint32_t b = g.add(scalarNode(sym::Op::Mul, {a}));
+    g.add(scalarNode(sym::Op::Sub, {b}));
+    g.add(scalarNode(sym::Op::Add, {}));
+    Node v;
+    v.kind = NodeKind::Vector;
+    v.length = 8;
+    v.deps = {a};
+    g.add(std::move(v));
+
+    GraphStats s = g.stats();
+    EXPECT_EQ(s.scalarNodes, 4u);
+    EXPECT_EQ(s.vectorNodes, 1u);
+    EXPECT_EQ(s.groupNodes, 0u);
+    EXPECT_EQ(s.totalOps, 4u + 8u);
+    EXPECT_EQ(s.criticalPath, 3u);
+}
+
+TEST(Graph, StatsAccumulatePerPhase)
+{
+    Graph g;
+    g.add(scalarNode(sym::Op::Add, {}, Phase::Dynamics));
+    g.add(scalarNode(sym::Op::Add, {}, Phase::Factor));
+    g.add(scalarNode(sym::Op::Add, {}, Phase::Factor));
+    GraphStats s = g.stats();
+    EXPECT_EQ(s.opsPerPhase[static_cast<int>(Phase::Dynamics)], 1u);
+    EXPECT_EQ(s.opsPerPhase[static_cast<int>(Phase::Factor)], 2u);
+    EXPECT_EQ(s.opsPerPhase[static_cast<int>(Phase::Cost)], 0u);
+}
+
+TEST(Graph, AddTapeLowersInstructions)
+{
+    // f = sin(x) * y + x.
+    sym::Expr x = sym::Expr::variable(0, "x");
+    sym::Expr y = sym::Expr::variable(1, "y");
+    sym::Tape tape({sym::sin(x) * y + x}, 2);
+
+    Graph g;
+    std::vector<std::uint32_t> inputs = {kExt, kExt};
+    std::vector<std::uint32_t> outputs;
+    g.addTape(tape, inputs, Phase::Cost, 3, outputs);
+
+    EXPECT_EQ(g.size(), tape.instrs().size());
+    ASSERT_EQ(outputs.size(), 1u);
+    EXPECT_EQ(outputs[0], static_cast<std::uint32_t>(g.size() - 1));
+    EXPECT_TRUE(g.isTopologicallyOrdered());
+    for (const Node &n : g.nodes()) {
+        EXPECT_EQ(n.kind, NodeKind::Scalar);
+        EXPECT_EQ(n.phase, Phase::Cost);
+        EXPECT_EQ(n.stage, 3);
+    }
+}
+
+TEST(Graph, AddTapeConnectsProducers)
+{
+    // Feed one tape's output into another via the input_nodes hook.
+    sym::Expr x = sym::Expr::variable(0, "x");
+    sym::Tape first({x * x}, 1);
+    sym::Tape second({x + sym::Expr(1.0)}, 1);
+
+    Graph g;
+    std::vector<std::uint32_t> outputs;
+    g.addTape(first, {kExt}, Phase::Dynamics, 0, outputs);
+    std::uint32_t produced = outputs[0];
+    g.addTape(second, {produced}, Phase::Cost, 0, outputs);
+    // The add node must depend on the mul node.
+    const Node &last = g[static_cast<std::uint32_t>(g.size() - 1)];
+    ASSERT_EQ(last.deps.size(), 1u);
+    EXPECT_EQ(last.deps[0], 0u);
+}
+
+TEST(Graph, NamesAreStable)
+{
+    EXPECT_STREQ(nodeKindName(NodeKind::Scalar), "SCALAR");
+    EXPECT_STREQ(nodeKindName(NodeKind::Group), "GROUP");
+    EXPECT_STREQ(phaseName(Phase::Hessian), "hessian");
+    EXPECT_STREQ(phaseName(Phase::Rollout), "rollout");
+}
+
+} // namespace
+} // namespace robox::mdfg

@@ -1,0 +1,451 @@
+/**
+ * @file
+ * Tests for the MPC stack: problem compilation (discretization,
+ * derivative tapes), the Riccati-structured KKT solver (checked against
+ * a dense KKT oracle), and the interior-point solver in open and closed
+ * loop on small robots.
+ */
+
+#include <cmath>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "dsl/sema.hh"
+#include "linalg/cholesky.hh"
+#include "mpc/ipm.hh"
+#include "mpc/problem.hh"
+#include "mpc/riccati.hh"
+#include "mpc/simulate.hh"
+
+namespace robox::mpc
+{
+namespace
+{
+
+// A 1D double integrator with bounded acceleration: the simplest
+// nontrivial MPC plant.
+const char *kDoubleIntegrator = R"(
+System DoubleIntegrator( param a_max ) {
+  state pos, vel;
+  input acc;
+  pos.dt = vel;
+  vel.dt = acc;
+  acc.lower_bound <= -a_max;
+  acc.upper_bound <= a_max;
+  Task moveTo( reference target, param w_pos, param w_u ) {
+    penalty track, effort;
+    track.running = pos - target;
+    track.weight <= w_pos;
+    effort.running = acc;
+    effort.weight <= w_u;
+    penalty final_pos, final_vel;
+    final_pos.terminal = pos - target;
+    final_pos.weight <= 10 * w_pos;
+    final_vel.terminal = vel;
+    final_vel.weight <= w_pos;
+  }
+}
+reference target;
+DoubleIntegrator plant(1.0);
+plant.moveTo(target, 1.0, 0.05);
+)";
+
+const char *kMobileRobot = R"(
+System MobileRobot( param vel_bound, param ang_bound ) {
+  state pos[2], angle;
+  input vel, ang_vel;
+  pos[0].dt = vel * cos(angle);
+  pos[1].dt = vel * sin(angle);
+  angle.dt = ang_vel;
+  vel.lower_bound <= -vel_bound;
+  vel.upper_bound <= vel_bound;
+  ang_vel.lower_bound <= -ang_bound;
+  ang_vel.upper_bound <= ang_bound;
+  Task moveTo( reference desired_x, reference desired_y, param w ) {
+    penalty track_x, track_y, effort_v, effort_w;
+    track_x.running = pos[0] - desired_x;
+    track_x.weight <= w;
+    track_y.running = pos[1] - desired_y;
+    track_y.weight <= w;
+    effort_v.running = vel;
+    effort_v.weight <= 0.01;
+    effort_w.running = ang_vel;
+    effort_w.weight <= 0.01;
+    penalty term_x, term_y;
+    term_x.terminal = pos[0] - desired_x;
+    term_x.weight <= 10 * w;
+    term_y.terminal = pos[1] - desired_y;
+    term_y.weight <= 10 * w;
+  }
+}
+reference desired_x;
+reference desired_y;
+MobileRobot robot(1.0, 2.0);
+robot.moveTo(desired_x, desired_y, 1.0);
+)";
+
+MpcOptions
+smallOptions(int horizon = 20)
+{
+    MpcOptions opt;
+    opt.horizon = horizon;
+    opt.dt = 0.1;
+    opt.maxIterations = 60;
+    return opt;
+}
+
+TEST(Problem, DimensionsAndTapes)
+{
+    dsl::ModelSpec model = dsl::analyzeSource(kDoubleIntegrator);
+    MpcProblem prob(model, smallOptions());
+    EXPECT_EQ(prob.nx(), 2);
+    EXPECT_EQ(prob.nu(), 1);
+    EXPECT_EQ(prob.nref(), 1);
+    EXPECT_EQ(prob.numRunningResiduals(), 2);
+    EXPECT_EQ(prob.numTerminalResiduals(), 2);
+    // Inequalities: acc lower/upper (running only).
+    EXPECT_EQ(prob.numRunningIneq(), 2);
+    EXPECT_EQ(prob.numTerminalIneq(), 0);
+    // Both running rows touch only the input.
+    EXPECT_FALSE(prob.runningRowUsesState()[0]);
+    EXPECT_FALSE(prob.runningRowUsesState()[1]);
+}
+
+TEST(Problem, EulerDynamicsJacobians)
+{
+    dsl::ModelSpec model = dsl::analyzeSource(kDoubleIntegrator);
+    MpcOptions opt = smallOptions();
+    MpcProblem prob(model, opt);
+    StageEval eval;
+    Vector x{1.0, -0.5};
+    Vector u{0.3};
+    Vector ref{0.0};
+    prob.evalDynamics(x, u, ref, eval);
+    // Euler: pos+ = pos + dt*vel, vel+ = vel + dt*acc.
+    EXPECT_NEAR(eval.value[0], 1.0 + 0.1 * -0.5, 1e-14);
+    EXPECT_NEAR(eval.value[1], -0.5 + 0.1 * 0.3, 1e-14);
+    EXPECT_NEAR(eval.jx(0, 0), 1.0, 1e-14);
+    EXPECT_NEAR(eval.jx(0, 1), 0.1, 1e-14);
+    EXPECT_NEAR(eval.jx(1, 1), 1.0, 1e-14);
+    EXPECT_NEAR(eval.ju(1, 0), 0.1, 1e-14);
+    EXPECT_NEAR(eval.ju(0, 0), 0.0, 1e-14);
+}
+
+TEST(Problem, Rk4MatchesNumericalIntegration)
+{
+    dsl::ModelSpec model = dsl::analyzeSource(kMobileRobot);
+    MpcOptions opt = smallOptions();
+    opt.integrator = Integrator::Rk4;
+    MpcProblem prob(model, opt);
+    Plant plant(model);
+
+    Vector x{0.2, -0.1, 0.7};
+    Vector u{0.5, 0.3};
+    Vector ref{0.0, 0.0};
+    StageEval eval;
+    prob.evalDynamics(x, u, ref, eval);
+    // One symbolic RK4 step == one numeric RK4 step of the plant.
+    Vector truth = plant.step(x, u, ref, opt.dt, /*substeps=*/1);
+    for (int i = 0; i < 3; ++i)
+        EXPECT_NEAR(eval.value[i], truth[i], 1e-12) << i;
+}
+
+TEST(Problem, Rk4JacobianMatchesFiniteDifference)
+{
+    dsl::ModelSpec model = dsl::analyzeSource(kMobileRobot);
+    MpcOptions opt = smallOptions();
+    opt.integrator = Integrator::Rk4;
+    MpcProblem prob(model, opt);
+
+    Vector x{0.2, -0.1, 0.7};
+    Vector u{0.5, 0.3};
+    Vector ref{0.0, 0.0};
+    StageEval eval;
+    prob.evalDynamics(x, u, ref, eval);
+
+    double h = 1e-6;
+    for (int j = 0; j < 3; ++j) {
+        Vector xp = x, xm = x;
+        xp[j] += h;
+        xm[j] -= h;
+        Vector fp = prob.dynamicsValue(xp, u, ref);
+        Vector fm = prob.dynamicsValue(xm, u, ref);
+        for (int i = 0; i < 3; ++i)
+            EXPECT_NEAR(eval.jx(i, j), (fp[i] - fm[i]) / (2 * h), 1e-6)
+                << i << "," << j;
+    }
+    for (int j = 0; j < 2; ++j) {
+        Vector up = u, um = u;
+        up[j] += h;
+        um[j] -= h;
+        Vector fp = prob.dynamicsValue(x, up, ref);
+        Vector fm = prob.dynamicsValue(x, um, ref);
+        for (int i = 0; i < 3; ++i)
+            EXPECT_NEAR(eval.ju(i, j), (fp[i] - fm[i]) / (2 * h), 1e-6);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Riccati vs. dense KKT oracle.
+// ---------------------------------------------------------------------
+
+/** Assemble and solve the full KKT system with Gaussian elimination. */
+void
+denseKktSolve(const std::vector<StageQp> &stages, const Matrix &qn,
+              const Vector &qnv, const Vector &dx0,
+              std::vector<Vector> &dx, std::vector<Vector> &du)
+{
+    const std::size_t n_stages = stages.size();
+    const std::size_t nx = stages[0].a.rows();
+    const std::size_t nu = stages[0].b.cols();
+    const std::size_t nz = (n_stages + 1) * nx + n_stages * nu;
+    const std::size_t ne = (n_stages + 1) * nx;
+    const std::size_t dim = nz + ne;
+
+    auto xoff = [&](std::size_t k) { return k * (nx + nu); };
+    auto uoff = [&](std::size_t k) { return k * (nx + nu) + nx; };
+
+    Matrix kkt(dim, dim);
+    Vector rhs(dim);
+
+    // Hessian and gradient blocks.
+    for (std::size_t k = 0; k < n_stages; ++k) {
+        const StageQp &st = stages[k];
+        for (std::size_t i = 0; i < nx; ++i) {
+            rhs[xoff(k) + i] = -st.qv[i];
+            for (std::size_t j = 0; j < nx; ++j)
+                kkt(xoff(k) + i, xoff(k) + j) = st.q(i, j);
+        }
+        for (std::size_t i = 0; i < nu; ++i) {
+            rhs[uoff(k) + i] = -st.rv[i];
+            for (std::size_t j = 0; j < nu; ++j)
+                kkt(uoff(k) + i, uoff(k) + j) = st.r(i, j);
+            for (std::size_t j = 0; j < nx; ++j) {
+                kkt(uoff(k) + i, xoff(k) + j) = st.s(i, j);
+                kkt(xoff(k) + j, uoff(k) + i) = st.s(i, j);
+            }
+        }
+    }
+    for (std::size_t i = 0; i < nx; ++i) {
+        rhs[xoff(n_stages) + i] = -qnv[i];
+        for (std::size_t j = 0; j < nx; ++j)
+            kkt(xoff(n_stages) + i, xoff(n_stages) + j) = qn(i, j);
+    }
+
+    // Equality rows: dx_0 = dx0; dx_{k+1} - A dx_k - B du_k = c_k.
+    std::size_t erow = nz;
+    for (std::size_t i = 0; i < nx; ++i) {
+        kkt(erow + i, xoff(0) + i) = 1.0;
+        kkt(xoff(0) + i, erow + i) = 1.0;
+        rhs[erow + i] = dx0[i];
+    }
+    erow += nx;
+    for (std::size_t k = 0; k < n_stages; ++k) {
+        const StageQp &st = stages[k];
+        for (std::size_t i = 0; i < nx; ++i) {
+            kkt(erow + i, xoff(k + 1) + i) = 1.0;
+            kkt(xoff(k + 1) + i, erow + i) = 1.0;
+            for (std::size_t j = 0; j < nx; ++j) {
+                kkt(erow + i, xoff(k) + j) = -st.a(i, j);
+                kkt(xoff(k) + j, erow + i) = -st.a(i, j);
+            }
+            for (std::size_t j = 0; j < nu; ++j) {
+                kkt(erow + i, uoff(k) + j) = -st.b(i, j);
+                kkt(uoff(k) + j, erow + i) = -st.b(i, j);
+            }
+            rhs[erow + i] = st.c[i];
+        }
+        erow += nx;
+    }
+
+    Vector sol = gaussianSolve(kkt, rhs);
+    dx.assign(n_stages + 1, Vector(nx));
+    du.assign(n_stages, Vector(nu));
+    for (std::size_t k = 0; k <= n_stages; ++k)
+        for (std::size_t i = 0; i < nx; ++i)
+            dx[k][i] = sol[xoff(k) + i];
+    for (std::size_t k = 0; k < n_stages; ++k)
+        for (std::size_t i = 0; i < nu; ++i)
+            du[k][i] = sol[uoff(k) + i];
+}
+
+class RiccatiOracle : public ::testing::TestWithParam<std::tuple<int, int,
+                                                                 int>>
+{
+};
+
+TEST_P(RiccatiOracle, MatchesDenseKktSolve)
+{
+    auto [nx, nu, n_stages] = GetParam();
+    std::mt19937 rng(nx * 100 + nu * 10 + n_stages);
+    std::uniform_real_distribution<double> dist(-1.0, 1.0);
+
+    auto rand_mat = [&](std::size_t r, std::size_t c) {
+        Matrix m(r, c);
+        for (std::size_t i = 0; i < r; ++i)
+            for (std::size_t j = 0; j < c; ++j)
+                m(i, j) = dist(rng);
+        return m;
+    };
+    auto rand_vec = [&](std::size_t n) {
+        Vector v(n);
+        for (std::size_t i = 0; i < n; ++i)
+            v[i] = dist(rng);
+        return v;
+    };
+    auto rand_spd = [&](std::size_t n, double shift) {
+        Matrix b = rand_mat(n, n);
+        Matrix m = b.mulTranspose(b);
+        m.addDiagonal(shift);
+        return m;
+    };
+
+    std::vector<StageQp> stages(n_stages);
+    for (auto &st : stages) {
+        st.a = rand_mat(nx, nx);
+        st.b = rand_mat(nx, nu);
+        st.c = rand_vec(nx);
+        st.q = rand_spd(nx, 0.5);
+        st.r = rand_spd(nu, 1.0);
+        st.s = rand_mat(nu, nx) * 0.1;
+        st.qv = rand_vec(nx);
+        st.rv = rand_vec(nu);
+    }
+    Matrix qn = rand_spd(nx, 0.5);
+    Vector qnv = rand_vec(nx);
+    Vector dx0 = rand_vec(nx);
+
+    RiccatiSolution sol = solveRiccati(stages, qn, qnv, dx0);
+    std::vector<Vector> dx_ref, du_ref;
+    denseKktSolve(stages, qn, qnv, dx0, dx_ref, du_ref);
+
+    for (int k = 0; k <= n_stages; ++k)
+        for (int i = 0; i < nx; ++i)
+            EXPECT_NEAR(sol.dx[k][i], dx_ref[k][i], 1e-7)
+                << "dx " << k << "," << i;
+    for (int k = 0; k < n_stages; ++k)
+        for (int i = 0; i < nu; ++i)
+            EXPECT_NEAR(sol.du[k][i], du_ref[k][i], 1e-7)
+                << "du " << k << "," << i;
+    EXPECT_GT(sol.flops, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, RiccatiOracle,
+    ::testing::Values(std::tuple{1, 1, 1}, std::tuple{2, 1, 3},
+                      std::tuple{3, 2, 5}, std::tuple{4, 2, 8},
+                      std::tuple{6, 3, 4}, std::tuple{2, 2, 12}));
+
+TEST(Riccati, RegularizesIndefiniteInputHessian)
+{
+    // R = 0 forces the Levenberg fallback.
+    std::vector<StageQp> stages(1);
+    stages[0].a = Matrix::identity(2);
+    stages[0].b = Matrix(2, 1);
+    stages[0].b(1, 0) = 1.0;
+    stages[0].c = Vector(2);
+    stages[0].q = Matrix::identity(2);
+    stages[0].r = Matrix(1, 1); // zero
+    stages[0].s = Matrix(1, 2);
+    stages[0].qv = Vector(2);
+    stages[0].rv = Vector{1.0};
+    RiccatiSolution sol =
+        solveRiccati(stages, Matrix::identity(2), Vector(2), Vector(2));
+    EXPECT_TRUE(std::isfinite(sol.du[0][0]));
+}
+
+// ---------------------------------------------------------------------
+// Interior-point solver.
+// ---------------------------------------------------------------------
+
+TEST(Ipm, SolvesUnconstrainedStyleProblemToTarget)
+{
+    dsl::ModelSpec model = dsl::analyzeSource(kDoubleIntegrator);
+    IpmSolver solver(model, smallOptions(30));
+    Vector x0{0.0, 0.0};
+    Vector ref{1.0};
+    auto result = solver.solve(x0, ref);
+    EXPECT_TRUE(result.converged);
+    // The plan's terminal state should be close to the target.
+    const Vector &x_final = solver.stateTrajectory().back();
+    EXPECT_NEAR(x_final[0], 1.0, 0.05);
+    EXPECT_NEAR(x_final[1], 0.0, 0.1);
+}
+
+TEST(Ipm, RespectsInputBounds)
+{
+    dsl::ModelSpec model = dsl::analyzeSource(kDoubleIntegrator);
+    IpmSolver solver(model, smallOptions(30));
+    Vector x0{0.0, 0.0};
+    Vector ref{100.0}; // Far target: bounds must bind.
+    auto result = solver.solve(x0, ref);
+    for (const Vector &u : solver.inputTrajectory()) {
+        EXPECT_LE(u[0], 1.0 + 1e-6);
+        EXPECT_GE(u[0], -1.0 - 1e-6);
+    }
+    // The first control should push hard toward the bound.
+    EXPECT_GT(result.u0[0], 0.5);
+}
+
+TEST(Ipm, WarmStartReducesIterations)
+{
+    dsl::ModelSpec model = dsl::analyzeSource(kDoubleIntegrator);
+    IpmSolver solver(model, smallOptions(30));
+    Vector ref{1.0};
+    auto first = solver.solve(Vector{0.0, 0.0}, ref);
+    auto second = solver.solve(Vector{0.02, 0.05}, ref);
+    EXPECT_TRUE(second.converged);
+    EXPECT_LE(second.iterations, first.iterations);
+}
+
+TEST(Ipm, ClosedLoopDoubleIntegratorReachesTarget)
+{
+    dsl::ModelSpec model = dsl::analyzeSource(kDoubleIntegrator);
+    IpmSolver solver(model, smallOptions(25));
+    auto sim = simulateClosedLoop(solver, Vector{0.0, 0.0}, Vector{2.0},
+                                  60);
+    const Vector &x_end = sim.states.back();
+    EXPECT_NEAR(x_end[0], 2.0, 0.05);
+    EXPECT_NEAR(x_end[1], 0.0, 0.05);
+}
+
+TEST(Ipm, ClosedLoopMobileRobotReachesTarget)
+{
+    dsl::ModelSpec model = dsl::analyzeSource(kMobileRobot);
+    MpcOptions opt = smallOptions(25);
+    IpmSolver solver(model, opt);
+    auto sim = simulateClosedLoop(solver, Vector{0.0, 0.0, 0.0},
+                                  Vector{1.5, 1.0}, 80);
+    const Vector &x_end = sim.states.back();
+    EXPECT_NEAR(x_end[0], 1.5, 0.1);
+    EXPECT_NEAR(x_end[1], 1.0, 0.1);
+    // Velocity bound respected throughout.
+    for (const Vector &u : sim.inputs) {
+        EXPECT_LE(std::abs(u[0]), 1.0 + 1e-6);
+        EXPECT_LE(std::abs(u[1]), 2.0 + 1e-6);
+    }
+}
+
+TEST(Ipm, StatsArePopulated)
+{
+    dsl::ModelSpec model = dsl::analyzeSource(kDoubleIntegrator);
+    IpmSolver solver(model, smallOptions(10));
+    solver.solve(Vector{0.0, 0.0}, Vector{1.0});
+    const SolveStats &stats = solver.lastStats();
+    EXPECT_GT(stats.iterations, 0);
+    EXPECT_GT(stats.riccatiFlops, 0u);
+    EXPECT_GT(stats.lineSearchEvals, 0);
+    EXPECT_LT(stats.eqResidual, 1e-3);
+}
+
+TEST(Ipm, HorizonOneDegenerateCaseWorks)
+{
+    dsl::ModelSpec model = dsl::analyzeSource(kDoubleIntegrator);
+    IpmSolver solver(model, smallOptions(1));
+    auto result = solver.solve(Vector{0.0, 0.0}, Vector{1.0});
+    EXPECT_TRUE(std::isfinite(result.u0[0]));
+}
+
+} // namespace
+} // namespace robox::mpc

@@ -1,0 +1,327 @@
+/**
+ * @file
+ * Robustness and failure-injection tests: disturbances mid-episode,
+ * measured states that violate state bounds (the stage-0 masking
+ * path), reference jumps, saturation accounting in fixed-point mode,
+ * iteration caps, and degenerate solver inputs.
+ */
+
+#include <cmath>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "dsl/sema.hh"
+#include "fixed/fixed.hh"
+#include "mpc/ipm.hh"
+#include "mpc/simulate.hh"
+#include "robots/robots.hh"
+#include "support/logging.hh"
+
+namespace robox::mpc
+{
+namespace
+{
+
+TEST(Disturbance, QuadrotorRecoversFromMidFlightKick)
+{
+    const robots::Benchmark &b = robots::benchmark("Quadrotor");
+    dsl::ModelSpec model = robots::analyzeBenchmark(b);
+    MpcOptions opt = b.options;
+    opt.horizon = 24;
+    IpmSolver solver(model, opt);
+    Plant plant(model);
+
+    Vector x = b.initialState;
+    for (int step = 0; step < 140; ++step) {
+        auto result = solver.solve(x, b.reference);
+        x = plant.step(x, result.u0, b.reference, opt.dt);
+        if (step == 50) {
+            // Kick: lateral velocity and roll-rate impulse.
+            x[3] += 1.0;
+            x[9] += 1.5;
+            solver.reset();
+        }
+    }
+    EXPECT_NEAR(x[0], b.reference[0], 0.3);
+    EXPECT_NEAR(x[1], b.reference[1], 0.3);
+    EXPECT_NEAR(x[2], b.reference[2], 0.3);
+}
+
+TEST(Disturbance, StateOutsideBoundsIsHandledAtStageZero)
+{
+    // AutoVehicle has a vy box of [-1, 1]. A measured vy outside that
+    // box must not make the problem infeasible: state-involving rows
+    // are masked at the fixed initial stage.
+    const robots::Benchmark &b = robots::benchmark("AutoVehicle");
+    dsl::ModelSpec model = robots::analyzeBenchmark(b);
+    MpcOptions opt = b.options;
+    opt.horizon = 16;
+    IpmSolver solver(model, opt);
+
+    Vector x = b.initialState;
+    x[4] = 1.3; // vy beyond its 1.0 bound.
+    auto result = solver.solve(x, b.reference);
+    for (std::size_t i = 0; i < result.u0.size(); ++i)
+        EXPECT_TRUE(std::isfinite(result.u0[i]));
+    // The plan must bring vy back inside its bounds by mid-horizon.
+    EXPECT_LE(std::abs(solver.stateTrajectory()[8][4]), 1.0 + 1e-6);
+}
+
+TEST(Disturbance, ReferenceJumpAfterWarmStart)
+{
+    const robots::Benchmark &b = robots::benchmark("MobileRobot");
+    dsl::ModelSpec model = robots::analyzeBenchmark(b);
+    MpcOptions opt = b.options;
+    opt.horizon = 20;
+    IpmSolver solver(model, opt);
+
+    // Converge toward one target, then jump the reference far away;
+    // the warm-started solver must still return a sane plan.
+    Vector x = b.initialState;
+    Plant plant(model);
+    for (int step = 0; step < 10; ++step) {
+        auto r = solver.solve(x, Vector{1.0, 0.5, 0.0});
+        x = plant.step(x, r.u0, Vector{1.0, 0.5, 0.0}, opt.dt);
+    }
+    auto jumped = solver.solve(x, Vector{-2.0, -1.5, 3.0});
+    for (std::size_t i = 0; i < jumped.u0.size(); ++i) {
+        EXPECT_TRUE(std::isfinite(jumped.u0[i]));
+        EXPECT_LE(std::abs(jumped.u0[i]), 2.0 + 1e-6);
+    }
+}
+
+TEST(FixedPoint, SaturationEventsAreObservable)
+{
+    Fixed::resetSaturationCount();
+    Fixed big = Fixed::fromDouble(16000.0);
+    Fixed product = big * big; // Overflows Q14.17.
+    EXPECT_EQ(product.raw(), Fixed::rawMax);
+    EXPECT_GE(Fixed::saturationCount(), 1u);
+    Fixed::resetSaturationCount();
+    EXPECT_EQ(Fixed::saturationCount(), 0u);
+}
+
+TEST(IterationCap, SolverStopsAtMaxIterations)
+{
+    const robots::Benchmark &b = robots::benchmark("Hexacopter");
+    dsl::ModelSpec model = robots::analyzeBenchmark(b);
+    MpcOptions opt = b.options;
+    opt.horizon = 16;
+    opt.maxIterations = 3;
+    IpmSolver solver(model, opt);
+    auto result = solver.solve(b.initialState, b.reference);
+    EXPECT_EQ(result.iterations, 3);
+    EXPECT_FALSE(result.converged);
+    // Even unconverged, the returned control is finite and bounded.
+    for (std::size_t i = 0; i < result.u0.size(); ++i) {
+        EXPECT_TRUE(std::isfinite(result.u0[i]));
+        EXPECT_GE(result.u0[i], -1e-6);
+        EXPECT_LE(result.u0[i], 3.0 + 1e-6);
+    }
+}
+
+TEST(Degenerate, TightBoundsStillSolve)
+{
+    // An almost-pinned input (bounds one quantum apart).
+    const char *src = R"(
+System Pinned() {
+  state x;
+  input u;
+  x.dt = u;
+  u.lower_bound <= 0.499;
+  u.upper_bound <= 0.501;
+  Task go() {
+    penalty p;
+    p.running = x - 1;
+  }
+}
+Pinned sys();
+sys.go();
+)";
+    dsl::ModelSpec model = dsl::analyzeSource(src);
+    MpcOptions opt;
+    opt.horizon = 8;
+    opt.dt = 0.1;
+    IpmSolver solver(model, opt);
+    auto result = solver.solve(Vector{0.0}, Vector(0));
+    EXPECT_NEAR(result.u0[0], 0.5, 2e-3);
+}
+
+TEST(Degenerate, ZeroWeightPenaltiesAreHarmless)
+{
+    const char *src = R"(
+System Z() {
+  state x;
+  input u;
+  x.dt = u;
+  u.lower_bound <= -1;
+  u.upper_bound <= 1;
+  Task go() {
+    penalty p, ignored;
+    p.running = x - 1;
+    ignored.running = x * x;
+    ignored.weight <= 0;
+  }
+}
+Z sys();
+sys.go();
+)";
+    dsl::ModelSpec model = dsl::analyzeSource(src);
+    MpcOptions opt;
+    opt.horizon = 10;
+    opt.dt = 0.1;
+    IpmSolver solver(model, opt);
+    auto result = solver.solve(Vector{0.0}, Vector(0));
+    EXPECT_TRUE(result.converged);
+    EXPECT_GT(result.u0[0], 0.5);
+}
+
+TEST(Degenerate, HugeWeightsStayNumericallyStable)
+{
+    const char *src = R"(
+System H() {
+  state x;
+  input u;
+  x.dt = u;
+  u.lower_bound <= -1;
+  u.upper_bound <= 1;
+  Task go() {
+    penalty p;
+    p.running = x - 0.5;
+    p.weight <= 1e6;
+  }
+}
+H sys();
+sys.go();
+)";
+    dsl::ModelSpec model = dsl::analyzeSource(src);
+    MpcOptions opt;
+    opt.horizon = 10;
+    opt.dt = 0.1;
+    IpmSolver solver(model, opt);
+    auto result = solver.solve(Vector{0.0}, Vector(0));
+    EXPECT_TRUE(std::isfinite(result.objective));
+    EXPECT_GT(result.u0[0], 0.9); // Race to the setpoint.
+}
+
+TEST(Degenerate, UnboundedInputProblemStillSolves)
+{
+    // No inequality rows at all: the IPM degenerates to Newton/SQP.
+    const char *src = R"(
+System Free() {
+  state x;
+  input u;
+  x.dt = u;
+  Task go() {
+    penalty p, pu;
+    p.running = x - 1;
+    pu.running = u;
+    pu.weight <= 0.1;
+  }
+}
+Free sys();
+sys.go();
+)";
+    dsl::ModelSpec model = dsl::analyzeSource(src);
+    MpcOptions opt;
+    opt.horizon = 10;
+    opt.dt = 0.1;
+    IpmSolver solver(model, opt);
+    auto result = solver.solve(Vector{0.0}, Vector(0));
+    EXPECT_TRUE(result.converged);
+    EXPECT_GT(result.u0[0], 0.0);
+}
+
+TEST(Degenerate, DynamicsDivisionByStateNearZeroSaturates)
+{
+    // 1/x dynamics evaluated away from zero work; the tape itself is
+    // well-formed even though x -> 0 would blow up.
+    const char *src = R"(
+System D() {
+  state x;
+  input u;
+  x.dt = u / x;
+  x.lower_bound <= 0.5;
+  x.upper_bound <= 10;
+  u.lower_bound <= -1;
+  u.upper_bound <= 1;
+  Task go() {
+    penalty p;
+    p.running = x - 2;
+  }
+}
+D sys();
+sys.go();
+)";
+    dsl::ModelSpec model = dsl::analyzeSource(src);
+    MpcOptions opt;
+    opt.horizon = 8;
+    opt.dt = 0.05;
+    IpmSolver solver(model, opt);
+    auto result = solver.solve(Vector{1.0}, Vector(0));
+    EXPECT_TRUE(std::isfinite(result.u0[0]));
+}
+
+/**
+ * Property sweep: every benchmark robot, several random disturbance
+ * seeds. Random state kicks (scaled to each robot) are injected every
+ * 15 control periods; the controller must keep returning finite,
+ * bound-respecting controls and never destabilize the solver.
+ */
+class DisturbanceSweep
+    : public ::testing::TestWithParam<std::tuple<std::string, unsigned>>
+{
+};
+
+TEST_P(DisturbanceSweep, ControlsStayFiniteAndBounded)
+{
+    auto [name, seed] = GetParam();
+    const robots::Benchmark &b = robots::benchmark(name);
+    dsl::ModelSpec model = robots::analyzeBenchmark(b);
+    MpcOptions opt = b.options;
+    opt.horizon = 16;
+    IpmSolver solver(model, opt);
+    Plant plant(model);
+
+    std::mt19937 rng(seed);
+    std::normal_distribution<double> kick(0.0, 1.0);
+
+    Vector x = b.initialState;
+    for (int step = 0; step < 45; ++step) {
+        auto result = solver.solve(x, b.reference);
+        for (int i = 0; i < model.nu(); ++i) {
+            ASSERT_TRUE(std::isfinite(result.u0[i]))
+                << name << " step " << step;
+            EXPECT_GE(result.u0[i], model.inputLower[i] - 1e-6);
+            EXPECT_LE(result.u0[i], model.inputUpper[i] + 1e-6);
+        }
+        x = plant.step(x, result.u0, b.reference, opt.dt);
+        for (int i = 0; i < model.nx(); ++i)
+            ASSERT_TRUE(std::isfinite(x[i])) << name << " step " << step;
+
+        if (step % 15 == 14) {
+            // Kick each state by up to ~5% of its typical scale, then
+            // clamp back inside any box so the plant stays physical.
+            for (int i = 0; i < model.nx(); ++i) {
+                double scale =
+                    std::max(0.1, std::abs(b.initialState[i]));
+                x[i] += 0.05 * scale * kick(rng);
+                if (model.stateLower[i] != -dsl::kUnbounded)
+                    x[i] = std::max(x[i], model.stateLower[i]);
+                if (model.stateUpper[i] != dsl::kUnbounded)
+                    x[i] = std::min(x[i], model.stateUpper[i]);
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRobots, DisturbanceSweep,
+    ::testing::Combine(::testing::Values("MobileRobot", "Manipulator",
+                                         "AutoVehicle", "MicroSat",
+                                         "Quadrotor", "Hexacopter"),
+                       ::testing::Values(1u, 7u)));
+
+} // namespace
+} // namespace robox::mpc

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Tests for the statistics framework (scalars, histograms, formulas,
+ * group dumps), the execution trace with its Chrome export, and the
+ * accelerator run report.
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/report.hh"
+#include "accel/simulator.hh"
+#include "robots/robots.hh"
+#include "support/logging.hh"
+#include "support/stats.hh"
+
+namespace robox
+{
+namespace
+{
+
+TEST(Scalar, AccumulatesAndResets)
+{
+    stats::Scalar s("ops", "operations");
+    ++s;
+    s += 4.5;
+    EXPECT_DOUBLE_EQ(s.value(), 5.5);
+    s.reset();
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+    s.set(7.0);
+    EXPECT_DOUBLE_EQ(s.value(), 7.0);
+}
+
+TEST(Histogram, BucketsSamplesCorrectly)
+{
+    stats::Histogram h("lat", "latency", 0.0, 10.0, 5);
+    h.sample(0.5);  // bucket 0
+    h.sample(3.0);  // bucket 1
+    h.sample(9.99); // bucket 4
+    h.sample(-1.0); // underflow
+    h.sample(10.0); // overflow (hi is exclusive)
+    EXPECT_EQ(h.totalSamples(), 5u);
+    EXPECT_EQ(h.bucketCount(0), 1u);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+    EXPECT_EQ(h.bucketCount(4), 1u);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_DOUBLE_EQ(h.min(), -1.0);
+    EXPECT_DOUBLE_EQ(h.max(), 10.0);
+    EXPECT_NEAR(h.mean(), (0.5 + 3.0 + 9.99 - 1.0 + 10.0) / 5, 1e-12);
+    h.reset();
+    EXPECT_EQ(h.totalSamples(), 0u);
+}
+
+TEST(Histogram, WeightedSamples)
+{
+    stats::Histogram h("w", "weighted", 0.0, 4.0, 4);
+    h.sample(1.5, 10);
+    EXPECT_EQ(h.totalSamples(), 10u);
+    EXPECT_EQ(h.bucketCount(1), 10u);
+    EXPECT_DOUBLE_EQ(h.mean(), 1.5);
+}
+
+TEST(Histogram, RejectsBadConfig)
+{
+    EXPECT_THROW(stats::Histogram("b", "", 0.0, 1.0, 0), FatalError);
+    EXPECT_THROW(stats::Histogram("b", "", 2.0, 1.0, 4), FatalError);
+}
+
+TEST(Formula, ComputesFromCapturedState)
+{
+    stats::Scalar hits("hits", "");
+    stats::Scalar total("total", "");
+    stats::Formula rate("rate", "hit rate", [&] {
+        return total.value() ? hits.value() / total.value() : 0.0;
+    });
+    hits += 3;
+    total += 4;
+    EXPECT_DOUBLE_EQ(rate.value(), 0.75);
+}
+
+TEST(StatGroup, DumpContainsAllEntries)
+{
+    stats::Scalar a("alpha", "first stat");
+    a.set(42);
+    stats::Histogram h("hist", "a histogram", 0, 10, 2);
+    h.sample(5);
+    stats::Formula f("beta", "derived", [] { return 2.5; });
+    stats::StatGroup group("test");
+    group.add(&a);
+    group.add(&h);
+    group.add(&f);
+    std::string dump = group.dump();
+    EXPECT_NE(dump.find("test.alpha"), std::string::npos);
+    EXPECT_NE(dump.find("42"), std::string::npos);
+    EXPECT_NE(dump.find("test.beta"), std::string::npos);
+    EXPECT_NE(dump.find("hist::samples"), std::string::npos);
+    EXPECT_NE(dump.find("# first stat"), std::string::npos);
+
+    std::string csv = group.csv();
+    EXPECT_NE(csv.find("test.alpha,42"), std::string::npos);
+
+    group.resetAll();
+    EXPECT_DOUBLE_EQ(a.value(), 0.0);
+    EXPECT_EQ(h.totalSamples(), 0u);
+}
+
+TEST(Trace, RecordsEveryNodeAndExportsChromeJson)
+{
+    const robots::Benchmark &b = robots::benchmark("MobileRobot");
+    dsl::ModelSpec model = robots::analyzeBenchmark(b);
+    mpc::MpcOptions opt = b.options;
+    opt.horizon = 4;
+    mpc::MpcProblem prob(model, opt);
+    translator::Workload wl = translator::buildSolverIteration(prob);
+    accel::AcceleratorConfig cfg;
+    compiler::ProgramMap map = compiler::mapGraph(wl.graph, cfg);
+
+    accel::Trace trace;
+    accel::CycleStats stats = accel::simulate(wl, map, cfg, &trace);
+    EXPECT_EQ(trace.size(), wl.graph.size());
+
+    // Events are well-formed and within the run.
+    for (const accel::TraceEvent &e : trace.events()) {
+        EXPECT_LE(e.start, e.finish);
+        EXPECT_LE(e.finish, stats.computeCycles);
+        EXPECT_GE(e.cc, 0);
+        EXPECT_LT(e.cc, cfg.numCcs);
+    }
+
+    std::string json = trace.toChromeJson();
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    // Same run without a trace produces identical timing.
+    accel::CycleStats again = accel::simulate(wl, map, cfg);
+    EXPECT_EQ(again.cycles, stats.cycles);
+}
+
+TEST(Report, FormatsRunStatistics)
+{
+    const robots::Benchmark &b = robots::benchmark("Quadrotor");
+    dsl::ModelSpec model = robots::analyzeBenchmark(b);
+    mpc::MpcOptions opt = b.options;
+    opt.horizon = 8;
+    mpc::MpcProblem prob(model, opt);
+    translator::Workload wl = translator::buildSolverIteration(prob);
+    accel::AcceleratorConfig cfg;
+    compiler::ProgramMap map = compiler::mapGraph(wl.graph, cfg);
+    accel::CycleStats stats = accel::simulate(wl, map, cfg);
+
+    std::string report =
+        accel::formatReport("quad", stats, cfg, wl.totalOps());
+    EXPECT_NE(report.find("quad.cycles"), std::string::npos);
+    EXPECT_NE(report.find("quad.utilization"), std::string::npos);
+    EXPECT_NE(report.find("busyCycles::factor"), std::string::npos);
+    EXPECT_NE(report.find("impliedWatts"), std::string::npos);
+
+    std::string csv =
+        accel::formatReport("quad", stats, cfg, wl.totalOps(), true);
+    EXPECT_NE(csv.find("stat,value"), std::string::npos);
+    EXPECT_NE(csv.find("quad.cycles,"), std::string::npos);
+}
+
+TEST(Report, LatencyHistogramsFromTrace)
+{
+    const robots::Benchmark &b = robots::benchmark("MicroSat");
+    dsl::ModelSpec model = robots::analyzeBenchmark(b);
+    mpc::MpcOptions opt = b.options;
+    opt.horizon = 4;
+    mpc::MpcProblem prob(model, opt);
+    translator::Workload wl = translator::buildSolverIteration(prob);
+    accel::AcceleratorConfig cfg;
+    compiler::ProgramMap map = compiler::mapGraph(wl.graph, cfg);
+    accel::Trace trace;
+    accel::simulate(wl, map, cfg, &trace);
+
+    std::string dump = accel::formatLatencyHistograms("micro", trace);
+    EXPECT_NE(dump.find("latency::scalar::samples"), std::string::npos);
+    EXPECT_NE(dump.find("latency::group::mean"), std::string::npos);
+}
+
+} // namespace
+} // namespace robox

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Unit tests for the support library: logging/error discipline and
+ * string utilities.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/logging.hh"
+#include "support/strings.hh"
+
+namespace robox
+{
+namespace
+{
+
+TEST(Logging, FatalThrowsFatalError)
+{
+    EXPECT_THROW(fatal("bad config value {}", 42), FatalError);
+}
+
+TEST(Logging, FatalMessageFormatsPositionally)
+{
+    try {
+        fatal("expected {} got {}", "foo", 7);
+        FAIL() << "fatal() returned";
+    } catch (const FatalError &e) {
+        EXPECT_STREQ(e.what(), "expected foo got 7");
+    }
+}
+
+TEST(Logging, FormatHandlesMissingPlaceholders)
+{
+    EXPECT_EQ(detail::format("a {} b", 1, 2), "a 1 b 2");
+    EXPECT_EQ(detail::format("no placeholders"), "no placeholders");
+    EXPECT_EQ(detail::format("{} {} {}", 1), "1 {} {}");
+}
+
+TEST(Logging, WarnAndInformDoNotThrow)
+{
+    EXPECT_NO_THROW(warn("a warning: {}", 1));
+    EXPECT_NO_THROW(inform("an info message"));
+}
+
+TEST(Strings, TrimStripsBothEnds)
+{
+    EXPECT_EQ(trim("  abc \t\n"), "abc");
+    EXPECT_EQ(trim("abc"), "abc");
+    EXPECT_EQ(trim("   "), "");
+    EXPECT_EQ(trim(""), "");
+}
+
+TEST(Strings, SplitPreservesEmptyFields)
+{
+    auto parts = split("a,b,,c", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[2], "");
+    EXPECT_EQ(parts[3], "c");
+    EXPECT_EQ(split("", ',').size(), 1u);
+}
+
+TEST(Strings, JoinRoundTripsSplit)
+{
+    std::string s = "x/y/z";
+    EXPECT_EQ(join(split(s, '/'), "/"), s);
+}
+
+TEST(Strings, PrefixSuffixChecks)
+{
+    EXPECT_TRUE(startsWith("robox_fig05", "robox"));
+    EXPECT_FALSE(startsWith("ro", "robox"));
+    EXPECT_TRUE(endsWith("fig05_cpu", "cpu"));
+    EXPECT_FALSE(endsWith("cpu", "fig05_cpu"));
+}
+
+TEST(Strings, ToLower)
+{
+    EXPECT_EQ(toLower("RoboX MPC"), "robox mpc");
+}
+
+TEST(Strings, FormatDoubleRoundTrips)
+{
+    EXPECT_EQ(formatDouble(1.5), "1.5");
+    EXPECT_EQ(formatDouble(-3.0), "-3");
+    double v = 0.1234567890123;
+    EXPECT_NEAR(std::stod(formatDouble(v)), v, 1e-12);
+}
+
+} // namespace
+} // namespace robox

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Tests for the workload builder: graph well-formedness, phase
+ * coverage, scaling with the stage slice, and memory-traffic budgets.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dsl/sema.hh"
+#include "robots/robots.hh"
+#include "translator/workload.hh"
+
+namespace robox::translator
+{
+namespace
+{
+
+mpc::MpcProblem
+makeProblem(const std::string &name, int horizon)
+{
+    const robots::Benchmark &bench = robots::benchmark(name);
+    dsl::ModelSpec model = robots::analyzeBenchmark(bench);
+    mpc::MpcOptions opt = bench.options;
+    opt.horizon = horizon;
+    return mpc::MpcProblem(model, opt);
+}
+
+TEST(Workload, GraphIsTopologicallyOrdered)
+{
+    mpc::MpcProblem prob = makeProblem("MobileRobot", 8);
+    Workload wl = buildSolverIteration(prob);
+    EXPECT_TRUE(wl.graph.isTopologicallyOrdered());
+    EXPECT_GT(wl.graph.size(), 0u);
+    EXPECT_EQ(wl.stages, 8);
+    EXPECT_EQ(wl.horizon, 8);
+}
+
+TEST(Workload, AllPhasesArePresent)
+{
+    mpc::MpcProblem prob = makeProblem("Quadrotor", 4);
+    Workload wl = buildSolverIteration(prob);
+    mdfg::GraphStats stats = wl.graph.stats();
+    for (int p = 0; p < mdfg::kNumPhases; ++p) {
+        EXPECT_GT(stats.opsPerPhase[p], 0u)
+            << mdfg::phaseName(static_cast<mdfg::Phase>(p));
+    }
+}
+
+TEST(Workload, OpsScaleLinearlyWithStages)
+{
+    mpc::MpcProblem prob = makeProblem("AutoVehicle", 32);
+    Workload small = buildSolverIteration(prob, 8);
+    Workload big = buildSolverIteration(prob, 32);
+    double ratio = static_cast<double>(big.totalOps()) /
+                   static_cast<double>(small.totalOps());
+    // Per-stage work dominates; the terminal block adds a small
+    // constant, so the ratio is slightly below 4.
+    EXPECT_GT(ratio, 3.5);
+    EXPECT_LE(ratio, 4.05);
+}
+
+TEST(Workload, SliceDefaultsToHorizon)
+{
+    mpc::MpcProblem prob = makeProblem("MobileRobot", 12);
+    Workload wl = buildSolverIteration(prob, -1);
+    EXPECT_EQ(wl.stages, 12);
+    Workload capped = buildSolverIteration(prob, 64);
+    EXPECT_EQ(capped.stages, 12); // Clamped to the horizon.
+}
+
+TEST(Workload, MemoryBudgetsArePopulated)
+{
+    mpc::MpcProblem prob = makeProblem("Hexacopter", 8);
+    Workload wl = buildSolverIteration(prob);
+    EXPECT_GT(wl.bytesInPerStage, 0u);
+    EXPECT_GT(wl.bytesOutPerStage, 0u);
+    EXPECT_GT(wl.bytesFixed, 0u);
+    EXPECT_GT(wl.bytesWorkingSetPerStage, wl.bytesInPerStage);
+}
+
+TEST(Workload, BiggerRobotsBuildBiggerGraphs)
+{
+    Workload mobile = buildSolverIteration(makeProblem("MobileRobot", 8));
+    Workload hexa = buildSolverIteration(makeProblem("Hexacopter", 8));
+    EXPECT_GT(hexa.totalOps(), 4 * mobile.totalOps());
+    EXPECT_GT(hexa.bytesWorkingSetPerStage,
+              mobile.bytesWorkingSetPerStage);
+}
+
+TEST(Workload, HexacopterOutweighsQuadrotorPerState)
+{
+    // Same state count, more computation per state (Sec. VIII).
+    Workload quad = buildSolverIteration(makeProblem("Quadrotor", 8));
+    Workload hexa = buildSolverIteration(makeProblem("Hexacopter", 8));
+    EXPECT_GT(hexa.totalOps(), quad.totalOps());
+}
+
+TEST(Workload, GroupNodesExistForReductions)
+{
+    Workload wl = buildSolverIteration(makeProblem("MicroSat", 4));
+    mdfg::GraphStats stats = wl.graph.stats();
+    EXPECT_GT(stats.groupNodes, 0u);
+    EXPECT_GT(stats.vectorNodes, 0u);
+    EXPECT_GT(stats.scalarNodes, 0u);
+}
+
+TEST(Workload, FactorPhaseIsStageSequential)
+{
+    // The critical path must grow with the stage count (the Riccati
+    // recursion serializes across stages).
+    mpc::MpcProblem prob = makeProblem("MobileRobot", 32);
+    std::size_t cp8 = buildSolverIteration(prob, 8).graph.stats()
+                          .criticalPath;
+    std::size_t cp32 = buildSolverIteration(prob, 32).graph.stats()
+                           .criticalPath;
+    EXPECT_GT(cp32, 2 * cp8);
+}
+
+} // namespace
+} // namespace robox::translator

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fixed_point.dir/ablation_fixed_point.cc.o"
+  "CMakeFiles/ablation_fixed_point.dir/ablation_fixed_point.cc.o.d"
+  "ablation_fixed_point"
+  "ablation_fixed_point.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fixed_point.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_cpu_ppw.dir/fig07_cpu_ppw.cc.o"
+  "CMakeFiles/fig07_cpu_ppw.dir/fig07_cpu_ppw.cc.o.d"
+  "fig07_cpu_ppw"
+  "fig07_cpu_ppw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_cpu_ppw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

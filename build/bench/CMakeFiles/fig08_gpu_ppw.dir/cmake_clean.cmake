@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_gpu_ppw.dir/fig08_gpu_ppw.cc.o"
+  "CMakeFiles/fig08_gpu_ppw.dir/fig08_gpu_ppw.cc.o.d"
+  "fig08_gpu_ppw"
+  "fig08_gpu_ppw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_gpu_ppw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

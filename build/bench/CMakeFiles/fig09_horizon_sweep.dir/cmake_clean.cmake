@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_horizon_sweep.dir/fig09_horizon_sweep.cc.o"
+  "CMakeFiles/fig09_horizon_sweep.dir/fig09_horizon_sweep.cc.o.d"
+  "fig09_horizon_sweep"
+  "fig09_horizon_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_horizon_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_platforms.dir/table4_platforms.cc.o"
+  "CMakeFiles/table4_platforms.dir/table4_platforms.cc.o.d"
+  "table4_platforms"
+  "table4_platforms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_platforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

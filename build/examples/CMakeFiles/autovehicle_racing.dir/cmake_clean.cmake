@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autovehicle_racing.dir/autovehicle_racing.cpp.o"
+  "CMakeFiles/autovehicle_racing.dir/autovehicle_racing.cpp.o.d"
+  "autovehicle_racing"
+  "autovehicle_racing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autovehicle_racing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cartpole_balance.dir/cartpole_balance.cpp.o"
+  "CMakeFiles/cartpole_balance.dir/cartpole_balance.cpp.o.d"
+  "cartpole_balance"
+  "cartpole_balance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cartpole_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

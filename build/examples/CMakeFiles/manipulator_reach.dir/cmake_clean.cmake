@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manipulator_reach.dir/manipulator_reach.cpp.o"
+  "CMakeFiles/manipulator_reach.dir/manipulator_reach.cpp.o.d"
+  "manipulator_reach"
+  "manipulator_reach.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manipulator_reach.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for manipulator_reach.
+# This may be replaced when dependencies are built.

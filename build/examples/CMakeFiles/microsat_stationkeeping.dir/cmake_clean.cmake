@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microsat_stationkeeping.dir/microsat_stationkeeping.cpp.o"
+  "CMakeFiles/microsat_stationkeeping.dir/microsat_stationkeeping.cpp.o.d"
+  "microsat_stationkeeping"
+  "microsat_stationkeeping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microsat_stationkeeping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for microsat_stationkeeping.
+# This may be replaced when dependencies are built.

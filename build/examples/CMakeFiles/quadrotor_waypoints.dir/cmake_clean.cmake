@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quadrotor_waypoints.dir/quadrotor_waypoints.cpp.o"
+  "CMakeFiles/quadrotor_waypoints.dir/quadrotor_waypoints.cpp.o.d"
+  "quadrotor_waypoints"
+  "quadrotor_waypoints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quadrotor_waypoints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for quadrotor_waypoints.
+# This may be replaced when dependencies are built.

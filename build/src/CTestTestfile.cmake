@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("fixed")
+subdirs("linalg")
+subdirs("sym")
+subdirs("dsl")
+subdirs("mdfg")
+subdirs("translator")
+subdirs("mpc")
+subdirs("isa")
+subdirs("compiler")
+subdirs("accel")
+subdirs("perfmodel")
+subdirs("robots")
+subdirs("core")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robox_accel.dir/energy.cc.o"
+  "CMakeFiles/robox_accel.dir/energy.cc.o.d"
+  "CMakeFiles/robox_accel.dir/functional.cc.o"
+  "CMakeFiles/robox_accel.dir/functional.cc.o.d"
+  "CMakeFiles/robox_accel.dir/report.cc.o"
+  "CMakeFiles/robox_accel.dir/report.cc.o.d"
+  "CMakeFiles/robox_accel.dir/simulator.cc.o"
+  "CMakeFiles/robox_accel.dir/simulator.cc.o.d"
+  "CMakeFiles/robox_accel.dir/trace.cc.o"
+  "CMakeFiles/robox_accel.dir/trace.cc.o.d"
+  "librobox_accel.a"
+  "librobox_accel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robox_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robox_compiler.dir/binary.cc.o"
+  "CMakeFiles/robox_compiler.dir/binary.cc.o.d"
+  "CMakeFiles/robox_compiler.dir/codegen.cc.o"
+  "CMakeFiles/robox_compiler.dir/codegen.cc.o.d"
+  "CMakeFiles/robox_compiler.dir/mapper.cc.o"
+  "CMakeFiles/robox_compiler.dir/mapper.cc.o.d"
+  "librobox_compiler.a"
+  "librobox_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robox_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

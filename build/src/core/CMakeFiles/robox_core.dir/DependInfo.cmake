@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/controller.cc" "src/core/CMakeFiles/robox_core.dir/controller.cc.o" "gcc" "src/core/CMakeFiles/robox_core.dir/controller.cc.o.d"
+  "/root/repo/src/core/evaluation.cc" "src/core/CMakeFiles/robox_core.dir/evaluation.cc.o" "gcc" "src/core/CMakeFiles/robox_core.dir/evaluation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/robox_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsl/CMakeFiles/robox_dsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpc/CMakeFiles/robox_mpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/robox_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/robox_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/robox_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/robots/CMakeFiles/robox_robots.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/robox_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/translator/CMakeFiles/robox_translator.dir/DependInfo.cmake"
+  "/root/repo/build/src/mdfg/CMakeFiles/robox_mdfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/sym/CMakeFiles/robox_sym.dir/DependInfo.cmake"
+  "/root/repo/build/src/fixed/CMakeFiles/robox_fixed.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/robox_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

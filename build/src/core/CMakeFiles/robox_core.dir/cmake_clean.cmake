@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robox_core.dir/controller.cc.o"
+  "CMakeFiles/robox_core.dir/controller.cc.o.d"
+  "CMakeFiles/robox_core.dir/evaluation.cc.o"
+  "CMakeFiles/robox_core.dir/evaluation.cc.o.d"
+  "librobox_core.a"
+  "librobox_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robox_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

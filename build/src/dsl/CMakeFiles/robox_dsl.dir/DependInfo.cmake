@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsl/format.cc" "src/dsl/CMakeFiles/robox_dsl.dir/format.cc.o" "gcc" "src/dsl/CMakeFiles/robox_dsl.dir/format.cc.o.d"
+  "/root/repo/src/dsl/lexer.cc" "src/dsl/CMakeFiles/robox_dsl.dir/lexer.cc.o" "gcc" "src/dsl/CMakeFiles/robox_dsl.dir/lexer.cc.o.d"
+  "/root/repo/src/dsl/model_spec.cc" "src/dsl/CMakeFiles/robox_dsl.dir/model_spec.cc.o" "gcc" "src/dsl/CMakeFiles/robox_dsl.dir/model_spec.cc.o.d"
+  "/root/repo/src/dsl/parser.cc" "src/dsl/CMakeFiles/robox_dsl.dir/parser.cc.o" "gcc" "src/dsl/CMakeFiles/robox_dsl.dir/parser.cc.o.d"
+  "/root/repo/src/dsl/sema.cc" "src/dsl/CMakeFiles/robox_dsl.dir/sema.cc.o" "gcc" "src/dsl/CMakeFiles/robox_dsl.dir/sema.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/robox_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/sym/CMakeFiles/robox_sym.dir/DependInfo.cmake"
+  "/root/repo/build/src/fixed/CMakeFiles/robox_fixed.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

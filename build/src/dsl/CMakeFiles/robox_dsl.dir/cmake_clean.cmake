@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robox_dsl.dir/format.cc.o"
+  "CMakeFiles/robox_dsl.dir/format.cc.o.d"
+  "CMakeFiles/robox_dsl.dir/lexer.cc.o"
+  "CMakeFiles/robox_dsl.dir/lexer.cc.o.d"
+  "CMakeFiles/robox_dsl.dir/model_spec.cc.o"
+  "CMakeFiles/robox_dsl.dir/model_spec.cc.o.d"
+  "CMakeFiles/robox_dsl.dir/parser.cc.o"
+  "CMakeFiles/robox_dsl.dir/parser.cc.o.d"
+  "CMakeFiles/robox_dsl.dir/sema.cc.o"
+  "CMakeFiles/robox_dsl.dir/sema.cc.o.d"
+  "librobox_dsl.a"
+  "librobox_dsl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robox_dsl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

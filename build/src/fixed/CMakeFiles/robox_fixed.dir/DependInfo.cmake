@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fixed/fixed.cc" "src/fixed/CMakeFiles/robox_fixed.dir/fixed.cc.o" "gcc" "src/fixed/CMakeFiles/robox_fixed.dir/fixed.cc.o.d"
+  "/root/repo/src/fixed/fixed_math.cc" "src/fixed/CMakeFiles/robox_fixed.dir/fixed_math.cc.o" "gcc" "src/fixed/CMakeFiles/robox_fixed.dir/fixed_math.cc.o.d"
+  "/root/repo/src/fixed/lut.cc" "src/fixed/CMakeFiles/robox_fixed.dir/lut.cc.o" "gcc" "src/fixed/CMakeFiles/robox_fixed.dir/lut.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/robox_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

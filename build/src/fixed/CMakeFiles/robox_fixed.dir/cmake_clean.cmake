@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robox_fixed.dir/fixed.cc.o"
+  "CMakeFiles/robox_fixed.dir/fixed.cc.o.d"
+  "CMakeFiles/robox_fixed.dir/fixed_math.cc.o"
+  "CMakeFiles/robox_fixed.dir/fixed_math.cc.o.d"
+  "CMakeFiles/robox_fixed.dir/lut.cc.o"
+  "CMakeFiles/robox_fixed.dir/lut.cc.o.d"
+  "librobox_fixed.a"
+  "librobox_fixed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robox_fixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robox_isa.dir/isa.cc.o"
+  "CMakeFiles/robox_isa.dir/isa.cc.o.d"
+  "librobox_isa.a"
+  "librobox_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robox_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

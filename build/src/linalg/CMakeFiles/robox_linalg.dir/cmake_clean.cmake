@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robox_linalg.dir/cholesky.cc.o"
+  "CMakeFiles/robox_linalg.dir/cholesky.cc.o.d"
+  "CMakeFiles/robox_linalg.dir/matrix.cc.o"
+  "CMakeFiles/robox_linalg.dir/matrix.cc.o.d"
+  "librobox_linalg.a"
+  "librobox_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robox_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robox_mdfg.dir/mdfg.cc.o"
+  "CMakeFiles/robox_mdfg.dir/mdfg.cc.o.d"
+  "librobox_mdfg.a"
+  "librobox_mdfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robox_mdfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpc/dense_kkt.cc" "src/mpc/CMakeFiles/robox_mpc.dir/dense_kkt.cc.o" "gcc" "src/mpc/CMakeFiles/robox_mpc.dir/dense_kkt.cc.o.d"
+  "/root/repo/src/mpc/ipm.cc" "src/mpc/CMakeFiles/robox_mpc.dir/ipm.cc.o" "gcc" "src/mpc/CMakeFiles/robox_mpc.dir/ipm.cc.o.d"
+  "/root/repo/src/mpc/problem.cc" "src/mpc/CMakeFiles/robox_mpc.dir/problem.cc.o" "gcc" "src/mpc/CMakeFiles/robox_mpc.dir/problem.cc.o.d"
+  "/root/repo/src/mpc/riccati.cc" "src/mpc/CMakeFiles/robox_mpc.dir/riccati.cc.o" "gcc" "src/mpc/CMakeFiles/robox_mpc.dir/riccati.cc.o.d"
+  "/root/repo/src/mpc/simulate.cc" "src/mpc/CMakeFiles/robox_mpc.dir/simulate.cc.o" "gcc" "src/mpc/CMakeFiles/robox_mpc.dir/simulate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/robox_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/sym/CMakeFiles/robox_sym.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsl/CMakeFiles/robox_dsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/robox_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/fixed/CMakeFiles/robox_fixed.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

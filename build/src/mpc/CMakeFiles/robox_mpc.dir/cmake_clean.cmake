@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robox_mpc.dir/dense_kkt.cc.o"
+  "CMakeFiles/robox_mpc.dir/dense_kkt.cc.o.d"
+  "CMakeFiles/robox_mpc.dir/ipm.cc.o"
+  "CMakeFiles/robox_mpc.dir/ipm.cc.o.d"
+  "CMakeFiles/robox_mpc.dir/problem.cc.o"
+  "CMakeFiles/robox_mpc.dir/problem.cc.o.d"
+  "CMakeFiles/robox_mpc.dir/riccati.cc.o"
+  "CMakeFiles/robox_mpc.dir/riccati.cc.o.d"
+  "CMakeFiles/robox_mpc.dir/simulate.cc.o"
+  "CMakeFiles/robox_mpc.dir/simulate.cc.o.d"
+  "librobox_mpc.a"
+  "librobox_mpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robox_mpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robox_perfmodel.dir/platforms.cc.o"
+  "CMakeFiles/robox_perfmodel.dir/platforms.cc.o.d"
+  "CMakeFiles/robox_perfmodel.dir/profile.cc.o"
+  "CMakeFiles/robox_perfmodel.dir/profile.cc.o.d"
+  "librobox_perfmodel.a"
+  "librobox_perfmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robox_perfmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robox_robots.dir/robots.cc.o"
+  "CMakeFiles/robox_robots.dir/robots.cc.o.d"
+  "librobox_robots.a"
+  "librobox_robots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robox_robots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

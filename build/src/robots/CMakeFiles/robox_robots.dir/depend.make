@@ -1,0 +1,2 @@
+# Empty dependencies file for robox_robots.
+# This may be replaced when dependencies are built.

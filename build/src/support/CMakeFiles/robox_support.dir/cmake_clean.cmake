@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robox_support.dir/logging.cc.o"
+  "CMakeFiles/robox_support.dir/logging.cc.o.d"
+  "CMakeFiles/robox_support.dir/stats.cc.o"
+  "CMakeFiles/robox_support.dir/stats.cc.o.d"
+  "CMakeFiles/robox_support.dir/strings.cc.o"
+  "CMakeFiles/robox_support.dir/strings.cc.o.d"
+  "librobox_support.a"
+  "librobox_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robox_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

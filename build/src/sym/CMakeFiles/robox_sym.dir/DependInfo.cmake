@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sym/derivatives.cc" "src/sym/CMakeFiles/robox_sym.dir/derivatives.cc.o" "gcc" "src/sym/CMakeFiles/robox_sym.dir/derivatives.cc.o.d"
+  "/root/repo/src/sym/expr.cc" "src/sym/CMakeFiles/robox_sym.dir/expr.cc.o" "gcc" "src/sym/CMakeFiles/robox_sym.dir/expr.cc.o.d"
+  "/root/repo/src/sym/tape.cc" "src/sym/CMakeFiles/robox_sym.dir/tape.cc.o" "gcc" "src/sym/CMakeFiles/robox_sym.dir/tape.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/robox_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/fixed/CMakeFiles/robox_fixed.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robox_sym.dir/derivatives.cc.o"
+  "CMakeFiles/robox_sym.dir/derivatives.cc.o.d"
+  "CMakeFiles/robox_sym.dir/expr.cc.o"
+  "CMakeFiles/robox_sym.dir/expr.cc.o.d"
+  "CMakeFiles/robox_sym.dir/tape.cc.o"
+  "CMakeFiles/robox_sym.dir/tape.cc.o.d"
+  "librobox_sym.a"
+  "librobox_sym.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robox_sym.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

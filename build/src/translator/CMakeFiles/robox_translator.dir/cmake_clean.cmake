@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robox_translator.dir/workload.cc.o"
+  "CMakeFiles/robox_translator.dir/workload.cc.o.d"
+  "librobox_translator.a"
+  "librobox_translator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robox_translator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdfg_test.dir/mdfg_test.cc.o"
+  "CMakeFiles/mdfg_test.dir/mdfg_test.cc.o.d"
+  "mdfg_test"
+  "mdfg_test.pdb"
+  "mdfg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdfg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robots_test.dir/robots_test.cc.o"
+  "CMakeFiles/robots_test.dir/robots_test.cc.o.d"
+  "robots_test"
+  "robots_test.pdb"
+  "robots_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robots_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

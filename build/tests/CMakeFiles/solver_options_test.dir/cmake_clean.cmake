@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solver_options_test.dir/solver_options_test.cc.o"
+  "CMakeFiles/solver_options_test.dir/solver_options_test.cc.o.d"
+  "solver_options_test"
+  "solver_options_test.pdb"
+  "solver_options_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solver_options_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

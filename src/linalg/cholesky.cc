@@ -15,14 +15,21 @@ namespace robox
 namespace
 {
 
-/** Attempt the factorization; return false if a pivot is non-positive. */
+/**
+ * Attempt the factorization of a + shift * I into the caller's buffer;
+ * return false if a pivot is non-positive. The shift is folded into the
+ * diagonal reads so no shifted copy of a is materialized.
+ */
 bool
-tryCholesky(const Matrix &a, Matrix &l)
+tryCholeskyShifted(const Matrix &a, double shift, Matrix &l)
 {
     std::size_t n = a.rows();
-    l = Matrix(n, n);
+    if (l.rows() != n || l.cols() != n)
+        l.resize(n, n);
+    else
+        l.fill(0.0);
     for (std::size_t j = 0; j < n; ++j) {
-        double diag = a(j, j);
+        double diag = a(j, j) + shift;
         for (std::size_t k = 0; k < j; ++k)
             diag -= l(j, k) * l(j, k);
         if (diag <= 0.0 || !std::isfinite(diag))
@@ -37,6 +44,12 @@ tryCholesky(const Matrix &a, Matrix &l)
         }
     }
     return true;
+}
+
+bool
+tryCholesky(const Matrix &a, Matrix &l)
+{
+    return tryCholeskyShifted(a, 0.0, l);
 }
 
 } // namespace
@@ -55,19 +68,24 @@ cholesky(const Matrix &a)
 Matrix
 choleskyRegularized(const Matrix &a, double &reg)
 {
-    robox_assert(a.rows() == a.cols());
     Matrix l;
+    choleskyRegularizedInto(a, reg, l);
+    return l;
+}
+
+void
+choleskyRegularizedInto(const Matrix &a, double &reg, Matrix &l)
+{
+    robox_assert(a.rows() == a.cols());
     if (tryCholesky(a, l)) {
         reg = 0.0;
-        return l;
+        return;
     }
     double shift = reg > 0.0 ? reg : 1e-10;
     for (int attempt = 0; attempt < 60; ++attempt) {
-        Matrix shifted = a;
-        shifted.addDiagonal(shift);
-        if (tryCholesky(shifted, l)) {
+        if (tryCholeskyShifted(a, shift, l)) {
             reg = shift;
-            return l;
+            return;
         }
         shift *= 10.0;
     }
@@ -105,31 +123,85 @@ backwardSubstitute(const Matrix &l, const Vector &y)
     return x;
 }
 
+void
+forwardSubstituteInPlace(const Matrix &l, Vector &b)
+{
+    std::size_t n = l.rows();
+    robox_assert_dbg(l.cols() == n && b.size() == n);
+    for (std::size_t i = 0; i < n; ++i) {
+        double acc = b[i];
+        for (std::size_t k = 0; k < i; ++k)
+            acc -= l(i, k) * b[k];
+        b[i] = acc / l(i, i);
+    }
+}
+
+void
+backwardSubstituteInPlace(const Matrix &l, Vector &y)
+{
+    std::size_t n = l.rows();
+    robox_assert_dbg(l.cols() == n && y.size() == n);
+    for (std::size_t ii = n; ii-- > 0;) {
+        double acc = y[ii];
+        for (std::size_t k = ii + 1; k < n; ++k)
+            acc -= l(k, ii) * y[k];
+        y[ii] = acc / l(ii, ii);
+    }
+}
+
 Vector
 choleskySolve(const Matrix &l, const Vector &b)
 {
     return backwardSubstitute(l, forwardSubstitute(l, b));
 }
 
+void
+choleskySolveInPlace(const Matrix &l, Vector &b)
+{
+    forwardSubstituteInPlace(l, b);
+    backwardSubstituteInPlace(l, b);
+}
+
 Matrix
 choleskySolveMatrix(const Matrix &l, const Matrix &b)
 {
-    std::size_t n = l.rows();
-    robox_assert(b.rows() == n);
-    Matrix x(n, b.cols());
-    for (std::size_t j = 0; j < b.cols(); ++j) {
-        Vector col(n);
-        for (std::size_t i = 0; i < n; ++i)
-            col[i] = b(i, j);
-        Vector sol = choleskySolve(l, col);
-        for (std::size_t i = 0; i < n; ++i)
-            x(i, j) = sol[i];
-    }
+    Matrix x = b;
+    choleskySolveMatrixInPlace(l, x);
     return x;
+}
+
+void
+choleskySolveMatrixInPlace(const Matrix &l, Matrix &b)
+{
+    std::size_t n = l.rows();
+    robox_assert_dbg(b.rows() == n);
+    // Column-wise forward then backward substitution, operating
+    // directly on b's storage.
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+        for (std::size_t i = 0; i < n; ++i) {
+            double acc = b(i, j);
+            for (std::size_t k = 0; k < i; ++k)
+                acc -= l(i, k) * b(k, j);
+            b(i, j) = acc / l(i, i);
+        }
+        for (std::size_t ii = n; ii-- > 0;) {
+            double acc = b(ii, j);
+            for (std::size_t k = ii + 1; k < n; ++k)
+                acc -= l(k, ii) * b(k, j);
+            b(ii, j) = acc / l(ii, ii);
+        }
+    }
 }
 
 Vector
 gaussianSolve(Matrix a, Vector b)
+{
+    gaussianSolveInPlace(a, b);
+    return b;
+}
+
+void
+gaussianSolveInPlace(Matrix &a, Vector &b)
 {
     std::size_t n = a.rows();
     robox_assert(a.cols() == n && b.size() == n);
@@ -155,14 +227,14 @@ gaussianSolve(Matrix a, Vector b)
             b[r] -= f * b[col];
         }
     }
-    Vector x(n);
+    // Back-substitute directly into b: entries above ii already hold
+    // solved components.
     for (std::size_t ii = n; ii-- > 0;) {
         double acc = b[ii];
         for (std::size_t c = ii + 1; c < n; ++c)
-            acc -= a(ii, c) * x[c];
-        x[ii] = acc / a(ii, ii);
+            acc -= a(ii, c) * b[c];
+        b[ii] = acc / a(ii, ii);
     }
-    return x;
 }
 
 } // namespace robox

@@ -34,17 +34,37 @@ Matrix cholesky(const Matrix &a);
  */
 Matrix choleskyRegularized(const Matrix &a, double &reg);
 
+/**
+ * Allocation-free choleskyRegularized: factors into the caller's
+ * buffer, which is resized only when its shape differs. The shift, if
+ * any, is applied to the diagonal during the factorization itself, so
+ * no shifted copy of the input is formed.
+ */
+void choleskyRegularizedInto(const Matrix &a, double &reg, Matrix &l);
+
 /** Solve L y = b with L lower triangular (forward substitution). */
 Vector forwardSubstitute(const Matrix &l, const Vector &b);
 
 /** Solve L^T x = y with L lower triangular (backward substitution). */
 Vector backwardSubstitute(const Matrix &l, const Vector &y);
 
+/** Forward substitution overwriting b with the solution of L y = b. */
+void forwardSubstituteInPlace(const Matrix &l, Vector &b);
+
+/** Backward substitution overwriting y with the solution of L^T x = y. */
+void backwardSubstituteInPlace(const Matrix &l, Vector &y);
+
 /** Solve A x = b given the Cholesky factor L of A. */
 Vector choleskySolve(const Matrix &l, const Vector &b);
 
+/** choleskySolve overwriting b with the solution. */
+void choleskySolveInPlace(const Matrix &l, Vector &b);
+
 /** Solve A X = B column-by-column given the Cholesky factor L of A. */
 Matrix choleskySolveMatrix(const Matrix &l, const Matrix &b);
+
+/** choleskySolveMatrix overwriting B with the solution. */
+void choleskySolveMatrixInPlace(const Matrix &l, Matrix &b);
 
 /**
  * Solve a general square system via Gaussian elimination with partial
@@ -53,6 +73,13 @@ Matrix choleskySolveMatrix(const Matrix &l, const Matrix &b);
  * structured solver.
  */
 Vector gaussianSolve(Matrix a, Vector b);
+
+/**
+ * gaussianSolve without copies: eliminates in a (destroying it) and
+ * overwrites b with the solution. The allocation-free path under the
+ * dense-KKT ablation backend.
+ */
+void gaussianSolveInPlace(Matrix &a, Vector &b);
 
 } // namespace robox
 

@@ -16,21 +16,21 @@ namespace robox
 double &
 Vector::operator[](std::size_t i)
 {
-    robox_assert(i < data_.size());
+    robox_assert_dbg(i < data_.size());
     return data_[i];
 }
 
 double
 Vector::operator[](std::size_t i) const
 {
-    robox_assert(i < data_.size());
+    robox_assert_dbg(i < data_.size());
     return data_[i];
 }
 
 Vector
 Vector::operator+(const Vector &o) const
 {
-    robox_assert(size() == o.size());
+    robox_assert_dbg(size() == o.size());
     Vector out(size());
     for (std::size_t i = 0; i < size(); ++i)
         out.data_[i] = data_[i] + o.data_[i];
@@ -40,7 +40,7 @@ Vector::operator+(const Vector &o) const
 Vector
 Vector::operator-(const Vector &o) const
 {
-    robox_assert(size() == o.size());
+    robox_assert_dbg(size() == o.size());
     Vector out(size());
     for (std::size_t i = 0; i < size(); ++i)
         out.data_[i] = data_[i] - o.data_[i];
@@ -59,7 +59,7 @@ Vector::operator*(double s) const
 Vector &
 Vector::operator+=(const Vector &o)
 {
-    robox_assert(size() == o.size());
+    robox_assert_dbg(size() == o.size());
     for (std::size_t i = 0; i < size(); ++i)
         data_[i] += o.data_[i];
     return *this;
@@ -68,7 +68,7 @@ Vector::operator+=(const Vector &o)
 Vector &
 Vector::operator-=(const Vector &o)
 {
-    robox_assert(size() == o.size());
+    robox_assert_dbg(size() == o.size());
     for (std::size_t i = 0; i < size(); ++i)
         data_[i] -= o.data_[i];
     return *this;
@@ -94,7 +94,7 @@ Vector::operator-() const
 double
 Vector::dot(const Vector &o) const
 {
-    robox_assert(size() == o.size());
+    robox_assert_dbg(size() == o.size());
     double acc = 0.0;
     for (std::size_t i = 0; i < size(); ++i)
         acc += data_[i] * o.data_[i];
@@ -123,10 +123,18 @@ Vector::fill(double value)
         v = value;
 }
 
+void
+Vector::copyFrom(const Vector &o)
+{
+    robox_assert_dbg(size() == o.size());
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        data_[i] = o.data_[i];
+}
+
 Vector
 Vector::segment(std::size_t offset, std::size_t n) const
 {
-    robox_assert(offset + n <= size());
+    robox_assert_dbg(offset + n <= size());
     Vector out(n);
     for (std::size_t i = 0; i < n; ++i)
         out.data_[i] = data_[offset + i];
@@ -136,7 +144,7 @@ Vector::segment(std::size_t offset, std::size_t n) const
 void
 Vector::setSegment(std::size_t offset, const Vector &src)
 {
-    robox_assert(offset + src.size() <= size());
+    robox_assert_dbg(offset + src.size() <= size());
     for (std::size_t i = 0; i < src.size(); ++i)
         data_[offset + i] = src.data_[i];
 }
@@ -179,21 +187,21 @@ Matrix::diagonal(const Vector &d)
 double &
 Matrix::operator()(std::size_t r, std::size_t c)
 {
-    robox_assert(r < rows_ && c < cols_);
+    robox_assert_dbg(r < rows_ && c < cols_);
     return data_[r * cols_ + c];
 }
 
 double
 Matrix::operator()(std::size_t r, std::size_t c) const
 {
-    robox_assert(r < rows_ && c < cols_);
+    robox_assert_dbg(r < rows_ && c < cols_);
     return data_[r * cols_ + c];
 }
 
 Matrix
 Matrix::operator+(const Matrix &o) const
 {
-    robox_assert(rows_ == o.rows_ && cols_ == o.cols_);
+    robox_assert_dbg(rows_ == o.rows_ && cols_ == o.cols_);
     Matrix out(rows_, cols_);
     for (std::size_t i = 0; i < data_.size(); ++i)
         out.data_[i] = data_[i] + o.data_[i];
@@ -203,7 +211,7 @@ Matrix::operator+(const Matrix &o) const
 Matrix
 Matrix::operator-(const Matrix &o) const
 {
-    robox_assert(rows_ == o.rows_ && cols_ == o.cols_);
+    robox_assert_dbg(rows_ == o.rows_ && cols_ == o.cols_);
     Matrix out(rows_, cols_);
     for (std::size_t i = 0; i < data_.size(); ++i)
         out.data_[i] = data_[i] - o.data_[i];
@@ -213,7 +221,7 @@ Matrix::operator-(const Matrix &o) const
 Matrix
 Matrix::operator*(const Matrix &o) const
 {
-    robox_assert(cols_ == o.rows_);
+    robox_assert_dbg(cols_ == o.rows_);
     Matrix out(rows_, o.cols_);
     for (std::size_t i = 0; i < rows_; ++i) {
         for (std::size_t k = 0; k < cols_; ++k) {
@@ -241,7 +249,7 @@ Matrix::operator*(double s) const
 Matrix &
 Matrix::operator+=(const Matrix &o)
 {
-    robox_assert(rows_ == o.rows_ && cols_ == o.cols_);
+    robox_assert_dbg(rows_ == o.rows_ && cols_ == o.cols_);
     for (std::size_t i = 0; i < data_.size(); ++i)
         data_[i] += o.data_[i];
     return *this;
@@ -250,7 +258,7 @@ Matrix::operator+=(const Matrix &o)
 Vector
 Matrix::operator*(const Vector &v) const
 {
-    robox_assert(cols_ == v.size());
+    robox_assert_dbg(cols_ == v.size());
     Vector out(rows_);
     for (std::size_t i = 0; i < rows_; ++i) {
         double acc = 0.0;
@@ -275,7 +283,7 @@ Matrix::transposed() const
 Vector
 Matrix::transposeMul(const Vector &v) const
 {
-    robox_assert(rows_ == v.size());
+    robox_assert_dbg(rows_ == v.size());
     Vector out(cols_);
     for (std::size_t i = 0; i < rows_; ++i) {
         double s = v[i];
@@ -291,7 +299,7 @@ Matrix::transposeMul(const Vector &v) const
 Matrix
 Matrix::transposeMul(const Matrix &o) const
 {
-    robox_assert(rows_ == o.rows_);
+    robox_assert_dbg(rows_ == o.rows_);
     Matrix out(cols_, o.cols_);
     for (std::size_t k = 0; k < rows_; ++k) {
         const double *arow = &data_[k * cols_];
@@ -311,7 +319,7 @@ Matrix::transposeMul(const Matrix &o) const
 Matrix
 Matrix::mulTranspose(const Matrix &o) const
 {
-    robox_assert(cols_ == o.cols_);
+    robox_assert_dbg(cols_ == o.cols_);
     Matrix out(rows_, o.rows_);
     for (std::size_t i = 0; i < rows_; ++i) {
         const double *arow = &data_[i * cols_];
@@ -329,7 +337,7 @@ Matrix::mulTranspose(const Matrix &o) const
 void
 Matrix::addDiagonal(double s)
 {
-    robox_assert(rows_ == cols_);
+    robox_assert_dbg(rows_ == cols_);
     for (std::size_t i = 0; i < rows_; ++i)
         data_[i * cols_ + i] += s;
 }
@@ -356,7 +364,7 @@ Matrix
 Matrix::block(std::size_t r0, std::size_t c0,
               std::size_t nr, std::size_t nc) const
 {
-    robox_assert(r0 + nr <= rows_ && c0 + nc <= cols_);
+    robox_assert_dbg(r0 + nr <= rows_ && c0 + nc <= cols_);
     Matrix out(nr, nc);
     for (std::size_t i = 0; i < nr; ++i)
         for (std::size_t j = 0; j < nc; ++j)
@@ -367,7 +375,7 @@ Matrix::block(std::size_t r0, std::size_t c0,
 void
 Matrix::setBlock(std::size_t r0, std::size_t c0, const Matrix &src)
 {
-    robox_assert(r0 + src.rows() <= rows_ && c0 + src.cols() <= cols_);
+    robox_assert_dbg(r0 + src.rows() <= rows_ && c0 + src.cols() <= cols_);
     for (std::size_t i = 0; i < src.rows(); ++i)
         for (std::size_t j = 0; j < src.cols(); ++j)
             data_[(r0 + i) * cols_ + (c0 + j)] = src(i, j);
@@ -378,6 +386,22 @@ Matrix::fill(double value)
 {
     for (double &v : data_)
         v = value;
+}
+
+void
+Matrix::resize(std::size_t rows, std::size_t cols)
+{
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, 0.0);
+}
+
+void
+Matrix::copyFrom(const Matrix &o)
+{
+    robox_assert_dbg(rows_ == o.rows_ && cols_ == o.cols_);
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        data_[i] = o.data_[i];
 }
 
 std::string
@@ -391,6 +415,163 @@ Matrix::str() const
         os << "]";
     }
     return os.str();
+}
+
+void
+multiplyInto(const Matrix &a, const Matrix &b, Matrix &out)
+{
+    robox_assert_dbg(a.cols() == b.rows());
+    robox_assert_dbg(&out != &a && &out != &b);
+    if (out.rows() != a.rows() || out.cols() != b.cols())
+        out.resize(a.rows(), b.cols());
+    else
+        out.fill(0.0);
+    const std::size_t an = a.cols(), bn = b.cols();
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+        const double *arow = &a.data()[i * an];
+        double *crow = &out.data()[i * bn];
+        for (std::size_t k = 0; k < an; ++k) {
+            double s = arow[k];
+            if (s == 0.0)
+                continue;
+            const double *brow = &b.data()[k * bn];
+            for (std::size_t j = 0; j < bn; ++j)
+                crow[j] += s * brow[j];
+        }
+    }
+}
+
+void
+multiplyInto(const Matrix &a, const Vector &v, Vector &out)
+{
+    robox_assert_dbg(a.cols() == v.size());
+    robox_assert_dbg(&out != &v);
+    if (out.size() != a.rows())
+        out.resize(a.rows());
+    const std::size_t n = a.cols();
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+        const double *row = &a.data()[i * n];
+        double acc = 0.0;
+        for (std::size_t j = 0; j < n; ++j)
+            acc += row[j] * v[j];
+        out[i] = acc;
+    }
+}
+
+void
+multiplyAddInto(const Matrix &a, const Vector &v, Vector &out)
+{
+    robox_assert_dbg(a.cols() == v.size() && a.rows() == out.size());
+    robox_assert_dbg(&out != &v);
+    const std::size_t n = a.cols();
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+        const double *row = &a.data()[i * n];
+        double acc = 0.0;
+        for (std::size_t j = 0; j < n; ++j)
+            acc += row[j] * v[j];
+        out[i] += acc;
+    }
+}
+
+namespace
+{
+
+/** Shared core of the transposed matrix-matrix kernels:
+ *  out (+|-)= a^T * b, with sign +1 or -1. */
+void
+transposeMulAccum(const Matrix &a, const Matrix &b, double sign,
+                  Matrix &out)
+{
+    robox_assert_dbg(a.rows() == b.rows());
+    robox_assert_dbg(out.rows() == a.cols() && out.cols() == b.cols());
+    robox_assert_dbg(&out != &a && &out != &b);
+    const std::size_t an = a.cols(), bn = b.cols();
+    for (std::size_t k = 0; k < a.rows(); ++k) {
+        const double *arow = &a.data()[k * an];
+        const double *brow = &b.data()[k * bn];
+        for (std::size_t i = 0; i < an; ++i) {
+            double s = sign * arow[i];
+            if (s == 0.0)
+                continue;
+            double *crow = &out.data()[i * bn];
+            for (std::size_t j = 0; j < bn; ++j)
+                crow[j] += s * brow[j];
+        }
+    }
+}
+
+/** out (+|-)= a^T * v. */
+void
+transposeMulAccum(const Matrix &a, const Vector &v, double sign,
+                  Vector &out)
+{
+    robox_assert_dbg(a.rows() == v.size() && out.size() == a.cols());
+    robox_assert_dbg(&out != &v);
+    const std::size_t n = a.cols();
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+        double s = sign * v[i];
+        if (s == 0.0)
+            continue;
+        const double *row = &a.data()[i * n];
+        for (std::size_t j = 0; j < n; ++j)
+            out[j] += s * row[j];
+    }
+}
+
+} // namespace
+
+void
+transposeMulInto(const Matrix &a, const Matrix &b, Matrix &out)
+{
+    if (out.rows() != a.cols() || out.cols() != b.cols())
+        out.resize(a.cols(), b.cols());
+    else
+        out.fill(0.0);
+    transposeMulAccum(a, b, 1.0, out);
+}
+
+void
+transposeMulAddInto(const Matrix &a, const Matrix &b, Matrix &out)
+{
+    transposeMulAccum(a, b, 1.0, out);
+}
+
+void
+transposeMulSubInto(const Matrix &a, const Matrix &b, Matrix &out)
+{
+    transposeMulAccum(a, b, -1.0, out);
+}
+
+void
+transposeMulInto(const Matrix &a, const Vector &v, Vector &out)
+{
+    if (out.size() != a.cols())
+        out.resize(a.cols());
+    else
+        out.fill(0.0);
+    transposeMulAccum(a, v, 1.0, out);
+}
+
+void
+transposeMulAddInto(const Matrix &a, const Vector &v, Vector &out)
+{
+    transposeMulAccum(a, v, 1.0, out);
+}
+
+void
+transposeMulSubInto(const Matrix &a, const Vector &v, Vector &out)
+{
+    transposeMulAccum(a, v, -1.0, out);
+}
+
+void
+addScaledInto(const Vector &a, const Vector &b, double s, Vector &out)
+{
+    robox_assert_dbg(a.size() == b.size());
+    if (out.size() != a.size())
+        out.resize(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        out[i] = a[i] + s * b[i];
 }
 
 } // namespace robox

@@ -55,6 +55,14 @@ class Vector
     double normInf() const;
     /** Set every element to the given value. */
     void fill(double value);
+    /**
+     * Resize to n elements, all zero. Reuses the existing heap buffer
+     * whenever its capacity suffices, so workspace vectors resized to
+     * their steady-state shape never allocate again.
+     */
+    void resize(std::size_t n) { data_.assign(n, 0.0); }
+    /** Copy from an equal-sized vector without reallocating. */
+    void copyFrom(const Vector &o);
     /** Copy [offset, offset+n) into a new vector. */
     Vector segment(std::size_t offset, std::size_t n) const;
     /** Write src into [offset, offset+src.size()). */
@@ -120,6 +128,11 @@ class Matrix
     void setBlock(std::size_t r0, std::size_t c0, const Matrix &src);
     /** Set every element to the given value. */
     void fill(double value);
+    /** Resize to rows x cols, all zero; reuses capacity like
+     *  Vector::resize. */
+    void resize(std::size_t rows, std::size_t cols);
+    /** Copy from an equal-shaped matrix without reallocating. */
+    void copyFrom(const Matrix &o);
     /** Human-readable rendering for diagnostics. */
     std::string str() const;
 
@@ -128,6 +141,37 @@ class Matrix
     std::size_t cols_;
     std::vector<double> data_;
 };
+
+// ---------------------------------------------------------------------
+// In-place kernels for allocation-free solver hot paths.
+//
+// Each *Into kernel writes its result into caller-owned storage,
+// resizing it only when the shape differs (a no-op in steady state).
+// Output operands must not alias the inputs. The *AddInto / *SubInto
+// variants accumulate into the output, which must already have the
+// result shape.
+// ---------------------------------------------------------------------
+
+/** out = a * b. */
+void multiplyInto(const Matrix &a, const Matrix &b, Matrix &out);
+/** out = a * v. */
+void multiplyInto(const Matrix &a, const Vector &v, Vector &out);
+/** out += a * v. */
+void multiplyAddInto(const Matrix &a, const Vector &v, Vector &out);
+/** out = a^T * b without forming the transpose. */
+void transposeMulInto(const Matrix &a, const Matrix &b, Matrix &out);
+/** out += a^T * b. */
+void transposeMulAddInto(const Matrix &a, const Matrix &b, Matrix &out);
+/** out -= a^T * b. */
+void transposeMulSubInto(const Matrix &a, const Matrix &b, Matrix &out);
+/** out = a^T * v. */
+void transposeMulInto(const Matrix &a, const Vector &v, Vector &out);
+/** out += a^T * v. */
+void transposeMulAddInto(const Matrix &a, const Vector &v, Vector &out);
+/** out -= a^T * v. */
+void transposeMulSubInto(const Matrix &a, const Vector &v, Vector &out);
+/** out = a + s * b. */
+void addScaledInto(const Vector &a, const Vector &b, double s, Vector &out);
 
 } // namespace robox
 

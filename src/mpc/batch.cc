@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Implementation of the batched multi-robot MPC controller.
+ */
+
+#include "mpc/batch.hh"
+
+#include <chrono>
+
+#include "support/logging.hh"
+
+namespace robox::mpc
+{
+
+BatchController::BatchController(const dsl::ModelSpec &model,
+                                 const MpcOptions &options,
+                                 std::size_t num_robots,
+                                 std::size_t num_threads)
+{
+    robox_assert(num_robots > 0);
+    solvers_.reserve(num_robots);
+    for (std::size_t i = 0; i < num_robots; ++i)
+        solvers_.push_back(std::make_unique<IpmSolver>(model, options));
+    results_.resize(num_robots);
+
+    std::size_t pool = std::min(num_threads, num_robots);
+    if (pool > 1) {
+        workers_.reserve(pool);
+        for (std::size_t t = 0; t < pool; ++t)
+            workers_.emplace_back([this] { workerLoop(); });
+    }
+    report_.robots = num_robots;
+    report_.threads = workers_.size();
+}
+
+BatchController::~BatchController()
+{
+    if (!workers_.empty()) {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stop_ = true;
+        }
+        cv_work_.notify_all();
+        for (std::thread &w : workers_)
+            w.join();
+    }
+}
+
+void
+BatchController::drainQueue()
+{
+    const std::size_t count = states_->size();
+    for (;;) {
+        std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+        if (i >= count)
+            return;
+        try {
+            results_[i] = solvers_[i]->solve((*states_)[i], (*refs_)[i]);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (!error_)
+                error_ = std::current_exception();
+        }
+    }
+}
+
+void
+BatchController::workerLoop()
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_work_.wait(lock, [&] {
+                return stop_ || generation_ != seen;
+            });
+            if (stop_)
+                return;
+            seen = generation_;
+        }
+        drainQueue();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (--pending_ == 0)
+                cv_done_.notify_all();
+        }
+    }
+}
+
+const std::vector<IpmSolver::Result> &
+BatchController::solveAll(const std::vector<Vector> &states,
+                          const std::vector<Vector> &refs)
+{
+    robox_assert(states.size() == solvers_.size());
+    robox_assert(refs.size() == solvers_.size());
+
+    const auto t_start = std::chrono::steady_clock::now();
+    states_ = &states;
+    refs_ = &refs;
+    error_ = nullptr;
+    next_.store(0, std::memory_order_relaxed);
+
+    if (workers_.empty()) {
+        drainQueue();
+    } else {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            pending_ = workers_.size();
+            ++generation_;
+        }
+        cv_work_.notify_all();
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_done_.wait(lock, [&] { return pending_ == 0; });
+    }
+
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t_start)
+            .count();
+    report_.batches += 1;
+    report_.solves += solvers_.size();
+    report_.lastBatchSeconds = seconds;
+    report_.totalBatchSeconds += seconds;
+    report_.robotsPerSecond =
+        seconds > 0.0 ? static_cast<double>(solvers_.size()) / seconds
+                      : 0.0;
+    report_.lastBatchAllocations = 0;
+    for (const auto &solver : solvers_) {
+        const SolveStats &st = solver->lastStats();
+        report_.totalIterations +=
+            static_cast<std::uint64_t>(st.iterations);
+        report_.totalKktFlops += st.riccatiFlops;
+        report_.lastBatchAllocations += st.heapAllocations;
+        if (!st.converged)
+            report_.unconverged += 1;
+    }
+
+    states_ = nullptr;
+    refs_ = nullptr;
+    if (error_)
+        std::rethrow_exception(error_);
+    return results_;
+}
+
+void
+BatchController::resetAll()
+{
+    for (auto &solver : solvers_)
+        solver->reset();
+}
+
+} // namespace robox::mpc

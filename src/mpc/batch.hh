@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Batched multi-robot MPC: one controller instance per robot, solved
+ * across a fixed pool of worker threads.
+ *
+ * The paper's deployment target is a fleet setting where
+ * one host controls many plants at a fixed control rate. Because a
+ * warmed-up IpmSolver is allocation-free (see ipm.hh), the per-robot
+ * solve is pure compute and scales across cores; BatchController
+ * provides that scaling without giving up reproducibility.
+ *
+ * Threading and determinism contract:
+ *  - Robot i is ALWAYS solved by solver instance i, whichever worker
+ *    thread claims it. All mutable solve state (trajectories, slacks,
+ *    workspaces) lives inside that instance, and instances share
+ *    nothing, so results are bitwise identical to solving the robots
+ *    serially in index order — thread count and scheduling only change
+ *    wall time, never output.
+ *  - solveAll() is synchronous: workers are parked between batches and
+ *    the call returns only after every robot's solve finished.
+ *  - BatchController itself is not thread-safe: call solveAll(),
+ *    resetAll(), and the accessors from one coordinating thread.
+ */
+
+#ifndef ROBOX_MPC_BATCH_HH
+#define ROBOX_MPC_BATCH_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "mpc/ipm.hh"
+
+namespace robox::mpc
+{
+
+/** Aggregate statistics over the controller's lifetime, refreshed by
+ *  each solveAll() call. */
+struct BatchReport
+{
+    std::size_t robots = 0;
+    std::size_t threads = 0;          //!< Worker threads (0 = inline).
+    std::uint64_t batches = 0;        //!< solveAll() calls so far.
+    std::uint64_t solves = 0;         //!< Robot-solves so far.
+    std::uint64_t totalIterations = 0;   //!< Summed IPM iterations.
+    std::uint64_t totalKktFlops = 0;     //!< Summed KKT-backend flops.
+    std::uint64_t unconverged = 0;       //!< Solves that hit maxIterations.
+    double lastBatchSeconds = 0.0;       //!< Wall time of the last batch.
+    double totalBatchSeconds = 0.0;      //!< Summed batch wall time.
+    double robotsPerSecond = 0.0;        //!< Throughput of the last batch.
+    /** Heap allocations during the last batch, summed over robots
+     *  (counted per solving thread; see support/alloc_hook.hh). Zero
+     *  once every solver is warm. */
+    std::uint64_t lastBatchAllocations = 0;
+};
+
+/**
+ * Fixed worker-pool controller for N independent robots sharing one
+ * model and option set.
+ */
+class BatchController
+{
+  public:
+    /**
+     * Build num_robots solver instances and (for num_threads > 1) a
+     * parked pool of num_threads workers. num_threads is clamped to
+     * num_robots; num_threads <= 1 solves inline on the caller thread.
+     */
+    BatchController(const dsl::ModelSpec &model,
+                    const MpcOptions &options, std::size_t num_robots,
+                    std::size_t num_threads);
+    ~BatchController();
+
+    BatchController(const BatchController &) = delete;
+    BatchController &operator=(const BatchController &) = delete;
+
+    /**
+     * Solve every robot's MPC problem: states[i] and refs[i] feed
+     * solver i. Returns per-robot results in robot order (storage is
+     * reused across batches; copy to keep a snapshot). If any solve
+     * threw, the batch still completes and the first exception is
+     * rethrown here.
+     */
+    const std::vector<IpmSolver::Result> &
+    solveAll(const std::vector<Vector> &states,
+             const std::vector<Vector> &refs);
+
+    /** Drop every solver's warm start. */
+    void resetAll();
+
+    std::size_t numRobots() const { return solvers_.size(); }
+    std::size_t numThreads() const { return workers_.size(); }
+
+    /** Direct access to robot i's solver (e.g. for its lastStats()). */
+    IpmSolver &solver(std::size_t i) { return *solvers_[i]; }
+    const IpmSolver &solver(std::size_t i) const { return *solvers_[i]; }
+
+    /** Lifetime statistics, refreshed after each solveAll(). */
+    const BatchReport &report() const { return report_; }
+
+  private:
+    void workerLoop();
+    /** Claim-and-solve until the batch's index queue is empty. */
+    void drainQueue();
+
+    std::vector<std::unique_ptr<IpmSolver>> solvers_;
+    std::vector<IpmSolver::Result> results_;
+    BatchReport report_;
+
+    // Current batch inputs (valid only while solveAll is running).
+    const std::vector<Vector> *states_ = nullptr;
+    const std::vector<Vector> *refs_ = nullptr;
+    std::atomic<std::size_t> next_{0}; //!< Next unclaimed robot index.
+    std::exception_ptr error_;
+
+    // Worker pool: workers park on cv_work_ between batches; a batch
+    // is announced by bumping generation_ under the mutex.
+    std::vector<std::thread> workers_;
+    std::mutex mutex_;
+    std::condition_variable cv_work_;
+    std::condition_variable cv_done_;
+    std::uint64_t generation_ = 0;
+    std::size_t pending_ = 0; //!< Workers still draining this batch.
+    bool stop_ = false;
+};
+
+} // namespace robox::mpc
+
+#endif // ROBOX_MPC_BATCH_HH

@@ -15,6 +15,17 @@ RiccatiSolution
 solveDenseKkt(const std::vector<StageQp> &stages, const Matrix &qn,
               const Vector &qnv, const Vector &dx0)
 {
+    DenseKktWorkspace ws;
+    RiccatiSolution sol;
+    solveDenseKkt(stages, qn, qnv, dx0, ws, sol);
+    return sol;
+}
+
+void
+solveDenseKkt(const std::vector<StageQp> &stages, const Matrix &qn,
+              const Vector &qnv, const Vector &dx0,
+              DenseKktWorkspace &ws, RiccatiSolution &sol)
+{
     const std::size_t n_stages = stages.size();
     robox_assert(n_stages > 0);
     const std::size_t nx = stages[0].a.rows();
@@ -26,8 +37,16 @@ solveDenseKkt(const std::vector<StageQp> &stages, const Matrix &qn,
     auto xoff = [&](std::size_t k) { return k * (nx + nu); };
     auto uoff = [&](std::size_t k) { return k * (nx + nu) + nx; };
 
-    Matrix kkt(dim, dim);
-    Vector rhs(dim);
+    Matrix &kkt = ws.kkt;
+    Vector &rhs = ws.rhs;
+    if (kkt.rows() != dim || kkt.cols() != dim)
+        kkt.resize(dim, dim);
+    else
+        kkt.fill(0.0);
+    if (rhs.size() != dim)
+        rhs.resize(dim);
+    else
+        rhs.fill(0.0);
 
     // Hessian blocks and gradients: [Q S'; S R] per stage plus Qn.
     for (std::size_t k = 0; k < n_stages; ++k) {
@@ -79,20 +98,28 @@ solveDenseKkt(const std::vector<StageQp> &stages, const Matrix &qn,
         erow += nx;
     }
 
-    Vector sol = gaussianSolve(std::move(kkt), std::move(rhs));
+    // Eliminate in place; rhs then holds the primal-dual solution.
+    gaussianSolveInPlace(kkt, rhs);
 
-    RiccatiSolution out;
-    out.dx.assign(n_stages + 1, Vector(nx));
-    out.du.assign(n_stages, Vector(nu));
-    for (std::size_t k = 0; k <= n_stages; ++k)
+    if (sol.dx.size() != n_stages + 1)
+        sol.dx.assign(n_stages + 1, Vector(nx));
+    if (sol.du.size() != n_stages)
+        sol.du.assign(n_stages, Vector(nu));
+    for (std::size_t k = 0; k <= n_stages; ++k) {
+        if (sol.dx[k].size() != nx)
+            sol.dx[k].resize(nx);
         for (std::size_t i = 0; i < nx; ++i)
-            out.dx[k][i] = sol[xoff(k) + i];
-    for (std::size_t k = 0; k < n_stages; ++k)
+            sol.dx[k][i] = rhs[xoff(k) + i];
+    }
+    for (std::size_t k = 0; k < n_stages; ++k) {
+        if (sol.du[k].size() != nu)
+            sol.du[k].resize(nu);
         for (std::size_t i = 0; i < nu; ++i)
-            out.du[k][i] = sol[uoff(k) + i];
+            sol.du[k][i] = rhs[uoff(k) + i];
+    }
+    sol.regularization = 0.0;
     // Dense elimination with partial pivoting: ~(2/3) dim^3.
-    out.flops = static_cast<std::uint64_t>(2.0 / 3.0 * dim * dim * dim);
-    return out;
+    sol.flops = static_cast<std::uint64_t>(2.0 / 3.0 * dim * dim * dim);
 }
 
 } // namespace robox::mpc

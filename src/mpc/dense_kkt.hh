@@ -29,6 +29,22 @@ RiccatiSolution solveDenseKkt(const std::vector<StageQp> &stages,
                               const Matrix &qn, const Vector &qnv,
                               const Vector &dx0);
 
+/** Pre-sized assembly buffers for the dense backend. */
+struct DenseKktWorkspace
+{
+    Matrix kkt;
+    Vector rhs;
+};
+
+/**
+ * Workspace overload: assembles into ws and writes the steps into
+ * sol's pre-sized buffers, so repeated dense solves reuse one KKT
+ * allocation.
+ */
+void solveDenseKkt(const std::vector<StageQp> &stages, const Matrix &qn,
+                   const Vector &qnv, const Vector &dx0,
+                   DenseKktWorkspace &ws, RiccatiSolution &sol);
+
 } // namespace robox::mpc
 
 #endif // ROBOX_MPC_DENSE_KKT_HH

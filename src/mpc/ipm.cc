@@ -8,8 +8,11 @@
 #include "mpc/dense_kkt.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <limits>
 
+#include "support/alloc_hook.hh"
 #include "support/logging.hh"
 
 namespace robox::mpc
@@ -30,18 +33,100 @@ cappedSigma(double lam, double s)
 /** Dual safeguard applied after each accepted step. */
 constexpr double kLambdaCap = 1e10;
 
+/** Position of row id in rows, or -1 when absent. */
+int
+positionOf(const std::vector<int> &rows, int id)
+{
+    for (std::size_t j = 0; j < rows.size(); ++j)
+        if (rows[j] == id)
+            return static_cast<int>(j);
+    return -1;
+}
+
 } // namespace
 
 IpmSolver::IpmSolver(const dsl::ModelSpec &model, const MpcOptions &options)
     : problem_(model, options)
 {
+    const std::vector<bool> &uses_state = problem_.runningRowUsesState();
+    const std::vector<bool> &uses_input = problem_.runningRowUsesInput();
     for (int i = 0; i < problem_.numRunningIneq(); ++i) {
         full_run_rows_.push_back(i);
-        if (!problem_.runningRowUsesState()[i])
+        // At stage 0 the state is fixed, so rows that depend only on x
+        // are constants there and cannot be enforced. Mixed rows
+        // h(x, u) still constrain the stage-0 input through their
+        // input Jacobian and must be kept.
+        if (!uses_state[i] || uses_input[i])
             stage0_run_rows_.push_back(i);
     }
     for (int i = 0; i < problem_.numTerminalIneq(); ++i)
         term_rows_.push_back(i);
+
+    // Warm-start shift maps: where each block's rows live in the block
+    // it inherits slacks from. Built once so initializeSlacks never
+    // rescans row sets.
+    for (int id : stage0_run_rows_) {
+        stage0_in_full_.push_back(positionOf(full_run_rows_, id));
+        stage0_in_term_.push_back(positionOf(term_rows_, id));
+    }
+    for (int id : full_run_rows_)
+        full_in_term_.push_back(positionOf(term_rows_, id));
+
+    // Pre-size every solver-owned buffer; after this, a warm solve does
+    // not touch the heap.
+    const int n_stages = problem_.horizon();
+    const std::size_t nx = static_cast<std::size_t>(problem_.nx());
+    const std::size_t nu = static_cast<std::size_t>(problem_.nu());
+
+    ineq_.resize(static_cast<std::size_t>(n_stages) + 1);
+    ws_.yblk.resize(ineq_.size());
+    ws_.trialS.resize(ineq_.size());
+    ws_.trialLam.resize(ineq_.size());
+    for (int k = 0; k <= n_stages; ++k) {
+        IneqBlock &blk = ineq_[k];
+        blk.rows = k == n_stages ? term_rows_
+                   : k == 0      ? stage0_run_rows_
+                                 : full_run_rows_;
+        const std::size_t rows = blk.rows.size();
+        blk.h.resize(rows);
+        blk.hx.resize(rows, nx);
+        blk.hu.resize(rows, k == n_stages ? 0 : nu);
+        blk.s.resize(rows);
+        blk.lam.resize(rows);
+        blk.ds.resize(rows);
+        blk.dlam.resize(rows);
+        ws_.yblk[k].resize(rows);
+        ws_.trialS[k].resize(rows);
+        ws_.trialLam[k].resize(rows);
+    }
+
+    ws_.stages.resize(static_cast<std::size_t>(n_stages));
+    for (StageQp &st : ws_.stages) {
+        st.a.resize(nx, nx);
+        st.b.resize(nx, nu);
+        st.c.resize(nx);
+        st.q.resize(nx, nx);
+        st.r.resize(nu, nu);
+        st.s.resize(nu, nx);
+        st.qv.resize(nx);
+        st.rv.resize(nu);
+    }
+    ws_.dyn.resize(static_cast<std::size_t>(n_stages));
+    ws_.qv0.assign(static_cast<std::size_t>(n_stages), Vector(nx));
+    ws_.rv0.assign(static_cast<std::size_t>(n_stages), Vector(nu));
+    ws_.qn.resize(nx, nx);
+    ws_.qnv0.resize(nx);
+    ws_.qnv.resize(nx);
+    ws_.dx0.resize(nx);
+    ws_.meritDyn.resize(nx);
+    ws_.trialXs.assign(static_cast<std::size_t>(n_stages) + 1,
+                       Vector(nx));
+    ws_.trialUs.assign(static_cast<std::size_t>(n_stages), Vector(nu));
+    ws_.riccati.resize(static_cast<std::size_t>(n_stages), nx, nu);
+    ws_.sol.dx.assign(static_cast<std::size_t>(n_stages) + 1,
+                      Vector(nx));
+    ws_.sol.du.assign(static_cast<std::size_t>(n_stages), Vector(nu));
+    result_.u0.resize(nu);
 }
 
 void
@@ -55,11 +140,11 @@ IpmSolver::initializeTrajectory(const Vector &x0,
     if (warm_ && static_cast<int>(us_.size()) == n_stages) {
         // Shift the previous plan by one step; repeat the last input.
         for (int k = 0; k + 1 < n_stages; ++k)
-            us_[k] = us_[k + 1];
-        xs_[0] = x0;
+            us_[k].copyFrom(us_[k + 1]);
+        xs_[0].copyFrom(x0);
         for (int k = 0; k < n_stages; ++k)
-            xs_[k + 1] =
-                problem_.dynamicsValue(xs_[k], us_[k], refs[k]);
+            problem_.dynamicsValueInto(xs_[k], us_[k], refs[k],
+                                       xs_[k + 1]);
         return;
     }
 
@@ -81,18 +166,21 @@ IpmSolver::initializeTrajectory(const Vector &x0,
     }
     us_.assign(n_stages, u_init);
     xs_.assign(n_stages + 1, Vector(static_cast<std::size_t>(nx)));
-    xs_[0] = x0;
+    xs_[0].copyFrom(x0);
     for (int k = 0; k < n_stages; ++k)
-        xs_[k + 1] = problem_.dynamicsValue(xs_[k], us_[k], refs[k]);
+        problem_.dynamicsValueInto(xs_[k], us_[k], refs[k], xs_[k + 1]);
 }
 
 void
 IpmSolver::evaluateIneq(IneqBlock &blk, const StageEval &eval) const
 {
     const std::size_t rows = blk.rows.size();
-    blk.h = Vector(rows);
-    blk.hx = Matrix(rows, eval.jx.cols());
-    blk.hu = Matrix(rows, eval.ju.cols());
+    if (blk.h.size() != rows)
+        blk.h.resize(rows);
+    if (blk.hx.rows() != rows || blk.hx.cols() != eval.jx.cols())
+        blk.hx.resize(rows, eval.jx.cols());
+    if (blk.hu.rows() != rows || blk.hu.cols() != eval.ju.cols())
+        blk.hu.resize(rows, eval.ju.cols());
     for (std::size_t i = 0; i < rows; ++i) {
         int src = blk.rows[i];
         blk.h[i] = eval.value[src];
@@ -109,44 +197,45 @@ IpmSolver::initializeSlacks(const std::vector<Vector> &refs,
 {
     const int n_stages = problem_.horizon();
     const double floor = problem_.options().slackFloor;
+    const bool shift = warm_;
 
-    bool shift = warm_ &&
-                 static_cast<int>(ineq_.size()) == n_stages + 1;
-    std::vector<IneqBlock> previous;
-    if (shift)
-        previous = ineq_;
-
-    ineq_.assign(n_stages + 1, IneqBlock());
-    StageEval eval;
+    // The shift runs in place: block k inherits from block k + 1 (the
+    // terminal block from itself), and blocks are processed in
+    // ascending k, so every source is read before it is overwritten.
+    StageEval &eval = ws_.ineqEval;
     for (int k = 0; k <= n_stages; ++k) {
         IneqBlock &blk = ineq_[k];
-        if (k == n_stages) {
-            blk.rows = term_rows_;
+        if (k == n_stages)
             problem_.evalTerminalIneq(xs_[k], refs[k], eval);
-        } else {
-            blk.rows = k == 0 ? stage0_run_rows_ : full_run_rows_;
+        else
             problem_.evalRunningIneq(xs_[k], us_[k], refs[k], eval);
-        }
         evaluateIneq(blk, eval);
-        std::size_t rows = blk.rows.size();
-        blk.s = Vector(rows);
-        blk.lam = Vector(rows);
-        // Warm source: the next stage of the previous plan (the same
-        // stage for the terminal block).
+        const std::size_t rows = blk.rows.size();
+
         const IneqBlock *prev = nullptr;
-        if (shift)
-            prev = k < n_stages ? &previous[k + 1] : &previous[k];
+        const std::vector<int> *map = nullptr; // null: same row set.
+        if (shift) {
+            if (k == n_stages) {
+                prev = &blk; // Terminal rows carry over unshifted.
+            } else {
+                prev = &ineq_[k + 1];
+                if (k == 0)
+                    map = n_stages == 1 ? &stage0_in_term_
+                                        : &stage0_in_full_;
+                else if (k == n_stages - 1)
+                    map = &full_in_term_;
+                // Interior blocks share the full running row set:
+                // positions match one-to-one, no lookup needed.
+            }
+        }
         for (std::size_t i = 0; i < rows; ++i) {
             double s = std::max(floor, -blk.h[i]);
             double lam = mu_init / s;
             if (prev) {
-                // Match rows by their tape-row index.
-                for (std::size_t j = 0; j < prev->rows.size(); ++j) {
-                    if (prev->rows[j] == blk.rows[i]) {
-                        s = std::max(floor * 1e-2, prev->s[j]);
-                        lam = std::max(floor * 1e-2, prev->lam[j]);
-                        break;
-                    }
+                int j = map ? (*map)[i] : static_cast<int>(i);
+                if (j >= 0) {
+                    s = std::max(floor * 1e-2, prev->s[j]);
+                    lam = std::max(floor * 1e-2, prev->lam[j]);
                 }
             }
             blk.s[i] = s;
@@ -174,7 +263,7 @@ IpmSolver::initializeSlacks(const std::vector<Vector> &refs,
 double
 IpmSolver::meritFunction(const std::vector<Vector> &xs,
                          const std::vector<Vector> &us,
-                         const std::vector<IneqBlock> &blocks,
+                         const std::vector<Vector> &slacks,
                          const Vector &x0,
                          const std::vector<Vector> &refs, double mu,
                          double rho)
@@ -187,37 +276,47 @@ IpmSolver::meritFunction(const std::vector<Vector> &xs,
     for (std::size_t i = 0; i < x0.size(); ++i)
         infeas += std::abs(xs[0][i] - x0[i]);
     for (int k = 0; k < n_stages; ++k) {
-        Vector next = problem_.dynamicsValue(xs[k], us[k], refs[k]);
-        for (std::size_t i = 0; i < next.size(); ++i)
-            infeas += std::abs(next[i] - xs[k + 1][i]);
+        problem_.dynamicsValueInto(xs[k], us[k], refs[k], ws_.meritDyn);
+        for (std::size_t i = 0; i < ws_.meritDyn.size(); ++i)
+            infeas += std::abs(ws_.meritDyn[i] - xs[k + 1][i]);
     }
     for (int k = 0; k <= n_stages; ++k) {
-        const IneqBlock &blk = blocks[k];
-        Vector h_full =
-            k == n_stages
-                ? problem_.terminalIneqValue(xs[k], refs[k])
-                : problem_.runningIneqValue(xs[k], us[k], refs[k]);
+        const IneqBlock &blk = ineq_[k];
+        const Vector &s = slacks[k];
+        if (k == n_stages)
+            problem_.terminalIneqValueInto(xs[k], refs[k], ws_.meritH);
+        else
+            problem_.runningIneqValueInto(xs[k], us[k], refs[k],
+                                          ws_.meritH);
         for (std::size_t i = 0; i < blk.rows.size(); ++i) {
-            infeas += std::abs(h_full[blk.rows[i]] + blk.s[i]);
-            if (blk.s[i] <= 0.0)
+            infeas += std::abs(ws_.meritH[blk.rows[i]] + s[i]);
+            if (s[i] <= 0.0)
                 return std::numeric_limits<double>::infinity();
-            merit -= mu * std::log(blk.s[i]);
+            merit -= mu * std::log(s[i]);
         }
     }
     return merit + rho * infeas;
 }
 
-IpmSolver::Result
+const IpmSolver::Result &
 IpmSolver::solve(const Vector &x0, const Vector &ref)
 {
-    std::vector<Vector> refs(
-        static_cast<std::size_t>(problem_.horizon()) + 1, ref);
-    return solve(x0, refs);
+    const std::size_t count =
+        static_cast<std::size_t>(problem_.horizon()) + 1;
+    if (ws_.refsScratch.size() != count)
+        ws_.refsScratch.assign(count, ref);
+    else
+        for (Vector &r : ws_.refsScratch)
+            r.copyFrom(ref);
+    return solve(x0, ws_.refsScratch);
 }
 
-IpmSolver::Result
+const IpmSolver::Result &
 IpmSolver::solve(const Vector &x0, const std::vector<Vector> &refs)
 {
+    const auto t_start = std::chrono::steady_clock::now();
+    const std::uint64_t allocs_start = support::allocCount();
+
     const MpcOptions &opt = problem_.options();
     robox_assert(static_cast<int>(refs.size()) ==
                  problem_.horizon() + 1);
@@ -230,28 +329,25 @@ IpmSolver::solve(const Vector &x0, const std::vector<Vector> &refs)
     stats_ = SolveStats();
     initializeTrajectory(x0, refs);
     double mu = initializeSlacks(refs, opt.muInit);
-    std::vector<StageQp> stages(n_stages);
-    std::vector<StageEval> dyn(n_stages);
-    StageEval cost_eval;
-    StageEval ineq_eval;
 
-    Result result;
-
-    // Gradient bases (cost terms only); the barrier gradient is applied
-    // separately so the predictor-corrector can re-target it without
-    // re-assembling the Hessians.
-    std::vector<Vector> qv0(n_stages), rv0(n_stages);
-    Vector qnv0(static_cast<std::size_t>(nx));
-    Matrix qn(nx, nx);
-    Vector qnv(static_cast<std::size_t>(nx));
-    std::vector<Vector> yblk(n_stages + 1);
+    std::vector<StageQp> &stages = ws_.stages;
+    std::vector<StageEval> &dyn = ws_.dyn;
+    StageEval &cost_eval = ws_.costEval;
+    StageEval &ineq_eval = ws_.ineqEval;
+    std::vector<Vector> &qv0 = ws_.qv0;
+    std::vector<Vector> &rv0 = ws_.rv0;
+    Vector &qnv0 = ws_.qnv0;
+    Matrix &qn = ws_.qn;
+    Vector &qnv = ws_.qnv;
+    std::vector<Vector> &yblk = ws_.yblk;
+    RiccatiSolution &sol = ws_.sol;
 
     // Apply a given set of barrier target vectors y to the gradients.
-    auto apply_gradients = [&](std::vector<StageQp> &st_list) {
+    auto apply_gradients = [&]() {
         for (int k = 0; k < n_stages; ++k) {
-            StageQp &st = st_list[k];
-            st.qv = qv0[k];
-            st.rv = rv0[k];
+            StageQp &st = stages[k];
+            st.qv.copyFrom(qv0[k]);
+            st.rv.copyFrom(rv0[k]);
             const IneqBlock &blk = ineq_[k];
             for (std::size_t i = 0; i < blk.rows.size(); ++i) {
                 double y = yblk[k][i];
@@ -261,7 +357,7 @@ IpmSolver::solve(const Vector &x0, const std::vector<Vector> &refs)
                     st.rv[a] += blk.hu(i, a) * y;
             }
         }
-        qnv = qnv0;
+        qnv.copyFrom(qnv0);
         const IneqBlock &term = ineq_[n_stages];
         for (std::size_t i = 0; i < term.rows.size(); ++i) {
             double y = yblk[n_stages][i];
@@ -270,33 +366,30 @@ IpmSolver::solve(const Vector &x0, const std::vector<Vector> &refs)
         }
     };
 
-    // Solve the structured QP with the selected backend.
-    auto solve_kkt = [&](const std::vector<StageQp> &st_list,
-                         const Vector &dx0) {
-        RiccatiSolution sol =
-            opt.kktSolver == KktSolver::Dense
-                ? solveDenseKkt(st_list, qn, qnv, dx0)
-                : solveRiccati(st_list, qn, qnv, dx0,
-                               opt.initialRegularization);
+    // Solve the structured QP with the selected backend into ws_.sol.
+    auto solve_kkt = [&]() {
+        if (opt.kktSolver == KktSolver::Dense)
+            solveDenseKkt(stages, qn, qnv, ws_.dx0, ws_.dense, sol);
+        else
+            solveRiccati(stages, qn, qnv, ws_.dx0,
+                         opt.initialRegularization, ws_.riccati, sol);
         stats_.riccatiFlops += sol.flops;
-        return sol;
     };
 
-    // Slack/dual steps for a primal direction under barrier targets y,
-    // plus the fraction-to-boundary step length.
-    auto compute_steps = [&](const RiccatiSolution &sol) {
+    // Slack/dual steps for the primal direction under barrier targets
+    // y, plus the fraction-to-boundary step length.
+    auto compute_steps = [&]() {
         double alpha = 1.0;
         const double tau = opt.fractionToBoundary;
         for (int k = 0; k <= n_stages; ++k) {
             IneqBlock &blk = ineq_[k];
             std::size_t rows = blk.rows.size();
-            blk.ds = Vector(rows);
-            blk.dlam = Vector(rows);
             if (rows == 0)
                 continue;
-            Vector hdz = blk.hx * sol.dx[k];
+            Vector &hdz = ws_.hdz;
+            multiplyInto(blk.hx, sol.dx[k], hdz);
             if (k < n_stages)
-                hdz += blk.hu * sol.du[k];
+                multiplyAddInto(blk.hu, sol.du[k], hdz);
             for (std::size_t i = 0; i < rows; ++i) {
                 double sigma = cappedSigma(blk.lam[i], blk.s[i]);
                 blk.ds[i] = -(blk.h[i] + blk.s[i]) - hdz[i];
@@ -320,16 +413,17 @@ IpmSolver::solve(const Vector &x0, const std::vector<Vector> &refs)
         for (int k = 0; k < n_stages; ++k) {
             problem_.evalDynamics(xs_[k], us_[k], refs[k], dyn[k]);
             StageQp &st = stages[k];
-            st.a = dyn[k].jx;
-            st.b = dyn[k].ju;
-            st.c = dyn[k].value - xs_[k + 1];
+            st.a.copyFrom(dyn[k].jx);
+            st.b.copyFrom(dyn[k].ju);
+            st.c.copyFrom(dyn[k].value);
+            st.c -= xs_[k + 1];
             eq_residual = std::max(eq_residual, st.c.normInf());
 
-            st.q = Matrix(nx, nx);
-            st.r = Matrix(nu, nu);
-            st.s = Matrix(nu, nx);
-            qv0[k] = Vector(static_cast<std::size_t>(nx));
-            rv0[k] = Vector(static_cast<std::size_t>(nu));
+            st.q.fill(0.0);
+            st.r.fill(0.0);
+            st.s.fill(0.0);
+            qv0[k].fill(0.0);
+            rv0[k].fill(0.0);
 
             if (np_run > 0) {
                 problem_.evalRunningCost(xs_[k], us_[k], refs[k],
@@ -395,8 +489,8 @@ IpmSolver::solve(const Vector &x0, const std::vector<Vector> &refs)
         }
 
         // Terminal stage.
-        qn = Matrix(nx, nx);
-        qnv0 = Vector(static_cast<std::size_t>(nx));
+        qn.fill(0.0);
+        qnv0.fill(0.0);
         if (np_term > 0) {
             problem_.evalTerminalCost(xs_[n_stages], refs[n_stages],
                                       cost_eval);
@@ -451,11 +545,11 @@ IpmSolver::solve(const Vector &x0, const std::vector<Vector> &refs)
         // predictor-corrector (affine solve -> adaptive centering ->
         // corrected solve).
         // --------------------------------------------------------
-        Vector dx0 = x0 - xs_[0];
+        ws_.dx0.copyFrom(x0);
+        ws_.dx0 -= xs_[0];
         auto barrier_targets = [&](double mu_t, bool corrector) {
             for (int k = 0; k <= n_stages; ++k) {
                 const IneqBlock &blk = ineq_[k];
-                yblk[k] = Vector(blk.rows.size());
                 for (std::size_t i = 0; i < blk.rows.size(); ++i) {
                     double sigma = cappedSigma(blk.lam[i], blk.s[i]);
                     double y = blk.lam[i] + sigma * blk.h[i] +
@@ -467,14 +561,13 @@ IpmSolver::solve(const Vector &x0, const std::vector<Vector> &refs)
             }
         };
 
-        RiccatiSolution sol;
         double alpha = 1.0;
         if (opt.predictorCorrector && comp_rows) {
             // Affine predictor: mu = 0.
             barrier_targets(0.0, false);
-            apply_gradients(stages);
-            sol = solve_kkt(stages, dx0);
-            double alpha_aff = compute_steps(sol);
+            apply_gradients();
+            solve_kkt();
+            double alpha_aff = compute_steps();
             // Complementarity after the full affine step.
             double comp_aff = 0.0;
             for (const IneqBlock &blk : ineq_) {
@@ -489,14 +582,14 @@ IpmSolver::solve(const Vector &x0, const std::vector<Vector> &refs)
             mu = std::max(opt.muMin, centering * comp_now);
             // Corrector with second-order term from the affine steps.
             barrier_targets(mu, true);
-            apply_gradients(stages);
-            sol = solve_kkt(stages, dx0);
-            alpha = compute_steps(sol);
+            apply_gradients();
+            solve_kkt();
+            alpha = compute_steps();
         } else {
             barrier_targets(mu, false);
-            apply_gradients(stages);
-            sol = solve_kkt(stages, dx0);
-            alpha = compute_steps(sol);
+            apply_gradients();
+            solve_kkt();
+            alpha = compute_steps();
         }
 
         double step_inf = 0.0;
@@ -513,29 +606,30 @@ IpmSolver::solve(const Vector &x0, const std::vector<Vector> &refs)
             max_lam = std::max(max_lam, blk.lam.size() ? blk.lam.normInf()
                                                        : 0.0);
         double rho = 10.0 * (1.0 + max_lam);
+        for (int k = 0; k <= n_stages; ++k)
+            ws_.trialS[k].copyFrom(ineq_[k].s);
         double merit0 =
-            meritFunction(xs_, us_, ineq_, x0, refs, mu, rho);
+            meritFunction(xs_, us_, ws_.trialS, x0, refs, mu, rho);
 
-        std::vector<Vector> trial_xs = xs_;
-        std::vector<Vector> trial_us = us_;
-        std::vector<IneqBlock> trial_ineq = ineq_;
         double used_alpha = alpha;
         bool accepted = false;
         for (int ls = 0; ls < 8; ++ls) {
             for (int k = 0; k <= n_stages; ++k) {
-                trial_xs[k] = xs_[k] + sol.dx[k] * used_alpha;
-                IneqBlock &blk = trial_ineq[k];
+                addScaledInto(xs_[k], sol.dx[k], used_alpha,
+                              ws_.trialXs[k]);
+                const IneqBlock &blk = ineq_[k];
                 for (std::size_t i = 0; i < blk.rows.size(); ++i) {
-                    blk.s[i] = ineq_[k].s[i] + used_alpha * ineq_[k].ds[i];
-                    blk.lam[i] = std::min(
+                    ws_.trialS[k][i] = blk.s[i] + used_alpha * blk.ds[i];
+                    ws_.trialLam[k][i] = std::min(
                         kLambdaCap,
-                        ineq_[k].lam[i] + used_alpha * ineq_[k].dlam[i]);
+                        blk.lam[i] + used_alpha * blk.dlam[i]);
                 }
             }
             for (int k = 0; k < n_stages; ++k)
-                trial_us[k] = us_[k] + sol.du[k] * used_alpha;
-            double merit = meritFunction(trial_xs, trial_us, trial_ineq,
-                                         x0, refs, mu, rho);
+                addScaledInto(us_[k], sol.du[k], used_alpha,
+                              ws_.trialUs[k]);
+            double merit = meritFunction(ws_.trialXs, ws_.trialUs,
+                                         ws_.trialS, x0, refs, mu, rho);
             if (merit <= merit0 + 1e-9 * std::abs(merit0) + 1e-12) {
                 accepted = true;
                 break;
@@ -545,9 +639,12 @@ IpmSolver::solve(const Vector &x0, const std::vector<Vector> &refs)
         // Even if the merit check failed at every trial length, take the
         // smallest step rather than stalling; the barrier keeps iterates
         // strictly feasible.
-        xs_ = trial_xs;
-        us_ = trial_us;
-        ineq_ = trial_ineq;
+        std::swap(xs_, ws_.trialXs);
+        std::swap(us_, ws_.trialUs);
+        for (int k = 0; k <= n_stages; ++k) {
+            ineq_[k].s.copyFrom(ws_.trialS[k]);
+            ineq_[k].lam.copyFrom(ws_.trialLam[k]);
+        }
         (void)accepted;
 
         // --------------------------------------------------------
@@ -585,16 +682,22 @@ IpmSolver::solve(const Vector &x0, const std::vector<Vector> &refs)
     // The interior point method converges to the bounds from the
     // inside but an early stop can leave micro-violations; the command
     // actually issued to the actuators is projected onto their limits.
-    result.u0 = us_[0];
+    result_.u0.copyFrom(us_[0]);
     const dsl::ModelSpec &model = problem_.model();
     for (int i = 0; i < problem_.nu(); ++i) {
-        result.u0[i] = std::clamp(result.u0[i], model.inputLower[i],
-                                  model.inputUpper[i]);
+        result_.u0[i] = std::clamp(result_.u0[i], model.inputLower[i],
+                                   model.inputUpper[i]);
     }
-    result.converged = stats_.converged;
-    result.iterations = stats_.iterations;
-    result.objective = stats_.objective;
-    return result;
+    result_.converged = stats_.converged;
+    result_.iterations = stats_.iterations;
+    result_.objective = stats_.objective;
+
+    stats_.solveSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t_start)
+            .count();
+    stats_.heapAllocations = support::allocCount() - allocs_start;
+    return result_;
 }
 
 } // namespace robox::mpc

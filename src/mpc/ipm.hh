@@ -9,6 +9,13 @@
  * approximation, which is exact in structure for the translator's
  * weighted-norm objective sum_i ||p_i||^2_{W_i}. Successive controller
  * invocations warm-start from the shifted previous trajectory.
+ *
+ * Hot-path discipline: every buffer the solve loop touches is owned by
+ * a per-instance SolverWorkspace pre-sized at construction, so a
+ * warmed-up solve performs zero heap allocations (verified by the
+ * allocation hook in SolveStats and tests/batch_test.cc). This is what
+ * makes the per-solve latency worth batching across robots with
+ * mpc/batch.hh.
  */
 
 #ifndef ROBOX_MPC_IPM_HH
@@ -17,13 +24,15 @@
 #include <cstdint>
 #include <vector>
 
+#include "mpc/dense_kkt.hh"
 #include "mpc/problem.hh"
 #include "mpc/riccati.hh"
 
 namespace robox::mpc
 {
 
-/** Statistics from the most recent solve, fed to performance models. */
+/** Statistics from the most recent solve, fed to performance models
+ *  and to BatchController::report(). */
 struct SolveStats
 {
     int iterations = 0;
@@ -31,8 +40,13 @@ struct SolveStats
     double objective = 0.0;
     double eqResidual = 0.0;    //!< Final inf-norm of dynamics residual.
     double compAverage = 0.0;   //!< Final average complementarity.
-    std::uint64_t riccatiFlops = 0;
+    std::uint64_t riccatiFlops = 0; //!< KKT-backend flops this solve.
     int lineSearchEvals = 0;
+    double solveSeconds = 0.0;  //!< Wall time of the last solve() call.
+    /** Heap allocations made by the solving thread during the last
+     *  solve(). Zero in steady state; always zero when the counting
+     *  hook is not linked (support/alloc_hook.hh). */
+    std::uint64_t heapAllocations = 0;
 };
 
 /** The interior-point MPC solver. */
@@ -53,8 +67,11 @@ class IpmSolver
     /**
      * Solve the MPC problem from the measured state and current
      * reference values; warm-starts from the previous invocation.
+     * Returns a reference to per-instance storage (valid until the
+     * next solve) so the steady-state path stays allocation-free;
+     * copy-assign it to keep a snapshot.
      */
-    Result solve(const Vector &x0, const Vector &ref);
+    const Result &solve(const Vector &x0, const Vector &ref);
 
     /**
      * Solve with per-stage references: refs[k] applies at horizon
@@ -62,7 +79,7 @@ class IpmSolver
      * trajectory-tracking task feeds the future reference trajectory
      * to the controller; refs.size() must be horizon + 1.
      */
-    Result solve(const Vector &x0, const std::vector<Vector> &refs);
+    const Result &solve(const Vector &x0, const std::vector<Vector> &refs);
 
     /** Drop the warm start (e.g. after a large disturbance). */
     void reset() { warm_ = false; }
@@ -88,16 +105,49 @@ class IpmSolver
         Vector dlam;           //!< Dual step.
     };
 
+    /**
+     * Every buffer the solve loop writes, pre-sized at construction
+     * and reused across iterations and invocations. Nothing in here
+     * carries state between solves; it exists purely to keep the hot
+     * path off the heap.
+     */
+    struct SolverWorkspace
+    {
+        std::vector<StageQp> stages;  //!< N condensed stage QPs.
+        std::vector<StageEval> dyn;   //!< N dynamics evaluations.
+        StageEval costEval;
+        StageEval ineqEval;
+        std::vector<Vector> qv0;      //!< Cost-only x gradients.
+        std::vector<Vector> rv0;      //!< Cost-only u gradients.
+        Matrix qn;                    //!< Terminal Hessian.
+        Vector qnv0;                  //!< Terminal cost-only gradient.
+        Vector qnv;                   //!< Terminal gradient + barrier.
+        std::vector<Vector> yblk;     //!< Barrier target per block.
+        Vector dx0;                   //!< x0 - xs[0].
+        Vector hdz;                   //!< Constraint-row step scratch.
+        std::vector<Vector> trialXs;  //!< Line-search trial states.
+        std::vector<Vector> trialUs;  //!< Line-search trial inputs.
+        std::vector<Vector> trialS;   //!< Line-search trial slacks.
+        std::vector<Vector> trialLam; //!< Line-search trial duals.
+        Vector meritDyn;              //!< Merit dynamics scratch.
+        Vector meritH;                //!< Merit constraint scratch.
+        std::vector<Vector> refsScratch; //!< Constant-ref broadcast.
+        RiccatiWorkspace riccati;
+        DenseKktWorkspace dense;
+        RiccatiSolution sol;          //!< Newton step of this iterate.
+    };
+
     void initializeTrajectory(const Vector &x0,
                               const std::vector<Vector> &refs);
     /** Initialize slacks/duals; warm invocations shift the previous
-     *  solve's values by one stage and return a matching barrier. */
+     *  solve's values by one stage (using the row maps precomputed in
+     *  the constructor) and return a matching barrier. */
     double initializeSlacks(const std::vector<Vector> &refs,
                             double mu_init);
     void evaluateIneq(IneqBlock &blk, const StageEval &eval) const;
     double meritFunction(const std::vector<Vector> &xs,
                          const std::vector<Vector> &us,
-                         const std::vector<IneqBlock> &blocks,
+                         const std::vector<Vector> &slacks,
                          const Vector &x0,
                          const std::vector<Vector> &refs, double mu,
                          double rho);
@@ -108,9 +158,17 @@ class IpmSolver
     std::vector<Vector> us_; //!< N inputs.
     std::vector<IneqBlock> ineq_; //!< N running blocks + 1 terminal.
     SolveStats stats_;
+    Result result_;
+    SolverWorkspace ws_;
     std::vector<int> full_run_rows_;   //!< 0..nh_run-1.
-    std::vector<int> stage0_run_rows_; //!< Rows valid at the fixed x_0.
+    std::vector<int> stage0_run_rows_; //!< Rows enforceable at fixed x_0.
     std::vector<int> term_rows_;       //!< 0..nh_term-1.
+
+    // Warm-start shift maps, precomputed once: position of each
+    // destination row in its warm-source block (-1 when absent).
+    std::vector<int> stage0_in_full_; //!< Stage-0 row -> full-block pos.
+    std::vector<int> stage0_in_term_; //!< Stage-0 row -> terminal pos.
+    std::vector<int> full_in_term_;   //!< Full row -> terminal pos.
 };
 
 } // namespace robox::mpc

@@ -209,8 +209,12 @@ MpcProblem::MpcProblem(const dsl::ModelSpec &model,
 
     num_run_ineq_ = static_cast<int>(run_rows.size());
     run_row_uses_state_.reserve(run_rows.size());
-    for (const sym::Expr &h : run_rows)
+    run_row_uses_input_.reserve(run_rows.size());
+    for (const sym::Expr &h : run_rows) {
         run_row_uses_state_.push_back(referencesRange(h, 0, nx_));
+        run_row_uses_input_.push_back(
+            referencesRange(h, nx_, nx_ + nu_));
+    }
     num_term_ineq_ = static_cast<int>(term_rows.size());
 
     std::vector<sym::Expr> run_ineq_outputs;
@@ -233,73 +237,81 @@ MpcProblem::MpcProblem(const dsl::ModelSpec &model,
     term_ineq_tape_ = sym::Tape(term_ineq_outputs, total);
 }
 
-std::vector<double>
+void
 MpcProblem::packRunning(const Vector &x, const Vector &u,
                         const Vector &ref) const
 {
     robox_assert(static_cast<int>(x.size()) == nx_);
     robox_assert(static_cast<int>(u.size()) == nu_);
     robox_assert(static_cast<int>(ref.size()) == nref_);
-    std::vector<double> env(nx_ + nu_ + nref_);
+    env_.assign(static_cast<std::size_t>(nx_ + nu_ + nref_), 0.0);
     for (int i = 0; i < nx_; ++i)
-        env[i] = x[i];
+        env_[i] = x[i];
     for (int i = 0; i < nu_; ++i)
-        env[nx_ + i] = u[i];
+        env_[nx_ + i] = u[i];
     for (int i = 0; i < nref_; ++i)
-        env[nx_ + nu_ + i] = ref[i];
-    return env;
+        env_[nx_ + nu_ + i] = ref[i];
 }
 
-std::vector<double>
+void
 MpcProblem::packTerminal(const Vector &x, const Vector &ref) const
 {
-    return packRunning(x, Vector(static_cast<std::size_t>(nu_)), ref);
+    robox_assert(static_cast<int>(x.size()) == nx_);
+    robox_assert(static_cast<int>(ref.size()) == nref_);
+    env_.assign(static_cast<std::size_t>(nx_ + nu_ + nref_), 0.0);
+    for (int i = 0; i < nx_; ++i)
+        env_[i] = x[i];
+    for (int i = 0; i < nref_; ++i)
+        env_[nx_ + nu_ + i] = ref[i];
 }
 
-std::vector<double>
-MpcProblem::runTape(const sym::Tape &tape,
-                    const std::vector<double> &env) const
+const std::vector<double> &
+MpcProblem::runTape(const sym::Tape &tape) const
 {
-    if (!options_.fixedPointTapes)
-        return tape.eval(env);
+    if (!options_.fixedPointTapes) {
+        tape.evalInto(env_, tape_work_, tape_out_);
+        return tape_out_;
+    }
     // Accelerator datapath: quantize inputs, evaluate with saturating
     // Q14.17 arithmetic and LUT nonlinears, and dequantize the results.
-    std::vector<Fixed> fenv;
-    fenv.reserve(env.size());
-    for (double v : env)
-        fenv.push_back(Fixed::fromDouble(v));
-    std::vector<Fixed> fout = tape.evalFixed(fenv, *fixed_math_);
-    std::vector<double> out;
-    out.reserve(fout.size());
-    for (Fixed v : fout)
-        out.push_back(v.toDouble());
-    return out;
+    fixed_env_.resize(env_.size());
+    for (std::size_t i = 0; i < env_.size(); ++i)
+        fixed_env_[i] = Fixed::fromDouble(env_[i]);
+    tape.evalFixedInto(fixed_env_, *fixed_math_, fixed_work_, fixed_out_);
+    tape_out_.resize(fixed_out_.size());
+    for (std::size_t i = 0; i < fixed_out_.size(); ++i)
+        tape_out_[i] = fixed_out_[i].toDouble();
+    return tape_out_;
 }
 
 namespace
 {
 
-/** Unpack a tape result laid out as [value | Jx | Ju]. */
+/** Unpack a tape result laid out as [value | Jx | Ju]. The StageEval's
+ *  buffers are reused when already shaped, so repeated evaluation into
+ *  the same StageEval does not allocate. */
 void
 unpack(const std::vector<double> &out, int rows, int nx, int nu,
        StageEval &eval)
 {
-    eval.value = Vector(static_cast<std::size_t>(rows));
-    eval.jx = Matrix(rows, nx);
+    const std::size_t urows = static_cast<std::size_t>(rows);
+    if (eval.value.size() != urows)
+        eval.value.resize(urows);
+    if (eval.jx.rows() != urows ||
+        eval.jx.cols() != static_cast<std::size_t>(nx))
+        eval.jx.resize(urows, nx);
+    if (eval.ju.rows() != urows ||
+        eval.ju.cols() != static_cast<std::size_t>(nu))
+        eval.ju.resize(urows, nu);
     for (int i = 0; i < rows; ++i)
         eval.value[i] = out[i];
     int at = rows;
     for (int i = 0; i < rows; ++i)
         for (int j = 0; j < nx; ++j)
             eval.jx(i, j) = out[at++];
-    if (nu > 0) {
-        eval.ju = Matrix(rows, nu);
-        for (int i = 0; i < rows; ++i)
-            for (int j = 0; j < nu; ++j)
-                eval.ju(i, j) = out[at++];
-    } else {
-        eval.ju = Matrix(rows, 0);
-    }
+    for (int i = 0; i < rows; ++i)
+        for (int j = 0; j < nu; ++j)
+            eval.ju(i, j) = out[at++];
 }
 
 } // namespace
@@ -308,40 +320,40 @@ void
 MpcProblem::evalDynamics(const Vector &x, const Vector &u,
                          const Vector &ref, StageEval &out) const
 {
-    auto result = runTape(dyn_tape_, packRunning(x, u, ref));
-    unpack(result, nx_, nx_, nu_, out);
+    packRunning(x, u, ref);
+    unpack(runTape(dyn_tape_), nx_, nx_, nu_, out);
 }
 
 void
 MpcProblem::evalRunningCost(const Vector &x, const Vector &u,
                             const Vector &ref, StageEval &out) const
 {
-    auto result = runTape(run_cost_tape_, packRunning(x, u, ref));
-    unpack(result, numRunningResiduals(), nx_, nu_, out);
+    packRunning(x, u, ref);
+    unpack(runTape(run_cost_tape_), numRunningResiduals(), nx_, nu_, out);
 }
 
 void
 MpcProblem::evalTerminalCost(const Vector &x, const Vector &ref,
                              StageEval &out) const
 {
-    auto result = runTape(term_cost_tape_, packTerminal(x, ref));
-    unpack(result, numTerminalResiduals(), nx_, 0, out);
+    packTerminal(x, ref);
+    unpack(runTape(term_cost_tape_), numTerminalResiduals(), nx_, 0, out);
 }
 
 void
 MpcProblem::evalRunningIneq(const Vector &x, const Vector &u,
                             const Vector &ref, StageEval &out) const
 {
-    auto result = runTape(run_ineq_tape_, packRunning(x, u, ref));
-    unpack(result, num_run_ineq_, nx_, nu_, out);
+    packRunning(x, u, ref);
+    unpack(runTape(run_ineq_tape_), num_run_ineq_, nx_, nu_, out);
 }
 
 void
 MpcProblem::evalTerminalIneq(const Vector &x, const Vector &ref,
                              StageEval &out) const
 {
-    auto result = runTape(term_ineq_tape_, packTerminal(x, ref));
-    unpack(result, num_term_ineq_, nx_, 0, out);
+    packTerminal(x, ref);
+    unpack(runTape(term_ineq_tape_), num_term_ineq_, nx_, 0, out);
 }
 
 double
@@ -362,13 +374,13 @@ MpcProblem::objective(const std::vector<Vector> &xs,
     double total = 0.0;
     for (std::size_t k = 0; k < us.size(); ++k) {
         // Value-only use of the tapes; Jacobian slots are ignored.
-        auto out =
-            runTape(run_cost_tape_, packRunning(xs[k], us[k], refs[k]));
+        packRunning(xs[k], us[k], refs[k]);
+        const auto &out = runTape(run_cost_tape_);
         for (int i = 0; i < numRunningResiduals(); ++i)
             total += running_weights_[i] * out[i] * out[i];
     }
-    auto out =
-        runTape(term_cost_tape_, packTerminal(xs.back(), refs.back()));
+    packTerminal(xs.back(), refs.back());
+    const auto &out = runTape(term_cost_tape_);
     for (int i = 0; i < numTerminalResiduals(); ++i)
         total += terminal_weights_[i] * out[i] * out[i];
     return total;
@@ -378,32 +390,62 @@ Vector
 MpcProblem::runningIneqValue(const Vector &x, const Vector &u,
                              const Vector &ref) const
 {
-    auto out = runTape(run_ineq_tape_, packRunning(x, u, ref));
-    Vector h(static_cast<std::size_t>(num_run_ineq_));
-    for (int i = 0; i < num_run_ineq_; ++i)
-        h[i] = out[i];
+    Vector h;
+    runningIneqValueInto(x, u, ref, h);
     return h;
+}
+
+void
+MpcProblem::runningIneqValueInto(const Vector &x, const Vector &u,
+                                 const Vector &ref, Vector &out) const
+{
+    packRunning(x, u, ref);
+    const auto &vals = runTape(run_ineq_tape_);
+    if (out.size() != static_cast<std::size_t>(num_run_ineq_))
+        out.resize(static_cast<std::size_t>(num_run_ineq_));
+    for (int i = 0; i < num_run_ineq_; ++i)
+        out[i] = vals[i];
 }
 
 Vector
 MpcProblem::terminalIneqValue(const Vector &x, const Vector &ref) const
 {
-    auto out = runTape(term_ineq_tape_, packTerminal(x, ref));
-    Vector h(static_cast<std::size_t>(num_term_ineq_));
-    for (int i = 0; i < num_term_ineq_; ++i)
-        h[i] = out[i];
+    Vector h;
+    terminalIneqValueInto(x, ref, h);
     return h;
+}
+
+void
+MpcProblem::terminalIneqValueInto(const Vector &x, const Vector &ref,
+                                  Vector &out) const
+{
+    packTerminal(x, ref);
+    const auto &vals = runTape(term_ineq_tape_);
+    if (out.size() != static_cast<std::size_t>(num_term_ineq_))
+        out.resize(static_cast<std::size_t>(num_term_ineq_));
+    for (int i = 0; i < num_term_ineq_; ++i)
+        out[i] = vals[i];
 }
 
 Vector
 MpcProblem::dynamicsValue(const Vector &x, const Vector &u,
                           const Vector &ref) const
 {
-    auto out = runTape(dyn_tape_, packRunning(x, u, ref));
-    Vector f(static_cast<std::size_t>(nx_));
-    for (int i = 0; i < nx_; ++i)
-        f[i] = out[i];
+    Vector f;
+    dynamicsValueInto(x, u, ref, f);
     return f;
+}
+
+void
+MpcProblem::dynamicsValueInto(const Vector &x, const Vector &u,
+                              const Vector &ref, Vector &out) const
+{
+    packRunning(x, u, ref);
+    const auto &vals = runTape(dyn_tape_);
+    if (out.size() != static_cast<std::size_t>(nx_))
+        out.resize(static_cast<std::size_t>(nx_));
+    for (int i = 0; i < nx_; ++i)
+        out[i] = vals[i];
 }
 
 } // namespace robox::mpc

@@ -109,6 +109,19 @@ class MpcProblem
     Vector dynamicsValue(const Vector &x, const Vector &u,
                          const Vector &ref) const;
 
+    /**
+     * Allocation-free variants of the value-only evaluators: the
+     * output is resized on first use and reused afterwards. These are
+     * what the solver's warm hot path (merit evaluations, trajectory
+     * rollouts) calls every iteration.
+     */
+    void runningIneqValueInto(const Vector &x, const Vector &u,
+                              const Vector &ref, Vector &out) const;
+    void terminalIneqValueInto(const Vector &x, const Vector &ref,
+                               Vector &out) const;
+    void dynamicsValueInto(const Vector &x, const Vector &u,
+                           const Vector &ref, Vector &out) const;
+
     /** Access the compiled tapes (workload input for the accelerator). */
     const sym::Tape &dynamicsTape() const { return dyn_tape_; }
     const sym::Tape &runningCostTape() const { return run_cost_tape_; }
@@ -116,11 +129,18 @@ class MpcProblem
     const sym::Tape &runningIneqTape() const { return run_ineq_tape_; }
     const sym::Tape &terminalIneqTape() const { return term_ineq_tape_; }
 
-    /** Per running row: does h_i reference any state variable? Rows
-     *  that do are not enforced at the fixed initial stage. */
+    /** Per running row: does h_i reference any state variable? */
     const std::vector<bool> &runningRowUsesState() const
     {
         return run_row_uses_state_;
+    }
+
+    /** Per running row: does h_i reference any control input? Rows
+     *  with an input dependence still bind at the fixed initial stage
+     *  even when they also mention the state. */
+    const std::vector<bool> &runningRowUsesInput() const
+    {
+        return run_row_uses_input_;
     }
 
     /** Human-readable labels for inequality rows (diagnostics). */
@@ -137,16 +157,22 @@ class MpcProblem
     /** Build the symbolic discrete-time dynamics F(x, u, ref). */
     std::vector<sym::Expr> discretize() const;
 
-    /** Evaluate a tape in double or fixed point per the options. */
-    std::vector<double> runTape(const sym::Tape &tape,
-                                const std::vector<double> &env) const;
+    /**
+     * Evaluate a tape in double or fixed point per the options,
+     * reading the environment packed by packRunning/packTerminal and
+     * returning a reference to the reusable output scratch. Reuses
+     * mutable per-instance buffers so steady-state evaluation is
+     * allocation-free; an MpcProblem instance is therefore not safe to
+     * share across threads (BatchController gives each worker its own
+     * solver, and with it its own problem).
+     */
+    const std::vector<double> &runTape(const sym::Tape &tape) const;
 
-    /** Environment packing: [x | u | ref] for running tapes. */
-    std::vector<double> packRunning(const Vector &x, const Vector &u,
-                                    const Vector &ref) const;
-    /** Environment packing: [x | ref] for terminal tapes. */
-    std::vector<double> packTerminal(const Vector &x,
-                                     const Vector &ref) const;
+    /** Pack [x | u | ref] into the environment scratch. */
+    void packRunning(const Vector &x, const Vector &u,
+                     const Vector &ref) const;
+    /** Pack [x | 0 | ref] into the environment scratch. */
+    void packTerminal(const Vector &x, const Vector &ref) const;
 
     dsl::ModelSpec model_;
     MpcOptions options_;
@@ -160,7 +186,16 @@ class MpcProblem
     std::vector<double> terminal_weights_;
     std::vector<std::string> run_ineq_names_;
     std::vector<bool> run_row_uses_state_;
+    std::vector<bool> run_row_uses_input_;
     std::vector<std::string> term_ineq_names_;
+
+    // Evaluation scratch, reused across calls (see runTape).
+    mutable std::vector<double> env_;
+    mutable std::vector<double> tape_work_;
+    mutable std::vector<double> tape_out_;
+    mutable std::vector<Fixed> fixed_env_;
+    mutable std::vector<Fixed> fixed_work_;
+    mutable std::vector<Fixed> fixed_out_;
 
     std::unique_ptr<FixedMath> fixed_math_; //!< Fixed-point mode only.
     sym::Tape dyn_tape_;

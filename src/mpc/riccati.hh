@@ -44,6 +44,42 @@ struct RiccatiSolution
 };
 
 /**
+ * Pre-sized scratch for the backward recursion. Owned by the caller
+ * (one per solver instance) and reused across iterations so the warm
+ * solve path performs no heap allocation; see the workspace-reuse
+ * discipline in ARCHITECTURE.md.
+ */
+struct RiccatiWorkspace
+{
+    Matrix p;    //!< Cost-to-go Hessian P_k.
+    Vector pv;   //!< Cost-to-go gradient p_k.
+    Matrix pa;   //!< P A.
+    Matrix pb;   //!< P B.
+    Vector pc;   //!< p + P c.
+    Matrix fxx;  //!< Q + A' P A.
+    Matrix fux;  //!< S + B' P A.
+    Matrix fuu;  //!< R + B' P B.
+    Vector fx;   //!< q + A' (p + P c).
+    Vector fu;   //!< r + B' (p + P c).
+    Matrix l;    //!< Cholesky factor of F_uu.
+    std::vector<Matrix> gainK; //!< Feedback gains, size N.
+    std::vector<Vector> gainD; //!< Feedforward terms, size N.
+
+    /** Size every buffer for the given dimensions (idempotent). */
+    void resize(std::size_t n_stages, std::size_t nx, std::size_t nu);
+};
+
+/**
+ * Allocation-free overload: factors with the caller's workspace and
+ * writes the steps into sol's pre-sized buffers (resizing them only on
+ * first use). sol.flops and sol.regularization are reset each call.
+ */
+void solveRiccati(const std::vector<StageQp> &stages, const Matrix &qn,
+                  const Vector &qnv, const Vector &dx0,
+                  double initial_regularization, RiccatiWorkspace &ws,
+                  RiccatiSolution &sol);
+
+/**
  * Solve the equality-constrained QP
  *
  *   min  sum_k 1/2 [dx;du]' [Q S'; S R] [dx;du] + qv'dx + rv'du

@@ -16,22 +16,22 @@ Plant::Plant(const dsl::ModelSpec &model)
 {
 }
 
-Vector
-Plant::derivative(const Vector &x, const Vector &u,
-                  const Vector &ref) const
+void
+Plant::derivativeInto(const Vector &x, const Vector &u,
+                      const Vector &ref, Vector &dx) const
 {
-    std::vector<double> env(nx_ + nu_ + nref_);
+    env_.assign(static_cast<std::size_t>(nx_ + nu_ + nref_), 0.0);
     for (int i = 0; i < nx_; ++i)
-        env[i] = x[i];
+        env_[i] = x[i];
     for (int i = 0; i < nu_; ++i)
-        env[nx_ + i] = u[i];
+        env_[nx_ + i] = u[i];
     for (int i = 0; i < nref_; ++i)
-        env[nx_ + nu_ + i] = ref[i];
-    auto out = tape_.eval(env);
-    Vector dx(static_cast<std::size_t>(nx_));
+        env_[nx_ + nu_ + i] = ref[i];
+    tape_.evalInto(env_, work_, out_);
+    if (dx.size() != static_cast<std::size_t>(nx_))
+        dx.resize(static_cast<std::size_t>(nx_));
     for (int i = 0; i < nx_; ++i)
-        dx[i] = out[i];
-    return dx;
+        dx[i] = out_[i];
 }
 
 Vector
@@ -42,11 +42,16 @@ Plant::step(const Vector &x, const Vector &u, const Vector &ref,
     Vector state = x;
     double h = dt / substeps;
     for (int s = 0; s < substeps; ++s) {
-        Vector k1 = derivative(state, u, ref);
-        Vector k2 = derivative(state + k1 * (h / 2), u, ref);
-        Vector k3 = derivative(state + k2 * (h / 2), u, ref);
-        Vector k4 = derivative(state + k3 * h, u, ref);
-        state += (k1 + k2 * 2.0 + k3 * 2.0 + k4) * (h / 6.0);
+        derivativeInto(state, u, ref, k1_);
+        addScaledInto(state, k1_, h / 2, xmid_);
+        derivativeInto(xmid_, u, ref, k2_);
+        addScaledInto(state, k2_, h / 2, xmid_);
+        derivativeInto(xmid_, u, ref, k3_);
+        addScaledInto(state, k3_, h, xmid_);
+        derivativeInto(xmid_, u, ref, k4_);
+        for (int i = 0; i < nx_; ++i)
+            state[i] += (k1_[i] + 2.0 * k2_[i] + 2.0 * k3_[i] + k4_[i]) *
+                        (h / 6.0);
     }
     return state;
 }

@@ -52,13 +52,20 @@ class Plant
                 double dt, int substeps = 8) const;
 
   private:
-    Vector derivative(const Vector &x, const Vector &u,
-                      const Vector &ref) const;
+    void derivativeInto(const Vector &x, const Vector &u,
+                        const Vector &ref, Vector &dx) const;
 
     int nx_;
     int nu_;
     int nref_;
     sym::Tape tape_;
+    // Evaluation scratch reused across substeps, so long rollouts do
+    // not churn the heap. A Plant instance is therefore not safe to
+    // share across threads; give each worker its own.
+    mutable std::vector<double> env_;
+    mutable std::vector<double> work_;
+    mutable std::vector<double> out_;
+    mutable Vector k1_, k2_, k3_, k4_, xmid_;
 };
 
 /**

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Counting replacements for the replaceable global allocation
+ * functions.
+ *
+ * These definitions live in the same translation unit as allocCount()
+ * on purpose: a static-library object file is only linked into a
+ * binary when it satisfies an undefined reference, so binaries that
+ * never ask for the counter keep the standard library's operator new
+ * and pay nothing. Binaries that do call allocCount() get the counting
+ * replacement for every allocation they make.
+ */
+
+#include "support/alloc_hook.hh"
+
+#include <cstdlib>
+#include <new>
+
+namespace
+{
+
+thread_local std::uint64_t t_alloc_count = 0;
+
+void *
+countedAlloc(std::size_t size)
+{
+    ++t_alloc_count;
+    if (size == 0)
+        size = 1;
+    void *p = std::malloc(size);
+    if (!p)
+        throw std::bad_alloc();
+    return p;
+}
+
+void *
+countedAlignedAlloc(std::size_t size, std::size_t align)
+{
+    ++t_alloc_count;
+    if (size == 0)
+        size = align;
+    // aligned_alloc requires the size to be a multiple of the alignment.
+    std::size_t padded = (size + align - 1) / align * align;
+    void *p = std::aligned_alloc(align, padded);
+    if (!p)
+        throw std::bad_alloc();
+    return p;
+}
+
+} // namespace
+
+namespace robox::support
+{
+
+std::uint64_t
+allocCount()
+{
+    return t_alloc_count;
+}
+
+bool
+allocCountingActive()
+{
+    std::uint64_t before = t_alloc_count;
+    delete new char;
+    return t_alloc_count != before;
+}
+
+} // namespace robox::support
+
+// ---------------------------------------------------------------------
+// Replaceable global allocation functions ([new.delete.single/array]).
+// ---------------------------------------------------------------------
+
+void *
+operator new(std::size_t size)
+{
+    return countedAlloc(size);
+}
+
+void *
+operator new[](std::size_t size)
+{
+    return countedAlloc(size);
+}
+
+void *
+operator new(std::size_t size, const std::nothrow_t &) noexcept
+{
+    try {
+        return countedAlloc(size);
+    } catch (...) {
+        return nullptr;
+    }
+}
+
+void *
+operator new[](std::size_t size, const std::nothrow_t &) noexcept
+{
+    try {
+        return countedAlloc(size);
+    } catch (...) {
+        return nullptr;
+    }
+}
+
+void *
+operator new(std::size_t size, std::align_val_t align)
+{
+    return countedAlignedAlloc(size, static_cast<std::size_t>(align));
+}
+
+void *
+operator new[](std::size_t size, std::align_val_t align)
+{
+    return countedAlignedAlloc(size, static_cast<std::size_t>(align));
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, const std::nothrow_t &) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, const std::nothrow_t &) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}

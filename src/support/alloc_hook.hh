@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Debug allocation-count hook.
+ *
+ * The MPC hot path is supposed to be allocation-free after warm-up
+ * (the SolverWorkspace discipline in src/mpc). This hook lets tests,
+ * benches, and SolveStats verify that claim: any translation unit that
+ * calls allocCount() pulls a replacement of the global operator
+ * new/delete pair into its binary, and every heap allocation on the
+ * calling thread bumps a thread-local counter.
+ *
+ * The counter is per-thread so concurrent BatchController workers can
+ * each account for their own solver instance without synchronization.
+ */
+
+#ifndef ROBOX_SUPPORT_ALLOC_HOOK_HH
+#define ROBOX_SUPPORT_ALLOC_HOOK_HH
+
+#include <cstdint>
+
+namespace robox::support
+{
+
+/** Number of heap allocations made by this thread since it started. */
+std::uint64_t allocCount();
+
+/**
+ * True when the counting operator new replacement is linked into this
+ * binary and observing allocations. Callers should gate hard zero-alloc
+ * assertions on this, since an embedding application may supply its own
+ * global allocator.
+ */
+bool allocCountingActive();
+
+} // namespace robox::support
+
+#endif // ROBOX_SUPPORT_ALLOC_HOOK_HH

@@ -125,6 +125,18 @@ inform(const std::string &fmt, Args &&...args)
                            __FILE__, __LINE__);                             \
     } while (0)
 
+/**
+ * Debug-only variant of robox_assert for checks on hot paths (per
+ * element accesses, shape checks inside linalg kernels). Compiled out
+ * under NDEBUG so release solve loops pay nothing; define
+ * ROBOX_FORCE_ASSERTS to keep them in optimized builds.
+ */
+#if !defined(NDEBUG) || defined(ROBOX_FORCE_ASSERTS)
+#define robox_assert_dbg(cond) robox_assert(cond)
+#else
+#define robox_assert_dbg(cond) ((void)0)
+#endif
+
 } // namespace robox
 
 #endif // ROBOX_SUPPORT_LOGGING_HH

@@ -98,8 +98,18 @@ Tape::Tape(const std::vector<Expr> &outputs, int num_vars)
 std::vector<double>
 Tape::eval(const std::vector<double> &inputs) const
 {
+    std::vector<double> work;
+    std::vector<double> out;
+    evalInto(inputs, work, out);
+    return out;
+}
+
+void
+Tape::evalInto(const std::vector<double> &inputs,
+               std::vector<double> &work, std::vector<double> &out) const
+{
     robox_assert(static_cast<int>(inputs.size()) == num_vars_);
-    std::vector<double> work(num_slots_, 0.0);
+    work.assign(num_slots_, 0.0);
     for (int i = 0; i < num_vars_; ++i)
         work[i] = inputs[i];
     for (const Preload &p : preloads_)
@@ -126,18 +136,27 @@ Tape::eval(const std::vector<double> &inputs) const
           default: panic("tape eval: bad op {}", opName(in.op));
         }
     }
-    std::vector<double> out;
-    out.reserve(output_slots_.size());
-    for (int slot : output_slots_)
-        out.push_back(work[slot]);
-    return out;
+    out.resize(output_slots_.size());
+    for (std::size_t i = 0; i < output_slots_.size(); ++i)
+        out[i] = work[output_slots_[i]];
 }
 
 std::vector<Fixed>
 Tape::evalFixed(const std::vector<Fixed> &inputs, const FixedMath &fm) const
 {
+    std::vector<Fixed> work;
+    std::vector<Fixed> out;
+    evalFixedInto(inputs, fm, work, out);
+    return out;
+}
+
+void
+Tape::evalFixedInto(const std::vector<Fixed> &inputs, const FixedMath &fm,
+                    std::vector<Fixed> &work,
+                    std::vector<Fixed> &out) const
+{
     robox_assert(static_cast<int>(inputs.size()) == num_vars_);
-    std::vector<Fixed> work(num_slots_);
+    work.assign(num_slots_, Fixed());
     for (int i = 0; i < num_vars_; ++i)
         work[i] = inputs[i];
     for (const Preload &p : preloads_)
@@ -178,11 +197,9 @@ Tape::evalFixed(const std::vector<Fixed> &inputs, const FixedMath &fm) const
           default: panic("tape evalFixed: bad op {}", opName(in.op));
         }
     }
-    std::vector<Fixed> out;
-    out.reserve(output_slots_.size());
-    for (int slot : output_slots_)
-        out.push_back(work[slot]);
-    return out;
+    out.resize(output_slots_.size());
+    for (std::size_t i = 0; i < output_slots_.size(); ++i)
+        out[i] = work[output_slots_[i]];
 }
 
 OpStats

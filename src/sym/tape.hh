@@ -84,11 +84,27 @@ class Tape
     std::vector<double> eval(const std::vector<double> &inputs) const;
 
     /**
+     * Evaluate in double precision into caller-owned buffers. work is
+     * the slot scratch (resized to numSlots()), out receives one value
+     * per output. Once both buffers have grown to their steady-state
+     * capacity the call performs no heap allocation, which is what the
+     * MPC solver's allocation-free hot path relies on.
+     */
+    void evalInto(const std::vector<double> &inputs,
+                  std::vector<double> &work,
+                  std::vector<double> &out) const;
+
+    /**
      * Evaluate in Q14.17 fixed point, using LUT-backed nonlinear
      * functions — bit-compatible with the accelerator datapath.
      */
     std::vector<Fixed> evalFixed(const std::vector<Fixed> &inputs,
                                  const FixedMath &fm) const;
+
+    /** Fixed-point analogue of evalInto. */
+    void evalFixedInto(const std::vector<Fixed> &inputs,
+                       const FixedMath &fm, std::vector<Fixed> &work,
+                       std::vector<Fixed> &out) const;
 
     /** Operation counts by category. */
     OpStats stats() const;

@@ -447,5 +447,60 @@ TEST(Ipm, HorizonOneDegenerateCaseWorks)
     EXPECT_TRUE(std::isfinite(result.u0[0]));
 }
 
+// A double integrator with a mixed state/input task constraint
+// acc + vel <= budget: at stage 0 the velocity is the (fixed) measured
+// state, so the row reduces to a hard bound on the first input.
+const char *kMixedConstraintIntegrator = R"(
+System MixedIntegrator( param a_max ) {
+  state pos, vel;
+  input acc;
+  pos.dt = vel;
+  vel.dt = acc;
+  acc.lower_bound <= -a_max;
+  acc.upper_bound <= a_max;
+  Task moveTo( reference target, param budget ) {
+    penalty track, effort;
+    track.running = pos - target;
+    track.weight <= 1.0;
+    effort.running = acc;
+    effort.weight <= 0.01;
+    penalty final_pos;
+    final_pos.terminal = pos - target;
+    final_pos.weight <= 10.0;
+    constraint slew;
+    slew.running = acc + vel;
+    slew.upper_bound <= budget;
+  }
+}
+reference target;
+MixedIntegrator plant(5.0);
+plant.moveTo(target, 1.0);
+)";
+
+// Regression: stage-0 filtering used to drop every running row that
+// mentions the state, including mixed h(x, u) rows, so the first
+// control was computed without its constraint. With vel = 0.9 and
+// acc + vel <= 1, the first input must not exceed ~0.1 even though the
+// target begs for full acceleration.
+TEST(Ipm, MixedConstraintBindsAtStageZero)
+{
+    dsl::ModelSpec model =
+        dsl::analyzeSource(kMixedConstraintIntegrator);
+    MpcProblem prob(model, smallOptions(20));
+    // The mixed row depends on both the state and the input...
+    const int mixed_row = prob.numRunningIneq() - 1;
+    EXPECT_TRUE(prob.runningRowUsesState()[mixed_row]);
+    EXPECT_TRUE(prob.runningRowUsesInput()[mixed_row]);
+    // ...while the acc box bounds are input-only.
+    EXPECT_FALSE(prob.runningRowUsesState()[0]);
+    EXPECT_TRUE(prob.runningRowUsesInput()[0]);
+
+    IpmSolver solver(model, smallOptions(20));
+    const Vector x0{0.0, 0.9};
+    auto result = solver.solve(x0, Vector{10.0});
+    EXPECT_TRUE(result.converged);
+    EXPECT_LE(result.u0[0] + x0[1], 1.0 + 1e-6);
+}
+
 } // namespace
 } // namespace robox::mpc

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Anytime-MPC deadline study: closed-loop behavior of the solver's
+ * wall-clock budget (MpcOptions::solveDeadlineSeconds).
+ *
+ * Phase 1 profiles the unconstrained solve-latency distribution of a
+ * warm-started MobileRobot controller; the p50/p99 percentiles from
+ * that histogram are exactly what a deployment uses to size the
+ * budget. Phase 2 sweeps deadlines derived from those percentiles and
+ * reports the miss rate, the iteration count the budget leaves room
+ * for, and the closed-loop tracking error — showing the degradation is
+ * graceful: a missed deadline returns the time-shifted previous plan,
+ * not garbage.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "mpc/failsafe.hh"
+#include "mpc/ipm.hh"
+#include "mpc/simulate.hh"
+
+namespace
+{
+
+using robox::Vector;
+using robox::mpc::IpmSolver;
+using robox::mpc::Plant;
+using robox::mpc::SolverHealth;
+using robox::mpc::SolveStatus;
+
+constexpr int kSteps = 300;
+
+struct RolloutResult
+{
+    double finalError = 0.0;    //!< Inf-norm tracking error at the end.
+    double meanIterations = 0.0; //!< IPM iterations per control period.
+};
+
+/** Closed-loop rollout recording every solve into health. */
+RolloutResult
+rollout(IpmSolver &solver, const Plant &plant,
+        const robox::robots::Benchmark &bench, SolverHealth &health)
+{
+    const double dt = solver.problem().options().dt;
+    Vector x = bench.initialState;
+    long iterations = 0;
+    for (int step = 0; step < kSteps; ++step) {
+        const IpmSolver::Result &r = solver.solve(x, bench.reference);
+        health.record(solver.lastStats());
+        if (!robox::mpc::statusUsable(r.status))
+            health.recordDegraded();
+        iterations += r.iterations;
+        x = plant.step(x, r.u0, bench.reference, dt);
+    }
+    RolloutResult result;
+    for (std::size_t i = 0; i < bench.reference.size(); ++i)
+        result.finalError = std::max(
+            result.finalError, std::abs(x[i] - bench.reference[i]));
+    result.meanIterations =
+        static_cast<double>(iterations) / kSteps;
+    return result;
+}
+
+} // namespace
+
+int
+main()
+{
+    robox::bench::banner(
+        "anytime deadline",
+        "Deadline-bounded MPC: miss rate and tracking vs budget");
+
+    const robox::robots::Benchmark &bench =
+        robox::robots::benchmark("MobileRobot");
+    const robox::dsl::ModelSpec model =
+        robox::robots::analyzeBenchmark(bench);
+    robox::mpc::MpcOptions opt = bench.options;
+    opt.horizon = 16;
+    const Plant plant(model);
+
+    // Phase 1: latency profile with the deadline disabled.
+    IpmSolver profiled(model, opt);
+    SolverHealth profile("unconstrained_profile", 0.02);
+    rollout(profiled, plant, bench, profile);
+    const double p50 = profile.latency().percentile(0.5);
+    const double p99 = profile.latency().percentile(0.99);
+    std::printf("\nunconstrained solve latency over %d warm steps:\n",
+                kSteps);
+    std::printf("  p50 %8.1f us   p99 %8.1f us   max %8.1f us\n",
+                p50 * 1e6, p99 * 1e6, profile.latency().max() * 1e6);
+
+    // Phase 2: budgets derived from the measured percentiles.
+    struct Budget
+    {
+        const char *label;
+        double seconds;
+    };
+    const std::vector<Budget> budgets = {
+        {"off", -1.0},          {"4x p99", 4.0 * p99},
+        {"p99", p99},           {"p50", p50},
+        {"p50/2", 0.5 * p50},   {"zero", 0.0},
+    };
+
+    std::printf("\n%-8s %12s %8s %10s %10s %10s\n", "budget",
+                "deadline_us", "miss%", "avg_iters", "final_err",
+                "misses");
+    for (const Budget &b : budgets) {
+        IpmSolver solver(model, opt);
+        solver.setSolveDeadline(b.seconds);
+        SolverHealth health("deadline_sweep", 0.02);
+        const RolloutResult run = rollout(solver, plant, bench, health);
+        const double solves = static_cast<double>(health.solves());
+        const double misses =
+            health.statusCount(SolveStatus::DeadlineMiss);
+        std::printf("%-8s %12.1f %7.1f%% %10.2f %10.4f %10.0f\n",
+                    b.label, b.seconds * 1e6, 100.0 * misses / solves,
+                    run.meanIterations, run.finalError, misses);
+    }
+
+    std::printf("\nA zero budget still issues the warm-shifted "
+                "previous plan every period;\ntracking degrades "
+                "smoothly instead of the controller going dark.\n");
+    return 0;
+}

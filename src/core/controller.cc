@@ -14,20 +14,33 @@ Controller::Controller(const std::string &source,
                        const mpc::MpcOptions &options,
                        const std::string &task_name)
     : model_(dsl::analyzeSource(source, task_name)),
-      solver_(std::make_unique<mpc::IpmSolver>(model_, options))
+      solver_(std::make_unique<mpc::IpmSolver>(model_, options)),
+      backup_(model_)
 {
+}
+
+mpc::IpmSolver::Result
+Controller::applyFailsafe(mpc::IpmSolver::Result result)
+{
+    if (mpc::statusUsable(result.status)) {
+        backup_.accept(solver_->inputTrajectory());
+    } else {
+        result.u0.copyFrom(backup_.command());
+        result.degraded = true;
+    }
+    return result;
 }
 
 mpc::IpmSolver::Result
 Controller::step(const Vector &x, const Vector &ref)
 {
-    return solver_->solve(x, ref);
+    return applyFailsafe(solver_->solve(x, ref));
 }
 
 mpc::IpmSolver::Result
 Controller::step(const Vector &x, const std::vector<Vector> &refs)
 {
-    return solver_->solve(x, refs);
+    return applyFailsafe(solver_->solve(x, refs));
 }
 
 compiler::IsaStreams

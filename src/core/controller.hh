@@ -23,8 +23,10 @@
 #include "accel/simulator.hh"
 #include "compiler/codegen.hh"
 #include "dsl/model_spec.hh"
+#include "mpc/failsafe.hh"
 #include "mpc/ipm.hh"
 #include "mpc/simulate.hh"
+#include "mpc/status.hh"
 
 namespace robox::core
 {
@@ -53,7 +55,15 @@ class Controller
         return Controller(source, options);
     }
 
-    /** One controller invocation: measured state + references -> u0. */
+    /**
+     * One controller invocation: measured state + references -> u0.
+     *
+     * Failsafe contract: never throws on numeric input and always
+     * returns a finite, bound-respecting u0. When the solve is not
+     * usable (Result::status is a failure), u0 is replaced by the
+     * time-shifted tail of the last accepted plan (the backup
+     * command) and Result::degraded is set.
+     */
     mpc::IpmSolver::Result step(const Vector &x, const Vector &ref);
 
     /** Invocation with a previewed reference trajectory: refs[k] is
@@ -61,8 +71,25 @@ class Controller
     mpc::IpmSolver::Result step(const Vector &x,
                                 const std::vector<Vector> &refs);
 
-    /** Drop the warm start (e.g. after teleporting the robot). */
-    void reset() { solver_->reset(); }
+    /** Drop the warm start (e.g. after teleporting the robot) and the
+     *  stored backup plan. */
+    void reset()
+    {
+        solver_->reset();
+        backup_.clear();
+    }
+
+    /** Structured outcome of the last step()'s solve. */
+    mpc::SolveStatus lastStatus() const
+    {
+        return solver_->lastStats().status;
+    }
+
+    /** Backup commands issued since the last usable solve. */
+    int consecutiveDegradedSteps() const
+    {
+        return backup_.consecutiveDegraded();
+    }
 
     const dsl::ModelSpec &model() const { return model_; }
     const mpc::MpcProblem &problem() const { return solver_->problem(); }
@@ -100,8 +127,12 @@ class Controller
     }
 
   private:
+    /** Shared failure handling for both step() overloads. */
+    mpc::IpmSolver::Result applyFailsafe(mpc::IpmSolver::Result result);
+
     dsl::ModelSpec model_;
     std::unique_ptr<mpc::IpmSolver> solver_;
+    mpc::BackupPlan backup_;
 };
 
 } // namespace robox::core

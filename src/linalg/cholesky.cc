@@ -52,7 +52,32 @@ tryCholesky(const Matrix &a, Matrix &l)
     return tryCholeskyShifted(a, 0.0, l);
 }
 
+/** True when any entry of the (symmetric) input is NaN/Inf. */
+bool
+hasNonFinite(const Matrix &a)
+{
+    const double *p = a.data();
+    const std::size_t n = a.rows() * a.cols();
+    for (std::size_t i = 0; i < n; ++i)
+        if (!std::isfinite(p[i]))
+            return true;
+    return false;
+}
+
 } // namespace
+
+const char *
+toString(FactorStatus status)
+{
+    switch (status) {
+      case FactorStatus::Ok: return "ok";
+      case FactorStatus::NotPositiveDefinite:
+        return "not-positive-definite";
+      case FactorStatus::Singular: return "singular";
+      case FactorStatus::NonFinite: return "non-finite";
+    }
+    return "unknown";
+}
 
 Matrix
 cholesky(const Matrix &a)
@@ -65,32 +90,49 @@ cholesky(const Matrix &a)
     return l;
 }
 
+FactorStatus
+choleskyInto(const Matrix &a, Matrix &l)
+{
+    robox_assert_dbg(a.rows() == a.cols());
+    if (tryCholesky(a, l))
+        return FactorStatus::Ok;
+    return hasNonFinite(a) ? FactorStatus::NonFinite
+                           : FactorStatus::NotPositiveDefinite;
+}
+
 Matrix
 choleskyRegularized(const Matrix &a, double &reg)
 {
     Matrix l;
-    choleskyRegularizedInto(a, reg, l);
+    if (choleskyRegularizedInto(a, reg, l) != FactorStatus::Ok)
+        fatal("choleskyRegularized: could not factor matrix of order {}",
+              a.rows());
     return l;
 }
 
-void
+FactorStatus
 choleskyRegularizedInto(const Matrix &a, double &reg, Matrix &l)
 {
-    robox_assert(a.rows() == a.cols());
+    robox_assert_dbg(a.rows() == a.cols());
     if (tryCholesky(a, l)) {
         reg = 0.0;
-        return;
+        return FactorStatus::Ok;
     }
+    // Capped bump ladder: tenfold shift increases from the caller's
+    // starting point. 40 decades from 1e-10 covers every matrix whose
+    // diagonal is finite, so exhausting the ladder means the data is
+    // NaN/Inf (or astronomically scaled) — report it instead of
+    // aborting mid-solve.
     double shift = reg > 0.0 ? reg : 1e-10;
-    for (int attempt = 0; attempt < 60; ++attempt) {
+    for (int attempt = 0; attempt < 40; ++attempt) {
         if (tryCholeskyShifted(a, shift, l)) {
             reg = shift;
-            return;
+            return FactorStatus::Ok;
         }
         shift *= 10.0;
     }
-    fatal("choleskyRegularized: could not factor matrix of order {}",
-          a.rows());
+    return hasNonFinite(a) ? FactorStatus::NonFinite
+                           : FactorStatus::NotPositiveDefinite;
 }
 
 Vector
@@ -203,6 +245,15 @@ gaussianSolve(Matrix a, Vector b)
 void
 gaussianSolveInPlace(Matrix &a, Vector &b)
 {
+    FactorStatus status = gaussianSolveStatusInPlace(a, b);
+    if (status != FactorStatus::Ok)
+        fatal("gaussianSolve: {} matrix of order {}", toString(status),
+              a.rows());
+}
+
+FactorStatus
+gaussianSolveStatusInPlace(Matrix &a, Vector &b)
+{
     std::size_t n = a.rows();
     robox_assert(a.cols() == n && b.size() == n);
     for (std::size_t col = 0; col < n; ++col) {
@@ -211,8 +262,11 @@ gaussianSolveInPlace(Matrix &a, Vector &b)
         for (std::size_t r = col + 1; r < n; ++r)
             if (std::abs(a(r, col)) > std::abs(a(pivot, col)))
                 pivot = r;
-        if (std::abs(a(pivot, col)) < 1e-300)
-            fatal("gaussianSolve: singular matrix of order {}", n);
+        double pmag = std::abs(a(pivot, col));
+        if (!std::isfinite(pmag))
+            return FactorStatus::NonFinite;
+        if (pmag < 1e-300)
+            return FactorStatus::Singular;
         if (pivot != col) {
             for (std::size_t c = 0; c < n; ++c)
                 std::swap(a(col, c), a(pivot, c));
@@ -235,6 +289,7 @@ gaussianSolveInPlace(Matrix &a, Vector &b)
             acc -= a(ii, c) * b[c];
         b[ii] = acc / a(ii, ii);
     }
+    return FactorStatus::Ok;
 }
 
 } // namespace robox

@@ -17,6 +17,24 @@ namespace robox
 {
 
 /**
+ * Outcome of a factorization or elimination kernel. The solve hot path
+ * must never throw on numeric input (a control loop has to emit a
+ * command every period), so the *Into kernels report failure through
+ * this status and leave recovery policy to the caller; only the legacy
+ * value-returning wrappers still throw FatalError.
+ */
+enum class FactorStatus
+{
+    Ok,                  //!< Factorization/solve succeeded.
+    NotPositiveDefinite, //!< A pivot was non-positive (Cholesky).
+    Singular,            //!< A pivot vanished (Gaussian elimination).
+    NonFinite,           //!< NaN/Inf encountered in the input data.
+};
+
+/** Human-readable name of a FactorStatus value. */
+const char *toString(FactorStatus status);
+
+/**
  * Lower-triangular Cholesky factor of a symmetric positive-definite
  * matrix: A = L L^T. Throws FatalError if A is not (numerically)
  * positive definite.
@@ -24,8 +42,18 @@ namespace robox
 Matrix cholesky(const Matrix &a);
 
 /**
+ * Status-returning Cholesky into the caller's buffer (resized only
+ * when its shape differs). Never throws on numeric input: returns
+ * NonFinite when NaN/Inf reaches a pivot and NotPositiveDefinite when
+ * a pivot is non-positive; l's contents are unspecified on failure.
+ */
+FactorStatus choleskyInto(const Matrix &a, Matrix &l);
+
+/**
  * Cholesky with adaptive diagonal regularization: retries with
  * increasing Levenberg shifts until the factorization succeeds.
+ * Throws FatalError when the (capped) shift ladder is exhausted; the
+ * solver hot path uses the status-returning Into variant instead.
  *
  * @param a The symmetric matrix to factor.
  * @param[in,out] reg On entry, the initial shift to try when the plain
@@ -39,8 +67,16 @@ Matrix choleskyRegularized(const Matrix &a, double &reg);
  * buffer, which is resized only when its shape differs. The shift, if
  * any, is applied to the diagonal during the factorization itself, so
  * no shifted copy of the input is formed.
+ *
+ * The bump ladder is capped (the shift grows tenfold per attempt up to
+ * a fixed number of attempts); when it is exhausted — which only
+ * happens for non-finite or pathologically scaled input — the kernel
+ * returns a failure status instead of aborting the solve, so the
+ * caller can run its own recovery (regularization bump, cold restart,
+ * backup command).
  */
-void choleskyRegularizedInto(const Matrix &a, double &reg, Matrix &l);
+FactorStatus choleskyRegularizedInto(const Matrix &a, double &reg,
+                                     Matrix &l);
 
 /** Solve L y = b with L lower triangular (forward substitution). */
 Vector forwardSubstitute(const Matrix &l, const Vector &b);
@@ -77,9 +113,17 @@ Vector gaussianSolve(Matrix a, Vector b);
 /**
  * gaussianSolve without copies: eliminates in a (destroying it) and
  * overwrites b with the solution. The allocation-free path under the
- * dense-KKT ablation backend.
+ * dense-KKT ablation backend. Throws FatalError on a singular system.
  */
 void gaussianSolveInPlace(Matrix &a, Vector &b);
+
+/**
+ * Status-returning gaussianSolveInPlace: returns Singular (or
+ * NonFinite when a pivot is NaN/Inf) instead of throwing, leaving a
+ * and b in an unspecified state. Hot-path variant for callers that
+ * must survive malformed numeric input.
+ */
+FactorStatus gaussianSolveStatusInPlace(Matrix &a, Vector &b);
 
 } // namespace robox
 

@@ -6,6 +6,7 @@
 #include "mpc/batch.hh"
 
 #include <chrono>
+#include <string>
 
 #include "support/logging.hh"
 
@@ -22,6 +23,7 @@ BatchController::BatchController(const dsl::ModelSpec &model,
     for (std::size_t i = 0; i < num_robots; ++i)
         solvers_.push_back(std::make_unique<IpmSolver>(model, options));
     results_.resize(num_robots);
+    report_.statuses.assign(num_robots, SolveStatus::Unsolved);
 
     std::size_t pool = std::min(num_threads, num_robots);
     if (pool > 1) {
@@ -57,9 +59,18 @@ BatchController::drainQueue()
         try {
             results_[i] = solvers_[i]->solve((*states_)[i], (*refs_)[i]);
         } catch (...) {
+            // solve() handles numeric failures via SolveStatus, so
+            // anything arriving here is unexpected. Quarantine it to
+            // this robot: record the fault and keep draining so the
+            // rest of the fleet still gets its commands.
+            results_[i].status = SolveStatus::NumericFailure;
+            results_[i].converged = false;
+            results_[i].degraded = true;
             std::lock_guard<std::mutex> lock(mutex_);
-            if (!error_)
+            if (!error_) {
                 error_ = std::current_exception();
+                error_robot_ = i;
+            }
         }
     }
 }
@@ -98,6 +109,7 @@ BatchController::solveAll(const std::vector<Vector> &states,
     states_ = &states;
     refs_ = &refs;
     error_ = nullptr;
+    error_robot_ = 0;
     next_.store(0, std::memory_order_relaxed);
 
     if (workers_.empty()) {
@@ -125,20 +137,35 @@ BatchController::solveAll(const std::vector<Vector> &states,
         seconds > 0.0 ? static_cast<double>(solvers_.size()) / seconds
                       : 0.0;
     report_.lastBatchAllocations = 0;
-    for (const auto &solver : solvers_) {
-        const SolveStats &st = solver->lastStats();
+    report_.lastBatchFailures = 0;
+    for (std::size_t i = 0; i < solvers_.size(); ++i) {
+        const SolveStats &st = solvers_[i]->lastStats();
         report_.totalIterations +=
             static_cast<std::uint64_t>(st.iterations);
         report_.totalKktFlops += st.riccatiFlops;
         report_.lastBatchAllocations += st.heapAllocations;
         if (!st.converged)
             report_.unconverged += 1;
+        // results_[i].status is authoritative: the exception path in
+        // drainQueue stamps it without going through the solver.
+        report_.statuses[i] = results_[i].status;
+        if (!statusUsable(results_[i].status))
+            report_.lastBatchFailures += 1;
     }
+    report_.failures += report_.lastBatchFailures;
 
     states_ = nullptr;
     refs_ = nullptr;
-    if (error_)
-        std::rethrow_exception(error_);
+    if (error_) {
+        std::string what = "unknown exception";
+        try {
+            std::rethrow_exception(error_);
+        } catch (const std::exception &e) {
+            what = e.what();
+        } catch (...) {
+        }
+        fatal("batch: robot {} threw: {}", error_robot_, what);
+    }
     return results_;
 }
 

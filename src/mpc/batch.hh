@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "mpc/ipm.hh"
+#include "mpc/status.hh"
 
 namespace robox::mpc
 {
@@ -57,6 +58,13 @@ struct BatchReport
      *  (counted per solving thread; see support/alloc_hook.hh). Zero
      *  once every solver is warm. */
     std::uint64_t lastBatchAllocations = 0;
+    /** Per-robot status of the last batch (size robots). Faults are
+     *  isolated: one robot's failure never perturbs the others. */
+    std::vector<SolveStatus> statuses;
+    /** Solves in the last batch whose status was not usable. */
+    std::uint64_t lastBatchFailures = 0;
+    /** Lifetime count of non-usable solves. */
+    std::uint64_t failures = 0;
 };
 
 /**
@@ -82,9 +90,16 @@ class BatchController
     /**
      * Solve every robot's MPC problem: states[i] and refs[i] feed
      * solver i. Returns per-robot results in robot order (storage is
-     * reused across batches; copy to keep a snapshot). If any solve
-     * threw, the batch still completes and the first exception is
-     * rethrown here.
+     * reused across batches; copy to keep a snapshot).
+     *
+     * Fault isolation contract: a robot whose solve fails (malformed
+     * state, numeric breakdown, deadline miss) reports that failure in
+     * its own Result::status and in report().statuses — the batch
+     * still completes and every healthy robot's result is bitwise
+     * identical to what a serial solve would produce. Only genuinely
+     * unexpected exceptions (bugs, resource exhaustion) are rethrown,
+     * and then only after all robots finished, wrapped with the index
+     * of the robot that threw.
      */
     const std::vector<IpmSolver::Result> &
     solveAll(const std::vector<Vector> &states,
@@ -117,6 +132,7 @@ class BatchController
     const std::vector<Vector> *refs_ = nullptr;
     std::atomic<std::size_t> next_{0}; //!< Next unclaimed robot index.
     std::exception_ptr error_;
+    std::size_t error_robot_ = 0; //!< Robot whose solve threw first.
 
     // Worker pool: workers park on cv_work_ between batches; a batch
     // is announced by bumping generation_ under the mutex.

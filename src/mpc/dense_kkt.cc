@@ -17,14 +17,17 @@ solveDenseKkt(const std::vector<StageQp> &stages, const Matrix &qn,
 {
     DenseKktWorkspace ws;
     RiccatiSolution sol;
-    solveDenseKkt(stages, qn, qnv, dx0, ws, sol);
+    FactorStatus status = solveDenseKkt(stages, qn, qnv, dx0, ws, sol);
+    if (status != FactorStatus::Ok)
+        fatal("solveDenseKkt: {} KKT system", toString(status));
     return sol;
 }
 
-void
+FactorStatus
 solveDenseKkt(const std::vector<StageQp> &stages, const Matrix &qn,
               const Vector &qnv, const Vector &dx0,
-              DenseKktWorkspace &ws, RiccatiSolution &sol)
+              DenseKktWorkspace &ws, RiccatiSolution &sol,
+              double diagonal_shift)
 {
     const std::size_t n_stages = stages.size();
     robox_assert(n_stages > 0);
@@ -49,17 +52,21 @@ solveDenseKkt(const std::vector<StageQp> &stages, const Matrix &qn,
         rhs.fill(0.0);
 
     // Hessian blocks and gradients: [Q S'; S R] per stage plus Qn.
+    // diagonal_shift regularizes the primal block only; multiplier
+    // rows keep their saddle structure.
     for (std::size_t k = 0; k < n_stages; ++k) {
         const StageQp &st = stages[k];
         for (std::size_t i = 0; i < nx; ++i) {
             rhs[xoff(k) + i] = -st.qv[i];
             for (std::size_t j = 0; j < nx; ++j)
                 kkt(xoff(k) + i, xoff(k) + j) = st.q(i, j);
+            kkt(xoff(k) + i, xoff(k) + i) += diagonal_shift;
         }
         for (std::size_t i = 0; i < nu; ++i) {
             rhs[uoff(k) + i] = -st.rv[i];
             for (std::size_t j = 0; j < nu; ++j)
                 kkt(uoff(k) + i, uoff(k) + j) = st.r(i, j);
+            kkt(uoff(k) + i, uoff(k) + i) += diagonal_shift;
             for (std::size_t j = 0; j < nx; ++j) {
                 kkt(uoff(k) + i, xoff(k) + j) = st.s(i, j);
                 kkt(xoff(k) + j, uoff(k) + i) = st.s(i, j);
@@ -70,6 +77,7 @@ solveDenseKkt(const std::vector<StageQp> &stages, const Matrix &qn,
         rhs[xoff(n_stages) + i] = -qnv[i];
         for (std::size_t j = 0; j < nx; ++j)
             kkt(xoff(n_stages) + i, xoff(n_stages) + j) = qn(i, j);
+        kkt(xoff(n_stages) + i, xoff(n_stages) + i) += diagonal_shift;
     }
 
     // Equality rows: dx_0 = dx0; dx_{k+1} - A dx_k - B du_k = c_k.
@@ -99,7 +107,9 @@ solveDenseKkt(const std::vector<StageQp> &stages, const Matrix &qn,
     }
 
     // Eliminate in place; rhs then holds the primal-dual solution.
-    gaussianSolveInPlace(kkt, rhs);
+    FactorStatus status = gaussianSolveStatusInPlace(kkt, rhs);
+    if (status != FactorStatus::Ok)
+        return status;
 
     if (sol.dx.size() != n_stages + 1)
         sol.dx.assign(n_stages + 1, Vector(nx));
@@ -117,9 +127,10 @@ solveDenseKkt(const std::vector<StageQp> &stages, const Matrix &qn,
         for (std::size_t i = 0; i < nu; ++i)
             sol.du[k][i] = rhs[uoff(k) + i];
     }
-    sol.regularization = 0.0;
+    sol.regularization = diagonal_shift;
     // Dense elimination with partial pivoting: ~(2/3) dim^3.
     sol.flops = static_cast<std::uint64_t>(2.0 / 3.0 * dim * dim * dim);
+    return FactorStatus::Ok;
 }
 
 } // namespace robox::mpc

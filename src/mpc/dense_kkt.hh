@@ -40,10 +40,18 @@ struct DenseKktWorkspace
  * Workspace overload: assembles into ws and writes the steps into
  * sol's pre-sized buffers, so repeated dense solves reuse one KKT
  * allocation.
+ *
+ * Never throws on numeric input: a singular or NaN/Inf system is
+ * reported through the returned status (sol is unspecified and must be
+ * discarded). diagonal_shift adds a Tikhonov term to the primal
+ * Hessian diagonal — the dense backend's analogue of the Riccati
+ * recursion's Levenberg shift, used by the IPM's recovery ladder.
  */
-void solveDenseKkt(const std::vector<StageQp> &stages, const Matrix &qn,
-                   const Vector &qnv, const Vector &dx0,
-                   DenseKktWorkspace &ws, RiccatiSolution &sol);
+FactorStatus solveDenseKkt(const std::vector<StageQp> &stages,
+                           const Matrix &qn, const Vector &qnv,
+                           const Vector &dx0, DenseKktWorkspace &ws,
+                           RiccatiSolution &sol,
+                           double diagonal_shift = 0.0);
 
 } // namespace robox::mpc
 

@@ -43,6 +43,16 @@ positionOf(const std::vector<int> &rows, int id)
     return -1;
 }
 
+/** True when every entry of v is finite. */
+bool
+allFinite(const Vector &v)
+{
+    for (std::size_t i = 0; i < v.size(); ++i)
+        if (!std::isfinite(v[i]))
+            return false;
+    return true;
+}
+
 } // namespace
 
 IpmSolver::IpmSolver(const dsl::ModelSpec &model, const MpcOptions &options)
@@ -325,10 +335,64 @@ IpmSolver::solve(const Vector &x0, const std::vector<Vector> &refs)
     const int nu = problem_.nu();
     const int np_run = problem_.numRunningResiduals();
     const int np_term = problem_.numTerminalResiduals();
+    const dsl::ModelSpec &model = problem_.model();
 
     stats_ = SolveStats();
+
+    // Keep the issued command finite no matter what happened, then
+    // project it onto the actuator limits: the interior point method
+    // converges to the bounds from the inside but an early stop can
+    // leave micro-violations, and failure paths must never leak
+    // NaN/Inf to the actuators.
+    auto finish = [&](SolveStatus status) -> const Result & {
+        stats_.status = status;
+        for (int i = 0; i < nu; ++i) {
+            if (!std::isfinite(result_.u0[i]))
+                result_.u0[i] = 0.0;
+            result_.u0[i] = std::clamp(result_.u0[i],
+                                       model.inputLower[i],
+                                       model.inputUpper[i]);
+        }
+        result_.converged = stats_.converged;
+        result_.iterations = stats_.iterations;
+        result_.objective = stats_.objective;
+        result_.status = status;
+        result_.degraded = false;
+        stats_.solveSeconds = std::chrono::duration<double>(
+                                  std::chrono::steady_clock::now() -
+                                  t_start)
+                                  .count();
+        stats_.heapAllocations = support::allocCount() - allocs_start;
+        return result_;
+    };
+
+    // Refuse NaN/Inf measurements and references outright: the warm
+    // start is left untouched so the next valid sample resumes
+    // normally, and result_.u0 keeps the last finite command.
+    bool inputs_ok = allFinite(x0);
+    for (std::size_t r = 0; inputs_ok && r < refs.size(); ++r)
+        inputs_ok = allFinite(refs[r]);
+    if (!inputs_ok)
+        return finish(SolveStatus::BadInput);
+
     initializeTrajectory(x0, refs);
     double mu = initializeSlacks(refs, opt.muInit);
+
+    // Failsafe ladder state (see ARCHITECTURE.md): escalating
+    // regularization bumps, then a step backoff, then a cold restart,
+    // then give up with a structured status.
+    double kkt_reg = opt.initialRegularization;
+    double alpha_cap = 1.0;
+    int reg_bumps = 0;
+    int backoffs = 0;
+    int cold_restarts = 0;
+    SolveStatus final_status = SolveStatus::MaxIterations;
+    const bool deadline_active = opt.solveDeadlineSeconds >= 0.0;
+    auto elapsed = [&] {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - t_start)
+            .count();
+    };
 
     std::vector<StageQp> &stages = ws_.stages;
     std::vector<StageEval> &dyn = ws_.dyn;
@@ -367,13 +431,61 @@ IpmSolver::solve(const Vector &x0, const std::vector<Vector> &refs)
     };
 
     // Solve the structured QP with the selected backend into ws_.sol.
-    auto solve_kkt = [&]() {
+    // Reports factorization failures and non-finite steps through the
+    // status instead of throwing; the ladder below owns recovery.
+    auto solve_kkt = [&]() -> FactorStatus {
+        FactorStatus status;
         if (opt.kktSolver == KktSolver::Dense)
-            solveDenseKkt(stages, qn, qnv, ws_.dx0, ws_.dense, sol);
+            status = solveDenseKkt(stages, qn, qnv, ws_.dx0, ws_.dense,
+                                   sol, reg_bumps > 0 ? kkt_reg : 0.0);
         else
-            solveRiccati(stages, qn, qnv, ws_.dx0,
-                         opt.initialRegularization, ws_.riccati, sol);
+            status = solveRiccati(stages, qn, qnv, ws_.dx0, kkt_reg,
+                                  ws_.riccati, sol);
         stats_.riccatiFlops += sol.flops;
+        if (status != FactorStatus::Ok)
+            return status;
+        for (int k = 0; k <= n_stages; ++k)
+            if (!allFinite(sol.dx[k]))
+                return FactorStatus::NonFinite;
+        for (int k = 0; k < n_stages; ++k)
+            if (!allFinite(sol.du[k]))
+                return FactorStatus::NonFinite;
+        return FactorStatus::Ok;
+    };
+
+    /**
+     * One rung of the in-solve recovery ladder. reg_helps marks
+     * failures a larger Levenberg shift can cure (indefinite but
+     * finite KKT blocks); NaN/Inf data and divergence skip straight to
+     * the cold restart. Returns false when the ladder is exhausted, in
+     * which case final_status carries the give-up classification.
+     */
+    auto recover = [&](SolveStatus kind, bool reg_helps) -> bool {
+        ++stats_.recoveryAttempts;
+        if (reg_helps && reg_bumps < opt.maxRegularizationBumps) {
+            kkt_reg = std::max(kkt_reg, 1e-8) *
+                      opt.regularizationBumpFactor;
+            ++reg_bumps;
+            ++stats_.regularizationBumps;
+            return true;
+        }
+        if (reg_helps && backoffs < 1) {
+            alpha_cap *= 0.1;
+            ++backoffs;
+            ++stats_.stepBackoffs;
+            return true;
+        }
+        if (cold_restarts < opt.maxColdRestarts) {
+            ++cold_restarts;
+            ++stats_.coldRestarts;
+            warm_ = false;
+            alpha_cap = 1.0;
+            initializeTrajectory(x0, refs);
+            mu = initializeSlacks(refs, opt.muInit);
+            return true;
+        }
+        final_status = kind;
+        return false;
     };
 
     // Slack/dual steps for the primal direction under barrier targets
@@ -406,6 +518,15 @@ IpmSolver::solve(const Vector &x0, const std::vector<Vector> &refs)
     };
 
     for (int iter = 0; iter < opt.maxIterations; ++iter) {
+        // Anytime MPC: once the wall-clock budget is spent, stop and
+        // return the best strictly feasible iterate so far. With a
+        // zero budget this fires before the first iteration and the
+        // warm-shifted previous plan is returned as-is.
+        if (deadline_active && elapsed() >= opt.solveDeadlineSeconds) {
+            final_status = SolveStatus::DeadlineMiss;
+            break;
+        }
+
         // --------------------------------------------------------
         // Evaluate stage data and build the Newton/LQR subproblem.
         // --------------------------------------------------------
@@ -488,6 +609,16 @@ IpmSolver::solve(const Vector &x0, const std::vector<Vector> &refs)
                     st.r(a, b) = st.r(b, a);
         }
 
+        // NaN/Inf in the dynamics residual means the trajectory (or
+        // the model evaluated on it) has gone non-numeric; no KKT
+        // solve can fix that, so escalate straight to a cold restart.
+        if (!std::isfinite(eq_residual)) {
+            stats_.iterations = iter + 1;
+            if (recover(SolveStatus::NumericFailure, false))
+                continue;
+            break;
+        }
+
         // Terminal stage.
         qn.fill(0.0);
         qnv0.fill(0.0);
@@ -562,35 +693,53 @@ IpmSolver::solve(const Vector &x0, const std::vector<Vector> &refs)
         };
 
         double alpha = 1.0;
+        FactorStatus kkt_status = FactorStatus::Ok;
         if (opt.predictorCorrector && comp_rows) {
             // Affine predictor: mu = 0.
             barrier_targets(0.0, false);
             apply_gradients();
-            solve_kkt();
-            double alpha_aff = compute_steps();
-            // Complementarity after the full affine step.
-            double comp_aff = 0.0;
-            for (const IneqBlock &blk : ineq_) {
-                for (std::size_t i = 0; i < blk.rows.size(); ++i) {
-                    comp_aff += (blk.s[i] + alpha_aff * blk.ds[i]) *
-                                (blk.lam[i] + alpha_aff * blk.dlam[i]);
+            kkt_status = solve_kkt();
+            if (kkt_status == FactorStatus::Ok) {
+                double alpha_aff = compute_steps();
+                // Complementarity after the full affine step.
+                double comp_aff = 0.0;
+                for (const IneqBlock &blk : ineq_) {
+                    for (std::size_t i = 0; i < blk.rows.size(); ++i) {
+                        comp_aff +=
+                            (blk.s[i] + alpha_aff * blk.ds[i]) *
+                            (blk.lam[i] + alpha_aff * blk.dlam[i]);
+                    }
                 }
+                comp_aff /= comp_rows;
+                double ratio =
+                    comp_now > 0.0 ? comp_aff / comp_now : 0.0;
+                double centering = ratio * ratio * ratio;
+                mu = std::max(opt.muMin, centering * comp_now);
+                // Corrector with second-order term from the affine
+                // steps.
+                barrier_targets(mu, true);
+                apply_gradients();
+                kkt_status = solve_kkt();
+                if (kkt_status == FactorStatus::Ok)
+                    alpha = compute_steps();
             }
-            comp_aff /= comp_rows;
-            double ratio = comp_now > 0.0 ? comp_aff / comp_now : 0.0;
-            double centering = ratio * ratio * ratio;
-            mu = std::max(opt.muMin, centering * comp_now);
-            // Corrector with second-order term from the affine steps.
-            barrier_targets(mu, true);
-            apply_gradients();
-            solve_kkt();
-            alpha = compute_steps();
         } else {
             barrier_targets(mu, false);
             apply_gradients();
-            solve_kkt();
-            alpha = compute_steps();
+            kkt_status = solve_kkt();
+            if (kkt_status == FactorStatus::Ok)
+                alpha = compute_steps();
         }
+        if (kkt_status != FactorStatus::Ok) {
+            // An indefinite-but-finite KKT block responds to a bigger
+            // Levenberg shift; NaN/Inf data does not.
+            stats_.iterations = iter + 1;
+            if (recover(SolveStatus::NumericFailure,
+                        kkt_status != FactorStatus::NonFinite))
+                continue;
+            break;
+        }
+        alpha = std::min(alpha, alpha_cap);
 
         double step_inf = 0.0;
         for (int k = 0; k <= n_stages; ++k)
@@ -648,6 +797,34 @@ IpmSolver::solve(const Vector &x0, const std::vector<Vector> &refs)
         (void)accepted;
 
         // --------------------------------------------------------
+        // Divergence detection on the accepted iterate: NaN/Inf
+        // anywhere, or magnitudes beyond the divergence threshold,
+        // trigger the recovery ladder (cold restart rung).
+        // --------------------------------------------------------
+        bool finite_iterate = true;
+        double iterate_inf = 0.0;
+        for (int k = 0; k <= n_stages && finite_iterate; ++k) {
+            finite_iterate = allFinite(xs_[k]) &&
+                             allFinite(ineq_[k].s) &&
+                             allFinite(ineq_[k].lam);
+            if (finite_iterate)
+                iterate_inf = std::max(iterate_inf, xs_[k].normInf());
+        }
+        for (int k = 0; k < n_stages && finite_iterate; ++k) {
+            finite_iterate = allFinite(us_[k]);
+            if (finite_iterate)
+                iterate_inf = std::max(iterate_inf, us_[k].normInf());
+        }
+        if (!finite_iterate || iterate_inf > opt.divergenceThreshold) {
+            stats_.iterations = iter + 1;
+            if (recover(finite_iterate ? SolveStatus::Diverged
+                                       : SolveStatus::NumericFailure,
+                        false))
+                continue;
+            break;
+        }
+
+        // --------------------------------------------------------
         // Barrier update and convergence test.
         // --------------------------------------------------------
         double comp_sum = 0.0;
@@ -672,32 +849,22 @@ IpmSolver::solve(const Vector &x0, const std::vector<Vector> &refs)
             eq_residual < 10.0 * opt.tolerance &&
             (comp_count == 0 || comp_avg < 1e-6)) {
             stats_.converged = true;
+            final_status = SolveStatus::Converged;
             break;
         }
     }
 
     stats_.objective = problem_.objective(xs_, us_, refs);
-    warm_ = true;
 
-    // The interior point method converges to the bounds from the
-    // inside but an early stop can leave micro-violations; the command
-    // actually issued to the actuators is projected onto their limits.
-    result_.u0.copyFrom(us_[0]);
-    const dsl::ModelSpec &model = problem_.model();
-    for (int i = 0; i < problem_.nu(); ++i) {
-        result_.u0[i] = std::clamp(result_.u0[i], model.inputLower[i],
-                                   model.inputUpper[i]);
-    }
-    result_.converged = stats_.converged;
-    result_.iterations = stats_.iterations;
-    result_.objective = stats_.objective;
-
-    stats_.solveSeconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      t_start)
-            .count();
-    stats_.heapAllocations = support::allocCount() - allocs_start;
-    return result_;
+    // Usable statuses (converged, iteration-capped, deadline-capped)
+    // carry a valid interior iterate that seeds the next warm start;
+    // failure statuses drop it so the next call cold-starts instead of
+    // iterating from a poisoned trajectory.
+    const bool usable = statusUsable(final_status);
+    warm_ = usable;
+    if (usable || allFinite(us_[0]))
+        result_.u0.copyFrom(us_[0]);
+    return finish(final_status);
 }
 
 } // namespace robox::mpc

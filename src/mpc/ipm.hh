@@ -27,6 +27,7 @@
 #include "mpc/dense_kkt.hh"
 #include "mpc/problem.hh"
 #include "mpc/riccati.hh"
+#include "mpc/status.hh"
 
 namespace robox::mpc
 {
@@ -47,6 +48,16 @@ struct SolveStats
      *  solve(). Zero in steady state; always zero when the counting
      *  hook is not linked (support/alloc_hook.hh). */
     std::uint64_t heapAllocations = 0;
+
+    /** Structured outcome of the solve (never throws past this). */
+    SolveStatus status = SolveStatus::Unsolved;
+    /** Total recovery-ladder activations during the solve. */
+    int recoveryAttempts = 0;
+    /** Ladder rung counts: KKT regularization bumps, step-length
+     *  backoffs, and warm-start resets (cold restarts). */
+    int regularizationBumps = 0;
+    int stepBackoffs = 0;
+    int coldRestarts = 0;
 };
 
 /** The interior-point MPC solver. */
@@ -62,6 +73,14 @@ class IpmSolver
         bool converged = false;
         int iterations = 0;
         double objective = 0.0;
+        /** Structured outcome; u0 is only the optimized plan's first
+         *  control when statusUsable(status). On failure statuses u0
+         *  holds the last finite command (see solve()). */
+        SolveStatus status = SolveStatus::Unsolved;
+        /** Set by the control layer (Controller/simulate) when u0 was
+         *  replaced by the backup command — the time-shifted tail of
+         *  the previous accepted plan (mpc/failsafe.hh). */
+        bool degraded = false;
     };
 
     /**
@@ -70,6 +89,14 @@ class IpmSolver
      * Returns a reference to per-instance storage (valid until the
      * next solve) so the steady-state path stays allocation-free;
      * copy-assign it to keep a snapshot.
+     *
+     * Failsafe contract: after construction, solve() never throws on
+     * numeric input. Malformed states/references, failed KKT
+     * factorizations, divergence, and deadline expiry all surface as
+     * Result::status (with recovery attempts recorded in SolveStats),
+     * and Result::u0 is always finite. A BadInput refusal leaves the
+     * warm start untouched; NumericFailure/Diverged drop it so the
+     * next call cold-starts.
      */
     const Result &solve(const Vector &x0, const Vector &ref);
 
@@ -83,6 +110,12 @@ class IpmSolver
 
     /** Drop the warm start (e.g. after a large disturbance). */
     void reset() { warm_ = false; }
+
+    /** Runtime deadline control; see MpcProblem::setSolveDeadline. */
+    void setSolveDeadline(double seconds)
+    {
+        problem_.setSolveDeadline(seconds);
+    }
 
     const MpcProblem &problem() const { return problem_; }
     const SolveStats &lastStats() const { return stats_; }

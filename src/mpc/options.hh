@@ -76,6 +76,37 @@ struct MpcOptions
     /** Levenberg regularization added when stage Hessians fail Cholesky. */
     double initialRegularization = 1e-8;
 
+    /**
+     * Per-solve wall-clock budget in seconds (anytime MPC). When
+     * non-negative, solve() checks the deadline before each iteration
+     * and, on expiry, returns the best strictly feasible iterate so
+     * far flagged SolveStatus::DeadlineMiss. Zero means "already
+     * expired": the warm-shifted previous plan is returned without
+     * iterating. Negative (the default) disables the deadline.
+     */
+    double solveDeadlineSeconds = -1.0;
+
+    /**
+     * Iterate magnitude (inf-norm over states and inputs) beyond which
+     * the solve is declared diverged and the recovery ladder runs.
+     */
+    double divergenceThreshold = 1e12;
+
+    /**
+     * Escalating in-solve recovery (the failsafe ladder): how many
+     * regularization bumps to attempt when a KKT factorization fails
+     * before escalating to a step backoff and then a cold restart.
+     * See ARCHITECTURE.md "Failure taxonomy and recovery ladder".
+     */
+    int maxRegularizationBumps = 2;
+
+    /** Factor applied to the KKT regularization on each bump. */
+    double regularizationBumpFactor = 1e4;
+
+    /** Cold restarts (warm-start reset + reinitialization) to attempt
+     *  inside one solve() before giving up with a failure status. */
+    int maxColdRestarts = 1;
+
     /** Relaxation half-width used to pose equality task constraints as
      *  two-sided inequalities. */
     double equalityRelaxation = 1e-6;

@@ -55,6 +55,14 @@ class MpcProblem
     const MpcOptions &options() const { return options_; }
     const dsl::ModelSpec &model() const { return model_; }
 
+    /** Adjust the per-solve wall-clock budget at runtime (anytime
+     *  MPC: the budget is typically whatever slack remains in the
+     *  current control period). Negative disables the deadline. */
+    void setSolveDeadline(double seconds)
+    {
+        options_.solveDeadlineSeconds = seconds;
+    }
+
     /** Number of running penalty residuals. */
     int numRunningResiduals() const { return static_cast<int>(
         running_weights_.size()); }

@@ -71,7 +71,7 @@ RiccatiWorkspace::resize(std::size_t n_stages, std::size_t nx,
     sizeStageVectors(gainD, n_stages, nu);
 }
 
-void
+FactorStatus
 solveRiccati(const std::vector<StageQp> &stages, const Matrix &qn,
              const Vector &qnv, const Vector &dx0,
              double initial_regularization, RiccatiWorkspace &ws,
@@ -119,8 +119,14 @@ solveRiccati(const std::vector<StageQp> &stages, const Matrix &qn,
                      matmulFlops(nu, nx, 1);
 
         // Factor the input Hessian, shifting the diagonal if needed.
+        // A factorization failure (possible only for NaN/Inf stage
+        // data once the capped bump ladder is exhausted) aborts the
+        // recursion with a status; the IPM's recovery ladder owns what
+        // happens next.
         double reg = initial_regularization;
-        choleskyRegularizedInto(ws.fuu, reg, ws.l);
+        FactorStatus status = choleskyRegularizedInto(ws.fuu, reg, ws.l);
+        if (status != FactorStatus::Ok)
+            return status;
         total_reg += reg;
         sol.flops += static_cast<std::uint64_t>(nu) * nu * nu / 3;
 
@@ -165,6 +171,7 @@ solveRiccati(const std::vector<StageQp> &stages, const Matrix &qn,
     }
 
     sol.regularization = total_reg;
+    return FactorStatus::Ok;
 }
 
 RiccatiSolution
@@ -174,7 +181,10 @@ solveRiccati(const std::vector<StageQp> &stages, const Matrix &qn,
 {
     RiccatiWorkspace ws;
     RiccatiSolution sol;
-    solveRiccati(stages, qn, qnv, dx0, initial_regularization, ws, sol);
+    FactorStatus status = solveRiccati(stages, qn, qnv, dx0,
+                                       initial_regularization, ws, sol);
+    if (status != FactorStatus::Ok)
+        fatal("solveRiccati: {} stage Hessian", toString(status));
     return sol;
 }
 

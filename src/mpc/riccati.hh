@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "linalg/cholesky.hh"
 #include "linalg/matrix.hh"
 
 namespace robox::mpc
@@ -73,11 +74,17 @@ struct RiccatiWorkspace
  * Allocation-free overload: factors with the caller's workspace and
  * writes the steps into sol's pre-sized buffers (resizing them only on
  * first use). sol.flops and sol.regularization are reset each call.
+ *
+ * Never throws on numeric input: when a stage Hessian cannot be
+ * factored even by the capped regularization ladder (NaN/Inf data),
+ * the recursion stops and the failure status is returned; sol's steps
+ * are unspecified and must be discarded by the caller.
  */
-void solveRiccati(const std::vector<StageQp> &stages, const Matrix &qn,
-                  const Vector &qnv, const Vector &dx0,
-                  double initial_regularization, RiccatiWorkspace &ws,
-                  RiccatiSolution &sol);
+FactorStatus solveRiccati(const std::vector<StageQp> &stages,
+                          const Matrix &qn, const Vector &qnv,
+                          const Vector &dx0,
+                          double initial_regularization,
+                          RiccatiWorkspace &ws, RiccatiSolution &sol);
 
 /**
  * Solve the equality-constrained QP

@@ -5,6 +5,8 @@
 
 #include "mpc/simulate.hh"
 
+#include <algorithm>
+
 #include "support/logging.hh"
 
 namespace robox::mpc
@@ -61,7 +63,9 @@ simulateClosedLoop(IpmSolver &solver, const Vector &x0,
                    const std::function<Vector(int step)> &ref_at,
                    int steps, int substeps)
 {
-    Plant plant(solver.problem().model());
+    const dsl::ModelSpec &model = solver.problem().model();
+    Plant plant(model);
+    BackupPlan backup(model);
     double dt = solver.problem().options().dt;
 
     SimulationResult result;
@@ -74,6 +78,19 @@ simulateClosedLoop(IpmSolver &solver, const Vector &x0,
         IpmSolver::Result sol = solver.solve(x, ref);
         result.allConverged = result.allConverged && sol.converged;
         result.totalIterations += sol.iterations;
+        result.statuses.push_back(sol.status);
+        if (statusUsable(sol.status)) {
+            backup.accept(solver.inputTrajectory());
+        } else {
+            // Graceful degradation: replay the time-shifted tail of
+            // the last accepted plan instead of the untrusted solve.
+            sol.u0.copyFrom(backup.command());
+            sol.degraded = true;
+            ++result.degradedSteps;
+            result.maxConsecutiveDegraded =
+                std::max(result.maxConsecutiveDegraded,
+                         backup.consecutiveDegraded());
+        }
         x = plant.step(x, sol.u0, ref, dt, substeps);
         result.inputs.push_back(sol.u0);
         result.states.push_back(x);

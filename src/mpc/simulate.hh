@@ -17,7 +17,9 @@
 #include <functional>
 #include <vector>
 
+#include "mpc/failsafe.hh"
 #include "mpc/ipm.hh"
+#include "mpc/status.hh"
 
 namespace robox::mpc
 {
@@ -30,6 +32,13 @@ struct SimulationResult
     std::vector<double> times;   //!< Time stamps (steps+1).
     bool allConverged = true;    //!< Every solve converged.
     int totalIterations = 0;     //!< Summed IPM iterations.
+    /** Per-step solver status (size steps). */
+    std::vector<SolveStatus> statuses;
+    /** Steps whose command came from the backup plan (the
+     *  time-shifted tail of the last accepted plan; failsafe.hh). */
+    int degradedSteps = 0;
+    /** Longest run of consecutive degraded steps. */
+    int maxConsecutiveDegraded = 0;
 };
 
 /** The plant: integrates the continuous dynamics. */

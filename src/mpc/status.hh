@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Solver outcome taxonomy for the RoboX failsafe layer.
+ *
+ * RoboX targets hard real-time control loops (paper Sec. III/VII): the
+ * controller must emit a command every period even when a solve goes
+ * wrong. Instead of throwing on numeric trouble, every layer of the
+ * solve stack (linalg kernels -> riccati/dense KKT -> IpmSolver ->
+ * BatchController / core::Controller) reports one of these statuses,
+ * and the control layer decides what command to issue (see
+ * mpc/failsafe.hh and the "Failure taxonomy and recovery ladder"
+ * section of ARCHITECTURE.md).
+ */
+
+#ifndef ROBOX_MPC_STATUS_HH
+#define ROBOX_MPC_STATUS_HH
+
+namespace robox::mpc
+{
+
+/** Outcome of one IpmSolver::solve() invocation. */
+enum class SolveStatus
+{
+    /** No solve has run yet (freshly constructed Result/SolveStats). */
+    Unsolved,
+    /** Converged to tolerance; the plan is trustworthy. */
+    Converged,
+    /** Hit the iteration cap; the iterate is feasible but inexact. */
+    MaxIterations,
+    /** The wall-clock budget expired; the best iterate so far is
+     *  returned (anytime MPC; see MpcOptions::solveDeadlineSeconds). */
+    DeadlineMiss,
+    /** A KKT factorization failed and the recovery ladder was
+     *  exhausted; the returned plan must not be trusted. */
+    NumericFailure,
+    /** Iterates blew past MpcOptions::divergenceThreshold (or went
+     *  NaN/Inf) and recovery failed; the plan must not be trusted. */
+    Diverged,
+    /** The measured state or reference contained NaN/Inf; the solve
+     *  was refused before touching the warm start. */
+    BadInput,
+};
+
+/** Human-readable status name (stable, greppable). */
+inline const char *
+toString(SolveStatus status)
+{
+    switch (status) {
+      case SolveStatus::Unsolved: return "unsolved";
+      case SolveStatus::Converged: return "converged";
+      case SolveStatus::MaxIterations: return "max-iterations";
+      case SolveStatus::DeadlineMiss: return "deadline-miss";
+      case SolveStatus::NumericFailure: return "numeric-failure";
+      case SolveStatus::Diverged: return "diverged";
+      case SolveStatus::BadInput: return "bad-input";
+    }
+    return "unknown";
+}
+
+/**
+ * True when the status's iterate is safe to apply to actuators:
+ * converged, iteration-capped, and deadline-capped solves all carry a
+ * strictly feasible (interior) iterate. Failure statuses require the
+ * control layer to fall back to the backup command instead.
+ */
+inline bool
+statusUsable(SolveStatus status)
+{
+    return status == SolveStatus::Converged ||
+           status == SolveStatus::MaxIterations ||
+           status == SolveStatus::DeadlineMiss;
+}
+
+} // namespace robox::mpc
+
+#endif // ROBOX_MPC_STATUS_HH

@@ -56,6 +56,32 @@ Histogram::mean() const
     return samples_ ? sum_ / static_cast<double>(samples_) : 0.0;
 }
 
+double
+Histogram::percentile(double p) const
+{
+    if (samples_ == 0)
+        return 0.0;
+    p = std::clamp(p, 0.0, 1.0);
+    // Target rank in [1, samples]: the k-th smallest sample.
+    auto target = static_cast<std::uint64_t>(
+        p * static_cast<double>(samples_ - 1)) + 1;
+    std::uint64_t seen = underflow_;
+    if (target <= seen)
+        return min_;
+    double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        if (counts_[i] == 0)
+            continue;
+        if (target <= seen + counts_[i]) {
+            double frac = static_cast<double>(target - seen) /
+                          static_cast<double>(counts_[i]);
+            return lo_ + (static_cast<double>(i) + frac) * width;
+        }
+        seen += counts_[i];
+    }
+    return max_;
+}
+
 std::uint64_t
 Histogram::bucketCount(int i) const
 {

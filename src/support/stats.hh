@@ -69,6 +69,13 @@ class Histogram
 
     std::uint64_t totalSamples() const { return samples_; }
     double mean() const;
+    /**
+     * Approximate p-quantile (p in [0, 1]) by walking the cumulative
+     * bucket counts and interpolating linearly within the bucket that
+     * crosses the target rank. Samples below/above the bucket range
+     * resolve to the recorded min()/max(). Returns 0 when empty.
+     */
+    double percentile(double p) const;
     double min() const { return min_; }
     double max() const { return max_; }
     std::uint64_t bucketCount(int i) const;

@@ -6,6 +6,7 @@
  */
 
 #include <cmath>
+#include <limits>
 #include <random>
 
 #include <gtest/gtest.h>
@@ -251,6 +252,83 @@ TEST(GaussianSolve, ThrowsOnSingularMatrix)
     Matrix a(2, 2);
     a(0, 0) = 1; a(0, 1) = 2; a(1, 0) = 2; a(1, 1) = 4;
     EXPECT_THROW(gaussianSolve(a, Vector{1.0, 1.0}), FatalError);
+}
+
+// ---------------------------------------------------------------------
+// Status-returning kernels (the non-throwing layer underneath the
+// throwing wrappers; used by the MPC failsafe path).
+// ---------------------------------------------------------------------
+
+TEST(FactorStatus, CholeskyIntoReportsInsteadOfThrowing)
+{
+    Matrix a(2, 2);
+    a(0, 0) = 4; a(0, 1) = 2; a(1, 0) = 2; a(1, 1) = 3;
+    Matrix l(2, 2);
+    EXPECT_EQ(choleskyInto(a, l), FactorStatus::Ok);
+    EXPECT_DOUBLE_EQ(l(0, 0), 2.0);
+
+    a(0, 1) = a(1, 0) = 2.5; // Indefinite.
+    a(1, 1) = 1.0;
+    EXPECT_EQ(choleskyInto(a, l), FactorStatus::NotPositiveDefinite);
+
+    a(0, 0) = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_EQ(choleskyInto(a, l), FactorStatus::NonFinite);
+}
+
+TEST(FactorStatus, RegularizedLadderIsCappedOnNonFiniteInput)
+{
+    // NaN data can never be regularized into an SPD matrix; the bump
+    // ladder must give up with a status instead of looping or
+    // throwing.
+    Matrix a(2, 2);
+    a(0, 0) = std::numeric_limits<double>::quiet_NaN();
+    a(1, 1) = 1.0;
+    Matrix l(2, 2);
+    double reg = 0.0;
+    EXPECT_EQ(choleskyRegularizedInto(a, reg, l),
+              FactorStatus::NonFinite);
+    // The throwing wrapper surfaces the same condition as FatalError.
+    EXPECT_THROW(choleskyRegularized(a, reg), FatalError);
+}
+
+TEST(FactorStatus, RegularizedIntoRecoversIndefiniteMatrix)
+{
+    Matrix a(2, 2);
+    a(0, 0) = 1; a(0, 1) = 2; a(1, 0) = 2; a(1, 1) = 1;
+    Matrix l(2, 2);
+    double reg = 0.0;
+    EXPECT_EQ(choleskyRegularizedInto(a, reg, l), FactorStatus::Ok);
+    EXPECT_GT(reg, 0.0);
+}
+
+TEST(FactorStatus, GaussianStatusReportsSingularAndNonFinite)
+{
+    Matrix a(2, 2);
+    a(0, 0) = 1; a(0, 1) = 2; a(1, 0) = 2; a(1, 1) = 4;
+    Vector b{1.0, 1.0};
+    Matrix work = a;
+    EXPECT_EQ(gaussianSolveStatusInPlace(work, b),
+              FactorStatus::Singular);
+
+    work = a;
+    work(0, 0) = std::numeric_limits<double>::infinity();
+    b = Vector{1.0, 1.0};
+    EXPECT_EQ(gaussianSolveStatusInPlace(work, b),
+              FactorStatus::NonFinite);
+
+    work = Matrix(2, 2);
+    work(0, 0) = 2.0;
+    work(1, 1) = 4.0;
+    b = Vector{2.0, 8.0};
+    EXPECT_EQ(gaussianSolveStatusInPlace(work, b), FactorStatus::Ok);
+    EXPECT_DOUBLE_EQ(b[0], 1.0);
+    EXPECT_DOUBLE_EQ(b[1], 2.0);
+}
+
+TEST(FactorStatus, NamesAreStable)
+{
+    EXPECT_STREQ(toString(FactorStatus::Ok), "ok");
+    EXPECT_STREQ(toString(FactorStatus::NonFinite), "non-finite");
 }
 
 } // namespace

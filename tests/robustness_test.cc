@@ -7,15 +7,22 @@
  */
 
 #include <cmath>
+#include <limits>
 #include <random>
 
 #include <gtest/gtest.h>
 
+#include "core/controller.hh"
 #include "dsl/sema.hh"
 #include "fixed/fixed.hh"
+#include "mpc/batch.hh"
+#include "mpc/dense_kkt.hh"
+#include "mpc/failsafe.hh"
 #include "mpc/ipm.hh"
+#include "mpc/riccati.hh"
 #include "mpc/simulate.hh"
 #include "robots/robots.hh"
+#include "support/alloc_hook.hh"
 #include "support/logging.hh"
 
 namespace robox::mpc
@@ -261,6 +268,397 @@ sys.go();
     IpmSolver solver(model, opt);
     auto result = solver.solve(Vector{1.0}, Vector(0));
     EXPECT_TRUE(std::isfinite(result.u0[0]));
+}
+
+// ---------------------------------------------------------------------
+// Failsafe layer: structured statuses instead of exceptions, the
+// in-solve recovery ladder, deadline-bounded anytime solves, backup
+// commands, and per-robot fault isolation in batches.
+// ---------------------------------------------------------------------
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+const char *kDoubleIntegrator = R"(
+System DoubleIntegrator( param a_max ) {
+  state pos, vel;
+  input acc;
+  pos.dt = vel;
+  vel.dt = acc;
+  acc.lower_bound <= -a_max;
+  acc.upper_bound <= a_max;
+  Task moveTo( reference target, param w_pos, param w_u ) {
+    penalty track, effort;
+    track.running = pos - target;
+    track.weight <= w_pos;
+    effort.running = acc;
+    effort.weight <= w_u;
+  }
+}
+reference target;
+DoubleIntegrator plant(1.0);
+plant.moveTo(target, 1.0, 0.05);
+)";
+
+MpcOptions
+integratorOptions()
+{
+    MpcOptions opt;
+    opt.horizon = 12;
+    opt.dt = 0.1;
+    return opt;
+}
+
+TEST(FaultInjection, NanStateIsRefusedWithoutPoisoningWarmStart)
+{
+    dsl::ModelSpec model = dsl::analyzeSource(kDoubleIntegrator);
+    IpmSolver solver(model, integratorOptions());
+
+    auto good = solver.solve(Vector{0.0, 0.0}, Vector{1.0});
+    ASSERT_EQ(good.status, SolveStatus::Converged);
+
+    const IpmSolver::Result *bad = nullptr;
+    EXPECT_NO_THROW(bad = &solver.solve(Vector{kNaN, 0.0},
+                                        Vector{1.0}));
+    ASSERT_NE(bad, nullptr);
+    EXPECT_EQ(bad->status, SolveStatus::BadInput);
+    EXPECT_FALSE(bad->converged);
+    EXPECT_EQ(bad->iterations, 0);
+    for (std::size_t i = 0; i < bad->u0.size(); ++i) {
+        EXPECT_TRUE(std::isfinite(bad->u0[i]));
+        EXPECT_GE(bad->u0[i], -1.0 - 1e-9);
+        EXPECT_LE(bad->u0[i], 1.0 + 1e-9);
+    }
+
+    // The refusal must not poison the warm start: the next valid
+    // measurement solves normally.
+    auto again = solver.solve(Vector{0.02, 0.01}, Vector{1.0});
+    EXPECT_EQ(again.status, SolveStatus::Converged);
+}
+
+TEST(FaultInjection, InfStateAndNanReferenceAreBadInput)
+{
+    dsl::ModelSpec model = dsl::analyzeSource(kDoubleIntegrator);
+    IpmSolver solver(model, integratorOptions());
+
+    auto inf_state = solver.solve(Vector{kInf, 0.0}, Vector{1.0});
+    EXPECT_EQ(inf_state.status, SolveStatus::BadInput);
+
+    auto nan_ref = solver.solve(Vector{0.0, 0.0}, Vector{kNaN});
+    EXPECT_EQ(nan_ref.status, SolveStatus::BadInput);
+}
+
+TEST(FaultInjection, BadInputPathIsAllocationFreeWhenWarm)
+{
+    if (!support::allocCountingActive())
+        GTEST_SKIP() << "allocation counting hook not linked";
+    dsl::ModelSpec model = dsl::analyzeSource(kDoubleIntegrator);
+    IpmSolver solver(model, integratorOptions());
+    solver.solve(Vector{0.0, 0.0}, Vector{1.0});
+    solver.solve(Vector{0.01, 0.0}, Vector{1.0});
+    solver.solve(Vector{kNaN, 0.0}, Vector{1.0});
+    EXPECT_EQ(solver.lastStats().heapAllocations, 0u);
+}
+
+TEST(FaultInjection, RiccatiReportsNonFiniteStageData)
+{
+    std::vector<StageQp> stages(1);
+    stages[0].a = Matrix::identity(2);
+    stages[0].b = Matrix(2, 1);
+    stages[0].b(1, 0) = 1.0;
+    stages[0].c = Vector(2);
+    stages[0].q = Matrix::identity(2);
+    stages[0].r = Matrix::identity(1);
+    stages[0].r(0, 0) = kNaN; // Poisons the factored input Hessian.
+    stages[0].s = Matrix(1, 2);
+    stages[0].qv = Vector(2);
+    stages[0].rv = Vector{1.0};
+
+    RiccatiWorkspace ws;
+    RiccatiSolution sol;
+    FactorStatus status = solveRiccati(stages, Matrix::identity(2),
+                                       Vector(2), Vector(2), 1e-8, ws,
+                                       sol);
+    EXPECT_NE(status, FactorStatus::Ok);
+}
+
+TEST(FaultInjection, DenseKktReportsSingularAndNonFiniteSystems)
+{
+    // Zero Hessian with b = 1 makes two KKT rows identical: singular.
+    std::vector<StageQp> stages(1);
+    stages[0].a = Matrix::identity(1);
+    stages[0].b = Matrix::identity(1);
+    stages[0].c = Vector(1);
+    stages[0].q = Matrix(1, 1);
+    stages[0].r = Matrix(1, 1);
+    stages[0].s = Matrix(1, 1);
+    stages[0].qv = Vector(1);
+    stages[0].rv = Vector(1);
+
+    DenseKktWorkspace ws;
+    RiccatiSolution sol;
+    FactorStatus singular = solveDenseKkt(stages, Matrix(1, 1),
+                                          Vector(1), Vector(1), ws, sol);
+    EXPECT_EQ(singular, FactorStatus::Singular);
+
+    // The same degenerate system becomes solvable with the ladder's
+    // Tikhonov shift — this is what one regularization bump does.
+    FactorStatus shifted =
+        solveDenseKkt(stages, Matrix(1, 1), Vector(1), Vector(1), ws,
+                      sol, 1e-4);
+    EXPECT_EQ(shifted, FactorStatus::Ok);
+
+    stages[0].q(0, 0) = kNaN;
+    FactorStatus nonfinite = solveDenseKkt(
+        stages, Matrix(1, 1), Vector(1), Vector(1), ws, sol, 1e-4);
+    EXPECT_EQ(nonfinite, FactorStatus::NonFinite);
+}
+
+TEST(FaultInjection, MidSolveNumericBreakdownReturnsStatusNotThrow)
+{
+    // u / x dynamics evaluated at x0 = 0: the measured state passes
+    // input validation but the first linearization is non-finite, so
+    // the failure happens inside the solve. The ladder's cold restart
+    // cannot help (the state itself is the problem), so the solve must
+    // give up with a structured status, never an exception.
+    const char *src = R"(
+System D() {
+  state x;
+  input u;
+  x.dt = u / x;
+  u.lower_bound <= -1;
+  u.upper_bound <= 1;
+  Task go() {
+    penalty p;
+    p.running = x - 2;
+  }
+}
+D sys();
+sys.go();
+)";
+    dsl::ModelSpec model = dsl::analyzeSource(src);
+    MpcOptions opt;
+    opt.horizon = 8;
+    opt.dt = 0.05;
+    IpmSolver solver(model, opt);
+
+    const IpmSolver::Result *result = nullptr;
+    EXPECT_NO_THROW(result = &solver.solve(Vector{0.0}, Vector(0)));
+    ASSERT_NE(result, nullptr);
+    EXPECT_FALSE(statusUsable(result->status));
+    EXPECT_TRUE(result->status == SolveStatus::NumericFailure ||
+                result->status == SolveStatus::Diverged)
+        << toString(result->status);
+    EXPECT_TRUE(std::isfinite(result->u0[0]));
+
+    const SolveStats &stats = solver.lastStats();
+    EXPECT_GE(stats.recoveryAttempts, 1);
+    EXPECT_GE(stats.coldRestarts, 1);
+}
+
+TEST(FaultInjection, ZeroDeadlineReturnsImmediately)
+{
+    dsl::ModelSpec model = dsl::analyzeSource(kDoubleIntegrator);
+    MpcOptions opt = integratorOptions();
+    opt.solveDeadlineSeconds = 0.0;
+    IpmSolver solver(model, opt);
+
+    auto result = solver.solve(Vector{0.0, 0.0}, Vector{1.0});
+    EXPECT_EQ(result.status, SolveStatus::DeadlineMiss);
+    EXPECT_EQ(result.iterations, 0);
+    for (std::size_t i = 0; i < result.u0.size(); ++i) {
+        EXPECT_TRUE(std::isfinite(result.u0[i]));
+        EXPECT_GE(result.u0[i], -1.0 - 1e-9);
+        EXPECT_LE(result.u0[i], 1.0 + 1e-9);
+    }
+}
+
+TEST(FaultInjection, DeadlineMissOnWarmSolverReturnsShiftedPlan)
+{
+    dsl::ModelSpec model = dsl::analyzeSource(kDoubleIntegrator);
+    IpmSolver solver(model, integratorOptions());
+
+    auto good = solver.solve(Vector{0.0, 0.0}, Vector{1.0});
+    ASSERT_EQ(good.status, SolveStatus::Converged);
+    const Vector expected = solver.inputTrajectory()[1]; // Copy.
+
+    // Budget exhausted before the next period's solve can iterate:
+    // the anytime contract returns the time-shifted previous plan.
+    solver.setSolveDeadline(0.0);
+    auto missed = solver.solve(Vector{0.01, 0.0}, Vector{1.0});
+    EXPECT_EQ(missed.status, SolveStatus::DeadlineMiss);
+    EXPECT_EQ(missed.iterations, 0);
+    ASSERT_EQ(missed.u0.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i)
+        EXPECT_EQ(missed.u0[i], expected[i]);
+
+    // Restoring the budget resumes normal solving with the warm start.
+    solver.setSolveDeadline(-1.0);
+    auto resumed = solver.solve(Vector{0.02, 0.0}, Vector{1.0});
+    EXPECT_EQ(resumed.status, SolveStatus::Converged);
+}
+
+TEST(FaultInjection, BackupPlanReplaysShiftedTailAndClamps)
+{
+    dsl::ModelSpec model = dsl::analyzeSource(kDoubleIntegrator);
+    BackupPlan backup(model);
+    EXPECT_FALSE(backup.available());
+
+    // No plan yet: the box-projected zero command.
+    EXPECT_EQ(backup.command()[0], 0.0);
+    EXPECT_EQ(backup.consecutiveDegraded(), 1);
+
+    backup.accept({Vector{0.5}, Vector{5.0}, Vector{-0.25}});
+    EXPECT_TRUE(backup.available());
+    EXPECT_EQ(backup.consecutiveDegraded(), 0);
+
+    // The tail starts at stage 1 (stage 0 was for the failed period),
+    // clamps to the actuator box, and holds the last input.
+    EXPECT_EQ(backup.command()[0], 1.0); // 5.0 clamped to acc <= 1.
+    EXPECT_EQ(backup.command()[0], -0.25);
+    EXPECT_EQ(backup.command()[0], -0.25); // Tail exhausted: hold.
+    EXPECT_EQ(backup.consecutiveDegraded(), 3);
+    EXPECT_EQ(backup.totalDegraded(), 4);
+
+    backup.clear();
+    EXPECT_FALSE(backup.available());
+    EXPECT_EQ(backup.consecutiveDegraded(), 0);
+}
+
+TEST(FaultInjection, ControllerSubstitutesBackupCommand)
+{
+    core::Controller controller(kDoubleIntegrator, integratorOptions());
+
+    auto first = controller.step(Vector{0.0, 0.0}, Vector{1.0});
+    ASSERT_TRUE(statusUsable(first.status));
+    EXPECT_FALSE(first.degraded);
+    const Vector expected = controller.solver().inputTrajectory()[1];
+
+    auto degraded = controller.step(Vector{kNaN, 0.0}, Vector{1.0});
+    EXPECT_TRUE(degraded.degraded);
+    EXPECT_EQ(controller.lastStatus(), SolveStatus::BadInput);
+    EXPECT_EQ(controller.consecutiveDegradedSteps(), 1);
+    ASSERT_EQ(degraded.u0.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i)
+        EXPECT_EQ(degraded.u0[i], expected[i]);
+
+    auto recovered = controller.step(Vector{0.05, 0.0}, Vector{1.0});
+    EXPECT_FALSE(recovered.degraded);
+    EXPECT_EQ(controller.consecutiveDegradedSteps(), 0);
+}
+
+TEST(FaultInjection, SimulationDegradesForOneBadReferenceStep)
+{
+    dsl::ModelSpec model = dsl::analyzeSource(kDoubleIntegrator);
+    IpmSolver solver(model, integratorOptions());
+
+    auto ref_at = [](int k) {
+        return k == 3 ? Vector{kNaN} : Vector{1.0};
+    };
+    SimulationResult sim =
+        simulateClosedLoop(solver, Vector{0.0, 0.0}, ref_at, 8);
+
+    EXPECT_EQ(sim.degradedSteps, 1);
+    EXPECT_EQ(sim.maxConsecutiveDegraded, 1);
+    ASSERT_EQ(sim.statuses.size(), 8u);
+    EXPECT_EQ(sim.statuses[3], SolveStatus::BadInput);
+    EXPECT_FALSE(sim.allConverged);
+    for (const Vector &u : sim.inputs)
+        for (std::size_t i = 0; i < u.size(); ++i)
+            EXPECT_TRUE(std::isfinite(u[i]));
+    for (const Vector &x : sim.states)
+        for (std::size_t i = 0; i < x.size(); ++i)
+            EXPECT_TRUE(std::isfinite(x[i]));
+    // Steps after the fault resume normal solving.
+    EXPECT_EQ(sim.statuses[4], SolveStatus::Converged);
+}
+
+TEST(FaultInjection, PoisonedRobotIsIsolatedInBatch)
+{
+    dsl::ModelSpec model = dsl::analyzeSource(kDoubleIntegrator);
+    const MpcOptions opt = integratorOptions();
+    constexpr std::size_t kRobots = 6;
+    constexpr std::size_t kPoisoned = 2;
+
+    BatchController batch(model, opt, kRobots, 3);
+    std::vector<IpmSolver> serial;
+    serial.reserve(kRobots);
+    for (std::size_t i = 0; i < kRobots; ++i)
+        serial.emplace_back(model, opt);
+
+    std::vector<Vector> states, refs;
+    for (std::size_t i = 0; i < kRobots; ++i) {
+        double s = static_cast<double>(i);
+        states.push_back(Vector{0.1 * s, -0.03 * s});
+        refs.push_back(Vector{1.0 + 0.2 * s});
+    }
+
+    for (int round = 0; round < 3; ++round) {
+        // Round 1 poisons one robot's measured state; the other
+        // rounds are healthy, exercising warm restarts on both sides.
+        const bool poisoned_round = round == 1;
+        const double saved = states[kPoisoned][0];
+        if (poisoned_round)
+            states[kPoisoned][0] = kNaN;
+
+        const std::vector<IpmSolver::Result> *results = nullptr;
+        EXPECT_NO_THROW(results = &batch.solveAll(states, refs));
+        ASSERT_NE(results, nullptr);
+
+        for (std::size_t i = 0; i < kRobots; ++i) {
+            const IpmSolver::Result serial_result =
+                serial[i].solve(states[i], refs[i]);
+            const IpmSolver::Result &batched = (*results)[i];
+            EXPECT_EQ(batched.status, serial_result.status)
+                << "robot " << i << " round " << round;
+            if (poisoned_round && i == kPoisoned) {
+                EXPECT_EQ(batched.status, SolveStatus::BadInput);
+                continue;
+            }
+            // Healthy robots are bitwise identical to serial solves
+            // even with a faulted neighbor in the same batch.
+            EXPECT_EQ(batched.iterations, serial_result.iterations);
+            ASSERT_EQ(batched.u0.size(), serial_result.u0.size());
+            for (std::size_t j = 0; j < batched.u0.size(); ++j)
+                EXPECT_EQ(batched.u0[j], serial_result.u0[j])
+                    << "robot " << i << " round " << round;
+        }
+
+        const BatchReport &report = batch.report();
+        ASSERT_EQ(report.statuses.size(), kRobots);
+        EXPECT_EQ(report.statuses[kPoisoned],
+                  poisoned_round ? SolveStatus::BadInput
+                                 : SolveStatus::Converged);
+        EXPECT_EQ(report.lastBatchFailures, poisoned_round ? 1u : 0u);
+
+        if (poisoned_round)
+            states[kPoisoned][0] = saved;
+        for (std::size_t i = 0; i < kRobots; ++i) {
+            states[i][0] += 0.01;
+            states[i][1] += 0.005;
+        }
+    }
+    EXPECT_EQ(batch.report().failures, 1u);
+}
+
+TEST(FaultInjection, SolverHealthAggregatesOutcomes)
+{
+    dsl::ModelSpec model = dsl::analyzeSource(kDoubleIntegrator);
+    IpmSolver solver(model, integratorOptions());
+    SolverHealth health("solver_health");
+
+    solver.solve(Vector{0.0, 0.0}, Vector{1.0});
+    health.record(solver.lastStats());
+    solver.solve(Vector{kNaN, 0.0}, Vector{1.0});
+    health.record(solver.lastStats());
+    health.recordDegraded();
+
+    EXPECT_EQ(health.solves(), 2u);
+    EXPECT_EQ(health.statusCount(SolveStatus::Converged), 1.0);
+    EXPECT_EQ(health.statusCount(SolveStatus::BadInput), 1.0);
+    EXPECT_EQ(health.latency().totalSamples(), 2u);
+    const std::string dump = health.dump();
+    EXPECT_NE(dump.find("bad_input"), std::string::npos);
 }
 
 /**

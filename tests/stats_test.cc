@@ -66,6 +66,33 @@ TEST(Histogram, RejectsBadConfig)
     EXPECT_THROW(stats::Histogram("b", "", 2.0, 1.0, 4), FatalError);
 }
 
+TEST(Histogram, PercentileWalksCumulativeCounts)
+{
+    stats::Histogram h("p", "percentiles", 0.0, 100.0, 100);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0); // empty -> 0
+
+    // Uniform fill: one sample per bucket midpoint.
+    for (int i = 0; i < 100; ++i)
+        h.sample(i + 0.5);
+    EXPECT_NEAR(h.percentile(0.0), 1.0, 1.0 + 1e-12);
+    EXPECT_NEAR(h.percentile(0.5), 50.0, 1.0 + 1e-12);
+    EXPECT_NEAR(h.percentile(0.99), 99.0, 1.0 + 1e-12);
+    EXPECT_LE(h.percentile(0.25), h.percentile(0.75));
+}
+
+TEST(Histogram, PercentileUsesMinMaxForOutliers)
+{
+    stats::Histogram h("p", "percentiles", 0.0, 1.0, 4);
+    h.sample(-5.0); // underflow
+    h.sample(0.5);
+    h.sample(7.0); // overflow
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), -5.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 7.0);
+    // The median lands in the in-range bucket.
+    EXPECT_GE(h.percentile(0.5), 0.0);
+    EXPECT_LE(h.percentile(0.5), 1.0);
+}
+
 TEST(Formula, ComputesFromCapturedState)
 {
     stats::Scalar hits("hits", "");

@@ -5,6 +5,7 @@
 
 #include "accel/functional.hh"
 
+#include <cmath>
 #include <limits>
 #include <set>
 #include <unordered_map>
@@ -60,9 +61,14 @@ apply(const sym::Tape::Instr &in, Fixed a, Fixed b, const FixedMath &fm)
 
 FunctionalResult
 executeTapeMapped(const sym::Tape &tape, const std::vector<Fixed> &inputs,
-                  const FixedMath &fm, const AcceleratorConfig &config)
+                  const FixedMath &fm, const AcceleratorConfig &config,
+                  FaultInjector *faults)
 {
     robox_assert(static_cast<int>(inputs.size()) == tape.numVars());
+
+    const std::uint64_t sat0 = Fixed::saturationCount();
+    const std::uint64_t div0 = Fixed::divByZeroCount();
+    const std::uint64_t faults0 = faults ? faults->faultsInjected() : 0;
 
     // Lower the tape into an M-DFG so Algorithm 1 can place it. Node i
     // corresponds to tape instruction i because every variable slot is
@@ -83,12 +89,37 @@ executeTapeMapped(const sym::Tape &tape, const std::vector<Fixed> &inputs,
         static_cast<std::size_t>(tape.numSlots()));
     std::vector<bool> slot_global(
         static_cast<std::size_t>(tape.numSlots()), false);
+
+    FunctionalResult result;
+    result.slotPeakAbs.assign(
+        static_cast<std::size_t>(tape.numSlots()), 0.0);
+
+    // Record one stored word: peak-magnitude tracking feeds the
+    // per-variable range-utilization report.
+    auto store = [&](int slot, Fixed v) {
+        slot_value[slot] = v;
+        double a = std::abs(v.toDouble());
+        if (a > result.slotPeakAbs[slot])
+            result.slotPeakAbs[slot] = a;
+        result.health.trackValue(a);
+    };
+
+    // Inputs and preloads land in the access-engine scratchpad before
+    // execution starts: fault cycle 0, word = slot.
     for (int i = 0; i < tape.numVars(); ++i) {
-        slot_value[i] = inputs[i];
+        Fixed v = inputs[i];
+        if (faults)
+            v = faults->access(v, FaultSite::Scratchpad, 0,
+                               static_cast<std::uint64_t>(i));
+        store(i, v);
         slot_global[i] = true;
     }
     for (const sym::Tape::Preload &p : tape.preloads()) {
-        slot_value[p.slot] = Fixed::fromDouble(p.value);
+        Fixed v = Fixed::fromDouble(p.value);
+        if (faults)
+            v = faults->access(v, FaultSite::Scratchpad, 0,
+                               static_cast<std::uint64_t>(p.slot));
+        store(p.slot, v);
         slot_global[p.slot] = true;
     }
 
@@ -97,8 +128,6 @@ executeTapeMapped(const sym::Tape &tape, const std::vector<Fixed> &inputs,
     std::set<std::pair<std::uint32_t, int>> available;
     std::size_t transfer_cursor = 0;
     const int ncu = config.cusPerCc;
-
-    FunctionalResult result;
 
     // slot -> producing node (for instruction results).
     std::vector<std::uint32_t> slot_node(
@@ -119,6 +148,16 @@ executeTapeMapped(const sym::Tape &tape, const std::vector<Fixed> &inputs,
                                       std::max(0, t.srcCu)})) {
                 panic("functional: transfer of node {} from a CU that "
                       "does not hold it", t.producer);
+            }
+            if (faults) {
+                // The message rides the interconnect: upset the word
+                // as delivered (cycle = consumer id, word = producer).
+                int slot = tape.instrs()[t.producer].dst;
+                Fixed v = faults->access(
+                    slot_value[slot], FaultSite::Interconnect, id,
+                    static_cast<std::uint64_t>(t.producer));
+                if (v.raw() != slot_value[slot].raw())
+                    store(slot, v);
             }
             available.insert({t.producer, dst});
             ++result.transfersApplied;
@@ -141,7 +180,14 @@ executeTapeMapped(const sym::Tape &tape, const std::vector<Fixed> &inputs,
 
         Fixed a = fetch(in.a);
         Fixed b = in.b >= 0 ? fetch(in.b) : Fixed();
-        slot_value[in.dst] = apply(in, a, b, fm);
+        Fixed out = apply(in, a, b, fm);
+        if (faults) {
+            // The result lands in the CU's register file: cycle =
+            // instruction id, word = destination slot.
+            out = faults->access(out, FaultSite::RegisterFile, id,
+                                 static_cast<std::uint64_t>(in.dst));
+        }
+        store(in.dst, out);
         slot_node[in.dst] = id;
         available.insert({id, gcu});
     }
@@ -149,6 +195,12 @@ executeTapeMapped(const sym::Tape &tape, const std::vector<Fixed> &inputs,
     result.outputs.reserve(tape.outputSlots().size());
     for (int slot : tape.outputSlots())
         result.outputs.push_back(slot_value[slot]);
+
+    result.health.tapeEvals = 1;
+    result.health.saturations = Fixed::saturationCount() - sat0;
+    result.health.divByZeros = Fixed::divByZeroCount() - div0;
+    result.health.faultsInjected =
+        faults ? faults->faultsInjected() - faults0 : 0;
     return result;
 }
 

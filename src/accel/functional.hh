@@ -23,8 +23,10 @@
 #include <vector>
 
 #include "accel/config.hh"
+#include "accel/faults.hh"
 #include "fixed/fixed.hh"
 #include "fixed/fixed_math.hh"
+#include "fixed/health.hh"
 #include "sym/tape.hh"
 
 namespace robox::accel
@@ -36,6 +38,13 @@ struct FunctionalResult
     std::vector<Fixed> outputs;       //!< One value per tape output.
     std::size_t transfersApplied = 0; //!< Inter-CU deliveries used.
     std::size_t localReads = 0;       //!< Operands already resident.
+
+    /** Numeric-integrity report for this run: saturation/div-by-zero
+     *  deltas, peak magnitude over every stored word, faults taken. */
+    NumericHealth health;
+    /** Peak |value| ever stored per tape slot, for per-variable range
+     *  utilization (slot i of the tape -> slotPeakAbs[i]). */
+    std::vector<double> slotPeakAbs;
 };
 
 /**
@@ -45,11 +54,21 @@ struct FunctionalResult
  * @param inputs Values for the tape's variable slots.
  * @param fm LUT configuration for the nonlinear operations.
  * @param config Accelerator shape (number of CCs/CUs).
+ * @param faults Optional fault injector; when given, scratchpad
+ *               preloads (cycle 0, word = slot), register-file result
+ *               writes (cycle = instruction id, word = dst slot), and
+ *               interconnect deliveries (cycle = consumer id, word =
+ *               producer node) are filtered through it. The functional
+ *               model keeps one store per slot, so an interconnect
+ *               flip corrupts the delivered value for all later
+ *               consumers on that CU — a pessimistic but valid SEU
+ *               model.
  */
 FunctionalResult executeTapeMapped(const sym::Tape &tape,
                                    const std::vector<Fixed> &inputs,
                                    const FixedMath &fm,
-                                   const AcceleratorConfig &config);
+                                   const AcceleratorConfig &config,
+                                   FaultInjector *faults = nullptr);
 
 } // namespace robox::accel
 

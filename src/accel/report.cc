@@ -117,4 +117,52 @@ formatLatencyHistograms(const std::string &name, const Trace &trace)
     return group_stats.dump();
 }
 
+std::string
+formatNumericHealth(const std::string &name, const NumericHealth &health,
+                    bool csv)
+{
+    using stats::Formula;
+    using stats::Scalar;
+    using stats::StatGroup;
+
+    Scalar saturations("saturations", "saturating-arithmetic events");
+    saturations.set(static_cast<double>(health.saturations));
+    Scalar div_zeros("divByZeros", "division-by-zero events");
+    div_zeros.set(static_cast<double>(health.divByZeros));
+    Scalar evals("tapeEvals", "fixed-point tape evaluations");
+    evals.set(static_cast<double>(health.tapeEvals));
+    Scalar injected("faultsInjected", "bit flips from the fault engine");
+    injected.set(static_cast<double>(health.faultsInjected));
+    Scalar peak("peakAbs", "largest |value| stored");
+    peak.set(health.peakAbs);
+    Formula range_util("rangeUtilization",
+                       "fraction of Q14.17 magnitude used",
+                       [&] { return health.rangeUtilization(); });
+    Scalar checks("crossChecks", "golden-model comparisons");
+    checks.set(static_cast<double>(health.crossChecks));
+    Scalar max_err("maxAbsError", "max |fixed - golden| divergence");
+    max_err.set(health.maxAbsError);
+    Scalar warns("toleranceWarnings", "divergences past the warn band");
+    warns.set(static_cast<double>(health.toleranceWarnings));
+    Scalar breaches("toleranceBreaches",
+                    "divergences past the fail band");
+    breaches.set(static_cast<double>(health.toleranceBreaches));
+    Formula degraded("degraded", "1 when the run is NumericDegraded",
+                     [&] { return health.degraded() ? 1.0 : 0.0; });
+
+    StatGroup group(name);
+    group.add(&saturations);
+    group.add(&div_zeros);
+    group.add(&evals);
+    group.add(&injected);
+    group.add(&peak);
+    group.add(&range_util);
+    group.add(&checks);
+    group.add(&max_err);
+    group.add(&warns);
+    group.add(&breaches);
+    group.add(&degraded);
+    return csv ? group.csv() : group.dump();
+}
+
 } // namespace robox::accel

@@ -15,6 +15,7 @@
 #include "accel/energy.hh"
 #include "accel/simulator.hh"
 #include "accel/trace.hh"
+#include "fixed/health.hh"
 
 namespace robox::accel
 {
@@ -38,6 +39,19 @@ std::string formatReport(const std::string &name, const CycleStats &stats,
  */
 std::string formatLatencyHistograms(const std::string &name,
                                     const Trace &trace);
+
+/**
+ * Render a numeric-integrity report (saturations, div-by-zeros,
+ * range utilization, injected faults, golden cross-check verdicts)
+ * in the same aligned stats format.
+ *
+ * @param name Report name (e.g. the benchmark or robot).
+ * @param health The per-run report to render.
+ * @param csv Render as CSV instead of the aligned text dump.
+ */
+std::string formatNumericHealth(const std::string &name,
+                                const NumericHealth &health,
+                                bool csv = false);
 
 } // namespace robox::accel
 

@@ -19,6 +19,7 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 
 #include "accel/simulator.hh"
 #include "compiler/codegen.hh"
@@ -97,6 +98,25 @@ class Controller
     const mpc::SolveStats &lastStats() const
     {
         return solver_->lastStats();
+    }
+
+    /** Numeric-integrity report of the last step()'s solve (all zero
+     *  unless MpcOptions::fixedPointTapes is on). */
+    const NumericHealth &lastNumericHealth() const
+    {
+        return solver_->lastStats().numeric;
+    }
+
+    /**
+     * Attach a fault-injection hook to the fixed-point tape path
+     * (e.g. accel::FaultInjector::tapeHook()), so seeded SEU campaigns
+     * can be run against the end-to-end controller. Detected
+     * corruption surfaces as SolveStatus::NumericDegraded and step()
+     * substitutes the backup command like any other failure.
+     */
+    void setTapeFaultHook(mpc::MpcProblem::TapeFaultHook hook)
+    {
+        solver_->setTapeFaultHook(std::move(hook));
     }
 
     /** Closed-loop simulation against the true continuous dynamics. */

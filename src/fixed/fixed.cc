@@ -5,6 +5,7 @@
 
 #include "fixed/fixed.hh"
 
+#include <atomic>
 #include <cmath>
 #include <cstdlib>
 
@@ -14,6 +15,12 @@ namespace robox
 namespace
 {
 thread_local std::uint64_t saturation_events = 0;
+thread_local std::uint64_t div_zero_events = 0;
+
+// Process-wide aggregates fed by flushCounts(). The per-event path
+// never touches these, so counting stays free of atomic traffic.
+std::atomic<std::uint64_t> global_saturation_events{0};
+std::atomic<std::uint64_t> global_div_zero_events{0};
 } // namespace
 
 std::int32_t
@@ -33,6 +40,10 @@ Fixed::saturate(std::int64_t wide)
 Fixed
 Fixed::fromDouble(double value)
 {
+    // NaN has no ordering, so it would fall through the range checks
+    // below into UB (static_cast of NaN). Defined behavior: saturate
+    // to zero and report through the saturation flag, mirroring a
+    // hardware converter's quiet-NaN handling.
     if (std::isnan(value)) {
         ++saturation_events;
         return fromRaw(0);
@@ -75,6 +86,7 @@ Fixed::operator/(Fixed o) const
 {
     if (o.raw_ == 0) {
         ++saturation_events;
+        ++div_zero_events;
         return raw_ >= 0 ? max() : min();
     }
     // Divide magnitudes with a half-divisor bias for round-to-nearest,
@@ -114,6 +126,53 @@ void
 Fixed::resetSaturationCount()
 {
     saturation_events = 0;
+}
+
+std::uint64_t
+Fixed::divByZeroCount()
+{
+    return div_zero_events;
+}
+
+void
+Fixed::resetCounts()
+{
+    saturation_events = 0;
+    div_zero_events = 0;
+}
+
+void
+Fixed::flushCounts()
+{
+    global_saturation_events.fetch_add(saturation_events,
+                                       std::memory_order_relaxed);
+    global_div_zero_events.fetch_add(div_zero_events,
+                                     std::memory_order_relaxed);
+    saturation_events = 0;
+    div_zero_events = 0;
+}
+
+std::uint64_t
+Fixed::globalSaturationCount()
+{
+    return global_saturation_events.load(std::memory_order_relaxed) +
+           saturation_events;
+}
+
+std::uint64_t
+Fixed::globalDivByZeroCount()
+{
+    return global_div_zero_events.load(std::memory_order_relaxed) +
+           div_zero_events;
+}
+
+void
+Fixed::resetGlobalCounts()
+{
+    global_saturation_events.store(0, std::memory_order_relaxed);
+    global_div_zero_events.store(0, std::memory_order_relaxed);
+    saturation_events = 0;
+    div_zero_events = 0;
 }
 
 } // namespace robox

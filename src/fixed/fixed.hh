@@ -52,7 +52,9 @@ class Fixed
         return f;
     }
 
-    /** Convert from double, rounding to nearest and saturating. */
+    /** Convert from double, rounding to nearest and saturating.
+     *  NaN converts to zero and counts as a saturation event; +/-Inf
+     *  saturate to the corresponding range end. */
     static Fixed fromDouble(double value);
 
     /** Convert back to double exactly (every Fixed is a dyadic rational). */
@@ -93,10 +95,43 @@ class Fixed
      */
     static Fixed mulAdd(Fixed a, Fixed b, Fixed c);
 
-    /** Number of saturation events since the last reset (thread local). */
+    /** Largest representable magnitude (|min()| in value units). */
+    static constexpr double maxAbs = 16384.0;
+
+    /** Number of saturation events since the last reset (thread local).
+     *  Division by zero and NaN conversion count here as well, since a
+     *  hardware ALU reports them through the same sticky flag. */
     static std::uint64_t saturationCount();
     /** Reset the saturation statistic. */
     static void resetSaturationCount();
+
+    /** Division-by-zero events since the last reset (thread local).
+     *  A subset of saturationCount(): every division by zero is also
+     *  counted as a saturation event. */
+    static std::uint64_t divByZeroCount();
+
+    /** Reset both thread-local statistics (saturation + div-by-zero). */
+    static void resetCounts();
+
+    /**
+     * Fold this thread's counters into the process-wide aggregates and
+     * zero the thread-local values. The counting hot path stays
+     * thread-local (no atomics per event); worker threads flush once
+     * per batch (mpc::BatchController does this after draining its
+     * queue) so a coordinator thread can read aggregate statistics that
+     * would otherwise be invisible to it.
+     */
+    static void flushCounts();
+
+    /** Process-wide saturation events: everything flushed by any
+     *  thread plus the calling thread's unflushed count. Counts from
+     *  other threads that have not called flushCounts() yet are not
+     *  included. */
+    static std::uint64_t globalSaturationCount();
+    /** Process-wide division-by-zero events (same visibility rules). */
+    static std::uint64_t globalDivByZeroCount();
+    /** Zero the process-wide aggregates and this thread's counters. */
+    static void resetGlobalCounts();
 
   private:
     /** Clamp a wide intermediate into the 32-bit range, counting events. */

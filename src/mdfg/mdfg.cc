@@ -123,6 +123,7 @@ Graph::addTape(const sym::Tape &tape,
         Node node;
         node.kind = NodeKind::Scalar;
         node.op = in.op;
+        node.ipow = in.ipow;
         node.phase = phase;
         node.stage = stage;
         node.deps.push_back(slot_node[in.a]);

@@ -61,6 +61,7 @@ struct Node
     sym::Op op = sym::Op::Add; //!< Operation (aggregation fn for Group).
     int length = 1;            //!< Elements (Vector) or reduced count
                                //!< (Group); 1 for Scalar.
+    int ipow = 0;              //!< Integer exponent for Op::Pow nodes.
     Phase phase = Phase::Dynamics;
     int stage = 0;             //!< Horizon stage this node belongs to.
     std::vector<std::uint32_t> deps; //!< Indices of producer nodes.

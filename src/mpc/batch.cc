@@ -76,6 +76,16 @@ BatchController::drainQueue()
 }
 
 void
+BatchController::finishDrain()
+{
+    // Saturation/div-by-zero events were counted in this thread's
+    // thread-local Fixed statistics, invisible to the coordinator.
+    // Fold them into the process-wide aggregates now, once per batch,
+    // so Fixed::globalSaturationCount() is complete after solveAll().
+    Fixed::flushCounts();
+}
+
+void
 BatchController::workerLoop()
 {
     std::uint64_t seen = 0;
@@ -90,6 +100,7 @@ BatchController::workerLoop()
             seen = generation_;
         }
         drainQueue();
+        finishDrain();
         {
             std::lock_guard<std::mutex> lock(mutex_);
             if (--pending_ == 0)
@@ -114,6 +125,7 @@ BatchController::solveAll(const std::vector<Vector> &states,
 
     if (workers_.empty()) {
         drainQueue();
+        finishDrain();
     } else {
         {
             std::lock_guard<std::mutex> lock(mutex_);
@@ -138,6 +150,10 @@ BatchController::solveAll(const std::vector<Vector> &states,
                       : 0.0;
     report_.lastBatchAllocations = 0;
     report_.lastBatchFailures = 0;
+    report_.lastBatchSaturations = 0;
+    report_.lastBatchDivByZeros = 0;
+    report_.lastBatchFaultsInjected = 0;
+    report_.lastBatchNumericDegraded = 0;
     for (std::size_t i = 0; i < solvers_.size(); ++i) {
         const SolveStats &st = solvers_[i]->lastStats();
         report_.totalIterations +=
@@ -146,13 +162,25 @@ BatchController::solveAll(const std::vector<Vector> &states,
         report_.lastBatchAllocations += st.heapAllocations;
         if (!st.converged)
             report_.unconverged += 1;
+        // Per-robot numeric events: SolveStats carries the worker's
+        // thread-local counter deltas, so summing here gives the
+        // coordinator an exact batch total regardless of which thread
+        // solved which robot.
+        report_.lastBatchSaturations += st.numeric.saturations;
+        report_.lastBatchDivByZeros += st.numeric.divByZeros;
+        report_.lastBatchFaultsInjected += st.numeric.faultsInjected;
         // results_[i].status is authoritative: the exception path in
         // drainQueue stamps it without going through the solver.
         report_.statuses[i] = results_[i].status;
         if (!statusUsable(results_[i].status))
             report_.lastBatchFailures += 1;
+        if (results_[i].status == SolveStatus::NumericDegraded)
+            report_.lastBatchNumericDegraded += 1;
     }
     report_.failures += report_.lastBatchFailures;
+    report_.saturations += report_.lastBatchSaturations;
+    report_.divByZeros += report_.lastBatchDivByZeros;
+    report_.faultsInjected += report_.lastBatchFaultsInjected;
 
     states_ = nullptr;
     refs_ = nullptr;

@@ -65,6 +65,25 @@ struct BatchReport
     std::uint64_t lastBatchFailures = 0;
     /** Lifetime count of non-usable solves. */
     std::uint64_t failures = 0;
+
+    /**
+     * Fixed-point numeric events of the last batch, summed over every
+     * robot's SolveStats::numeric. The Fixed counters themselves are
+     * thread-local to whichever worker ran the solve, so reading
+     * Fixed::saturationCount() from the coordinating thread would see
+     * zero; these aggregates (plus the Fixed::flushCounts() each
+     * worker performs after draining) are the batch-visible truth.
+     * All zero when MpcOptions::fixedPointTapes is off.
+     */
+    std::uint64_t lastBatchSaturations = 0;
+    std::uint64_t lastBatchDivByZeros = 0;
+    std::uint64_t lastBatchFaultsInjected = 0;
+    /** Lifetime sums of the per-batch numeric events above. */
+    std::uint64_t saturations = 0;
+    std::uint64_t divByZeros = 0;
+    std::uint64_t faultsInjected = 0;
+    /** Robots in the last batch whose solve was NumericDegraded. */
+    std::uint64_t lastBatchNumericDegraded = 0;
 };
 
 /**
@@ -122,6 +141,8 @@ class BatchController
     void workerLoop();
     /** Claim-and-solve until the batch's index queue is empty. */
     void drainQueue();
+    /** Per-thread post-drain bookkeeping (Fixed counter flush). */
+    void finishDrain();
 
     std::vector<std::unique_ptr<IpmSolver>> solvers_;
     std::vector<IpmSolver::Result> results_;

@@ -79,9 +79,14 @@ SolverHealth::SolverHealth(const std::string &name, double latency_hi)
       numericFailures_("numeric_failures", "Solves lost to KKT/NaN failures"),
       diverged_("diverged", "Solves lost to divergence"),
       badInput_("bad_input", "Solves refused for NaN/Inf inputs"),
+      numericDegraded_("numeric_degraded",
+                       "Solves failing the fixed-point golden cross-check"),
       recoveryAttempts_("recovery_attempts", "Recovery-ladder activations"),
       coldRestarts_("cold_restarts", "In-solve warm-start resets"),
       degraded_("degraded_steps", "Control periods served by the backup plan"),
+      saturations_("saturations", "Fixed-point saturation events"),
+      divByZeros_("div_by_zeros", "Fixed-point division-by-zero events"),
+      faultsInjected_("faults_injected", "Injected fault-engine bit flips"),
       latency_("solve_seconds", "Per-solve wall time", 0.0, latency_hi, 64)
 {
     group_.add(&solves_);
@@ -91,9 +96,13 @@ SolverHealth::SolverHealth(const std::string &name, double latency_hi)
     group_.add(&numericFailures_);
     group_.add(&diverged_);
     group_.add(&badInput_);
+    group_.add(&numericDegraded_);
     group_.add(&recoveryAttempts_);
     group_.add(&coldRestarts_);
     group_.add(&degraded_);
+    group_.add(&saturations_);
+    group_.add(&divByZeros_);
+    group_.add(&faultsInjected_);
     group_.add(&latency_);
 }
 
@@ -108,10 +117,14 @@ SolverHealth::record(const SolveStats &stats)
       case SolveStatus::NumericFailure: ++numericFailures_; break;
       case SolveStatus::Diverged: ++diverged_; break;
       case SolveStatus::BadInput: ++badInput_; break;
+      case SolveStatus::NumericDegraded: ++numericDegraded_; break;
       case SolveStatus::Unsolved: break;
     }
     recoveryAttempts_ += stats.recoveryAttempts;
     coldRestarts_ += stats.coldRestarts;
+    saturations_ += static_cast<double>(stats.numeric.saturations);
+    divByZeros_ += static_cast<double>(stats.numeric.divByZeros);
+    faultsInjected_ += static_cast<double>(stats.numeric.faultsInjected);
     latency_.sample(stats.solveSeconds);
 }
 
@@ -125,6 +138,7 @@ SolverHealth::statusCount(SolveStatus status) const
       case SolveStatus::NumericFailure: return numericFailures_.value();
       case SolveStatus::Diverged: return diverged_.value();
       case SolveStatus::BadInput: return badInput_.value();
+      case SolveStatus::NumericDegraded: return numericDegraded_.value();
       case SolveStatus::Unsolved: return 0.0;
     }
     return 0.0;

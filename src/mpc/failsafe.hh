@@ -123,9 +123,13 @@ class SolverHealth
     stats::Scalar numericFailures_;
     stats::Scalar diverged_;
     stats::Scalar badInput_;
+    stats::Scalar numericDegraded_;
     stats::Scalar recoveryAttempts_;
     stats::Scalar coldRestarts_;
     stats::Scalar degraded_;
+    stats::Scalar saturations_;
+    stats::Scalar divByZeros_;
+    stats::Scalar faultsInjected_;
     stats::Histogram latency_;
 };
 

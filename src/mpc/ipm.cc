@@ -339,12 +339,26 @@ IpmSolver::solve(const Vector &x0, const std::vector<Vector> &refs)
 
     stats_ = SolveStats();
 
+    // Numeric-health bookkeeping for the fixed-point path: restart the
+    // problem's per-solve report and delta the thread-local Fixed
+    // counters across this solve.
+    const std::uint64_t sat_start = Fixed::saturationCount();
+    const std::uint64_t div_start = Fixed::divByZeroCount();
+    problem_.resetNumericHealth();
+
     // Keep the issued command finite no matter what happened, then
     // project it onto the actuator limits: the interior point method
     // converges to the bounds from the inside but an early stop can
     // leave micro-violations, and failure paths must never leak
     // NaN/Inf to the actuators.
     auto finish = [&](SolveStatus status) -> const Result & {
+        if (opt.fixedPointTapes) {
+            stats_.numeric = problem_.numericHealth();
+            stats_.numeric.saturations =
+                Fixed::saturationCount() - sat_start;
+            stats_.numeric.divByZeros =
+                Fixed::divByZeroCount() - div_start;
+        }
         stats_.status = status;
         for (int i = 0; i < nu; ++i) {
             if (!std::isfinite(result_.u0[i]))
@@ -855,6 +869,15 @@ IpmSolver::solve(const Vector &x0, const std::vector<Vector> &refs)
     }
 
     stats_.objective = problem_.objective(xs_, us_, refs);
+
+    // Golden cross-check verdict: an iterate computed through a
+    // fixed-point path that diverged from the double-precision model
+    // beyond the fail band must not reach the actuators (or seed the
+    // next warm start), however healthy the solver loop looked.
+    if (opt.fixedPointTapes && statusUsable(final_status) &&
+        problem_.numericHealth().degraded()) {
+        final_status = SolveStatus::NumericDegraded;
+    }
 
     // Usable statuses (converged, iteration-capped, deadline-capped)
     // carry a valid interior iterate that seeds the next warm start;

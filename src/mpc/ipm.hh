@@ -22,6 +22,7 @@
 #define ROBOX_MPC_IPM_HH
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "mpc/dense_kkt.hh"
@@ -58,6 +59,12 @@ struct SolveStats
     int regularizationBumps = 0;
     int stepBackoffs = 0;
     int coldRestarts = 0;
+
+    /** Numeric-integrity report of the fixed-point accelerator path
+     *  for this solve: saturation/div-by-zero deltas, peak magnitude,
+     *  injected faults, golden cross-check verdicts. All zero when
+     *  MpcOptions::fixedPointTapes is off. */
+    NumericHealth numeric;
 };
 
 /** The interior-point MPC solver. */
@@ -115,6 +122,13 @@ class IpmSolver
     void setSolveDeadline(double seconds)
     {
         problem_.setSolveDeadline(seconds);
+    }
+
+    /** Attach a fault hook to the fixed-point tape path; see
+     *  MpcProblem::setTapeFaultHook. */
+    void setTapeFaultHook(MpcProblem::TapeFaultHook hook)
+    {
+        problem_.setTapeFaultHook(std::move(hook));
     }
 
     const MpcProblem &problem() const { return problem_; }

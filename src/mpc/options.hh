@@ -122,6 +122,37 @@ struct MpcOptions
     /** LUT entries per nonlinear function in fixed-point mode (the
      *  paper found 4096 sufficient; Sec. VIII-A). */
     int lutEntries = 4096;
+
+    /**
+     * Golden-model cross-check for the fixed-point path: every tape
+     * evaluated in Q14.17 is also evaluated in double precision and
+     * the outputs compared. Divergence beyond the warn band is counted
+     * in SolveStats::numeric; divergence beyond the fail band (in
+     * absolute AND relative terms) marks the solve
+     * SolveStatus::NumericDegraded so the failsafe ladder replaces the
+     * command. This is the detection half of the fault-injection
+     * harness; it roughly doubles tape-evaluation cost, so it is a
+     * validation/diagnostic mode rather than a deployment default.
+     * Only meaningful with fixedPointTapes.
+     */
+    bool crossCheckFixedPoint = false;
+
+    /** Absolute divergence beyond which a compared output counts as a
+     *  tolerance warning. Sized well above honest Q14.17 rounding
+     *  (LUT interpolation error is ~1e-4 on benchmark tapes). */
+    double crossCheckWarnAbs = 1e-2;
+
+    /**
+     * Fail band: a compared output is a breach when it diverges by
+     * more than crossCheckFailAbs AND more than crossCheckFailRel x
+     * the golden magnitude. The conjunction keeps large-magnitude
+     * Jacobian entries from tripping on rounding while still catching
+     * a single upset bit above the low-order positions.
+     */
+    double crossCheckFailAbs = 0.25;
+
+    /** Relative half of the fail band (see crossCheckFailAbs). */
+    double crossCheckFailRel = 5e-2;
 };
 
 } // namespace robox::mpc

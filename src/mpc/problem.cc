@@ -277,10 +277,42 @@ MpcProblem::runTape(const sym::Tape &tape) const
     fixed_env_.resize(env_.size());
     for (std::size_t i = 0; i < env_.size(); ++i)
         fixed_env_[i] = Fixed::fromDouble(env_[i]);
+    if (fault_hook_) {
+        numeric_health_.faultsInjected +=
+            fault_hook_(fixed_env_, tape_eval_counter_);
+    }
+    for (const Fixed &v : fixed_env_)
+        numeric_health_.trackValue(v.toDouble());
+    ++tape_eval_counter_;
     tape.evalFixedInto(fixed_env_, *fixed_math_, fixed_work_, fixed_out_);
     tape_out_.resize(fixed_out_.size());
-    for (std::size_t i = 0; i < fixed_out_.size(); ++i)
+    for (std::size_t i = 0; i < fixed_out_.size(); ++i) {
         tape_out_[i] = fixed_out_[i].toDouble();
+        numeric_health_.trackValue(tape_out_[i]);
+    }
+    ++numeric_health_.tapeEvals;
+
+    if (options_.crossCheckFixedPoint) {
+        // Golden model: the same tape in double precision over the
+        // unquantized environment. Divergence past the warn band is
+        // suspicious; past the fail band (absolute AND relative) the
+        // fixed-point result is unusable and the solve will be marked
+        // NumericDegraded.
+        tape.evalInto(env_, golden_work_, golden_out_);
+        for (std::size_t i = 0; i < golden_out_.size(); ++i) {
+            double err = std::abs(tape_out_[i] - golden_out_[i]);
+            ++numeric_health_.crossChecks;
+            if (err > numeric_health_.maxAbsError)
+                numeric_health_.maxAbsError = err;
+            if (err > options_.crossCheckWarnAbs)
+                ++numeric_health_.toleranceWarnings;
+            if (err > options_.crossCheckFailAbs &&
+                err > options_.crossCheckFailRel *
+                          std::abs(golden_out_[i])) {
+                ++numeric_health_.toleranceBreaches;
+            }
+        }
+    }
     return tape_out_;
 }
 

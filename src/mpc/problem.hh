@@ -21,10 +21,13 @@
 #ifndef ROBOX_MPC_PROBLEM_HH
 #define ROBOX_MPC_PROBLEM_HH
 
+#include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "dsl/model_spec.hh"
+#include "fixed/health.hh"
 #include "linalg/matrix.hh"
 #include "mpc/options.hh"
 #include "sym/tape.hh"
@@ -161,6 +164,34 @@ class MpcProblem
         return term_ineq_names_;
     }
 
+    /**
+     * Hook invoked on the quantized environment words right before
+     * each fixed-point tape evaluation; returns the number of faults
+     * it injected. The second argument is a monotone evaluation
+     * counter that serves as the fault engine's cycle coordinate
+     * (accel::FaultInjector::tapeHook adapts to this signature). Only
+     * called when fixedPointTapes is on. Pass an empty function to
+     * detach.
+     */
+    using TapeFaultHook =
+        std::function<std::uint64_t(std::vector<Fixed> &, std::uint64_t)>;
+    void setTapeFaultHook(TapeFaultHook hook)
+    {
+        fault_hook_ = std::move(hook);
+    }
+
+    /**
+     * Numeric-integrity report accumulated over every fixed-point tape
+     * evaluation since the last resetNumericHealth(): evaluation and
+     * injected-fault counts, peak stored magnitude, and (with
+     * crossCheckFixedPoint) golden-model divergence verdicts.
+     * Saturation/div-by-zero deltas are added by the solver, which
+     * snapshots the thread-local Fixed counters around each solve.
+     */
+    const NumericHealth &numericHealth() const { return numeric_health_; }
+    /** Clear the accumulated report (the solver does this per solve). */
+    void resetNumericHealth() const { numeric_health_ = NumericHealth(); }
+
   private:
     /** Build the symbolic discrete-time dynamics F(x, u, ref). */
     std::vector<sym::Expr> discretize() const;
@@ -204,6 +235,15 @@ class MpcProblem
     mutable std::vector<Fixed> fixed_env_;
     mutable std::vector<Fixed> fixed_work_;
     mutable std::vector<Fixed> fixed_out_;
+    mutable std::vector<double> golden_work_;
+    mutable std::vector<double> golden_out_;
+
+    TapeFaultHook fault_hook_;
+    mutable NumericHealth numeric_health_;
+    /** Monotone fixed-point evaluation counter; the fault engine's
+     *  cycle coordinate. Never reset, so identically-constructed
+     *  problems see identical cycles (campaign reproducibility). */
+    mutable std::uint64_t tape_eval_counter_ = 0;
 
     std::unique_ptr<FixedMath> fixed_math_; //!< Fixed-point mode only.
     sym::Tape dyn_tape_;

@@ -39,6 +39,11 @@ enum class SolveStatus
     /** The measured state or reference contained NaN/Inf; the solve
      *  was refused before touching the warm start. */
     BadInput,
+    /** The fixed-point accelerator path diverged from the golden
+     *  double-precision model beyond the fail tolerance band (soft
+     *  error, saturation cascade, or overflow); the plan must not be
+     *  trusted. See MpcOptions::crossCheckFixedPoint. */
+    NumericDegraded,
 };
 
 /** Human-readable status name (stable, greppable). */
@@ -53,6 +58,7 @@ toString(SolveStatus status)
       case SolveStatus::NumericFailure: return "numeric-failure";
       case SolveStatus::Diverged: return "diverged";
       case SolveStatus::BadInput: return "bad-input";
+      case SolveStatus::NumericDegraded: return "numeric-degraded";
     }
     return "unknown";
 }

@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Implementation of the M-DFG static range-analysis pass.
+ */
+
+#include "translator/range_analysis.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.hh"
+
+namespace robox::translator
+{
+
+namespace
+{
+
+/** Cap for derived bounds so chained overflows do not reach inf; far
+ *  beyond qMaxAbs, so flagging is unaffected. */
+constexpr double kCap = 1e30;
+
+double
+clampMag(double v)
+{
+    return std::clamp(v, -kCap, kCap);
+}
+
+Interval
+make(double lo, double hi)
+{
+    return {clampMag(lo), clampMag(hi)};
+}
+
+Interval
+add(Interval a, Interval b)
+{
+    return make(a.lo + b.lo, a.hi + b.hi);
+}
+
+Interval
+sub(Interval a, Interval b)
+{
+    return make(a.lo - b.hi, a.hi - b.lo);
+}
+
+Interval
+mul(Interval a, Interval b)
+{
+    double p[4] = {a.lo * b.lo, a.lo * b.hi, a.hi * b.lo, a.hi * b.hi};
+    return make(*std::min_element(p, p + 4), *std::max_element(p, p + 4));
+}
+
+/** Division when 0 is outside the denominator. */
+Interval
+divSafe(Interval a, Interval b)
+{
+    double q[4] = {a.lo / b.lo, a.lo / b.hi, a.hi / b.lo, a.hi / b.hi};
+    return make(*std::min_element(q, q + 4), *std::max_element(q, q + 4));
+}
+
+/** Integer power of an interval (e >= 1). */
+Interval
+ipow(Interval a, int e)
+{
+    Interval acc = a;
+    for (int i = 1; i < e; ++i)
+        acc = mul(acc, a);
+    return acc;
+}
+
+constexpr double kPi = 3.14159265358979323846;
+
+} // namespace
+
+double
+Interval::maxAbs() const
+{
+    return std::max(std::abs(lo), std::abs(hi));
+}
+
+Interval
+Interval::join(Interval a, Interval b)
+{
+    return {std::min(a.lo, b.lo), std::max(a.hi, b.hi)};
+}
+
+const char *
+rangeRiskName(RangeRisk risk)
+{
+    switch (risk) {
+      case RangeRisk::Overflow: return "overflow";
+      case RangeRisk::DivByZero: return "div-by-zero";
+    }
+    return "?";
+}
+
+RangeReport
+analyzeRanges(const mdfg::Graph &graph, const RangeOptions &options)
+{
+    const Interval ext = options.inputInterval;
+    // Saturating arithmetic keeps every stored value inside the
+    // format, so once a node is flagged its *downstream* analysis can
+    // assume the clamped range instead of compounding the blow-up.
+    const Interval sat{-options.qMaxAbs, options.qMaxAbs};
+
+    RangeReport report;
+    report.bounds.resize(graph.size());
+
+    for (std::uint32_t id = 0; id < graph.size(); ++id) {
+        const mdfg::Node &n = graph[id];
+
+        // Operand intervals. Lowering drops dependencies on external
+        // inputs and constants, so a shorter-than-arity dep list means
+        // the missing operands carry the input assumption.
+        Interval a = ext, b = ext;
+        if (!n.deps.empty())
+            a = report.bounds[n.deps[0]];
+        if (n.deps.size() > 1)
+            b = report.bounds[n.deps[1]];
+
+        // For Vector/Group nodes the deps are the element producers;
+        // the elementwise operand bound is the join over all of them
+        // (plus the external assumption when some were dropped).
+        Interval elem = n.deps.empty() ? ext : report.bounds[n.deps[0]];
+        for (std::size_t i = 1; i < n.deps.size(); ++i)
+            elem = Interval::join(elem, report.bounds[n.deps[i]]);
+        std::size_t expect_deps =
+            n.kind == mdfg::NodeKind::Scalar
+                ? (sym::isUnary(n.op) ? 1u : 2u)
+                : static_cast<std::size_t>(n.length);
+        if (n.deps.size() < expect_deps)
+            elem = Interval::join(elem, ext);
+        if (n.kind != mdfg::NodeKind::Scalar)
+            a = b = elem;
+
+        bool div_risk = false;
+        Interval out;
+        switch (n.op) {
+          case sym::Op::Add:
+            if (n.kind == mdfg::NodeKind::Group) {
+                // A sum reduction; in this workload GROUP Add nodes
+                // are dot products (deps come in a/b pairs), so the
+                // worst case is length x the worst element product.
+                Interval prod = mul(elem, elem);
+                double m = static_cast<double>(std::max(1, n.length)) *
+                           prod.maxAbs();
+                out = make(-m, m);
+            } else {
+                out = add(a, b);
+            }
+            break;
+          case sym::Op::Sub: out = sub(a, b); break;
+          case sym::Op::Mul:
+            if (n.kind == mdfg::NodeKind::Group) {
+                double m = std::max(1.0, elem.maxAbs());
+                double p = 1.0;
+                for (int i = 0; i < n.length && p < kCap; ++i)
+                    p *= m;
+                out = make(-p, p);
+            } else {
+                out = mul(a, b);
+            }
+            break;
+          case sym::Op::Div:
+            if (b.containsZero()) {
+                div_risk = true;
+                // Saturating hardware clamps the quotient.
+                out = sat;
+            } else {
+                out = divSafe(a, b);
+            }
+            break;
+          case sym::Op::Min:
+          case sym::Op::Max:
+            out = Interval::join(a, b);
+            break;
+          case sym::Op::Neg: out = make(-a.hi, -a.lo); break;
+          case sym::Op::Pow: {
+            int e = n.ipow < 0 ? -n.ipow : n.ipow;
+            if (e == 0) {
+                out = make(1.0, 1.0);
+            } else {
+                out = ipow(a, e);
+                if (n.ipow < 0) {
+                    if (out.containsZero()) {
+                        div_risk = true;
+                        out = sat;
+                    } else {
+                        out = divSafe(make(1.0, 1.0), out);
+                    }
+                }
+            }
+            break;
+          }
+          case sym::Op::Sin:
+          case sym::Op::Cos:
+            out = make(-1.0, 1.0);
+            break;
+          case sym::Op::Tan:
+            // Bounded only when the argument stays inside one branch.
+            if (a.lo > -kPi / 2 && a.hi < kPi / 2)
+                out = make(std::tan(a.lo), std::tan(a.hi));
+            else
+                out = sat;
+            break;
+          case sym::Op::Asin:
+          case sym::Op::Atan:
+            out = make(-kPi / 2, kPi / 2);
+            break;
+          case sym::Op::Acos: out = make(0.0, kPi); break;
+          case sym::Op::Exp:
+            out = make(a.lo >= 0 ? std::exp(std::min(a.lo, 700.0)) : 0.0,
+                       std::exp(std::min(a.hi, 700.0)));
+            break;
+          case sym::Op::Sqrt:
+            out = make(0.0, std::sqrt(std::max(0.0, a.hi)));
+            break;
+          default:
+            // Const/Var never appear as graph nodes.
+            out = ext;
+            break;
+        }
+
+        double bound = out.maxAbs();
+        bool overflow = bound > options.qMaxAbs;
+        if (overflow) {
+            report.warnings.push_back({id, n.op, n.phase, n.stage,
+                                       RangeRisk::Overflow, bound});
+            ++report.overflowRiskOps;
+            // Pre-shifting operands by `shift` bits halves the bound
+            // per bit; hint the smallest shift that fits the format.
+            int shift = static_cast<int>(
+                std::ceil(std::log2(bound / options.qMaxAbs)));
+            report.scaleHints.push_back({id, std::max(1, shift)});
+            if (options.logWarnings) {
+                warn("range: node {} ({} {} stage {}) may overflow "
+                     "Q14.17: |value| <= {} (scale hint: >> {})",
+                     id, sym::opName(n.op), mdfg::phaseName(n.phase),
+                     n.stage, bound, std::max(1, shift));
+            }
+            // Downstream sees the saturated value.
+            out = sat;
+        }
+        if (div_risk) {
+            report.warnings.push_back({id, n.op, n.phase, n.stage,
+                                       RangeRisk::DivByZero, bound});
+            ++report.divByZeroRiskOps;
+            if (options.logWarnings) {
+                warn("range: node {} ({} {} stage {}) divides by an "
+                     "interval containing zero",
+                     id, sym::opName(n.op), mdfg::phaseName(n.phase),
+                     n.stage);
+            }
+        }
+
+        report.bounds[id] = out;
+    }
+
+    return report;
+}
+
+} // namespace robox::translator

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Static range analysis over the lowered M-DFG.
+ *
+ * The accelerator executes everything in Q14.17, whose dynamic range
+ * tops out at |value| < 16384. Rather than discovering overflow at run
+ * time (as a silent saturation), the Program Translator propagates
+ * interval bounds through the graph once, at compile time: every node
+ * gets a conservative [lo, hi] bound derived from assumed input ranges
+ * and interval arithmetic over its operation. Ops whose bound escapes
+ * the representable range are flagged with a warning and a per-op
+ * scale hint (a power-of-two pre-shift that would bring the value back
+ * in range — the classic fixed-point remedy, left to the user or a
+ * future rescaling pass to apply). Ops that can divide by zero are
+ * flagged separately.
+ *
+ * The analysis is sound but deliberately coarse: external inputs
+ * (trajectory, references, duals) are assumed to lie in
+ * RangeOptions::inputInterval, dependencies dropped during lowering
+ * (constants, preloads) are given the same assumption, and GROUP
+ * reductions are bounded by length x the worst element product. A
+ * clean report therefore proves absence of overflow under the input
+ * assumption; a warning is a risk, not a certainty.
+ */
+
+#ifndef ROBOX_TRANSLATOR_RANGE_ANALYSIS_HH
+#define ROBOX_TRANSLATOR_RANGE_ANALYSIS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "fixed/fixed.hh"
+#include "mdfg/mdfg.hh"
+
+namespace robox::translator
+{
+
+/** A closed interval [lo, hi] of possible values. */
+struct Interval
+{
+    double lo = 0.0;
+    double hi = 0.0;
+
+    /** Largest magnitude the interval admits. */
+    double maxAbs() const;
+    /** True when 0 is inside the interval. */
+    bool containsZero() const { return lo <= 0.0 && hi >= 0.0; }
+    /** Smallest interval containing both operands. */
+    static Interval join(Interval a, Interval b);
+
+    bool operator==(const Interval &o) const = default;
+};
+
+/** Assumptions and thresholds for one analysis run. */
+struct RangeOptions
+{
+    /** Assumed bound on every external input (states, inputs,
+     *  references, duals — anything the graph does not compute). */
+    Interval inputInterval{-128.0, 128.0};
+    /** Representable magnitude of the target format. */
+    double qMaxAbs = Fixed::maxAbs;
+    /** Emit warn() lines for each flagged op (tests keep this off). */
+    bool logWarnings = false;
+};
+
+/** What can go wrong at a flagged op. */
+enum class RangeRisk
+{
+    Overflow,  //!< Bound exceeds the representable magnitude.
+    DivByZero, //!< Denominator interval contains zero.
+};
+
+/** Printable name of a risk ("overflow" / "div-by-zero"). */
+const char *rangeRiskName(RangeRisk risk);
+
+/** One flagged operation. */
+struct RangeWarning
+{
+    std::uint32_t node = 0;
+    sym::Op op = sym::Op::Add;
+    mdfg::Phase phase = mdfg::Phase::Dynamics;
+    int stage = 0;
+    RangeRisk risk = RangeRisk::Overflow;
+    /** Worst-case magnitude the analysis derived for the node. */
+    double bound = 0.0;
+
+    bool operator==(const RangeWarning &o) const = default;
+};
+
+/**
+ * Suggested power-of-two pre-scaling for an overflow-risk op: shifting
+ * the operands right by `shift` bits before the op (and accounting for
+ * it downstream) brings the worst-case magnitude back into range.
+ */
+struct ScaleHint
+{
+    std::uint32_t node = 0;
+    int shift = 0;
+
+    bool operator==(const ScaleHint &o) const = default;
+};
+
+/** Result of one analysis run. */
+struct RangeReport
+{
+    /** Per-node derived bound (index = node id). */
+    std::vector<Interval> bounds;
+    /** Flagged ops, in node order. */
+    std::vector<RangeWarning> warnings;
+    /** One hint per overflow-risk op, in node order. */
+    std::vector<ScaleHint> scaleHints;
+    std::size_t overflowRiskOps = 0;
+    std::size_t divByZeroRiskOps = 0;
+
+    bool operator==(const RangeReport &o) const = default;
+};
+
+/**
+ * Propagate interval bounds through a graph in topological order.
+ *
+ * Deterministic: equal (graph, options) produce equal reports.
+ */
+RangeReport analyzeRanges(const mdfg::Graph &graph,
+                          const RangeOptions &options = {});
+
+} // namespace robox::translator
+
+#endif // ROBOX_TRANSLATOR_RANGE_ANALYSIS_HH

@@ -28,6 +28,7 @@
 
 #include "mdfg/mdfg.hh"
 #include "mpc/problem.hh"
+#include "translator/range_analysis.hh"
 
 namespace robox::translator
 {
@@ -56,6 +57,10 @@ struct Workload
      * the assembly and factorization phases (drives Fig. 12).
      */
     std::uint64_t bytesWorkingSetPerStage = 0;
+
+    /** Static range analysis of the graph: per-node interval bounds,
+     *  Q14.17 overflow / div-by-zero warnings, per-op scale hints. */
+    RangeReport ranges;
 
     /** Total scalar-equivalent operations in the graph. */
     std::uint64_t totalOps() const { return graph.stats().totalOps; }

@@ -7,8 +7,11 @@
  */
 
 #include <cmath>
+#include <cstdint>
+#include <limits>
 #include <numbers>
 #include <random>
+#include <thread>
 
 #include <gtest/gtest.h>
 
@@ -68,6 +71,75 @@ TEST(Fixed, DivisionByZeroSaturates)
     EXPECT_EQ((a / Fixed()).raw(), Fixed::rawMax);
     EXPECT_EQ(((-a) / Fixed()).raw(), Fixed::rawMin);
     EXPECT_EQ(Fixed::saturationCount(), 2u);
+}
+
+TEST(Fixed, NanQuantizesToZeroAndCountsAsSaturation)
+{
+    // NaN has no meaningful quantization; the defined behavior is the
+    // safest representable value (zero) plus a saturation event so the
+    // numeric-health layer can see the corruption.
+    Fixed::resetCounts();
+    Fixed nan = Fixed::fromDouble(std::numeric_limits<double>::quiet_NaN());
+    EXPECT_EQ(nan.raw(), 0);
+    EXPECT_EQ(Fixed::saturationCount(), 1u);
+
+    // Infinities saturate to the range ends like any overflow.
+    EXPECT_EQ(Fixed::fromDouble(std::numeric_limits<double>::infinity())
+                  .raw(),
+              Fixed::rawMax);
+    EXPECT_EQ(Fixed::fromDouble(-std::numeric_limits<double>::infinity())
+                  .raw(),
+              Fixed::rawMin);
+    EXPECT_EQ(Fixed::saturationCount(), 3u);
+    Fixed::resetCounts();
+}
+
+TEST(Fixed, DivByZeroCounterTracksSeparatelyFromSaturations)
+{
+    Fixed::resetCounts();
+    Fixed a = Fixed::fromDouble(3.0);
+    (void)(a / Fixed());
+    EXPECT_EQ(Fixed::divByZeroCount(), 1u);
+    // A div-by-zero is also a saturation (the result pegs at a range
+    // end), so both counters move.
+    EXPECT_EQ(Fixed::saturationCount(), 1u);
+
+    // An ordinary overflow moves only the saturation counter.
+    Fixed big = Fixed::fromDouble(16000.0);
+    (void)(big * big);
+    EXPECT_EQ(Fixed::divByZeroCount(), 1u);
+    EXPECT_EQ(Fixed::saturationCount(), 2u);
+    Fixed::resetCounts();
+    EXPECT_EQ(Fixed::divByZeroCount(), 0u);
+    EXPECT_EQ(Fixed::saturationCount(), 0u);
+}
+
+TEST(Fixed, FlushMakesWorkerThreadEventsGloballyVisible)
+{
+    Fixed::resetCounts();
+    Fixed::resetGlobalCounts();
+    const std::uint64_t before_local = Fixed::saturationCount();
+
+    std::thread worker([] {
+        Fixed::resetCounts();
+        Fixed a = Fixed::fromDouble(2.0);
+        for (int i = 0; i < 3; ++i)
+            (void)(a / Fixed());
+        EXPECT_EQ(Fixed::saturationCount(), 3u);
+        EXPECT_EQ(Fixed::divByZeroCount(), 3u);
+        // Fold this thread's counters into the process-wide totals
+        // (what BatchController workers do after draining a batch).
+        Fixed::flushCounts();
+        EXPECT_EQ(Fixed::saturationCount(), 0u);
+    });
+    worker.join();
+
+    // The coordinator's thread-local view is untouched...
+    EXPECT_EQ(Fixed::saturationCount(), before_local);
+    // ...but the flushed events are visible process-wide.
+    EXPECT_GE(Fixed::globalSaturationCount(), 3u);
+    EXPECT_GE(Fixed::globalDivByZeroCount(), 3u);
+    Fixed::resetGlobalCounts();
 }
 
 TEST(Fixed, AdditionSaturatesAtRangeEnds)
@@ -154,6 +226,74 @@ TEST(Lut, LookupClampsOutOfDomain)
     EXPECT_NEAR(lut.lookup(Fixed::fromDouble(5.0)).toDouble(), 1.0, 0.02);
     EXPECT_NEAR(lut.lookupInterp(Fixed::fromDouble(-7.0)).toDouble(),
                 -1.0, 0.02);
+}
+
+TEST(Lut, EdgeBinsHitTheTableEndsExactly)
+{
+    auto fn = [](double x) { return x * x; };
+    Lut lut("sq", fn, -1.0, 3.0, 513);
+    // The first and last bins: lookups at exactly lo and hi must land
+    // on the end entries, not wrap or interpolate past the table.
+    EXPECT_NEAR(lut.lookup(Fixed::fromDouble(-1.0)).toDouble(), 1.0, kEps);
+    EXPECT_NEAR(lut.lookup(Fixed::fromDouble(3.0)).toDouble(), 9.0, kEps);
+    EXPECT_NEAR(lut.lookupInterp(Fixed::fromDouble(-1.0)).toDouble(), 1.0,
+                kEps);
+    EXPECT_NEAR(lut.lookupInterp(Fixed::fromDouble(3.0)).toDouble(), 9.0,
+                kEps);
+    // One quantum inside each edge stays within the edge bin's error.
+    const double step = 4.0 / 512;
+    EXPECT_NEAR(lut.lookupInterp(Fixed::fromDouble(-1.0 + kEps)).toDouble(),
+                fn(-1.0 + kEps), step * step);
+    EXPECT_NEAR(lut.lookupInterp(Fixed::fromDouble(3.0 - kEps)).toDouble(),
+                fn(3.0 - kEps), step * step);
+    // Beyond the domain both modes clamp to the end entries.
+    EXPECT_NEAR(lut.lookup(Fixed::fromDouble(-2.5)).toDouble(), 1.0, kEps);
+    EXPECT_NEAR(lut.lookupInterp(Fixed::fromDouble(100.0)).toDouble(), 9.0,
+                kEps);
+}
+
+TEST(FixedMath, EdgeBinsOfEveryLutMatchReference)
+{
+    const FixedMath &fm = FixedMath::instance();
+    const double pi = std::numbers::pi;
+
+    // sin/cos table covers [-pi, pi]: probe both seams of the range
+    // reduction and the exact endpoints.
+    for (double x : {-pi, pi, -pi + kEps, pi - kEps}) {
+        EXPECT_NEAR(fm.sin(Fixed::fromDouble(x)).toDouble(), std::sin(x),
+                    1e-4) << "sin " << x;
+        EXPECT_NEAR(fm.cos(Fixed::fromDouble(x)).toDouble(), std::cos(x),
+                    1e-4) << "cos " << x;
+    }
+
+    // asin/acos tables cover [-1, 1]: the endpoint bins carry the
+    // steepest slope, so they get their own check.
+    EXPECT_NEAR(fm.asin(Fixed::fromDouble(1.0)).toDouble(), pi / 2, 1e-3);
+    EXPECT_NEAR(fm.asin(Fixed::fromDouble(-1.0)).toDouble(), -pi / 2, 1e-3);
+    EXPECT_NEAR(fm.acos(Fixed::fromDouble(1.0)).toDouble(), 0.0, 1e-3);
+    EXPECT_NEAR(fm.acos(Fixed::fromDouble(-1.0)).toDouble(), pi, 1e-3);
+
+    // atan's table covers [-1, 1] with |x| > 1 served through the
+    // reciprocal identity: probe both sides of that seam.
+    for (double x : {1.0, -1.0, 1.0 + kEps, -1.0 - kEps}) {
+        EXPECT_NEAR(fm.atan(Fixed::fromDouble(x)).toDouble(), std::atan(x),
+                    5e-4) << "atan " << x;
+    }
+
+    // exp's table covers [0, ln2) with power-of-two range reduction:
+    // probe 0, the ln2 seam, and exact integer multiples of ln2.
+    const double ln2 = std::numbers::ln2;
+    for (double x : {0.0, ln2, ln2 - kEps, 2 * ln2, -ln2}) {
+        EXPECT_NEAR(fm.exp(Fixed::fromDouble(x)).toDouble(), std::exp(x),
+                    1e-3) << "exp " << x;
+    }
+
+    // sqrt's table covers [0.25, 1) with factor-4 normalization: probe
+    // the table edges and their scaled images.
+    for (double x : {0.25, 1.0, 0.25 - kEps, 1.0 - kEps, 4.0, 16.0}) {
+        EXPECT_NEAR(fm.sqrt(Fixed::fromDouble(x)).toDouble(), std::sqrt(x),
+                    5e-4) << "sqrt " << x;
+    }
 }
 
 TEST(Lut, InterpolationBeatsNearestOnSmoothFunction)

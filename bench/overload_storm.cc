@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Overload-storm study: offered load vs the admission ladder's
+ * degrade/backup/shed response and its closed-loop tracking cost.
+ *
+ * A fleet of double-integrator robots runs closed loop under a
+ * BatchController with a batch deadline, while a seeded ChaosEngine
+ * injects worker stalls, load bursts, and poisoned measurements. The
+ * chaos cost hook replaces measured wall time with deterministic
+ * virtual time (ChaosSpec::virtualSolveCostSeconds), so every
+ * admission decision — and therefore every number below — is a pure
+ * function of the spec and the sweep point: two runs emit
+ * byte-identical JSON, on any machine, at any thread count (the
+ * admission math is pinned via MpcOptions::overloadParallelism).
+ *
+ * Swept: offered load L = fleet solve demand / batch compute budget.
+ * Reported per point: overloaded batches, per-rung service counts
+ * (degraded / served-from-backup / shed), sensor-gate rejections, and
+ * the tracking-error cost of degradation. No wall-clock quantity is
+ * printed — that is what keeps the output diffable.
+ *
+ * `--smoke` shrinks the sweep to a ~1 s check suitable for CI, which
+ * diffs two runs byte-for-byte as a determinism gate.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "dsl/sema.hh"
+#include "mpc/batch.hh"
+#include "mpc/chaos.hh"
+#include "mpc/simulate.hh"
+#include "mpc/status.hh"
+
+namespace
+{
+
+using robox::Vector;
+using robox::mpc::BatchController;
+using robox::mpc::ChaosEngine;
+using robox::mpc::ChaosSpec;
+using robox::mpc::MpcOptions;
+using robox::mpc::Plant;
+using robox::mpc::SolveStatus;
+
+const char *kDoubleIntegrator = R"(
+System DoubleIntegrator( param a_max ) {
+  state pos, vel;
+  input acc;
+  pos.dt = vel;
+  vel.dt = acc;
+  acc.lower_bound <= -a_max;
+  acc.upper_bound <= a_max;
+  Task moveTo( reference target, param w_pos, param w_u ) {
+    penalty track, effort;
+    track.running = pos - target;
+    track.weight <= w_pos;
+    effort.running = acc;
+    effort.weight <= w_u;
+  }
+}
+reference target;
+DoubleIntegrator plant(1.0);
+plant.moveTo(target, 1.0, 0.05);
+)";
+
+constexpr std::size_t kRobots = 12;
+constexpr std::size_t kThreads = 4;
+constexpr int kParallelism = 4;        //!< Pinned admission math.
+constexpr double kBudgetSeconds = 1e-3; //!< Batch deadline.
+
+/** Outcome of one storm at one offered-load point. */
+struct StormResult
+{
+    double offeredLoad = 0.0;
+    std::uint64_t overloadedBatches = 0;
+    std::uint64_t degraded = 0;
+    std::uint64_t servedFromBackup = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t badInput = 0;
+    std::uint64_t poisoned = 0;
+    std::uint64_t failures = 0;
+    std::uint64_t protectedShed = 0; //!< Shed events on priority robots.
+    double projectedSeconds = 0.0;   //!< Last batch, virtual time.
+    double admittedSeconds = 0.0;    //!< Last batch, virtual time.
+    double maxTrackingError = 0.0;
+    double meanTrackingError = 0.0;
+};
+
+/** One closed-loop storm: `batches` control periods of `kRobots`
+ *  robots under chaos, at a virtual solve cost sized so the fleet's
+ *  demand is `load` times the batch compute budget. */
+StormResult
+runStorm(const robox::dsl::ModelSpec &model, const MpcOptions &opt,
+         double load, std::uint64_t seed, int batches)
+{
+    ChaosSpec spec;
+    spec.seed = seed;
+    spec.stallRate = 0.1;
+    spec.stallCostSeconds = 0.5 * kBudgetSeconds;
+    spec.stallSpinSeconds = 5e-5; // Real jitter; never in the output.
+    spec.burstRate = 0.15;
+    spec.burstFactor = 2.0;
+    spec.poisonRate = 0.01;
+    spec.virtualSolveCostSeconds =
+        load * kBudgetSeconds * kParallelism / kRobots;
+    ChaosEngine chaos(spec);
+
+    BatchController batch(model, opt, kRobots, kThreads);
+    batch.setCostHook(chaos.costHook());
+    batch.setStallHook(chaos.stallHook());
+    // Robots 0 and 1 are high priority: the ladder must shed them last.
+    batch.setPriority(0, 1.0);
+    batch.setPriority(1, 1.0);
+
+    Plant plant(model);
+    std::vector<Vector> truth, meas, prev_meas, refs;
+    std::vector<Vector> last_u(kRobots, Vector{0.0});
+    for (std::size_t i = 0; i < kRobots; ++i) {
+        double s = static_cast<double>(i);
+        truth.push_back(Vector{0.1 * s, -0.03 * s});
+        meas.push_back(Vector{0.0, 0.0});
+        prev_meas.push_back(Vector{0.0, 0.0});
+        refs.push_back(Vector{1.0 + 0.2 * s});
+    }
+
+    StormResult result;
+    result.offeredLoad = load;
+    const int settle = batches / 3;
+    double err_sum = 0.0;
+    std::uint64_t err_n = 0;
+
+    for (int b = 0; b < batches; ++b) {
+        chaos.setBatch(static_cast<std::uint64_t>(b));
+        for (std::size_t i = 0; i < kRobots; ++i) {
+            meas[i].copyFrom(truth[i]);
+            chaos.poisonState(static_cast<std::uint64_t>(b), i,
+                              prev_meas[i], meas[i]);
+            prev_meas[i].copyFrom(meas[i]);
+        }
+        const auto &results = batch.solveAll(meas, refs);
+        for (std::size_t i = 0; i < kRobots; ++i) {
+            if (results[i].status == SolveStatus::Shed) {
+                if (i < 2)
+                    ++result.protectedShed;
+            } else {
+                last_u[i].copyFrom(results[i].u0);
+            }
+            // Shed robots hold their previous actuation (the ladder
+            // gave them no fresh command, not even a backup).
+            truth[i] = plant.step(truth[i], last_u[i], refs[i], opt.dt);
+            if (b >= settle) {
+                double e = std::abs(truth[i][0] - refs[i][0]);
+                result.maxTrackingError =
+                    std::max(result.maxTrackingError, e);
+                err_sum += e;
+                ++err_n;
+            }
+        }
+    }
+
+    const robox::mpc::BatchReport &report = batch.report();
+    result.overloadedBatches = report.overload.overloadedBatches;
+    result.degraded = report.overload.degraded;
+    result.servedFromBackup = report.overload.servedFromBackup;
+    result.shed = report.overload.shed;
+    result.badInput = report.overload.badInput;
+    result.poisoned = report.overload.poisoned;
+    result.failures = report.failures;
+    result.projectedSeconds = report.overload.projectedSeconds;
+    result.admittedSeconds = report.overload.admittedSeconds;
+    result.meanTrackingError =
+        err_n > 0 ? err_sum / static_cast<double>(err_n) : 0.0;
+    return result;
+}
+
+void
+printJson(const std::vector<StormResult> &sweep, std::uint64_t seed,
+          int batches)
+{
+    std::printf("{\n  \"model\": \"DoubleIntegrator\",\n"
+                "  \"robots\": %zu,\n  \"threads\": %zu,\n"
+                "  \"parallelism\": %d,\n  \"budget_seconds\": %g,\n"
+                "  \"seed\": %llu,\n  \"batches\": %d,\n  \"sweep\": [\n",
+                kRobots, kThreads, kParallelism, kBudgetSeconds,
+                static_cast<unsigned long long>(seed), batches);
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+        const StormResult &r = sweep[i];
+        std::printf(
+            "    {\"offered_load\": %g, \"overloaded_batches\": %llu, "
+            "\"degraded\": %llu, \"served_from_backup\": %llu, "
+            "\"shed\": %llu, \"bad_input\": %llu, \"poisoned\": %llu, "
+            "\"failures\": %llu, \"protected_shed\": %llu, "
+            "\"projected_seconds\": %.9f, \"admitted_seconds\": %.9f, "
+            "\"max_tracking_error\": %.6f, "
+            "\"mean_tracking_error\": %.6f}%s\n",
+            r.offeredLoad,
+            static_cast<unsigned long long>(r.overloadedBatches),
+            static_cast<unsigned long long>(r.degraded),
+            static_cast<unsigned long long>(r.servedFromBackup),
+            static_cast<unsigned long long>(r.shed),
+            static_cast<unsigned long long>(r.badInput),
+            static_cast<unsigned long long>(r.poisoned),
+            static_cast<unsigned long long>(r.failures),
+            static_cast<unsigned long long>(r.protectedShed),
+            r.projectedSeconds, r.admittedSeconds, r.maxTrackingError,
+            r.meanTrackingError, i + 1 < sweep.size() ? "," : "");
+    }
+    std::printf("  ]\n}\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i)
+        smoke = smoke || std::strcmp(argv[i], "--smoke") == 0;
+
+    robox::dsl::ModelSpec model =
+        robox::dsl::analyzeSource(kDoubleIntegrator);
+    MpcOptions opt;
+    opt.horizon = 12;
+    opt.dt = 0.1;
+    opt.maxIterations = 60;
+    opt.batchDeadlineSeconds = kBudgetSeconds;
+    opt.overloadParallelism = kParallelism;
+    // Backup service priced so extreme storms overflow even an
+    // all-backup batch and actually exercise the shed rung.
+    opt.overloadBackupCostSeconds = 4e-4;
+    opt.sensorRangeMargin = 0.5;
+    opt.sensorJumpThreshold = 5.0;
+    opt.sensorFrozenPeriods = 2;
+
+    constexpr std::uint64_t kSeed = 20260806;
+    const int batches = smoke ? 40 : 120;
+    const std::vector<double> loads =
+        smoke ? std::vector<double>{0.5, 2.0, 8.0}
+              : std::vector<double>{0.5, 1.0, 1.5, 2.0, 4.0, 8.0};
+
+    std::vector<StormResult> sweep;
+    for (double load : loads)
+        sweep.push_back(runStorm(model, opt, load, kSeed, batches));
+    printJson(sweep, kSeed, batches);
+
+    // Sanity gates: a storm study whose underloaded point degrades
+    // service, whose overloaded point doesn't, or whose loop blows up
+    // would be useless as a regression signal; fail loudly instead.
+    const StormResult &calm = sweep.front();
+    if (calm.degraded != 0 || calm.shed != 0) {
+        std::fprintf(stderr, "overload_storm: underloaded point was "
+                             "degraded or shed\n");
+        return 1;
+    }
+    const StormResult &worst = sweep.back();
+    if (worst.overloadedBatches == 0 || worst.degraded == 0 ||
+        worst.servedFromBackup == 0 || worst.shed == 0) {
+        std::fprintf(stderr, "overload_storm: max-load point did not "
+                             "exercise every ladder rung\n");
+        return 1;
+    }
+    for (const StormResult &r : sweep) {
+        if (!std::isfinite(r.maxTrackingError) ||
+            !std::isfinite(r.meanTrackingError)) {
+            std::fprintf(stderr,
+                         "overload_storm: closed loop went non-finite\n");
+            return 1;
+        }
+        if (r.protectedShed != 0) {
+            std::fprintf(stderr, "overload_storm: a high-priority robot "
+                                 "was shed\n");
+            return 1;
+        }
+        if (r.poisoned == 0) {
+            std::fprintf(stderr, "overload_storm: chaos poisoning never "
+                                 "tripped the sensor gate\n");
+            return 1;
+        }
+    }
+    return 0;
+}

@@ -15,7 +15,11 @@ Controller::Controller(const std::string &source,
                        const std::string &task_name)
     : model_(dsl::analyzeSource(source, task_name)),
       solver_(std::make_unique<mpc::IpmSolver>(model_, options)),
-      backup_(model_)
+      backup_(model_),
+      gate_(model_, options),
+      gate_active_(options.sensorRangeMargin >= 0.0 ||
+                   options.sensorJumpThreshold > 0.0 ||
+                   options.sensorFrozenPeriods > 0)
 {
 }
 
@@ -28,18 +32,45 @@ Controller::applyFailsafe(mpc::IpmSolver::Result result)
         result.u0.copyFrom(backup_.command());
         result.degraded = true;
     }
+    last_status_ = result.status;
     return result;
+}
+
+bool
+Controller::gateRejects(const Vector &x, mpc::IpmSolver::Result *rejected)
+{
+    if (!gate_active_ || gate_.check(x) == mpc::SensorVerdict::Ok)
+        return false;
+    // Implausible measurement: skip the solve (warm start untouched)
+    // and issue the backup command for this period.
+    rejected->status = mpc::SolveStatus::BadInput;
+    rejected->converged = false;
+    rejected->iterations = 0;
+    rejected->objective = 0.0;
+    rejected->degraded = true;
+    const Vector &u = backup_.command();
+    if (rejected->u0.size() != u.size())
+        rejected->u0.resize(u.size());
+    rejected->u0.copyFrom(u);
+    last_status_ = rejected->status;
+    return true;
 }
 
 mpc::IpmSolver::Result
 Controller::step(const Vector &x, const Vector &ref)
 {
+    mpc::IpmSolver::Result rejected;
+    if (gateRejects(x, &rejected))
+        return rejected;
     return applyFailsafe(solver_->solve(x, ref));
 }
 
 mpc::IpmSolver::Result
 Controller::step(const Vector &x, const std::vector<Vector> &refs)
 {
+    mpc::IpmSolver::Result rejected;
+    if (gateRejects(x, &rejected))
+        return rejected;
     return applyFailsafe(solver_->solve(x, refs));
 }
 

@@ -26,6 +26,7 @@
 #include "dsl/model_spec.hh"
 #include "mpc/failsafe.hh"
 #include "mpc/ipm.hh"
+#include "mpc/sensor_gate.hh"
 #include "mpc/simulate.hh"
 #include "mpc/status.hh"
 
@@ -64,6 +65,14 @@ class Controller
      * usable (Result::status is a failure), u0 is replaced by the
      * time-shifted tail of the last accepted plan (the backup
      * command) and Result::degraded is set.
+     *
+     * Sensor gate: when any of MpcOptions::sensorRangeMargin /
+     * sensorJumpThreshold / sensorFrozenPeriods is enabled, the
+     * measurement is plausibility-checked first; an implausible one
+     * (NaN, out of range, jump, frozen sensor) skips the solve
+     * entirely — the warm start is untouched, the backup command is
+     * issued, and the result is SolveStatus::BadInput with degraded
+     * set. See mpc/sensor_gate.hh.
      */
     mpc::IpmSolver::Result step(const Vector &x, const Vector &ref);
 
@@ -72,19 +81,23 @@ class Controller
     mpc::IpmSolver::Result step(const Vector &x,
                                 const std::vector<Vector> &refs);
 
-    /** Drop the warm start (e.g. after teleporting the robot) and the
-     *  stored backup plan. */
+    /** Drop the warm start (e.g. after teleporting the robot), the
+     *  stored backup plan, and the sensor-gate baseline. */
     void reset()
     {
         solver_->reset();
         backup_.clear();
+        gate_.reset();
+        last_status_ = mpc::SolveStatus::Unsolved;
     }
 
-    /** Structured outcome of the last step()'s solve. */
-    mpc::SolveStatus lastStatus() const
-    {
-        return solver_->lastStats().status;
-    }
+    /** Structured outcome of the last step() (the solver's status, or
+     *  BadInput when the sensor gate refused the measurement before
+     *  the solve ran). */
+    mpc::SolveStatus lastStatus() const { return last_status_; }
+
+    /** The plausibility gate guarding step()'s measurements. */
+    const mpc::SensorGate &sensorGate() const { return gate_; }
 
     /** Backup commands issued since the last usable solve. */
     int consecutiveDegradedSteps() const
@@ -150,9 +163,16 @@ class Controller
     /** Shared failure handling for both step() overloads. */
     mpc::IpmSolver::Result applyFailsafe(mpc::IpmSolver::Result result);
 
+    /** Gate the measurement; returns true (and fills *rejected) when
+     *  the solve must be skipped this period. */
+    bool gateRejects(const Vector &x, mpc::IpmSolver::Result *rejected);
+
     dsl::ModelSpec model_;
     std::unique_ptr<mpc::IpmSolver> solver_;
     mpc::BackupPlan backup_;
+    mpc::SensorGate gate_;
+    bool gate_active_ = false;
+    mpc::SolveStatus last_status_ = mpc::SolveStatus::Unsolved;
 };
 
 } // namespace robox::core

@@ -1,11 +1,14 @@
 /**
  * @file
- * Implementation of the batched multi-robot MPC controller.
+ * Implementation of the batched multi-robot MPC controller and its
+ * overload-management (admission / degrade / backup / shed) layer.
  */
 
 #include "mpc/batch.hh"
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <string>
 
 #include "support/logging.hh"
@@ -17,13 +20,39 @@ BatchController::BatchController(const dsl::ModelSpec &model,
                                  const MpcOptions &options,
                                  std::size_t num_robots,
                                  std::size_t num_threads)
+    : options_(options)
 {
     robox_assert(num_robots > 0);
     solvers_.reserve(num_robots);
-    for (std::size_t i = 0; i < num_robots; ++i)
+    backups_.reserve(num_robots);
+    gates_.reserve(num_robots);
+    for (std::size_t i = 0; i < num_robots; ++i) {
         solvers_.push_back(std::make_unique<IpmSolver>(model, options));
+        // Bind the per-robot helpers to the solver's own model copy,
+        // not the caller's reference, so their lifetime is tied to
+        // this controller.
+        const dsl::ModelSpec &owned = solvers_.back()->problem().model();
+        backups_.emplace_back(owned);
+        gates_.emplace_back(owned, options);
+    }
     results_.resize(num_robots);
     report_.statuses.assign(num_robots, SolveStatus::Unsolved);
+    priority_.assign(num_robots, 0.0);
+    ewma_.assign(num_robots, 0.0);
+    decisions_.assign(num_robots, Admit::Full);
+    scale_.assign(num_robots, 1.0);
+    order_.reserve(num_robots);
+
+    gate_active_ = options.sensorRangeMargin >= 0.0 ||
+                   options.sensorJumpThreshold > 0.0 ||
+                   options.sensorFrozenPeriods > 0;
+
+    report_.overload.budgetSeconds = options.batchDeadlineSeconds;
+    const double latency_hi = options.batchDeadlineSeconds > 0.0
+                                  ? 4.0 * options.batchDeadlineSeconds
+                                  : 0.25;
+    report_.overload.batchLatency = stats::Histogram(
+        "batch_seconds", "Batch wall time", 0.0, latency_hi, 64);
 
     std::size_t pool = std::min(num_threads, num_robots);
     if (pool > 1) {
@@ -49,15 +78,251 @@ BatchController::~BatchController()
 }
 
 void
+BatchController::setPriority(std::size_t i, double priority)
+{
+    robox_assert(i < priority_.size());
+    priority_[i] = priority;
+}
+
+void
+BatchController::validateInputs()
+{
+    const MpcProblem &problem = solvers_[0]->problem();
+    const auto nx = static_cast<std::size_t>(problem.nx());
+    const auto nref = static_cast<std::size_t>(problem.nref());
+    report_.overload.lastBatchPoisoned = 0;
+
+    for (std::size_t i = 0; i < solvers_.size(); ++i) {
+        if (i >= states_->size() || i >= refs_->size() ||
+            (*states_)[i].size() != nx || (*refs_)[i].size() != nref) {
+            decisions_[i] = Admit::BadInput;
+            continue;
+        }
+        // The sensor gate demotes a poisoned robot to its backup plan
+        // *before* the solve, instead of letting the solver spend its
+        // budget diverging on an implausible measurement.
+        if (gate_active_ &&
+            gates_[i].check((*states_)[i]) != SensorVerdict::Ok) {
+            decisions_[i] = Admit::Backup;
+            ++report_.overload.lastBatchPoisoned;
+        }
+    }
+}
+
+void
+BatchController::runAdmission()
+{
+    OverloadReport &ov = report_.overload;
+    ov.projectedSeconds = 0.0;
+    ov.admittedSeconds = 0.0;
+    const double budget = options_.batchDeadlineSeconds;
+    if (budget < 0.0)
+        return;
+
+    const double par =
+        options_.overloadParallelism > 0
+            ? static_cast<double>(options_.overloadParallelism)
+            : static_cast<double>(
+                  std::max<std::size_t>(std::size_t{1}, workers_.size()));
+
+    // Candidates: robots still admitted whose cost model has at least
+    // one measurement. Unmeasured robots are always admitted — the
+    // model has no basis to degrade them, and their first measured
+    // solve is what seeds it.
+    order_.clear();
+    double total = 0.0;
+    for (std::size_t i = 0; i < solvers_.size(); ++i) {
+        if (decisions_[i] == Admit::Full && ewma_[i] > 0.0) {
+            order_.push_back(i);
+            total += ewma_[i];
+        }
+    }
+    ov.projectedSeconds = total / par;
+    ov.admittedSeconds = ov.projectedSeconds;
+    const double compute_budget = budget * par;
+    if (total <= compute_budget)
+        return;
+    ++ov.overloadedBatches;
+
+    // Service order: priority descending, lower index kept on ties —
+    // degradation, backup demotion, and shedding all start from the
+    // tail of this order.
+    std::sort(order_.begin(), order_.end(),
+              [&](std::size_t a, std::size_t b) {
+                  if (priority_[a] != priority_[b])
+                      return priority_[a] > priority_[b];
+                  return a < b;
+              });
+
+    const double floor_scale =
+        std::clamp(options_.overloadDegradeFloor, 0.01, 1.0);
+
+    // Rung 1 — degrade: protect the largest full-budget prefix that
+    // still leaves every remaining robot at least the floor scale,
+    // then degrade the rest with one common scale. By construction
+    // the common scale lands in [floor_scale, 1).
+    double spent = 0.0;
+    double rest = total;
+    std::size_t k = 0;
+    for (; k < order_.size(); ++k) {
+        const double c = ewma_[order_[k]];
+        if (spent + c + floor_scale * (rest - c) > compute_budget)
+            break;
+        spent += c;
+        rest -= c;
+    }
+    if (rest <= 0.0) {
+        ov.admittedSeconds = spent / par;
+        return;
+    }
+    double scale = std::min(1.0, (compute_budget - spent) / rest);
+    if (scale >= floor_scale) {
+        for (std::size_t j = k; j < order_.size(); ++j) {
+            decisions_[order_[j]] = Admit::Degraded;
+            scale_[order_[j]] = scale;
+        }
+        ov.admittedSeconds = (spent + scale * rest) / par;
+        return;
+    }
+
+    // Rung 2 — backup: everyone left runs at the floor; demote robots
+    // from the tail (lowest priority) to their backup-plan tail until
+    // the batch fits. Backup service is cheap but not free; it is
+    // charged at overloadBackupCostSeconds per robot.
+    for (std::size_t j = k; j < order_.size(); ++j) {
+        decisions_[order_[j]] = Admit::Degraded;
+        scale_[order_[j]] = floor_scale;
+    }
+    const double backup_cost =
+        std::max(0.0, options_.overloadBackupCostSeconds);
+    double deg_cost = floor_scale * rest;
+    std::size_t n_backup = 0;
+    std::size_t tail = order_.size();
+    while (tail > k &&
+           spent + deg_cost + static_cast<double>(n_backup) * backup_cost >
+               compute_budget) {
+        --tail;
+        decisions_[order_[tail]] = Admit::Backup;
+        deg_cost -= floor_scale * ewma_[order_[tail]];
+        ++n_backup;
+    }
+
+    // Rung 3 — shed: when even backup service overflows the budget,
+    // shed outright, again from the lowest priority.
+    std::size_t s = order_.size();
+    while (s > tail &&
+           spent + deg_cost + static_cast<double>(n_backup) * backup_cost >
+               compute_budget) {
+        --s;
+        decisions_[order_[s]] = Admit::Shed;
+        --n_backup;
+    }
+    ov.admittedSeconds =
+        (spent + deg_cost + static_cast<double>(n_backup) * backup_cost) /
+        par;
+}
+
+void
+BatchController::applyBudgets()
+{
+    if (options_.batchDeadlineSeconds < 0.0)
+        return;
+    const int min_iters = std::max(1, options_.overloadMinIterations);
+    for (std::size_t i = 0; i < solvers_.size(); ++i) {
+        IpmSolver &solver = *solvers_[i];
+        if (decisions_[i] == Admit::Degraded) {
+            const int cap = std::min(
+                options_.maxIterations,
+                std::max(min_iters,
+                         static_cast<int>(options_.maxIterations *
+                                          scale_[i])));
+            solver.setMaxIterations(cap);
+            // With an injected cost model (virtual time) the wall
+            // clock is not the campaign's time base: degrade purely
+            // via the deterministic iteration cap so runs replay
+            // bitwise. Without one, also bound the real wall cost to
+            // this robot's share of the batch budget.
+            solver.setSolveDeadline(cost_hook_
+                                        ? options_.solveDeadlineSeconds
+                                        : scale_[i] * ewma_[i]);
+        } else {
+            // Restore base budgets: robots admitted at full budget
+            // must be bitwise identical to an unloaded serial solve.
+            solver.setMaxIterations(options_.maxIterations);
+            solver.setSolveDeadline(options_.solveDeadlineSeconds);
+        }
+    }
+}
+
+void
+BatchController::serveLocal(std::size_t i)
+{
+    IpmSolver::Result &r = results_[i];
+    const dsl::ModelSpec &model = solvers_[i]->problem().model();
+    const auto nu = static_cast<std::size_t>(model.nu());
+    if (r.u0.size() != nu)
+        r.u0.resize(nu);
+    r.converged = false;
+    r.iterations = 0;
+    r.objective = 0.0;
+    r.degraded = true;
+    switch (decisions_[i]) {
+      case Admit::Backup:
+        r.status = SolveStatus::ServedFromBackup;
+        r.u0.copyFrom(backups_[i].command());
+        break;
+      case Admit::BadInput:
+        r.status = SolveStatus::BadInput;
+        r.u0.copyFrom(backups_[i].command());
+        break;
+      case Admit::Shed:
+      default:
+        // Shed: no service at all — the backup tail is not advanced
+        // and u0 is only the box-projected zero placeholder; callers
+        // should hold the previous actuation.
+        r.status = SolveStatus::Shed;
+        for (std::size_t j = 0; j < nu; ++j)
+            r.u0[j] = std::clamp(0.0, model.inputLower[j],
+                                 model.inputUpper[j]);
+        break;
+    }
+}
+
+void
+BatchController::solveOne(std::size_t i)
+{
+    if (stall_hook_)
+        stall_hook_(i);
+    results_[i] = solvers_[i]->solve((*states_)[i], (*refs_)[i]);
+    if (statusUsable(results_[i].status)) {
+        backups_[i].accept(solvers_[i]->inputTrajectory());
+        if (decisions_[i] == Admit::Degraded)
+            results_[i].status = SolveStatus::DegradedBudget;
+    } else {
+        // Per-robot failsafe, mirroring core::Controller::step: a
+        // failed solve is served from the backup-plan tail.
+        const Vector &u = backups_[i].command();
+        if (results_[i].u0.size() != u.size())
+            results_[i].u0.resize(u.size());
+        results_[i].u0.copyFrom(u);
+        results_[i].degraded = true;
+    }
+}
+
+void
 BatchController::drainQueue()
 {
-    const std::size_t count = states_->size();
+    const std::size_t count = solvers_.size();
     for (;;) {
         std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
         if (i >= count)
             return;
         try {
-            results_[i] = solvers_[i]->solve((*states_)[i], (*refs_)[i]);
+            if (decisions_[i] == Admit::Full ||
+                decisions_[i] == Admit::Degraded)
+                solveOne(i);
+            else
+                serveLocal(i);
         } catch (...) {
             // solve() handles numeric failures via SolveStatus, so
             // anything arriving here is unexpected. Quarantine it to
@@ -67,7 +332,10 @@ BatchController::drainQueue()
             results_[i].converged = false;
             results_[i].degraded = true;
             std::lock_guard<std::mutex> lock(mutex_);
-            if (!error_) {
+            // Deterministic rethrow policy: whatever the thread
+            // schedule, the recorded fault is the lowest robot index
+            // that threw.
+            if (!error_ || i < error_robot_) {
                 error_ = std::current_exception();
                 error_robot_ = i;
             }
@@ -109,18 +377,55 @@ BatchController::workerLoop()
     }
 }
 
+void
+BatchController::updateCostModel()
+{
+    const double alpha =
+        std::clamp(options_.overloadEwmaAlpha, 0.0, 1.0);
+    const double recovery =
+        std::clamp(options_.overloadRecoveryFactor, 0.0, 1.0);
+    for (std::size_t i = 0; i < solvers_.size(); ++i) {
+        switch (decisions_[i]) {
+          case Admit::Full:
+          case Admit::Degraded: {
+            const double measured = solvers_[i]->lastStats().solveSeconds;
+            const double cost =
+                cost_hook_ ? cost_hook_(i, measured) : measured;
+            if (!(cost >= 0.0) || !std::isfinite(cost))
+                break; // Refuse NaN/negative costs from a buggy hook.
+            ewma_[i] = ewma_[i] <= 0.0
+                           ? cost
+                           : (1.0 - alpha) * ewma_[i] + alpha * cost;
+            break;
+          }
+          case Admit::Backup:
+          case Admit::Shed:
+            // No fresh measurement. Decay the estimate so a demoted
+            // robot is eventually re-admitted, remeasured, and — if
+            // still expensive — re-demoted.
+            ewma_[i] *= recovery;
+            break;
+          case Admit::BadInput:
+            break; // Not solved, but its compute cost did not change.
+        }
+    }
+}
+
 const std::vector<IpmSolver::Result> &
 BatchController::solveAll(const std::vector<Vector> &states,
                           const std::vector<Vector> &refs)
 {
-    robox_assert(states.size() == solvers_.size());
-    robox_assert(refs.size() == solvers_.size());
-
     const auto t_start = std::chrono::steady_clock::now();
     states_ = &states;
     refs_ = &refs;
     error_ = nullptr;
     error_robot_ = 0;
+
+    std::fill(decisions_.begin(), decisions_.end(), Admit::Full);
+    std::fill(scale_.begin(), scale_.end(), 1.0);
+    validateInputs();
+    runAdmission();
+    applyBudgets();
     next_.store(0, std::memory_order_relaxed);
 
     if (workers_.empty()) {
@@ -154,33 +459,72 @@ BatchController::solveAll(const std::vector<Vector> &states,
     report_.lastBatchDivByZeros = 0;
     report_.lastBatchFaultsInjected = 0;
     report_.lastBatchNumericDegraded = 0;
+    OverloadReport &ov = report_.overload;
+    ov.lastBatchDegraded = 0;
+    ov.lastBatchServedFromBackup = 0;
+    ov.lastBatchShed = 0;
+    ov.lastBatchBadInput = 0;
     for (std::size_t i = 0; i < solvers_.size(); ++i) {
-        const SolveStats &st = solvers_[i]->lastStats();
-        report_.totalIterations +=
-            static_cast<std::uint64_t>(st.iterations);
-        report_.totalKktFlops += st.riccatiFlops;
-        report_.lastBatchAllocations += st.heapAllocations;
-        if (!st.converged)
-            report_.unconverged += 1;
-        // Per-robot numeric events: SolveStats carries the worker's
-        // thread-local counter deltas, so summing here gives the
-        // coordinator an exact batch total regardless of which thread
-        // solved which robot.
-        report_.lastBatchSaturations += st.numeric.saturations;
-        report_.lastBatchDivByZeros += st.numeric.divByZeros;
-        report_.lastBatchFaultsInjected += st.numeric.faultsInjected;
-        // results_[i].status is authoritative: the exception path in
-        // drainQueue stamps it without going through the solver.
-        report_.statuses[i] = results_[i].status;
-        if (!statusUsable(results_[i].status))
+        const bool solved = decisions_[i] == Admit::Full ||
+                            decisions_[i] == Admit::Degraded;
+        if (solved) {
+            const SolveStats &st = solvers_[i]->lastStats();
+            report_.totalIterations +=
+                static_cast<std::uint64_t>(st.iterations);
+            report_.totalKktFlops += st.riccatiFlops;
+            report_.lastBatchAllocations += st.heapAllocations;
+            if (!st.converged)
+                report_.unconverged += 1;
+            // Per-robot numeric events: SolveStats carries the
+            // worker's thread-local counter deltas, so summing here
+            // gives the coordinator an exact batch total regardless
+            // of which thread solved which robot.
+            report_.lastBatchSaturations += st.numeric.saturations;
+            report_.lastBatchDivByZeros += st.numeric.divByZeros;
+            report_.lastBatchFaultsInjected += st.numeric.faultsInjected;
+        }
+        // results_[i].status is authoritative: the overload ladder,
+        // sensor gate, and exception path all stamp it without going
+        // through the solver.
+        const SolveStatus status = results_[i].status;
+        report_.statuses[i] = status;
+        if (!statusUsable(status))
             report_.lastBatchFailures += 1;
-        if (results_[i].status == SolveStatus::NumericDegraded)
+        switch (status) {
+          case SolveStatus::NumericDegraded:
             report_.lastBatchNumericDegraded += 1;
+            break;
+          case SolveStatus::DegradedBudget:
+            ov.lastBatchDegraded += 1;
+            break;
+          case SolveStatus::ServedFromBackup:
+            ov.lastBatchServedFromBackup += 1;
+            break;
+          case SolveStatus::Shed:
+            ov.lastBatchShed += 1;
+            break;
+          case SolveStatus::BadInput:
+            ov.lastBatchBadInput += 1;
+            break;
+          default:
+            break;
+        }
     }
     report_.failures += report_.lastBatchFailures;
     report_.saturations += report_.lastBatchSaturations;
     report_.divByZeros += report_.lastBatchDivByZeros;
     report_.faultsInjected += report_.lastBatchFaultsInjected;
+    ov.degraded += ov.lastBatchDegraded;
+    ov.servedFromBackup += ov.lastBatchServedFromBackup;
+    ov.shed += ov.lastBatchShed;
+    ov.badInput += ov.lastBatchBadInput;
+    ov.poisoned += ov.lastBatchPoisoned;
+    ov.utilization = ov.budgetSeconds > 0.0
+                         ? seconds / ov.budgetSeconds
+                         : 0.0;
+    ov.batchLatency.sample(seconds);
+
+    updateCostModel();
 
     states_ = nullptr;
     refs_ = nullptr;
@@ -200,8 +544,11 @@ BatchController::solveAll(const std::vector<Vector> &states,
 void
 BatchController::resetAll()
 {
-    for (auto &solver : solvers_)
-        solver->reset();
+    for (std::size_t i = 0; i < solvers_.size(); ++i) {
+        solvers_[i]->reset();
+        backups_[i].clear();
+        gates_[i].reset();
+    }
 }
 
 } // namespace robox::mpc

@@ -12,14 +12,36 @@
  * Threading and determinism contract:
  *  - Robot i is ALWAYS solved by solver instance i, whichever worker
  *    thread claims it. All mutable solve state (trajectories, slacks,
- *    workspaces) lives inside that instance, and instances share
- *    nothing, so results are bitwise identical to solving the robots
- *    serially in index order — thread count and scheduling only change
- *    wall time, never output.
+ *    workspaces, backup plans, sensor gates) lives inside that robot's
+ *    slot, and slots share nothing, so results are bitwise identical
+ *    to solving the robots serially in index order — thread count and
+ *    scheduling only change wall time, never output.
  *  - solveAll() is synchronous: workers are parked between batches and
  *    the call returns only after every robot's solve finished.
  *  - BatchController itself is not thread-safe: call solveAll(),
  *    resetAll(), and the accessors from one coordinating thread.
+ *
+ * Overload management (MpcOptions::batchDeadlineSeconds >= 0):
+ * solveAll() runs an admission pass before dispatching. A per-robot
+ * EWMA solve-cost model (fed by SolveStats::solveSeconds, or by an
+ * injected virtual-time hook) projects the batch's wall cost; when the
+ * projection exceeds the budget, service degrades in explicit rungs:
+ *
+ *   admit -> degrade (tightened iteration/deadline budget,
+ *            SolveStatus::DegradedBudget)
+ *         -> backup  (serve the BackupPlan tail, no solve,
+ *            SolveStatus::ServedFromBackup)
+ *         -> shed    (no service at all, SolveStatus::Shed)
+ *
+ * Robots are protected in descending setPriority() order (ties keep
+ * the lower index); degradation and shedding start from the lowest
+ * priority. Robots the admission pass admits at full budget are solved
+ * with their base options and remain bitwise identical to an unloaded
+ * serial solve — only the admission *decisions* depend on the measured
+ * load, and a campaign that injects virtual time through setCostHook()
+ * replays bitwise across runs and thread counts (pin
+ * MpcOptions::overloadParallelism for the latter). See the "Overload
+ * ladder" section of ARCHITECTURE.md.
  */
 
 #ifndef ROBOX_MPC_BATCH_HH
@@ -29,16 +51,59 @@
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "mpc/failsafe.hh"
 #include "mpc/ipm.hh"
+#include "mpc/sensor_gate.hh"
 #include "mpc/status.hh"
+#include "support/stats.hh"
 
 namespace robox::mpc
 {
+
+/** Overload-management outcome of the batch controller: admission
+ *  decisions, budget utilization, and batch-latency percentiles. */
+struct OverloadReport
+{
+    /** The configured batch budget (< 0 when admission is off). */
+    double budgetSeconds = -1.0;
+    /** Pre-admission projected wall cost of the last batch, from the
+     *  EWMA cost model (0 until the model has measurements). */
+    double projectedSeconds = 0.0;
+    /** Projected wall cost of the work actually dispatched after the
+     *  admission ladder ran. At most ~budgetSeconds when admission is
+     *  active and the model is warm. */
+    double admittedSeconds = 0.0;
+    /** lastBatchSeconds / budgetSeconds (0 when admission is off). */
+    double utilization = 0.0;
+    /** Batches whose pre-admission projection exceeded the budget. */
+    std::uint64_t overloadedBatches = 0;
+
+    /** Last-batch admission decisions. */
+    std::uint64_t lastBatchDegraded = 0;
+    std::uint64_t lastBatchServedFromBackup = 0;
+    std::uint64_t lastBatchShed = 0;
+    std::uint64_t lastBatchBadInput = 0;
+    /** Robots demoted pre-solve by the sensor gate (subset of
+     *  lastBatchServedFromBackup). */
+    std::uint64_t lastBatchPoisoned = 0;
+
+    /** Lifetime sums of the per-batch decision counts above. */
+    std::uint64_t degraded = 0;
+    std::uint64_t servedFromBackup = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t badInput = 0;
+    std::uint64_t poisoned = 0;
+
+    /** Batch wall-time distribution; p50/p99 via
+     *  Histogram::percentile(0.5/0.99). */
+    stats::Histogram batchLatency;
+};
 
 /** Aggregate statistics over the controller's lifetime, refreshed by
  *  each solveAll() call. */
@@ -61,7 +126,8 @@ struct BatchReport
     /** Per-robot status of the last batch (size robots). Faults are
      *  isolated: one robot's failure never perturbs the others. */
     std::vector<SolveStatus> statuses;
-    /** Solves in the last batch whose status was not usable. */
+    /** Solves in the last batch whose status was not usable (includes
+     *  robots served from backup or shed by the overload ladder). */
     std::uint64_t lastBatchFailures = 0;
     /** Lifetime count of non-usable solves. */
     std::uint64_t failures = 0;
@@ -84,6 +150,9 @@ struct BatchReport
     std::uint64_t faultsInjected = 0;
     /** Robots in the last batch whose solve was NumericDegraded. */
     std::uint64_t lastBatchNumericDegraded = 0;
+
+    /** Overload-management decisions and budget accounting. */
+    OverloadReport overload;
 };
 
 /**
@@ -93,6 +162,15 @@ struct BatchReport
 class BatchController
 {
   public:
+    /** Solve-cost model override: maps (robot, measured seconds) to
+     *  the cost fed into the robot's EWMA. A chaos harness injects
+     *  virtual time here so admission decisions replay bitwise. */
+    using CostHook = std::function<double(std::size_t, double)>;
+    /** Called on the worker thread immediately before a robot's
+     *  solve; a chaos harness injects real stalls here. Must not
+     *  touch controller state. */
+    using StallHook = std::function<void(std::size_t)>;
+
     /**
      * Build num_robots solver instances and (for num_threads > 1) a
      * parked pool of num_threads workers. num_threads is clamped to
@@ -111,20 +189,27 @@ class BatchController
      * solver i. Returns per-robot results in robot order (storage is
      * reused across batches; copy to keep a snapshot).
      *
+     * Input-validation contract: a robot whose state/reference entry
+     * is missing (short vectors) or wrongly sized gets
+     * SolveStatus::BadInput and its backup command; the batch never
+     * crashes on malformed inputs. Entries beyond numRobots() are
+     * ignored.
+     *
      * Fault isolation contract: a robot whose solve fails (malformed
      * state, numeric breakdown, deadline miss) reports that failure in
      * its own Result::status and in report().statuses — the batch
      * still completes and every healthy robot's result is bitwise
      * identical to what a serial solve would produce. Only genuinely
      * unexpected exceptions (bugs, resource exhaustion) are rethrown,
-     * and then only after all robots finished, wrapped with the index
-     * of the robot that threw.
+     * and then only after all robots finished, wrapped with the
+     * lowest index among the robots that threw.
      */
     const std::vector<IpmSolver::Result> &
     solveAll(const std::vector<Vector> &states,
              const std::vector<Vector> &refs);
 
-    /** Drop every solver's warm start. */
+    /** Drop every solver's warm start, backup plan, and sensor-gate
+     *  baseline. Lifetime counters in report() keep accumulating. */
     void resetAll();
 
     std::size_t numRobots() const { return solvers_.size(); }
@@ -134,26 +219,90 @@ class BatchController
     IpmSolver &solver(std::size_t i) { return *solvers_[i]; }
     const IpmSolver &solver(std::size_t i) const { return *solvers_[i]; }
 
+    /** Robot i's backup plan (the overload ladder's rung-2 source). */
+    const BackupPlan &backup(std::size_t i) const { return backups_[i]; }
+
+    /** Robot i's sensor gate (stateful plausibility checks). */
+    const SensorGate &gate(std::size_t i) const { return gates_[i]; }
+
+    /**
+     * Admission priority of robot i (default 0). Higher priorities are
+     * protected longer by the overload ladder; degradation, backup
+     * demotion, and shedding start from the lowest priority (ties
+     * demote the higher index first).
+     */
+    void setPriority(std::size_t i, double priority);
+    double priority(std::size_t i) const { return priority_[i]; }
+
+    /** Current EWMA solve-cost estimate for robot i, seconds (0 until
+     *  the robot has been measured at least once). */
+    double costEstimate(std::size_t i) const { return ewma_[i]; }
+
+    /** Install a solve-cost model override (see CostHook). While a
+     *  hook is installed the admission pass stops applying real
+     *  wall-clock deadlines to degraded robots and degrades purely
+     *  via the (deterministic) iteration cap, so campaigns replay
+     *  bitwise. Pass nullptr to restore measured time. */
+    void setCostHook(CostHook hook) { cost_hook_ = std::move(hook); }
+
+    /** Install a pre-solve worker callback (see StallHook). */
+    void setStallHook(StallHook hook) { stall_hook_ = std::move(hook); }
+
     /** Lifetime statistics, refreshed after each solveAll(). */
     const BatchReport &report() const { return report_; }
 
   private:
+    /** Admission decision for one robot in the current batch. */
+    enum class Admit : std::uint8_t
+    {
+        Full,     //!< Solve with base options.
+        Degraded, //!< Solve with a tightened budget (scale_[i]).
+        Backup,   //!< Serve the BackupPlan tail, no solve.
+        Shed,     //!< No service at all.
+        BadInput, //!< Rejected by input validation; backup command.
+    };
+
     void workerLoop();
     /** Claim-and-solve until the batch's index queue is empty. */
     void drainQueue();
     /** Per-thread post-drain bookkeeping (Fixed counter flush). */
     void finishDrain();
+    /** Validate per-robot inputs and run the sensor gates. */
+    void validateInputs();
+    /** The admission ladder: fills decisions_/scale_ and the
+     *  projection fields of report_.overload. */
+    void runAdmission();
+    /** Apply per-robot budget overrides for this batch's decisions. */
+    void applyBudgets();
+    /** Serve robot i without solving (Backup/Shed/BadInput). */
+    void serveLocal(std::size_t i);
+    /** Solve robot i and apply the per-robot failsafe/relabeling. */
+    void solveOne(std::size_t i);
+    /** Fold measured (or injected) solve costs into the EWMA model. */
+    void updateCostModel();
 
     std::vector<std::unique_ptr<IpmSolver>> solvers_;
     std::vector<IpmSolver::Result> results_;
+    std::vector<BackupPlan> backups_;
+    std::vector<SensorGate> gates_;
     BatchReport report_;
+
+    MpcOptions options_;   //!< Shared options (base budget values).
+    bool gate_active_ = false; //!< Any sensor-gate check enabled.
+    std::vector<double> priority_;
+    std::vector<double> ewma_;      //!< Per-robot cost model, seconds.
+    std::vector<Admit> decisions_;  //!< Current batch's admissions.
+    std::vector<double> scale_;     //!< Budget scale for Degraded.
+    std::vector<std::size_t> order_; //!< Admission service order scratch.
+    CostHook cost_hook_;
+    StallHook stall_hook_;
 
     // Current batch inputs (valid only while solveAll is running).
     const std::vector<Vector> *states_ = nullptr;
     const std::vector<Vector> *refs_ = nullptr;
     std::atomic<std::size_t> next_{0}; //!< Next unclaimed robot index.
     std::exception_ptr error_;
-    std::size_t error_robot_ = 0; //!< Robot whose solve threw first.
+    std::size_t error_robot_ = 0; //!< Lowest robot index that threw.
 
     // Worker pool: workers park on cv_work_ between batches; a batch
     // is announced by bumping generation_ under the mutex.

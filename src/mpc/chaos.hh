@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Deterministic chaos injection for fleet serving.
+ *
+ * The overload layer's behavior only matters under conditions that are
+ * awkward to reproduce — a worker stalling mid-batch, a burst of extra
+ * load, a sensor going insane. This engine makes those conditions
+ * *injectable and reproducible* with the same discipline as the
+ * accelerator fault engine (accel/faults.hh): every decision is a pure
+ * hash of (seed, channel, batch, robot) — no internal RNG stream — so
+ * a chaos campaign replays bitwise identically regardless of thread
+ * scheduling, and identically across thread counts when
+ * MpcOptions::overloadParallelism is pinned.
+ *
+ * Three fault classes:
+ *  - stalls:  a robot's solve is slow this batch. Injected two ways at
+ *             once: a *virtual* cost spike fed to the admission pass
+ *             through BatchController::setCostHook (drives decisions,
+ *             deterministic) and an optional *real* busy-wait in the
+ *             worker through setStallHook (drives thread
+ *             interleavings for tsan, never outputs).
+ *  - bursts:  a whole batch's offered load multiplies, modeling extra
+ *             robots arriving on the host.
+ *  - poison:  a robot's measurement is corrupted (NaN, out-of-range,
+ *             jump, frozen) for an episode of consecutive batches, so
+ *             frozen/jump streak detectors in the sensor gate actually
+ *             trip. poisonState() mutates the measurement
+ *             deterministically; the gate demotes the robot pre-solve.
+ *
+ * The harness (bench/overload_storm, tests/overload_test) owns the
+ * batch counter: call setBatch(b) before each solveAll() so decisions
+ * key on the logical batch index, not wall time.
+ */
+
+#ifndef ROBOX_MPC_CHAOS_HH
+#define ROBOX_MPC_CHAOS_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "linalg/matrix.hh"
+
+namespace robox::mpc
+{
+
+/** How a poisoned measurement is corrupted. */
+enum class PoisonKind : std::uint8_t
+{
+    None = 0,
+    NonFinite,  //!< One component becomes NaN.
+    OutOfRange, //!< One component is driven far outside its bounds.
+    Jump,       //!< One component jumps by +-poisonMagnitude.
+    Frozen,     //!< The measurement repeats the previous one exactly.
+};
+
+/** Human-readable poison-kind name. */
+const char *toString(PoisonKind kind);
+
+/** Specification of one reproducible chaos campaign. Every field
+ *  participates in the pure decision hash; equal specs replay equal
+ *  campaigns. */
+struct ChaosSpec
+{
+    std::uint64_t seed = 1;
+
+    /** Probability a given (batch, robot) solve is stalled. */
+    double stallRate = 0.0;
+    /** Virtual cost a stall adds to the robot's solve, seconds. */
+    double stallCostSeconds = 0.0;
+    /** Real busy-wait performed in the worker for a stalled robot
+     *  (exercises thread interleavings; 0 disables). */
+    double stallSpinSeconds = 0.0;
+
+    /** Probability a given batch is a load burst. */
+    double burstRate = 0.0;
+    /** Virtual-cost multiplier applied to every robot in a burst
+     *  batch (models extra robots arriving on the host). */
+    double burstFactor = 1.0;
+
+    /** Probability a poison episode *starts* at a given
+     *  (batch, robot). */
+    double poisonRate = 0.0;
+    /** Batches a poison episode lasts once started, so streak-based
+     *  gate checks (frozen, jump re-home) actually engage. */
+    int poisonEpisodeBatches = 3;
+    /** Magnitude used by OutOfRange/Jump corruption. */
+    double poisonMagnitude = 1e3;
+
+    /**
+     * Deterministic per-robot base solve cost, seconds. When > 0 the
+     * cost hook *replaces* measured wall time with
+     * base x burstFactor + stallCostSeconds, making the admission
+     * pass's EWMA model — and therefore every admission decision — a
+     * pure function of this spec. When 0 the hook applies the burst
+     * multiplier and stall cost on top of measured time (decisions
+     * then track the real machine).
+     */
+    double virtualSolveCostSeconds = 0.0;
+
+    bool operator==(const ChaosSpec &o) const = default;
+};
+
+/** Applies a ChaosSpec; see the file comment. The decision functions
+ *  are const and pure, so one engine may be read concurrently from
+ *  every worker thread. setBatch() must only be called between
+ *  batches (the harness thread). */
+class ChaosEngine
+{
+  public:
+    explicit ChaosEngine(const ChaosSpec &spec) : spec_(spec) {}
+
+    /** Advance the logical clock: decisions for the next solveAll()
+     *  key on this batch index. */
+    void setBatch(std::uint64_t batch) { batch_ = batch; }
+    std::uint64_t batch() const { return batch_; }
+
+    /** Pure decision: is (batch, robot)'s solve stalled? */
+    bool stallAt(std::uint64_t batch, std::size_t robot) const;
+
+    /** Pure decision: is this batch a load burst? */
+    bool burstAt(std::uint64_t batch) const;
+
+    /** Pure decision: the poison kind active at (batch, robot),
+     *  honoring episode persistence. None when healthy. */
+    PoisonKind poisonAt(std::uint64_t batch, std::size_t robot) const;
+
+    /** Virtual solve cost of (batch, robot); see
+     *  ChaosSpec::virtualSolveCostSeconds. measured is the real wall
+     *  time (used only when no virtual base is configured). */
+    double virtualCost(std::uint64_t batch, std::size_t robot,
+                       double measured) const;
+
+    /**
+     * Corrupt a measurement in place according to poisonAt(). prev is
+     * the previous period's (already possibly poisoned) measurement,
+     * replayed verbatim by Frozen. Pure: equal arguments produce
+     * equal corruption.
+     */
+    void poisonState(std::uint64_t batch, std::size_t robot,
+                     const Vector &prev, Vector &x) const;
+
+    /** Adapter for BatchController::setCostHook, bound to the engine's
+     *  current batch index. */
+    std::function<double(std::size_t, double)> costHook();
+
+    /** Adapter for BatchController::setStallHook: busy-waits
+     *  stallSpinSeconds for stalled robots. */
+    std::function<void(std::size_t)> stallHook();
+
+    const ChaosSpec &spec() const { return spec_; }
+
+  private:
+    ChaosSpec spec_;
+    std::uint64_t batch_ = 0;
+};
+
+} // namespace robox::mpc
+
+#endif // ROBOX_MPC_CHAOS_HH

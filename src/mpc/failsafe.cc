@@ -81,6 +81,11 @@ SolverHealth::SolverHealth(const std::string &name, double latency_hi)
       badInput_("bad_input", "Solves refused for NaN/Inf inputs"),
       numericDegraded_("numeric_degraded",
                        "Solves failing the fixed-point golden cross-check"),
+      degradedBudget_("degraded_budget",
+                      "Solves run under a tightened overload budget"),
+      servedFromBackup_("served_from_backup",
+                        "Periods served from the backup-plan tail"),
+      shed_("shed", "Periods shed outright under overload"),
       recoveryAttempts_("recovery_attempts", "Recovery-ladder activations"),
       coldRestarts_("cold_restarts", "In-solve warm-start resets"),
       degraded_("degraded_steps", "Control periods served by the backup plan"),
@@ -97,6 +102,9 @@ SolverHealth::SolverHealth(const std::string &name, double latency_hi)
     group_.add(&diverged_);
     group_.add(&badInput_);
     group_.add(&numericDegraded_);
+    group_.add(&degradedBudget_);
+    group_.add(&servedFromBackup_);
+    group_.add(&shed_);
     group_.add(&recoveryAttempts_);
     group_.add(&coldRestarts_);
     group_.add(&degraded_);
@@ -118,6 +126,9 @@ SolverHealth::record(const SolveStats &stats)
       case SolveStatus::Diverged: ++diverged_; break;
       case SolveStatus::BadInput: ++badInput_; break;
       case SolveStatus::NumericDegraded: ++numericDegraded_; break;
+      case SolveStatus::DegradedBudget: ++degradedBudget_; break;
+      case SolveStatus::ServedFromBackup: ++servedFromBackup_; break;
+      case SolveStatus::Shed: ++shed_; break;
       case SolveStatus::Unsolved: break;
     }
     recoveryAttempts_ += stats.recoveryAttempts;
@@ -139,6 +150,9 @@ SolverHealth::statusCount(SolveStatus status) const
       case SolveStatus::Diverged: return diverged_.value();
       case SolveStatus::BadInput: return badInput_.value();
       case SolveStatus::NumericDegraded: return numericDegraded_.value();
+      case SolveStatus::DegradedBudget: return degradedBudget_.value();
+      case SolveStatus::ServedFromBackup: return servedFromBackup_.value();
+      case SolveStatus::Shed: return shed_.value();
       case SolveStatus::Unsolved: return 0.0;
     }
     return 0.0;

@@ -124,6 +124,9 @@ class SolverHealth
     stats::Scalar diverged_;
     stats::Scalar badInput_;
     stats::Scalar numericDegraded_;
+    stats::Scalar degradedBudget_;
+    stats::Scalar servedFromBackup_;
+    stats::Scalar shed_;
     stats::Scalar recoveryAttempts_;
     stats::Scalar coldRestarts_;
     stats::Scalar degraded_;

@@ -124,6 +124,12 @@ class IpmSolver
         problem_.setSolveDeadline(seconds);
     }
 
+    /** Runtime iteration-cap control; see MpcProblem::setMaxIterations. */
+    void setMaxIterations(int iterations)
+    {
+        problem_.setMaxIterations(iterations);
+    }
+
     /** Attach a fault hook to the fixed-point tape path; see
      *  MpcProblem::setTapeFaultHook. */
     void setTapeFaultHook(MpcProblem::TapeFaultHook hook)

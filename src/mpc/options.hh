@@ -93,6 +93,73 @@ struct MpcOptions
     double divergenceThreshold = 1e12;
 
     /**
+     * Wall-clock budget for one BatchController::solveAll() call
+     * (seconds). When non-negative, the batch admission pass projects
+     * the batch cost from a per-robot EWMA solve-cost model and, when
+     * the projection exceeds the budget, degrades service in explicit
+     * rungs: tighten per-robot budgets (SolveStatus::DegradedBudget),
+     * serve from the backup-plan tail (ServedFromBackup), shed
+     * (Shed). Negative (the default) disables admission control.
+     * See the "Overload ladder" section of ARCHITECTURE.md.
+     */
+    double batchDeadlineSeconds = -1.0;
+
+    /** EWMA smoothing factor for the per-robot solve-cost model that
+     *  feeds the batch admission pass (0 < alpha <= 1). */
+    double overloadEwmaAlpha = 0.3;
+
+    /**
+     * Parallelism the admission pass assumes when projecting batch
+     * wall cost (projection = summed per-robot cost / parallelism).
+     * Zero (the default) uses the actual worker count; pin a positive
+     * value to make admission decisions independent of the machine's
+     * thread count (required for bitwise-replayable chaos campaigns).
+     */
+    int overloadParallelism = 0;
+
+    /**
+     * Lowest per-robot budget scale the degrade rung may apply before
+     * the ladder escalates to serving robots from backup. A scale s
+     * tightens a robot's deadline to s x its EWMA cost and its
+     * iteration cap to s x maxIterations.
+     */
+    double overloadDegradeFloor = 0.25;
+
+    /** Floor on the tightened per-robot iteration cap applied by the
+     *  degrade rung. */
+    int overloadMinIterations = 3;
+
+    /** Estimated cost of serving one robot from its backup plan,
+     *  charged against the batch budget by the admission pass. */
+    double overloadBackupCostSeconds = 2e-5;
+
+    /**
+     * Multiplicative decay applied each batch to the EWMA cost of a
+     * robot that was not freshly solved (served from backup or shed),
+     * so demoted robots are eventually re-admitted, remeasured, and —
+     * if still expensive — re-demoted.
+     */
+    double overloadRecoveryFactor = 0.5;
+
+    /**
+     * Sensor-gate range check: tolerated excursion beyond the model's
+     * state box bounds, as a fraction of the bound span, before a
+     * measurement is declared implausible and the robot is demoted to
+     * its backup plan *before* the solve. Negative (default) disables
+     * the range check. See mpc/sensor_gate.hh.
+     */
+    double sensorRangeMargin = -1.0;
+
+    /** Sensor-gate jump check: maximum plausible inter-period change
+     *  (inf-norm) of the measured state. Non-positive disables. */
+    double sensorJumpThreshold = -1.0;
+
+    /** Sensor-gate frozen check: consecutive bitwise-identical
+     *  measurements before the sensor is declared frozen. Zero or
+     *  negative disables. */
+    int sensorFrozenPeriods = 0;
+
+    /**
      * Escalating in-solve recovery (the failsafe ladder): how many
      * regularization bumps to attempt when a KKT factorization fails
      * before escalating to a step backoff and then a cold restart.

@@ -66,6 +66,15 @@ class MpcProblem
         options_.solveDeadlineSeconds = seconds;
     }
 
+    /** Adjust the per-solve iteration cap at runtime. The batch
+     *  admission pass uses this as the deterministic half of budget
+     *  degradation (a wall-clock deadline depends on machine load; an
+     *  iteration cap replays bitwise). */
+    void setMaxIterations(int iterations)
+    {
+        options_.maxIterations = iterations;
+    }
+
     /** Number of running penalty residuals. */
     int numRunningResiduals() const { return static_cast<int>(
         running_weights_.size()); }

@@ -44,6 +44,20 @@ enum class SolveStatus
      *  error, saturation cascade, or overflow); the plan must not be
      *  trusted. See MpcOptions::crossCheckFixedPoint. */
     NumericDegraded,
+    /** The batch admission pass solved this robot under a tightened
+     *  iteration/deadline budget to keep the fleet inside
+     *  MpcOptions::batchDeadlineSeconds. The iterate is feasible but
+     *  coarser than an unloaded solve (overload ladder rung 1; see
+     *  mpc/batch.hh). */
+    DegradedBudget,
+    /** The robot was not solved this period: the admission pass (or
+     *  the sensor gate) served the time-shifted tail of its last
+     *  accepted plan instead (overload ladder rung 2). */
+    ServedFromBackup,
+    /** The robot was shed outright under extreme overload: no solve,
+     *  no backup command (overload ladder rung 3). The caller should
+     *  hold the previous actuation. */
+    Shed,
 };
 
 /** Human-readable status name (stable, greppable). */
@@ -59,22 +73,29 @@ toString(SolveStatus status)
       case SolveStatus::Diverged: return "diverged";
       case SolveStatus::BadInput: return "bad-input";
       case SolveStatus::NumericDegraded: return "numeric-degraded";
+      case SolveStatus::DegradedBudget: return "degraded-budget";
+      case SolveStatus::ServedFromBackup: return "served-from-backup";
+      case SolveStatus::Shed: return "shed";
     }
     return "unknown";
 }
 
 /**
  * True when the status's iterate is safe to apply to actuators:
- * converged, iteration-capped, and deadline-capped solves all carry a
- * strictly feasible (interior) iterate. Failure statuses require the
- * control layer to fall back to the backup command instead.
+ * converged, iteration-capped, deadline-capped, and budget-degraded
+ * solves all carry a strictly feasible (interior) iterate. Failure
+ * statuses require the control layer to fall back to the backup
+ * command instead. ServedFromBackup is deliberately not "usable": its
+ * u0 is already the backup command, and treating it as a fresh plan
+ * would re-accept stale inputs into the backup store.
  */
 inline bool
 statusUsable(SolveStatus status)
 {
     return status == SolveStatus::Converged ||
            status == SolveStatus::MaxIterations ||
-           status == SolveStatus::DeadlineMiss;
+           status == SolveStatus::DeadlineMiss ||
+           status == SolveStatus::DegradedBudget;
 }
 
 } // namespace robox::mpc

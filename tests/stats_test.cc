@@ -93,6 +93,33 @@ TEST(Histogram, PercentileUsesMinMaxForOutliers)
     EXPECT_LE(h.percentile(0.5), 1.0);
 }
 
+TEST(Histogram, PercentileEdgeCases)
+{
+    stats::Histogram h("p", "percentiles", 0.0, 10.0, 10);
+    // Empty: every quantile (including the clamped-out-of-range ones)
+    // resolves to 0 rather than reading uninitialized state.
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(-3.0), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(42.0), 0.0);
+
+    // Single sample: p0 and p100 agree, land within one bucket width
+    // of the sample, and out-of-range p is clamped to the same value.
+    h.sample(3.7);
+    const double width = 10.0 / 10;
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), h.percentile(1.0));
+    EXPECT_NEAR(h.percentile(0.5), 3.7, width);
+    EXPECT_DOUBLE_EQ(h.percentile(-1.0), h.percentile(0.0));
+    EXPECT_DOUBLE_EQ(h.percentile(2.0), h.percentile(1.0));
+    EXPECT_DOUBLE_EQ(h.min(), 3.7);
+    EXPECT_DOUBLE_EQ(h.max(), 3.7);
+
+    // reset() returns the histogram to the empty-edge behavior.
+    h.reset();
+    EXPECT_EQ(h.totalSamples(), 0u);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+}
+
 TEST(Formula, ComputesFromCapturedState)
 {
     stats::Scalar hits("hits", "");

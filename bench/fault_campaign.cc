@@ -16,13 +16,16 @@
  *
  * Deterministic: the campaign seed is fixed, so two runs emit
  * byte-identical JSON. `--smoke` shrinks the sweep to a ~1 s check
- * suitable for CI.
+ * suitable for CI. The per-point metrics render through
+ * stats::StatGroup::toJson(), the same schema the overload storm and
+ * the batch controller's overload report use.
  */
 
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -32,6 +35,7 @@
 #include "mpc/ipm.hh"
 #include "mpc/simulate.hh"
 #include "mpc/status.hh"
+#include "support/stats.hh"
 
 namespace
 {
@@ -149,32 +153,67 @@ runCampaign(const robox::dsl::ModelSpec &model,
     return result;
 }
 
+/** One sweep point in the uniform StatGroup::toJson() schema. */
+std::string
+campaignPointJson(const CampaignResult &r)
+{
+    using robox::stats::Scalar;
+    using robox::stats::StatGroup;
+
+    auto scalar = [](const char *name, const char *desc, double v) {
+        Scalar s(name, desc);
+        s.set(v);
+        return s;
+    };
+    std::vector<Scalar> scalars;
+    scalars.reserve(10);
+    scalars.push_back(scalar("upsetRate", "per-access upset probability",
+                             r.upsetRate));
+    scalars.push_back(scalar("faultsInjected", "bit flips landed",
+                             static_cast<double>(r.faultsInjected)));
+    scalars.push_back(scalar("saturations", "fixed-point saturations",
+                             static_cast<double>(r.saturations)));
+    scalars.push_back(scalar("faultSteps", "steps in which faults landed",
+                             r.faultSteps));
+    scalars.push_back(scalar("numericDegradedSolves",
+                             "solves condemned by the cross-check",
+                             r.numericDegradedSolves));
+    scalars.push_back(scalar("degradedSteps", "backup commands issued",
+                             r.degradedSteps));
+    scalars.push_back(scalar("detectedFaultSteps",
+                             "fault steps later condemned",
+                             r.detectedFaultSteps));
+    scalars.push_back(scalar("meanDetectionLatency",
+                             "control periods to detection",
+                             r.meanDetectionLatency));
+    scalars.push_back(scalar("maxTrackingError",
+                             "worst post-settle tracking error",
+                             r.maxTrackingError));
+    scalars.push_back(scalar("finalTrackingError",
+                             "tracking error at the last step",
+                             r.finalTrackingError));
+
+    StatGroup group("campaign");
+    for (Scalar &s : scalars)
+        group.add(&s);
+    return group.toJson();
+}
+
 void
 printJson(const std::vector<CampaignResult> &sweep, std::uint64_t seed,
           int steps)
 {
-    std::printf("{\n  \"model\": \"DoubleIntegrator\",\n"
-                "  \"seed\": %llu,\n  \"steps\": %d,\n  \"sweep\": [\n",
-                static_cast<unsigned long long>(seed), steps);
-    for (std::size_t i = 0; i < sweep.size(); ++i) {
-        const CampaignResult &r = sweep[i];
-        std::printf(
-            "    {\"upset_rate\": %g, \"faults_injected\": %llu, "
-            "\"saturations\": %llu, \"fault_steps\": %d, "
-            "\"numeric_degraded_solves\": %d, \"degraded_steps\": %d, "
-            "\"detected_fault_steps\": %d, "
-            "\"mean_detection_latency_steps\": %.3f, "
-            "\"max_tracking_error\": %.6f, "
-            "\"final_tracking_error\": %.6f}%s\n",
-            r.upsetRate,
-            static_cast<unsigned long long>(r.faultsInjected),
-            static_cast<unsigned long long>(r.saturations), r.faultSteps,
-            r.numericDegradedSolves, r.degradedSteps,
-            r.detectedFaultSteps, r.meanDetectionLatency,
-            r.maxTrackingError, r.finalTrackingError,
-            i + 1 < sweep.size() ? "," : "");
-    }
-    std::printf("  ]\n}\n");
+    std::ostringstream os;
+    os << "{\n\"benchmark\": \"fault_campaign\",\n"
+       << "\"model\": \"DoubleIntegrator\",\n"
+       << "\"seed\": " << seed << ",\n"
+       << "\"steps\": " << steps << ",\n"
+       << "\"sweep\": [\n";
+    for (std::size_t i = 0; i < sweep.size(); ++i)
+        os << campaignPointJson(sweep[i])
+           << (i + 1 < sweep.size() ? ",\n" : "\n");
+    os << "]\n}\n";
+    std::fputs(os.str().c_str(), stdout);
 }
 
 } // namespace

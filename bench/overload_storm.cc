@@ -20,13 +20,26 @@
  * printed — that is what keeps the output diffable.
  *
  * `--smoke` shrinks the sweep to a ~1 s check suitable for CI, which
- * diffs two runs byte-for-byte as a determinism gate.
+ * diffs two runs byte-for-byte as a determinism gate. Flags:
+ *   --smoke           shrink the sweep for CI
+ *   --threads N       worker threads (default 4; output is identical
+ *                     at any value — that is the determinism gate)
+ *   --metrics PATH    also write the report to PATH
+ *   --timeline PATH   write the highest-load storm's fleet timeline
+ *                     (Chrome trace-event JSON; see mpc/timeline.hh)
+ *
+ * The per-point metrics render through stats::StatGroup::toJson(), the
+ * same schema the fault campaign and the batch controller's overload
+ * report use.
  */
 
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "dsl/sema.hh"
@@ -34,6 +47,9 @@
 #include "mpc/chaos.hh"
 #include "mpc/simulate.hh"
 #include "mpc/status.hh"
+#include "mpc/timeline.hh"
+#include "support/stats.hh"
+#include "support/trace.hh"
 
 namespace
 {
@@ -42,6 +58,7 @@ using robox::Vector;
 using robox::mpc::BatchController;
 using robox::mpc::ChaosEngine;
 using robox::mpc::ChaosSpec;
+using robox::mpc::FleetTimeline;
 using robox::mpc::MpcOptions;
 using robox::mpc::Plant;
 using robox::mpc::SolveStatus;
@@ -68,7 +85,7 @@ plant.moveTo(target, 1.0, 0.05);
 )";
 
 constexpr std::size_t kRobots = 12;
-constexpr std::size_t kThreads = 4;
+constexpr std::size_t kDefaultThreads = 4;
 constexpr int kParallelism = 4;        //!< Pinned admission math.
 constexpr double kBudgetSeconds = 1e-3; //!< Batch deadline.
 
@@ -95,7 +112,8 @@ struct StormResult
  *  demand is `load` times the batch compute budget. */
 StormResult
 runStorm(const robox::dsl::ModelSpec &model, const MpcOptions &opt,
-         double load, std::uint64_t seed, int batches)
+         double load, std::uint64_t seed, int batches,
+         std::size_t threads, FleetTimeline *timeline_out)
 {
     ChaosSpec spec;
     spec.seed = seed;
@@ -109,9 +127,10 @@ runStorm(const robox::dsl::ModelSpec &model, const MpcOptions &opt,
         load * kBudgetSeconds * kParallelism / kRobots;
     ChaosEngine chaos(spec);
 
-    BatchController batch(model, opt, kRobots, kThreads);
+    BatchController batch(model, opt, kRobots, threads);
     batch.setCostHook(chaos.costHook());
     batch.setStallHook(chaos.stallHook());
+    batch.enableTimeline(timeline_out != nullptr);
     // Robots 0 and 1 are high priority: the ladder must shed them last.
     batch.setPriority(0, 1.0);
     batch.setPriority(1, 1.0);
@@ -174,42 +193,84 @@ runStorm(const robox::dsl::ModelSpec &model, const MpcOptions &opt,
     result.admittedSeconds = report.overload.admittedSeconds;
     result.meanTrackingError =
         err_n > 0 ? err_sum / static_cast<double>(err_n) : 0.0;
+    if (timeline_out)
+        *timeline_out = batch.timeline();
     return result;
 }
 
-void
-printJson(const std::vector<StormResult> &sweep, std::uint64_t seed,
-          int batches)
+/** One sweep point in the uniform StatGroup::toJson() schema. No
+ *  wall-clock quantity and no thread count appear, so the report
+ *  diffs byte-for-byte across runs and across --threads values. */
+std::string
+stormPointJson(const StormResult &r)
 {
-    std::printf("{\n  \"model\": \"DoubleIntegrator\",\n"
-                "  \"robots\": %zu,\n  \"threads\": %zu,\n"
-                "  \"parallelism\": %d,\n  \"budget_seconds\": %g,\n"
-                "  \"seed\": %llu,\n  \"batches\": %d,\n  \"sweep\": [\n",
-                kRobots, kThreads, kParallelism, kBudgetSeconds,
-                static_cast<unsigned long long>(seed), batches);
-    for (std::size_t i = 0; i < sweep.size(); ++i) {
-        const StormResult &r = sweep[i];
-        std::printf(
-            "    {\"offered_load\": %g, \"overloaded_batches\": %llu, "
-            "\"degraded\": %llu, \"served_from_backup\": %llu, "
-            "\"shed\": %llu, \"bad_input\": %llu, \"poisoned\": %llu, "
-            "\"failures\": %llu, \"protected_shed\": %llu, "
-            "\"projected_seconds\": %.9f, \"admitted_seconds\": %.9f, "
-            "\"max_tracking_error\": %.6f, "
-            "\"mean_tracking_error\": %.6f}%s\n",
-            r.offeredLoad,
-            static_cast<unsigned long long>(r.overloadedBatches),
-            static_cast<unsigned long long>(r.degraded),
-            static_cast<unsigned long long>(r.servedFromBackup),
-            static_cast<unsigned long long>(r.shed),
-            static_cast<unsigned long long>(r.badInput),
-            static_cast<unsigned long long>(r.poisoned),
-            static_cast<unsigned long long>(r.failures),
-            static_cast<unsigned long long>(r.protectedShed),
-            r.projectedSeconds, r.admittedSeconds, r.maxTrackingError,
-            r.meanTrackingError, i + 1 < sweep.size() ? "," : "");
-    }
-    std::printf("  ]\n}\n");
+    using robox::stats::Scalar;
+    using robox::stats::StatGroup;
+
+    auto scalar = [](const char *name, const char *desc, double v) {
+        Scalar s(name, desc);
+        s.set(v);
+        return s;
+    };
+    std::vector<Scalar> scalars;
+    scalars.reserve(13);
+    scalars.push_back(scalar("offeredLoad", "demand / budget",
+                             r.offeredLoad));
+    scalars.push_back(scalar("overloadedBatches",
+                             "batches projected over budget",
+                             static_cast<double>(r.overloadedBatches)));
+    scalars.push_back(scalar("degraded", "degraded-budget solves",
+                             static_cast<double>(r.degraded)));
+    scalars.push_back(scalar("servedFromBackup", "backup-tail serves",
+                             static_cast<double>(r.servedFromBackup)));
+    scalars.push_back(scalar("shed", "robots shed",
+                             static_cast<double>(r.shed)));
+    scalars.push_back(scalar("badInput", "input rejections",
+                             static_cast<double>(r.badInput)));
+    scalars.push_back(scalar("poisoned", "sensor-gate demotions",
+                             static_cast<double>(r.poisoned)));
+    scalars.push_back(scalar("failures", "non-usable solves",
+                             static_cast<double>(r.failures)));
+    scalars.push_back(scalar("protectedShed",
+                             "sheds of high-priority robots",
+                             static_cast<double>(r.protectedShed)));
+    scalars.push_back(scalar("projectedSeconds",
+                             "last batch projected (virtual) cost",
+                             r.projectedSeconds));
+    scalars.push_back(scalar("admittedSeconds",
+                             "last batch admitted (virtual) cost",
+                             r.admittedSeconds));
+    scalars.push_back(scalar("maxTrackingError",
+                             "worst post-settle tracking error",
+                             r.maxTrackingError));
+    scalars.push_back(scalar("meanTrackingError",
+                             "mean post-settle tracking error",
+                             r.meanTrackingError));
+
+    StatGroup group("storm");
+    for (Scalar &s : scalars)
+        group.add(&s);
+    return group.toJson();
+}
+
+std::string
+reportJson(const std::vector<StormResult> &sweep, std::uint64_t seed,
+           int batches)
+{
+    std::ostringstream os;
+    os << "{\n\"benchmark\": \"overload_storm\",\n"
+       << "\"model\": \"DoubleIntegrator\",\n"
+       << "\"robots\": " << kRobots << ",\n"
+       << "\"parallelism\": " << kParallelism << ",\n"
+       << "\"budget_seconds\": " << kBudgetSeconds << ",\n"
+       << "\"seed\": " << seed << ",\n"
+       << "\"batches\": " << batches << ",\n"
+       << "\"sweep\": [\n";
+    for (std::size_t i = 0; i < sweep.size(); ++i)
+        os << stormPointJson(sweep[i])
+           << (i + 1 < sweep.size() ? ",\n" : "\n");
+    os << "]\n}\n";
+    return os.str();
 }
 
 } // namespace
@@ -218,8 +279,29 @@ int
 main(int argc, char **argv)
 {
     bool smoke = false;
-    for (int i = 1; i < argc; ++i)
-        smoke = smoke || std::strcmp(argv[i], "--smoke") == 0;
+    std::size_t threads = kDefaultThreads;
+    const char *timeline_path = nullptr;
+    const char *metrics_path = nullptr;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            smoke = true;
+        } else if (std::strcmp(argv[i], "--threads") == 0 &&
+                   i + 1 < argc) {
+            threads = static_cast<std::size_t>(
+                std::max(1L, std::atol(argv[++i])));
+        } else if (std::strcmp(argv[i], "--timeline") == 0 &&
+                   i + 1 < argc) {
+            timeline_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--metrics") == 0 &&
+                   i + 1 < argc) {
+            metrics_path = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: overload_storm [--smoke] [--threads N]"
+                         " [--metrics PATH] [--timeline PATH]\n");
+            return 2;
+        }
+    }
 
     robox::dsl::ModelSpec model =
         robox::dsl::analyzeSource(kDoubleIntegrator);
@@ -242,10 +324,23 @@ main(int argc, char **argv)
         smoke ? std::vector<double>{0.5, 2.0, 8.0}
               : std::vector<double>{0.5, 1.0, 1.5, 2.0, 4.0, 8.0};
 
+    // The fleet timeline is recorded for the highest-load storm — the
+    // one whose ladder activity is worth looking at.
+    FleetTimeline timeline;
     std::vector<StormResult> sweep;
-    for (double load : loads)
-        sweep.push_back(runStorm(model, opt, load, kSeed, batches));
-    printJson(sweep, kSeed, batches);
+    for (std::size_t i = 0; i < loads.size(); ++i) {
+        const bool last = i + 1 == loads.size();
+        sweep.push_back(runStorm(model, opt, loads[i], kSeed, batches,
+                                 threads,
+                                 timeline_path && last ? &timeline
+                                                       : nullptr));
+    }
+    const std::string report = reportJson(sweep, kSeed, batches);
+    std::fputs(report.c_str(), stdout);
+    if (metrics_path)
+        robox::trace::writeTextFile(metrics_path, report);
+    if (timeline_path)
+        timeline.writeChromeJson(timeline_path);
 
     // Sanity gates: a storm study whose underloaded point degrades
     // service, whose overloaded point doesn't, or whose loop blows up

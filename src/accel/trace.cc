@@ -5,10 +5,11 @@
 
 #include "accel/trace.hh"
 
-#include <cstdio>
+#include <map>
+#include <set>
 #include <sstream>
 
-#include "support/logging.hh"
+#include "support/trace.hh"
 
 namespace robox::accel
 {
@@ -16,38 +17,54 @@ namespace robox::accel
 std::string
 Trace::toChromeJson() const
 {
-    std::ostringstream os;
-    os << "{\"traceEvents\":[";
-    bool first = true;
-    for (const TraceEvent &e : events_) {
-        if (!first)
-            os << ",";
-        first = false;
-        // pid = cluster, tid = CU (CC-wide work on lane 99).
-        os << "{\"name\":\"" << mdfg::nodeKindName(e.kind) << " "
-           << sym::opName(e.op) << "\",\"cat\":\""
-           << mdfg::phaseName(e.phase) << "\",\"ph\":\"X\",\"ts\":"
-           << e.start << ",\"dur\":"
-           << (e.finish > e.start ? e.finish - e.start : 1)
-           << ",\"pid\":" << e.cc << ",\"tid\":"
-           << (e.cu >= 0 ? e.cu : 99) << ",\"args\":{\"node\":"
-           << e.node << ",\"stage\":" << e.stage << "}}";
+    robox::trace::ChromeTraceWriter writer;
+
+    // Collect the lanes actually used so every one gets a thread_name
+    // metadata record. std::map/std::set keep the metadata order
+    // deterministic regardless of event order.
+    std::map<int, std::set<int>> lanes;
+    for (const TraceEvent &e : events_)
+        lanes[e.cc].insert(e.cu >= 0 ? e.cu : kCcWideLane);
+
+    for (const auto &[cc, cus] : lanes) {
+        std::ostringstream pname;
+        pname << "CC " << cc;
+        writer.setProcessName(cc, pname.str());
+        for (int cu : cus) {
+            std::ostringstream tname;
+            if (cu == kCcWideLane)
+                tname << "CC-wide (SIMD/GROUP)";
+            else
+                tname << "CU " << cu;
+            writer.setThreadName(cc, cu, tname.str());
+            // Keep the CC-wide lane above the CUs it drives.
+            writer.setThreadSortIndex(cc, cu, cu);
+        }
     }
-    os << "]}";
-    return os.str();
+
+    // pid = cluster, tid = CU (CC-wide work on the reserved negative
+    // lane). 1 cycle = 1 us of trace time.
+    for (const TraceEvent &e : events_) {
+        std::ostringstream name;
+        name << mdfg::nodeKindName(e.kind) << " " << sym::opName(e.op);
+        std::ostringstream args;
+        args << "{\"node\":" << e.node << ",\"stage\":" << e.stage
+             << "}";
+        writer.completeEvent(
+            name.str(), mdfg::phaseName(e.phase), e.cc,
+            e.cu >= 0 ? e.cu : kCcWideLane,
+            static_cast<double>(e.start),
+            static_cast<double>(e.finish > e.start ? e.finish - e.start
+                                                   : 1),
+            args.str());
+    }
+    return writer.json();
 }
 
 void
 Trace::writeChromeJson(const std::string &path) const
 {
-    std::string json = toChromeJson();
-    std::FILE *file = std::fopen(path.c_str(), "wb");
-    if (!file)
-        fatal("cannot open '{}' for writing", path);
-    std::size_t written = std::fwrite(json.data(), 1, json.size(), file);
-    std::fclose(file);
-    if (written != json.size())
-        fatal("short write to '{}'", path);
+    robox::trace::writeTextFile(path, toChromeJson());
 }
 
 } // namespace robox::accel

@@ -4,9 +4,13 @@
  *
  * When a Trace is passed to accel::simulate(), every M-DFG node's
  * placement and [start, finish) cycle window is recorded. The trace
- * exports to the Chrome trace-event JSON format (load in
- * chrome://tracing or Perfetto): clusters appear as processes, CUs as
- * threads, with CC-wide SIMD/GROUP work on a dedicated lane.
+ * exports through the shared Chrome trace-event writer
+ * (support/trace.hh; load in chrome://tracing or Perfetto): clusters
+ * appear as processes, CUs as threads, with CC-wide SIMD/GROUP work on
+ * the reserved kCcWideLane thread lane. Lanes are labeled with
+ * thread_name metadata records, so the CC-wide lane can never be
+ * confused with a real CU of any index (the old export reused tid 99
+ * as a sentinel, which collided with CU 99 on wide clusters).
  */
 
 #ifndef ROBOX_ACCEL_TRACE_HH
@@ -20,6 +24,14 @@
 
 namespace robox::accel
 {
+
+/**
+ * Reserved (negative) thread lane for CC-wide SIMD/GROUP execution in
+ * the Chrome export. Real CUs are non-negative, so no configuration
+ * can collide with it; the lane is additionally labeled via a
+ * thread_name metadata record.
+ */
+constexpr int kCcWideLane = -1;
 
 /** One executed node occurrence. */
 struct TraceEvent

@@ -42,6 +42,9 @@ BatchController::BatchController(const dsl::ModelSpec &model,
     decisions_.assign(num_robots, Admit::Full);
     scale_.assign(num_robots, 1.0);
     order_.reserve(num_robots);
+    prev_decisions_.assign(num_robots, Admit::Full);
+    poisoned_.assign(num_robots, 0);
+    batch_cost_.assign(num_robots, 0.0);
 
     gate_active_ = options.sensorRangeMargin >= 0.0 ||
                    options.sensorJumpThreshold > 0.0 ||
@@ -91,6 +94,7 @@ BatchController::validateInputs()
     const auto nx = static_cast<std::size_t>(problem.nx());
     const auto nref = static_cast<std::size_t>(problem.nref());
     report_.overload.lastBatchPoisoned = 0;
+    std::fill(poisoned_.begin(), poisoned_.end(), 0);
 
     for (std::size_t i = 0; i < solvers_.size(); ++i) {
         if (i >= states_->size() || i >= refs_->size() ||
@@ -104,6 +108,7 @@ BatchController::validateInputs()
         if (gate_active_ &&
             gates_[i].check((*states_)[i]) != SensorVerdict::Ok) {
             decisions_[i] = Admit::Backup;
+            poisoned_[i] = 1;
             ++report_.overload.lastBatchPoisoned;
         }
     }
@@ -385,6 +390,7 @@ BatchController::updateCostModel()
     const double recovery =
         std::clamp(options_.overloadRecoveryFactor, 0.0, 1.0);
     for (std::size_t i = 0; i < solvers_.size(); ++i) {
+        batch_cost_[i] = 0.0;
         switch (decisions_[i]) {
           case Admit::Full:
           case Admit::Degraded: {
@@ -393,6 +399,7 @@ BatchController::updateCostModel()
                 cost_hook_ ? cost_hook_(i, measured) : measured;
             if (!(cost >= 0.0) || !std::isfinite(cost))
                 break; // Refuse NaN/negative costs from a buggy hook.
+            batch_cost_[i] = cost;
             ewma_[i] = ewma_[i] <= 0.0
                            ? cost
                            : (1.0 - alpha) * ewma_[i] + alpha * cost;
@@ -404,11 +411,90 @@ BatchController::updateCostModel()
             // robot is eventually re-admitted, remeasured, and — if
             // still expensive — re-demoted.
             ewma_[i] *= recovery;
+            batch_cost_[i] =
+                decisions_[i] == Admit::Backup
+                    ? std::max(0.0, options_.overloadBackupCostSeconds)
+                    : 0.0;
             break;
           case Admit::BadInput:
             break; // Not solved, but its compute cost did not change.
         }
     }
+}
+
+void
+BatchController::recordTimeline()
+{
+    // Admit -> public rung mapping (recorded even while disabled so a
+    // late enableTimeline still sees correct rung-change baselines).
+    auto to_rung = [](Admit d) {
+        switch (d) {
+          case Admit::Full: return ServiceRung::Full;
+          case Admit::Degraded: return ServiceRung::Degraded;
+          case Admit::Backup: return ServiceRung::Backup;
+          case Admit::Shed: return ServiceRung::Shed;
+          case Admit::BadInput: return ServiceRung::BadInput;
+        }
+        return ServiceRung::Full;
+    };
+
+    const std::uint64_t batch = report_.batches - 1;
+    double batch_span = 0.0;
+    for (std::size_t i = 0; i < solvers_.size(); ++i) {
+        const Admit d = decisions_[i];
+        batch_span = std::max(batch_span, batch_cost_[i]);
+        if (timeline_enabled_) {
+            const auto robot = static_cast<std::uint32_t>(i);
+            if (d != prev_decisions_[i]) {
+                FleetTimeline::Marker m;
+                m.robot = robot;
+                m.batch = batch;
+                m.atSeconds = virtual_now_;
+                m.kind = TimelineMarker::RungChange;
+                m.from = to_rung(prev_decisions_[i]);
+                m.to = to_rung(d);
+                timeline_.recordMarker(m);
+            }
+            if (d == Admit::Full || d == Admit::Degraded) {
+                FleetTimeline::SolveSpan span;
+                span.robot = robot;
+                span.batch = batch;
+                span.startSeconds = virtual_now_;
+                span.durationSeconds = batch_cost_[i];
+                span.rung = to_rung(d);
+                span.status = results_[i].status;
+                span.iterations = results_[i].iterations;
+                timeline_.recordSpan(span);
+            } else {
+                FleetTimeline::Marker m;
+                m.robot = robot;
+                m.batch = batch;
+                m.atSeconds = virtual_now_;
+                switch (d) {
+                  case Admit::Backup:
+                    m.kind = poisoned_[i]
+                                 ? TimelineMarker::SensorDemoted
+                                 : TimelineMarker::ServedFromBackup;
+                    break;
+                  case Admit::Shed:
+                    m.kind = TimelineMarker::Shed;
+                    break;
+                  default:
+                    m.kind = TimelineMarker::BadInput;
+                    break;
+                }
+                timeline_.recordMarker(m);
+            }
+        }
+        prev_decisions_[i] = d;
+    }
+
+    // Advance the virtual clock by one batch period: the configured
+    // budget when admission is on (the fleet runs at a fixed rate),
+    // otherwise the longest modeled solve in the batch.
+    virtual_now_ += options_.batchDeadlineSeconds > 0.0
+                        ? options_.batchDeadlineSeconds
+                        : batch_span;
 }
 
 const std::vector<IpmSolver::Result> &
@@ -525,6 +611,7 @@ BatchController::solveAll(const std::vector<Vector> &states,
     ov.batchLatency.sample(seconds);
 
     updateCostModel();
+    recordTimeline();
 
     states_ = nullptr;
     refs_ = nullptr;
@@ -549,6 +636,106 @@ BatchController::resetAll()
         backups_[i].clear();
         gates_[i].reset();
     }
+}
+
+std::string
+batchMetricsJson(const BatchReport &report, bool include_timing)
+{
+    using stats::Scalar;
+    using stats::StatGroup;
+
+    auto scalar = [](const char *name, const char *desc, double v) {
+        Scalar s(name, desc);
+        s.set(v);
+        return s;
+    };
+    auto count = [&](const char *name, const char *desc,
+                     std::uint64_t v) {
+        return scalar(name, desc, static_cast<double>(v));
+    };
+
+    const OverloadReport &ov = report.overload;
+    std::vector<Scalar> scalars;
+    scalars.reserve(32);
+    scalars.push_back(count("robots", "fleet size", report.robots));
+    scalars.push_back(count("batches", "solveAll() calls",
+                            report.batches));
+    scalars.push_back(count("solves", "robot-solves", report.solves));
+    scalars.push_back(count("totalIterations", "summed IPM iterations",
+                            report.totalIterations));
+    scalars.push_back(count("totalKktFlops", "summed KKT-backend flops",
+                            report.totalKktFlops));
+    scalars.push_back(count("unconverged", "solves that hit the cap",
+                            report.unconverged));
+    scalars.push_back(count("lastBatchAllocations",
+                            "heap allocations in the last batch",
+                            report.lastBatchAllocations));
+    scalars.push_back(count("lastBatchFailures",
+                            "non-usable solves in the last batch",
+                            report.lastBatchFailures));
+    scalars.push_back(count("failures", "lifetime non-usable solves",
+                            report.failures));
+    scalars.push_back(count("saturations", "fixed-point saturations",
+                            report.saturations));
+    scalars.push_back(count("divByZeros", "fixed-point div-by-zeros",
+                            report.divByZeros));
+    scalars.push_back(count("faultsInjected", "injected bit flips",
+                            report.faultsInjected));
+    scalars.push_back(count("numericDegraded",
+                            "NumericDegraded solves, last batch",
+                            report.lastBatchNumericDegraded));
+    scalars.push_back(scalar("budgetSeconds",
+                             "batch budget (< 0 = admission off)",
+                             ov.budgetSeconds));
+    scalars.push_back(scalar("projectedSeconds",
+                             "pre-admission projected batch cost",
+                             ov.projectedSeconds));
+    scalars.push_back(scalar("admittedSeconds",
+                             "post-admission projected batch cost",
+                             ov.admittedSeconds));
+    scalars.push_back(count("overloadedBatches",
+                            "batches projected over budget",
+                            ov.overloadedBatches));
+    scalars.push_back(count("degraded", "lifetime degraded solves",
+                            ov.degraded));
+    scalars.push_back(count("servedFromBackup",
+                            "lifetime backup-tail serves",
+                            ov.servedFromBackup));
+    scalars.push_back(count("shed", "lifetime sheds", ov.shed));
+    scalars.push_back(count("badInput", "lifetime input rejections",
+                            ov.badInput));
+    scalars.push_back(count("poisoned",
+                            "lifetime sensor-gate demotions",
+                            ov.poisoned));
+    if (include_timing) {
+        // Environment-dependent fields: worker-pool size and wall
+        // clocks vary across machines and thread counts, so the
+        // replay-stable snapshot (include_timing = false) omits them.
+        scalars.push_back(count("threads", "worker threads (0 = inline)",
+                                report.threads));
+        scalars.push_back(scalar("lastBatchSeconds",
+                                 "wall time of the last batch",
+                                 report.lastBatchSeconds));
+        scalars.push_back(scalar("totalBatchSeconds",
+                                 "summed batch wall time",
+                                 report.totalBatchSeconds));
+        scalars.push_back(scalar("robotsPerSecond",
+                                 "throughput of the last batch",
+                                 report.robotsPerSecond));
+        scalars.push_back(scalar("utilization",
+                                 "lastBatchSeconds / budgetSeconds",
+                                 ov.utilization));
+    }
+
+    StatGroup group("batch");
+    for (Scalar &s : scalars)
+        group.add(&s);
+    // The latency histogram is wall-clock-derived by construction, so
+    // it rides the include_timing switch with the other wall fields.
+    stats::Histogram latency = ov.batchLatency;
+    if (include_timing)
+        group.add(&latency);
+    return group.toJson();
 }
 
 } // namespace robox::mpc

@@ -61,6 +61,7 @@
 #include "mpc/ipm.hh"
 #include "mpc/sensor_gate.hh"
 #include "mpc/status.hh"
+#include "mpc/timeline.hh"
 #include "support/stats.hh"
 
 namespace robox::mpc
@@ -251,6 +252,23 @@ class BatchController
     /** Lifetime statistics, refreshed after each solveAll(). */
     const BatchReport &report() const { return report_; }
 
+    /**
+     * Record the fleet serving timeline (see mpc/timeline.hh). Off by
+     * default; recording appends a handful of records per robot per
+     * batch on the coordinating thread, after the batch drained, so it
+     * never perturbs solve results. The virtual clock keeps running
+     * while recording is off, so a late enable still lands on the
+     * campaign's time axis.
+     */
+    void enableTimeline(bool on) { timeline_enabled_ = on; }
+
+    /** The recorded fleet timeline (empty until enableTimeline). */
+    const FleetTimeline &timeline() const { return timeline_; }
+
+    /** Drop all recorded timeline records (the virtual clock and
+     *  rung-change baselines are preserved). */
+    void clearTimeline() { timeline_.clear(); }
+
   private:
     /** Admission decision for one robot in the current batch. */
     enum class Admit : std::uint8_t
@@ -280,6 +298,9 @@ class BatchController
     void solveOne(std::size_t i);
     /** Fold measured (or injected) solve costs into the EWMA model. */
     void updateCostModel();
+    /** Append this batch's spans/markers and advance the virtual
+     *  clock; runs on the coordinating thread after updateCostModel. */
+    void recordTimeline();
 
     std::vector<std::unique_ptr<IpmSolver>> solvers_;
     std::vector<IpmSolver::Result> results_;
@@ -296,6 +317,14 @@ class BatchController
     std::vector<std::size_t> order_; //!< Admission service order scratch.
     CostHook cost_hook_;
     StallHook stall_hook_;
+
+    // Fleet timeline state (all touched only by the coordinator).
+    bool timeline_enabled_ = false;
+    FleetTimeline timeline_;
+    double virtual_now_ = 0.0; //!< Virtual campaign time, seconds.
+    std::vector<Admit> prev_decisions_; //!< Rung-change baseline.
+    std::vector<std::uint8_t> poisoned_; //!< Sensor-gate demotions.
+    std::vector<double> batch_cost_; //!< Modeled cost of this batch.
 
     // Current batch inputs (valid only while solveAll is running).
     const std::vector<Vector> *states_ = nullptr;
@@ -314,6 +343,19 @@ class BatchController
     std::size_t pending_ = 0; //!< Workers still draining this batch.
     bool stop_ = false;
 };
+
+/**
+ * Render a BatchReport in the uniform metrics schema of
+ * stats::StatGroup::toJson() (group name "batch"): lifetime counters,
+ * last-batch decision counts, and the overload ladder's accounting.
+ *
+ * include_timing=false omits every environment-dependent field (the
+ * worker-pool size, batch seconds, throughput, utilization, the
+ * latency histogram) so campaign snapshots driven by a virtual-time
+ * cost hook diff byte-identically across runs and thread counts.
+ */
+std::string batchMetricsJson(const BatchReport &report,
+                             bool include_timing = true);
 
 } // namespace robox::mpc
 

@@ -137,6 +137,9 @@ IpmSolver::IpmSolver(const dsl::ModelSpec &model, const MpcOptions &options)
                       Vector(nx));
     ws_.sol.du.assign(static_cast<std::size_t>(n_stages), Vector(nu));
     result_.u0.resize(nu);
+    // Pre-size the iteration-trace ring here, once: recording during
+    // solve() is then in-place writes only.
+    stats_.trace.configure(options.solveTraceCapacity);
 }
 
 void
@@ -337,7 +340,7 @@ IpmSolver::solve(const Vector &x0, const std::vector<Vector> &refs)
     const int np_term = problem_.numTerminalResiduals();
     const dsl::ModelSpec &model = problem_.model();
 
-    stats_ = SolveStats();
+    stats_.resetForSolve();
 
     // Numeric-health bookkeeping for the fixed-point path: restart the
     // problem's per-solve report and delta the thread-local Fixed
@@ -474,6 +477,7 @@ IpmSolver::solve(const Vector &x0, const std::vector<Vector> &refs)
      * the cold restart. Returns false when the ladder is exhausted, in
      * which case final_status carries the give-up classification.
      */
+    RecoveryRung last_rung = RecoveryRung::None;
     auto recover = [&](SolveStatus kind, bool reg_helps) -> bool {
         ++stats_.recoveryAttempts;
         if (reg_helps && reg_bumps < opt.maxRegularizationBumps) {
@@ -481,12 +485,14 @@ IpmSolver::solve(const Vector &x0, const std::vector<Vector> &refs)
                       opt.regularizationBumpFactor;
             ++reg_bumps;
             ++stats_.regularizationBumps;
+            last_rung = RecoveryRung::RegBump;
             return true;
         }
         if (reg_helps && backoffs < 1) {
             alpha_cap *= 0.1;
             ++backoffs;
             ++stats_.stepBackoffs;
+            last_rung = RecoveryRung::StepBackoff;
             return true;
         }
         if (cold_restarts < opt.maxColdRestarts) {
@@ -496,10 +502,37 @@ IpmSolver::solve(const Vector &x0, const std::vector<Vector> &refs)
             alpha_cap = 1.0;
             initializeTrajectory(x0, refs);
             mu = initializeSlacks(refs, opt.muInit);
+            last_rung = RecoveryRung::ColdRestart;
             return true;
         }
         final_status = kind;
+        last_rung = RecoveryRung::Exhausted;
         return false;
+    };
+
+    // Append one record to the iteration-trace ring (in-place write;
+    // see SolveTrace). mu is passed explicitly because a cold restart
+    // inside recover() resets the captured variable before the failed
+    // iteration is recorded.
+    auto record_iter = [&](int iteration, double eq_res, double comp,
+                           double mu_at, double alpha, double step_inf,
+                           FactorStatus factor, RecoveryRung rung) {
+        if (!stats_.trace.enabled())
+            return;
+        IterationRecord rec;
+        rec.iteration = iteration;
+        rec.eqResidual = eq_res;
+        rec.compAverage = comp;
+        rec.mu = mu_at;
+        rec.stepAlpha = alpha;
+        rec.stepInf = step_inf;
+        rec.regularization = kkt_reg;
+        rec.factor = factor;
+        rec.rung = rung;
+        rec.regularizationBumps = stats_.regularizationBumps;
+        rec.stepBackoffs = stats_.stepBackoffs;
+        rec.coldRestarts = stats_.coldRestarts;
+        stats_.trace.push(rec);
     };
 
     // Slack/dual steps for the primal direction under barrier targets
@@ -628,7 +661,11 @@ IpmSolver::solve(const Vector &x0, const std::vector<Vector> &refs)
         // solve can fix that, so escalate straight to a cold restart.
         if (!std::isfinite(eq_residual)) {
             stats_.iterations = iter + 1;
-            if (recover(SolveStatus::NumericFailure, false))
+            double mu_at = mu;
+            bool again = recover(SolveStatus::NumericFailure, false);
+            record_iter(iter + 1, eq_residual, stats_.compAverage,
+                        mu_at, 0.0, 0.0, FactorStatus::Ok, last_rung);
+            if (again)
                 continue;
             break;
         }
@@ -748,8 +785,12 @@ IpmSolver::solve(const Vector &x0, const std::vector<Vector> &refs)
             // An indefinite-but-finite KKT block responds to a bigger
             // Levenberg shift; NaN/Inf data does not.
             stats_.iterations = iter + 1;
-            if (recover(SolveStatus::NumericFailure,
-                        kkt_status != FactorStatus::NonFinite))
+            double mu_at = mu;
+            bool again = recover(SolveStatus::NumericFailure,
+                                 kkt_status != FactorStatus::NonFinite);
+            record_iter(iter + 1, eq_residual, comp_now, mu_at, 0.0,
+                        0.0, kkt_status, last_rung);
+            if (again)
                 continue;
             break;
         }
@@ -831,9 +872,15 @@ IpmSolver::solve(const Vector &x0, const std::vector<Vector> &refs)
         }
         if (!finite_iterate || iterate_inf > opt.divergenceThreshold) {
             stats_.iterations = iter + 1;
-            if (recover(finite_iterate ? SolveStatus::Diverged
+            double mu_at = mu;
+            bool again =
+                recover(finite_iterate ? SolveStatus::Diverged
                                        : SolveStatus::NumericFailure,
-                        false))
+                        false);
+            record_iter(iter + 1, eq_residual, stats_.compAverage,
+                        mu_at, used_alpha, step_inf, FactorStatus::Ok,
+                        last_rung);
+            if (again)
                 continue;
             break;
         }
@@ -858,6 +905,8 @@ IpmSolver::solve(const Vector &x0, const std::vector<Vector> &refs)
         stats_.iterations = iter + 1;
         stats_.eqResidual = eq_residual;
         stats_.compAverage = comp_avg;
+        record_iter(iter + 1, eq_residual, comp_avg, mu, used_alpha,
+                    step_inf, FactorStatus::Ok, RecoveryRung::None);
 
         if (step_inf * used_alpha < opt.tolerance &&
             eq_residual < 10.0 * opt.tolerance &&

@@ -28,6 +28,7 @@
 #include "mpc/dense_kkt.hh"
 #include "mpc/problem.hh"
 #include "mpc/riccati.hh"
+#include "mpc/solve_trace.hh"
 #include "mpc/status.hh"
 
 namespace robox::mpc
@@ -65,6 +66,36 @@ struct SolveStats
      *  injected faults, golden cross-check verdicts. All zero when
      *  MpcOptions::fixedPointTapes is off. */
     NumericHealth numeric;
+
+    /** Ring of the last MpcOptions::solveTraceCapacity iterations of
+     *  this solve (residuals, barrier, steps, regularization, ladder
+     *  activity); see mpc/solve_trace.hh and formatSolveTrace(). */
+    SolveTrace trace;
+
+    /**
+     * Reset every per-solve field while keeping the trace ring's
+     * storage. solve() calls this instead of reassigning a fresh
+     * SolveStats so the warm path stays allocation-free.
+     */
+    void resetForSolve()
+    {
+        iterations = 0;
+        converged = false;
+        objective = 0.0;
+        eqResidual = 0.0;
+        compAverage = 0.0;
+        riccatiFlops = 0;
+        lineSearchEvals = 0;
+        solveSeconds = 0.0;
+        heapAllocations = 0;
+        status = SolveStatus::Unsolved;
+        recoveryAttempts = 0;
+        regularizationBumps = 0;
+        stepBackoffs = 0;
+        coldRestarts = 0;
+        numeric = NumericHealth();
+        trace.clear();
+    }
 };
 
 /** The interior-point MPC solver. */

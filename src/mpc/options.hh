@@ -179,6 +179,17 @@ struct MpcOptions
     double equalityRelaxation = 1e-6;
 
     /**
+     * Capacity of the per-solve iteration trace ring
+     * (SolveStats::trace): the last N interior-point iterations of
+     * every solve are retained with their residuals, barrier value,
+     * step lengths, regularization, and recovery-ladder activity. The
+     * ring is pre-sized at solver construction and written in place, so
+     * tracing stays on the allocation-free hot path. 0 disables
+     * recording entirely.
+     */
+    int solveTraceCapacity = 64;
+
+    /**
      * Evaluate all problem tapes in the accelerator's Q14.17 fixed
      * point with LUT nonlinears instead of double precision. Used to
      * validate the paper's claim that 32-bit fixed point with 17

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Chrome trace-event export of the fleet serving timeline.
+ */
+
+#include "mpc/timeline.hh"
+
+#include <set>
+#include <sstream>
+
+#include "support/trace.hh"
+
+namespace robox::mpc
+{
+
+const char *
+toString(ServiceRung rung)
+{
+    switch (rung) {
+      case ServiceRung::Full: return "full";
+      case ServiceRung::Degraded: return "degraded";
+      case ServiceRung::Backup: return "backup";
+      case ServiceRung::Shed: return "shed";
+      case ServiceRung::BadInput: return "bad-input";
+    }
+    return "?";
+}
+
+const char *
+toString(TimelineMarker marker)
+{
+    switch (marker) {
+      case TimelineMarker::RungChange: return "rung-change";
+      case TimelineMarker::ServedFromBackup: return "served-from-backup";
+      case TimelineMarker::Shed: return "shed";
+      case TimelineMarker::BadInput: return "bad-input";
+      case TimelineMarker::SensorDemoted: return "sensor-demoted";
+    }
+    return "?";
+}
+
+namespace
+{
+
+constexpr int kFleetPid = 0;
+constexpr double kMicrosPerSecond = 1e6;
+
+} // namespace
+
+std::string
+FleetTimeline::toChromeJson() const
+{
+    robox::trace::ChromeTraceWriter writer;
+
+    // Label every robot lane that carries at least one record; the
+    // ordered set keeps metadata order (and thus output bytes)
+    // independent of record order.
+    std::set<std::uint32_t> robots;
+    for (const SolveSpan &s : spans_)
+        robots.insert(s.robot);
+    for (const Marker &m : markers_)
+        robots.insert(m.robot);
+    writer.setProcessName(kFleetPid, "fleet");
+    for (std::uint32_t robot : robots) {
+        std::ostringstream name;
+        name << "robot " << robot;
+        const int tid = static_cast<int>(robot);
+        writer.setThreadName(kFleetPid, tid, name.str());
+        writer.setThreadSortIndex(kFleetPid, tid, tid);
+    }
+
+    for (const SolveSpan &s : spans_) {
+        std::ostringstream name;
+        name << "solve (" << toString(s.rung) << ")";
+        std::ostringstream args;
+        args << "{\"batch\":" << s.batch << ",\"status\":\""
+             << toString(s.status) << "\",\"iterations\":"
+             << s.iterations << "}";
+        writer.completeEvent(name.str(), toString(s.rung), kFleetPid,
+                             static_cast<int>(s.robot),
+                             s.startSeconds * kMicrosPerSecond,
+                             s.durationSeconds * kMicrosPerSecond,
+                             args.str());
+    }
+    for (const Marker &m : markers_) {
+        std::ostringstream args;
+        args << "{\"batch\":" << m.batch;
+        if (m.kind == TimelineMarker::RungChange)
+            args << ",\"from\":\"" << toString(m.from) << "\",\"to\":\""
+                 << toString(m.to) << "\"";
+        args << "}";
+        writer.instantEvent(toString(m.kind), "admission", kFleetPid,
+                            static_cast<int>(m.robot),
+                            m.atSeconds * kMicrosPerSecond, args.str());
+    }
+    return writer.json();
+}
+
+void
+FleetTimeline::writeChromeJson(const std::string &path) const
+{
+    robox::trace::writeTextFile(path, toChromeJson());
+}
+
+} // namespace robox::mpc

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 
+#include "support/logging.hh"
 #include "translator/workload.hh"
 
 namespace robox::perfmodel
@@ -16,7 +17,11 @@ WorkloadProfile
 profileProblem(const mpc::MpcProblem &problem, int iterations,
                int slice_stages)
 {
-    int slice = std::min(problem.horizon(), slice_stages);
+    // A non-positive slice would build an empty M-DFG and then divide
+    // by zero in the horizon rescale below. Catch it loudly in debug
+    // builds and clamp into [1, horizon] in release builds.
+    robox_assert_dbg(slice_stages > 0);
+    int slice = std::clamp(slice_stages, 1, problem.horizon());
     translator::Workload wl =
         translator::buildSolverIteration(problem, slice);
     mdfg::GraphStats stats = wl.graph.stats();

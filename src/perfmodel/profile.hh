@@ -26,6 +26,8 @@ namespace robox::perfmodel
  *        solver's measured count, or the benchmark default).
  * @param slice_stages Stage slice used to build the M-DFG (scaled back
  *        to the full horizon exactly, as in the accelerator flow).
+ *        Clamped into [1, horizon]; non-positive values additionally
+ *        trip a debug assertion.
  */
 WorkloadProfile profileProblem(const mpc::MpcProblem &problem,
                                int iterations, int slice_stages = 32);

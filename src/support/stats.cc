@@ -75,7 +75,14 @@ Histogram::percentile(double p) const
         if (target <= seen + counts_[i]) {
             double frac = static_cast<double>(target - seen) /
                           static_cast<double>(counts_[i]);
-            return lo_ + (static_cast<double>(i) + frac) * width;
+            // The linear interpolation only knows the bucket's edges,
+            // not where its samples actually sit: a sparsely filled
+            // bucket can interpolate past every recorded value (a
+            // single sample resolves to the bucket's upper edge).
+            // Clamp to the observed range so percentile(p) is always
+            // within [min(), max()] for a non-empty histogram.
+            double v = lo_ + (static_cast<double>(i) + frac) * width;
+            return std::clamp(v, min_, max_);
         }
         seen += counts_[i];
     }
@@ -160,6 +167,47 @@ StatGroup::csv() const
     for (const Formula *f : formulas_)
         os << name_ << "." << f->name() << ","
            << formatDouble(f->value()) << "\n";
+    return os.str();
+}
+
+std::string
+StatGroup::toJson() const
+{
+    std::ostringstream os;
+    os << "{\n  \"group\": \"" << jsonEscape(name_) << "\",\n";
+
+    os << "  \"scalars\": {";
+    for (std::size_t i = 0; i < scalars_.size(); ++i)
+        os << (i ? ", " : "") << "\"" << jsonEscape(scalars_[i]->name())
+           << "\": " << jsonNumber(scalars_[i]->value());
+    os << "},\n";
+
+    os << "  \"formulas\": {";
+    for (std::size_t i = 0; i < formulas_.size(); ++i)
+        os << (i ? ", " : "") << "\""
+           << jsonEscape(formulas_[i]->name())
+           << "\": " << jsonNumber(formulas_[i]->value());
+    os << "},\n";
+
+    os << "  \"histograms\": {";
+    for (std::size_t i = 0; i < histograms_.size(); ++i) {
+        const Histogram *h = histograms_[i];
+        os << (i ? ",\n    " : "\n    ") << "\""
+           << jsonEscape(h->name()) << "\": {\"samples\": "
+           << h->totalSamples() << ", \"mean\": "
+           << jsonNumber(h->mean()) << ", \"min\": "
+           << jsonNumber(h->min()) << ", \"max\": "
+           << jsonNumber(h->max()) << ", \"underflow\": "
+           << h->underflow() << ", \"overflow\": " << h->overflow()
+           << ", \"lo\": " << jsonNumber(h->lo()) << ", \"hi\": "
+           << jsonNumber(h->hi()) << ", \"buckets\": [";
+        for (int b = 0; b < h->numBuckets(); ++b)
+            os << (b ? "," : "") << h->bucketCount(b);
+        os << "], \"p50\": " << jsonNumber(h->percentile(0.5))
+           << ", \"p90\": " << jsonNumber(h->percentile(0.9))
+           << ", \"p99\": " << jsonNumber(h->percentile(0.99)) << "}";
+    }
+    os << (histograms_.empty() ? "}" : "\n  }") << "\n}";
     return os.str();
 }
 

@@ -73,11 +73,15 @@ class Histogram
      * Approximate p-quantile (p in [0, 1]) by walking the cumulative
      * bucket counts and interpolating linearly within the bucket that
      * crosses the target rank. Samples below/above the bucket range
-     * resolve to the recorded min()/max(). Returns 0 when empty.
+     * resolve to the recorded min()/max(), and the interpolated value
+     * is clamped so the result is always within [min(), max()] for a
+     * non-empty histogram. Returns 0 when empty.
      */
     double percentile(double p) const;
     double min() const { return min_; }
     double max() const { return max_; }
+    double lo() const { return lo_; }
+    double hi() const { return hi_; }
     std::uint64_t bucketCount(int i) const;
     std::uint64_t underflow() const { return underflow_; }
     std::uint64_t overflow() const { return overflow_; }
@@ -139,6 +143,27 @@ class StatGroup
 
     /** Two-column CSV of scalar and formula values. */
     std::string csv() const;
+
+    /**
+     * Machine-readable snapshot of every registered statistic as one
+     * JSON object — the uniform metrics schema shared by the
+     * evaluation benches and the batch controller's overload report:
+     *
+     *   {
+     *     "group": "<name>",
+     *     "scalars": {"<name>": <value>, ...},
+     *     "formulas": {"<name>": <value>, ...},
+     *     "histograms": {"<name>": {"samples": N, "mean": ..,
+     *        "min": .., "max": .., "underflow": U, "overflow": O,
+     *        "lo": .., "hi": .., "buckets": [..],
+     *        "p50": .., "p90": .., "p99": ..}, ...}
+     *   }
+     *
+     * Entries appear in registration order; doubles render through
+     * formatDouble (NaN/Inf as quoted strings), so equal stats produce
+     * byte-identical JSON — the determinism gates in CI diff it.
+     */
+    std::string toJson() const;
 
     /** Reset every registered scalar and histogram. */
     void resetAll();

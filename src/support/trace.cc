@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Implementation of the shared Chrome trace-event writer.
+ */
+
+#include "support/trace.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "support/logging.hh"
+#include "support/strings.hh"
+
+namespace robox::trace
+{
+
+namespace
+{
+
+/** Common "name","cat","ph" prefix of an event record. */
+void
+openEvent(std::ostringstream &os, const std::string &name,
+          const std::string &cat, char ph, int pid, int tid)
+{
+    os << "{\"name\":\"" << jsonEscape(name) << "\",\"cat\":\""
+       << jsonEscape(cat) << "\",\"ph\":\"" << ph << "\",\"pid\":" << pid
+       << ",\"tid\":" << tid;
+}
+
+} // namespace
+
+void
+writeTextFile(const std::string &path, const std::string &text)
+{
+    std::FILE *file = std::fopen(path.c_str(), "wb");
+    if (!file)
+        fatal("cannot open '{}' for writing", path);
+    std::size_t written = std::fwrite(text.data(), 1, text.size(), file);
+    std::fclose(file);
+    if (written != text.size())
+        fatal("short write to '{}'", path);
+}
+
+void
+ChromeTraceWriter::setProcessName(int pid, const std::string &name)
+{
+    std::ostringstream os;
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+       << ",\"args\":{\"name\":\"" << jsonEscape(name) << "\"}}";
+    metadata_.push_back(os.str());
+}
+
+void
+ChromeTraceWriter::setThreadName(int pid, int tid,
+                                 const std::string &name)
+{
+    std::ostringstream os;
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << pid
+       << ",\"tid\":" << tid << ",\"args\":{\"name\":\""
+       << jsonEscape(name) << "\"}}";
+    metadata_.push_back(os.str());
+}
+
+void
+ChromeTraceWriter::setThreadSortIndex(int pid, int tid, int index)
+{
+    std::ostringstream os;
+    os << "{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":" << pid
+       << ",\"tid\":" << tid << ",\"args\":{\"sort_index\":" << index
+       << "}}";
+    metadata_.push_back(os.str());
+}
+
+void
+ChromeTraceWriter::completeEvent(const std::string &name,
+                                 const std::string &cat, int pid,
+                                 int tid, double ts, double dur,
+                                 const std::string &args)
+{
+    std::ostringstream os;
+    openEvent(os, name, cat, 'X', pid, tid);
+    os << ",\"ts\":" << formatDouble(ts) << ",\"dur\":"
+       << formatDouble(dur >= 1.0 ? dur : 1.0);
+    if (!args.empty())
+        os << ",\"args\":" << args;
+    os << "}";
+    events_.push_back(os.str());
+}
+
+void
+ChromeTraceWriter::instantEvent(const std::string &name,
+                                const std::string &cat, int pid,
+                                int tid, double ts,
+                                const std::string &args)
+{
+    std::ostringstream os;
+    openEvent(os, name, cat, 'i', pid, tid);
+    os << ",\"ts\":" << formatDouble(ts) << ",\"s\":\"t\"";
+    if (!args.empty())
+        os << ",\"args\":" << args;
+    os << "}";
+    events_.push_back(os.str());
+}
+
+std::string
+ChromeTraceWriter::json() const
+{
+    std::ostringstream os;
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    for (const std::string &m : metadata_) {
+        os << (first ? "\n" : ",\n") << m;
+        first = false;
+    }
+    for (const std::string &e : events_) {
+        os << (first ? "\n" : ",\n") << e;
+        first = false;
+    }
+    os << "\n]}\n";
+    return os.str();
+}
+
+void
+ChromeTraceWriter::writeJson(const std::string &path) const
+{
+    writeTextFile(path, json());
+}
+
+} // namespace robox::trace

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Shared Chrome trace-event writer.
+ *
+ * One JSON emitter for every timeline the toolchain produces: the
+ * cycle-level accelerator trace (accel/trace.hh) and the fleet-serving
+ * timeline (mpc/timeline.hh) both render through this builder, so
+ * their output loads in the same viewers (chrome://tracing, Perfetto)
+ * and diffs with the same byte-determinism discipline as the stats
+ * framework. The writer itself never reads a clock: every timestamp is
+ * supplied by the caller in trace microseconds, which is what keeps
+ * virtual-time timelines reproducible.
+ *
+ * Supported record kinds (Trace Event Format):
+ *  - "X" complete events (a span with a duration on a pid/tid lane),
+ *  - "i" instant events (a zero-duration marker),
+ *  - "M" metadata records (process_name / thread_name /
+ *    thread_sort_index), emitted before all events so viewers label
+ *    lanes correctly. Negative tids are legal and are used for
+ *    reserved lanes that do not correspond to a real unit (e.g. the
+ *    accelerator's CC-wide SIMD/GROUP lane).
+ */
+
+#ifndef ROBOX_SUPPORT_TRACE_HH
+#define ROBOX_SUPPORT_TRACE_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace robox::trace
+{
+
+/** Write a pre-rendered text blob to a file; fatal() on I/O failure. */
+void writeTextFile(const std::string &path, const std::string &text);
+
+/** An append-only builder for Chrome trace-event JSON. */
+class ChromeTraceWriter
+{
+  public:
+    /** Label a process lane (emitted as a process_name metadata
+     *  record). Call once per pid, before or after events. */
+    void setProcessName(int pid, const std::string &name);
+
+    /** Label a thread lane (thread_name metadata record). */
+    void setThreadName(int pid, int tid, const std::string &name);
+
+    /** Pin a thread lane's display order (thread_sort_index). */
+    void setThreadSortIndex(int pid, int tid, int index);
+
+    /**
+     * Append an "X" complete event.
+     *
+     * @param name Event name shown on the span.
+     * @param cat Category (comma-separated tags; filterable).
+     * @param pid Process lane.
+     * @param tid Thread lane (negative lanes are reserved/virtual).
+     * @param ts Start time in trace microseconds.
+     * @param dur Duration in trace microseconds (clamped to >= 1 so
+     *        zero-length work stays visible).
+     * @param args Optional preformatted JSON object ("{...}") for the
+     *        event's args field; empty omits it.
+     */
+    void completeEvent(const std::string &name, const std::string &cat,
+                       int pid, int tid, double ts, double dur,
+                       const std::string &args = "");
+
+    /** Append an "i" instant event (thread scope) at ts microseconds. */
+    void instantEvent(const std::string &name, const std::string &cat,
+                      int pid, int tid, double ts,
+                      const std::string &args = "");
+
+    /** Events appended so far (metadata records not counted). */
+    std::size_t size() const { return events_.size(); }
+    bool empty() const { return events_.empty(); }
+
+    /**
+     * Render {"traceEvents": [...]}: metadata records first (in call
+     * order), then events (in call order). Equal call sequences
+     * produce byte-identical JSON.
+     */
+    std::string json() const;
+
+    /** Write json() to a file; fatal() on I/O failure. */
+    void writeJson(const std::string &path) const;
+
+  private:
+    std::vector<std::string> metadata_;
+    std::vector<std::string> events_;
+};
+
+} // namespace robox::trace
+
+#endif // ROBOX_SUPPORT_TRACE_HH

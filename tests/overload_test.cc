@@ -570,5 +570,173 @@ TEST(Overload, ReportLifetimeCountersAccumulateAcrossResetAll)
     EXPECT_GE(batch.report().overload.batchLatency.totalSamples(), 4u);
 }
 
+// ---------------------------------------------------------------------
+// Fleet timeline and metrics export
+// ---------------------------------------------------------------------
+
+TEST(Timeline, EnumLabelsAreStable)
+{
+    EXPECT_STREQ(toString(ServiceRung::Full), "full");
+    EXPECT_STREQ(toString(ServiceRung::Degraded), "degraded");
+    EXPECT_STREQ(toString(ServiceRung::Backup), "backup");
+    EXPECT_STREQ(toString(ServiceRung::Shed), "shed");
+    EXPECT_STREQ(toString(ServiceRung::BadInput), "bad-input");
+    EXPECT_STREQ(toString(TimelineMarker::RungChange), "rung-change");
+    EXPECT_STREQ(toString(TimelineMarker::SensorDemoted),
+                 "sensor-demoted");
+}
+
+TEST(Timeline, RecordsSpansMarkersAndRungChanges)
+{
+    dsl::ModelSpec model = dsl::analyzeSource(kDoubleIntegrator);
+    constexpr std::size_t kRobots = 8;
+    constexpr double kCost = 1e-3;
+
+    MpcOptions opt = smallOptions();
+    opt.overloadParallelism = 1;
+    opt.batchDeadlineSeconds = 4.0 * kCost; // 2x load at 8 robots.
+
+    BatchController batch(model, opt, kRobots, 2);
+    batch.setCostHook([](std::size_t, double) { return kCost; });
+    batch.enableTimeline(true);
+
+    std::vector<Vector> states, refs;
+    makeFleetInputs(kRobots, states, refs);
+    batch.solveAll(states, refs); // Cold model: all Full.
+    batch.solveAll(states, refs); // Warm: tail degrades.
+
+    const FleetTimeline &tl = batch.timeline();
+    // Both batches solved every robot (full or degraded budget), so
+    // every robot has a span per batch and no instant service markers
+    // beyond the rung changes of batch 1.
+    ASSERT_EQ(tl.spans().size(), 2 * kRobots);
+    for (std::size_t i = 0; i < kRobots; ++i) {
+        const auto &span = tl.spans()[i];
+        EXPECT_EQ(span.robot, i);
+        EXPECT_EQ(span.batch, 0u);
+        EXPECT_DOUBLE_EQ(span.startSeconds, 0.0);
+        EXPECT_EQ(span.rung, ServiceRung::Full);
+        EXPECT_TRUE(statusUsable(span.status));
+        EXPECT_GT(span.iterations, 0);
+    }
+    // Batch 1 starts one deadline later on the virtual axis.
+    for (std::size_t i = 0; i < kRobots; ++i) {
+        const auto &span = tl.spans()[kRobots + i];
+        EXPECT_EQ(span.batch, 1u);
+        EXPECT_DOUBLE_EQ(span.startSeconds, opt.batchDeadlineSeconds);
+        EXPECT_DOUBLE_EQ(span.durationSeconds, kCost);
+    }
+    // The robots demoted in batch 1 each get one rung-change marker.
+    const std::uint64_t degraded =
+        batch.report().overload.lastBatchDegraded;
+    EXPECT_GT(degraded, 0u);
+    EXPECT_EQ(tl.markers().size(), degraded);
+    for (const auto &m : tl.markers()) {
+        EXPECT_EQ(m.kind, TimelineMarker::RungChange);
+        EXPECT_EQ(m.from, ServiceRung::Full);
+        EXPECT_EQ(m.to, ServiceRung::Degraded);
+        EXPECT_EQ(m.batch, 1u);
+    }
+
+    const std::string json = tl.toChromeJson();
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"fleet\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"robot 0\""), std::string::npos);
+    EXPECT_NE(json.find("solve (full)"), std::string::npos);
+    EXPECT_NE(json.find("solve (degraded)"), std::string::npos);
+    EXPECT_NE(json.find("rung-change"), std::string::npos);
+
+    batch.clearTimeline();
+    EXPECT_TRUE(batch.timeline().empty());
+}
+
+// Timeline and metrics exports are part of the replay contract: the
+// same campaign on 1 thread and 4 threads must export byte-identical
+// artifacts.
+TEST(Timeline, ExportsAreByteIdenticalAcrossThreadCounts)
+{
+    dsl::ModelSpec model = dsl::analyzeSource(kDoubleIntegrator);
+    constexpr std::size_t kRobots = 10;
+    constexpr int kBatches = 8;
+
+    MpcOptions opt = gatedOptions();
+    opt.batchDeadlineSeconds = 1e-3;
+    opt.overloadParallelism = 4;
+    opt.overloadBackupCostSeconds = 4e-4;
+
+    ChaosSpec spec;
+    spec.seed = 20260809;
+    spec.stallRate = 0.2;
+    spec.stallCostSeconds = 1e-3;
+    spec.burstRate = 0.3;
+    spec.burstFactor = 3.0;
+    spec.poisonRate = 0.05;
+    spec.virtualSolveCostSeconds = 4.0 * 1e-3 * 4.0 / kRobots;
+
+    auto run = [&](std::size_t threads) {
+        BatchController batch(model, opt, kRobots, threads);
+        batch.enableTimeline(true);
+        ChaosEngine chaos(spec);
+        batch.setCostHook(chaos.costHook());
+
+        std::vector<Vector> states, refs;
+        makeFleetInputs(kRobots, states, refs);
+        std::vector<Vector> prev = states;
+        for (int b = 0; b < kBatches; ++b) {
+            chaos.setBatch(static_cast<std::uint64_t>(b));
+            std::vector<Vector> meas = states;
+            for (std::size_t i = 0; i < kRobots; ++i)
+                chaos.poisonState(static_cast<std::uint64_t>(b), i,
+                                  prev[i], meas[i]);
+            prev = meas;
+            batch.solveAll(meas, refs);
+            for (std::size_t i = 0; i < kRobots; ++i) {
+                states[i][0] += 0.005;
+                states[i][1] += 0.002;
+            }
+        }
+        return std::make_pair(
+            batch.timeline().toChromeJson(),
+            batchMetricsJson(batch.report(),
+                             /*include_timing=*/false));
+    };
+
+    const auto serial = run(1);
+    const auto pooled = run(4);
+    EXPECT_EQ(serial.first, pooled.first);   // Timeline JSON.
+    EXPECT_EQ(serial.second, pooled.second); // Metrics JSON.
+
+    // The campaign must actually populate both artifacts.
+    EXPECT_NE(serial.first.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(serial.first.find("\"ph\":\"i\""), std::string::npos);
+    EXPECT_NE(serial.second.find("\"group\": \"batch\""),
+              std::string::npos);
+    EXPECT_NE(serial.second.find("\"servedFromBackup\""),
+              std::string::npos);
+}
+
+TEST(Timeline, MetricsJsonReflectsReportCounters)
+{
+    dsl::ModelSpec model = dsl::analyzeSource(kDoubleIntegrator);
+    BatchController batch(model, smallOptions(), 3, 2);
+    std::vector<Vector> states, refs;
+    makeFleetInputs(3, states, refs);
+    batch.solveAll(states, refs);
+
+    const std::string json = batchMetricsJson(batch.report());
+    EXPECT_NE(json.find("\"robots\": 3"), std::string::npos);
+    EXPECT_NE(json.find("\"batches\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"solves\": 3"), std::string::npos);
+    EXPECT_NE(json.find("\"batch_seconds\""), std::string::npos);
+    // Environment-dependent fields only appear when timing is included.
+    EXPECT_NE(json.find("\"totalBatchSeconds\""), std::string::npos);
+    EXPECT_NE(json.find("\"threads\""), std::string::npos);
+    const std::string stable =
+        batchMetricsJson(batch.report(), /*include_timing=*/false);
+    EXPECT_EQ(stable.find("\"totalBatchSeconds\""), std::string::npos);
+    EXPECT_EQ(stable.find("\"threads\""), std::string::npos);
+    EXPECT_EQ(stable.find("\"batch_seconds\""), std::string::npos);
+}
+
 } // namespace
 } // namespace robox::mpc

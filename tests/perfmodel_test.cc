@@ -106,6 +106,39 @@ TEST(Profile, PopulatesAllFields)
     EXPECT_EQ(w.horizon, 32);
 }
 
+TEST(Profile, SliceClampsToHorizonFromAbove)
+{
+    // Asking for a bigger slice than the horizon must profile the full
+    // horizon, exactly like asking for the horizon itself.
+    mpc::MpcProblem prob = makeProblem("MobileRobot", 8);
+    WorkloadProfile exact = profileProblem(prob, 1, 8);
+    WorkloadProfile over = profileProblem(prob, 1, 1000);
+    EXPECT_DOUBLE_EQ(over.flopsPerIteration, exact.flopsPerIteration);
+    EXPECT_DOUBLE_EQ(over.bytesPerIteration, exact.bytesPerIteration);
+    EXPECT_EQ(over.horizon, 8);
+}
+
+#if defined(NDEBUG) && !defined(ROBOX_FORCE_ASSERTS)
+TEST(Profile, NonPositiveSliceClampsToOneStage)
+{
+    // Release builds clamp instead of asserting: a zero or negative
+    // slice used to build an empty M-DFG and divide by zero.
+    mpc::MpcProblem prob = makeProblem("MobileRobot", 8);
+    WorkloadProfile one = profileProblem(prob, 1, 1);
+    WorkloadProfile zero = profileProblem(prob, 1, 0);
+    WorkloadProfile neg = profileProblem(prob, 1, -4);
+    EXPECT_DOUBLE_EQ(zero.flopsPerIteration, one.flopsPerIteration);
+    EXPECT_DOUBLE_EQ(neg.flopsPerIteration, one.flopsPerIteration);
+    EXPECT_GT(zero.flopsPerIteration, 0.0);
+}
+#else
+TEST(ProfileDeathTest, NonPositiveSliceTripsDebugAssert)
+{
+    mpc::MpcProblem prob = makeProblem("MobileRobot", 8);
+    EXPECT_DEATH(profileProblem(prob, 1, 0), "slice_stages");
+}
+#endif
+
 TEST(Profile, FlopsScaleWithHorizon)
 {
     double f32 =

@@ -302,5 +302,118 @@ TEST(StageReferences, WrongSizeIsRejected)
     EXPECT_DEATH(solver.solve(mobile().initialState, refs), "");
 }
 
+TEST(SolveTrace, RingKeepsNewestAndCountsDropped)
+{
+    SolveTrace trace;
+    trace.configure(3);
+    EXPECT_TRUE(trace.enabled());
+    EXPECT_EQ(trace.capacity(), 3);
+    EXPECT_TRUE(trace.empty());
+
+    for (int i = 1; i <= 5; ++i) {
+        IterationRecord rec;
+        rec.iteration = i;
+        rec.mu = 0.1 * i;
+        trace.push(rec);
+    }
+    // 5 pushes into 3 slots: the two oldest fall off the front.
+    EXPECT_EQ(trace.size(), 3);
+    EXPECT_EQ(trace.totalRecorded(), 5);
+    EXPECT_EQ(trace.dropped(), 2);
+    EXPECT_EQ(trace.record(0).iteration, 3); // Oldest retained.
+    EXPECT_EQ(trace.record(1).iteration, 4);
+    EXPECT_EQ(trace.record(2).iteration, 5); // Newest.
+
+    trace.clear();
+    EXPECT_TRUE(trace.empty());
+    EXPECT_EQ(trace.totalRecorded(), 0);
+    EXPECT_EQ(trace.capacity(), 3); // Clearing keeps the ring sized.
+}
+
+TEST(SolveTrace, ZeroCapacityDisablesRecording)
+{
+    SolveTrace trace;
+    EXPECT_FALSE(trace.enabled());
+    IterationRecord rec;
+    rec.iteration = 1;
+    trace.push(rec); // Must be a no-op, not a crash.
+    EXPECT_TRUE(trace.empty());
+    EXPECT_EQ(trace.totalRecorded(), 1); // Still counts attempts.
+    EXPECT_NE(formatSolveTrace("off", trace).find("tracing disabled"),
+              std::string::npos);
+}
+
+TEST(SolveTrace, SolverRecordsEveryIteration)
+{
+    dsl::ModelSpec model = robots::analyzeBenchmark(mobile());
+    MpcOptions opt = mobile().options;
+    opt.horizon = 10;
+    opt.solveTraceCapacity = 64;
+    IpmSolver solver(model, opt);
+    auto r = solver.solve(mobile().initialState, mobile().reference);
+    EXPECT_EQ(r.status, SolveStatus::Converged);
+
+    const SolveStats &stats = solver.lastStats();
+    ASSERT_FALSE(stats.trace.empty());
+    EXPECT_EQ(stats.trace.totalRecorded(), stats.iterations);
+    EXPECT_EQ(stats.trace.dropped(), 0);
+    // Records are oldest-first with 1-based iteration numbers, and a
+    // clean solve never enters the recovery ladder.
+    for (int i = 0; i < stats.trace.size(); ++i) {
+        const IterationRecord &rec = stats.trace.record(i);
+        EXPECT_EQ(rec.iteration, i + 1);
+        EXPECT_EQ(rec.rung, RecoveryRung::None);
+        EXPECT_EQ(rec.factor, FactorStatus::Ok);
+        EXPECT_TRUE(std::isfinite(rec.eqResidual));
+        EXPECT_GT(rec.mu, 0.0);
+    }
+    // Barrier parameter decreases over the solve.
+    EXPECT_LT(stats.trace.record(stats.trace.size() - 1).mu,
+              stats.trace.record(0).mu);
+
+    // A second solve starts a fresh trace rather than appending.
+    solver.solve(mobile().initialState, mobile().reference);
+    EXPECT_EQ(solver.lastStats().trace.totalRecorded(),
+              solver.lastStats().iterations);
+}
+
+TEST(SolveTrace, CapacityZeroSolverSkipsRecording)
+{
+    dsl::ModelSpec model = robots::analyzeBenchmark(mobile());
+    MpcOptions opt = mobile().options;
+    opt.horizon = 10;
+    opt.solveTraceCapacity = 0;
+    IpmSolver solver(model, opt);
+    solver.solve(mobile().initialState, mobile().reference);
+    EXPECT_TRUE(solver.lastStats().trace.empty());
+    EXPECT_FALSE(solver.lastStats().trace.enabled());
+}
+
+TEST(SolveTrace, FormatRendersBannerAndRows)
+{
+    dsl::ModelSpec model = robots::analyzeBenchmark(mobile());
+    MpcOptions opt = mobile().options;
+    opt.horizon = 10;
+    opt.solveTraceCapacity = 2; // Force drops on a multi-iter solve.
+    IpmSolver solver(model, opt);
+    solver.solve(mobile().initialState, mobile().reference);
+
+    const std::string text =
+        formatSolveTrace("mobile", solver.lastStats().trace);
+    EXPECT_NE(text.find("Begin Solve Trace ( mobile )"),
+              std::string::npos);
+    EXPECT_NE(text.find("End Solve Trace"), std::string::npos);
+    EXPECT_NE(text.find("iter"), std::string::npos);
+    if (solver.lastStats().iterations > 2) {
+        EXPECT_NE(text.find("dropped"), std::string::npos);
+    }
+
+    SolveTrace empty;
+    empty.configure(4);
+    EXPECT_NE(formatSolveTrace("none", empty).find(
+                  "no iterations recorded"),
+              std::string::npos);
+}
+
 } // namespace
 } // namespace robox::mpc

@@ -12,6 +12,7 @@
 #include "robots/robots.hh"
 #include "support/logging.hh"
 #include "support/stats.hh"
+#include "support/trace.hh"
 
 namespace robox
 {
@@ -120,6 +121,51 @@ TEST(Histogram, PercentileEdgeCases)
     EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
 }
 
+TEST(Histogram, PercentileClampedToObservedRange)
+{
+    // A single sample in one wide bucket: the in-bucket interpolation
+    // only knows the bucket edges, so it lands at the upper edge (100)
+    // — an order of magnitude above the only value ever recorded. The
+    // clamp pins it back to the observed range.
+    stats::Histogram h("p", "clamp", 0.0, 100.0, 1);
+    h.sample(10.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 10.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 10.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 10.0);
+
+    // Sparse bucket with several samples: p100 is the recorded max,
+    // not the bucket's upper edge, and no quantile escapes [min, max].
+    stats::Histogram s("s", "sparse", 0.0, 10.0, 1);
+    s.sample(1.0);
+    s.sample(2.0);
+    s.sample(3.0);
+    EXPECT_DOUBLE_EQ(s.percentile(1.0), 3.0);
+    for (double p = 0.0; p <= 1.0; p += 0.05) {
+        EXPECT_GE(s.percentile(p), s.min());
+        EXPECT_LE(s.percentile(p), s.max());
+    }
+}
+
+TEST(Histogram, PercentileAllUnderflowOrOverflow)
+{
+    // Every sample below the bucket range: all mass sits in underflow
+    // and every quantile resolves to the recorded min.
+    stats::Histogram u("u", "underflow", 0.0, 1.0, 4);
+    u.sample(-7.0);
+    u.sample(-3.0);
+    EXPECT_DOUBLE_EQ(u.percentile(0.0), -7.0);
+    EXPECT_DOUBLE_EQ(u.percentile(0.5), -7.0);
+    EXPECT_DOUBLE_EQ(u.percentile(1.0), -7.0);
+
+    // Every sample above the range: the walk runs off the end of the
+    // buckets and resolves to the recorded max.
+    stats::Histogram o("o", "overflow", 0.0, 1.0, 4);
+    o.sample(5.0);
+    o.sample(9.0);
+    EXPECT_DOUBLE_EQ(o.percentile(0.5), 9.0);
+    EXPECT_DOUBLE_EQ(o.percentile(1.0), 9.0);
+}
+
 TEST(Formula, ComputesFromCapturedState)
 {
     stats::Scalar hits("hits", "");
@@ -156,6 +202,111 @@ TEST(StatGroup, DumpContainsAllEntries)
     group.resetAll();
     EXPECT_DOUBLE_EQ(a.value(), 0.0);
     EXPECT_EQ(h.totalSamples(), 0u);
+}
+
+TEST(StatGroup, ToJsonGoldenSnapshot)
+{
+    stats::Scalar alpha("alpha", "a scalar");
+    alpha.set(42.0);
+    stats::Formula beta("beta", "a formula", [] { return 2.5; });
+    stats::Histogram lat("lat", "a histogram", 0.0, 10.0, 2);
+    lat.sample(5.0);
+
+    stats::StatGroup group("g");
+    group.add(&alpha);
+    group.add(&beta);
+    group.add(&lat);
+
+    // Byte-exact schema: this is the contract the benches and the CI
+    // golden files rely on. The single sample sits in the upper
+    // bucket; interpolation alone would report quantiles up to the
+    // bucket edge (10), the clamp pins them to the observed value.
+    const std::string expected =
+        "{\n"
+        "  \"group\": \"g\",\n"
+        "  \"scalars\": {\"alpha\": 42},\n"
+        "  \"formulas\": {\"beta\": 2.5},\n"
+        "  \"histograms\": {\n"
+        "    \"lat\": {\"samples\": 1, \"mean\": 5, \"min\": 5, "
+        "\"max\": 5, \"underflow\": 0, \"overflow\": 0, \"lo\": 0, "
+        "\"hi\": 10, \"buckets\": [0,1], \"p50\": 5, \"p90\": 5, "
+        "\"p99\": 5}\n"
+        "  }\n"
+        "}";
+    EXPECT_EQ(group.toJson(), expected);
+}
+
+TEST(StatGroup, ToJsonEmptyGroup)
+{
+    stats::StatGroup group("empty");
+    EXPECT_EQ(group.toJson(),
+              "{\n"
+              "  \"group\": \"empty\",\n"
+              "  \"scalars\": {},\n"
+              "  \"formulas\": {},\n"
+              "  \"histograms\": {}\n"
+              "}");
+}
+
+TEST(ChromeTraceWriter, GoldenJsonRoundTrip)
+{
+    robox::trace::ChromeTraceWriter w;
+    // Events appended before metadata must still render after it:
+    // viewers only honor lane labels that precede the events.
+    w.completeEvent("solve", "full", 0, 3, 10.0, 0.25,
+                    "{\"batch\":1}");
+    w.instantEvent("shed", "admission", 0, -1, 12.5);
+    w.setProcessName(0, "fleet");
+    w.setThreadName(0, -1, "virtual");
+    w.setThreadSortIndex(0, -1, -1);
+
+    EXPECT_EQ(w.size(), 2u);
+    const std::string expected =
+        "{\"traceEvents\":[\n"
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,"
+        "\"args\":{\"name\":\"fleet\"}},\n"
+        "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":-1,"
+        "\"args\":{\"name\":\"virtual\"}},\n"
+        "{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":0,"
+        "\"tid\":-1,\"args\":{\"sort_index\":-1}},\n"
+        // dur 0.25 clamps to 1 so zero-length work stays visible.
+        "{\"name\":\"solve\",\"cat\":\"full\",\"ph\":\"X\",\"pid\":0,"
+        "\"tid\":3,\"ts\":10,\"dur\":1,\"args\":{\"batch\":1}},\n"
+        "{\"name\":\"shed\",\"cat\":\"admission\",\"ph\":\"i\","
+        "\"pid\":0,\"tid\":-1,\"ts\":12.5,\"s\":\"t\"}\n"
+        "]}\n";
+    EXPECT_EQ(w.json(), expected);
+}
+
+TEST(Trace, CcWideLaneDoesNotCollideWithHighCu)
+{
+    // Regression: the old export parked CC-wide work on tid 99, which
+    // collided with a real CU 99 on wide clusters. CC-wide work now
+    // lives on the reserved negative lane with its own label.
+    accel::Trace trace;
+    accel::TraceEvent wide;
+    wide.node = 1;
+    wide.cc = 0;
+    wide.cu = -1; // CC-wide (SIMD/GROUP).
+    wide.start = 0;
+    wide.finish = 2;
+    trace.record(wide);
+    accel::TraceEvent cu99;
+    cu99.node = 2;
+    cu99.cc = 0;
+    cu99.cu = 99;
+    cu99.start = 2;
+    cu99.finish = 5;
+    trace.record(cu99);
+
+    const std::string json = trace.toChromeJson();
+    EXPECT_NE(json.find("\"tid\":-1,\"ts\":0"), std::string::npos);
+    EXPECT_NE(json.find("\"tid\":99,\"ts\":2"), std::string::npos);
+    EXPECT_NE(json.find("CC-wide (SIMD/GROUP)"), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"CU 99\""), std::string::npos);
+    // The two lanes are labeled separately — exactly one CC-wide
+    // label, and the negative lane never carries the CU 99 span.
+    EXPECT_EQ(json.find("CC-wide"), json.rfind("CC-wide"));
 }
 
 TEST(Trace, RecordsEveryNodeAndExportsChromeJson)

@@ -4,6 +4,8 @@
  * string utilities.
  */
 
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "support/logging.hh"
@@ -85,6 +87,24 @@ TEST(Strings, FormatDoubleRoundTrips)
     EXPECT_EQ(formatDouble(-3.0), "-3");
     double v = 0.1234567890123;
     EXPECT_NEAR(std::stod(formatDouble(v)), v, 1e-12);
+}
+
+TEST(Strings, JsonEscape)
+{
+    EXPECT_EQ(jsonEscape("plain text"), "plain text");
+    EXPECT_EQ(jsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+    EXPECT_EQ(jsonEscape("nl\ntab\tcr\r"), "nl\\ntab\\tcr\\r");
+    EXPECT_EQ(jsonEscape(std::string(1, '\x01')), "\\u0001");
+    EXPECT_EQ(jsonEscape(""), "");
+}
+
+TEST(Strings, JsonNumberHandlesNonFinite)
+{
+    EXPECT_EQ(jsonNumber(1.5), "1.5");
+    EXPECT_EQ(jsonNumber(0.0), "0");
+    EXPECT_EQ(jsonNumber(std::nan("")), "\"nan\"");
+    EXPECT_EQ(jsonNumber(HUGE_VAL), "\"inf\"");
+    EXPECT_EQ(jsonNumber(-HUGE_VAL), "\"-inf\"");
 }
 
 } // namespace

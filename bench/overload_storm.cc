@@ -19,6 +19,15 @@
  * the tracking-error cost of degradation. No wall-clock quantity is
  * printed — that is what keeps the output diffable.
  *
+ * A second sweep exercises the degraded-comms path (mpc/link.hh): the
+ * same fleet at a fixed, underloaded compute point, but with the
+ * robot<->controller link impaired at increasing loss rates. Drops,
+ * delays, duplicates and blackouts are pure splitmix64 functions of
+ * (seed, period, robot), so the link sweep is byte-deterministic too.
+ * Reported per point: drop/retransmit/plan-miss counters, state
+ * extrapolations, staleness demotions, link-down events, and the
+ * closed-loop tracking cost of flying on buffered plan tails.
+ *
  * `--smoke` shrinks the sweep to a ~1 s check suitable for CI, which
  * diffs two runs byte-for-byte as a determinism gate. Flags:
  *   --smoke           shrink the sweep for CI
@@ -27,6 +36,7 @@
  *   --metrics PATH    also write the report to PATH
  *   --timeline PATH   write the highest-load storm's fleet timeline
  *                     (Chrome trace-event JSON; see mpc/timeline.hh)
+ *   --link-timeline PATH  write the worst-loss link storm's timeline
  *
  * The per-point metrics render through stats::StatGroup::toJson(), the
  * same schema the fault campaign and the batch controller's overload
@@ -198,6 +208,109 @@ runStorm(const robox::dsl::ModelSpec &model, const MpcOptions &opt,
     return result;
 }
 
+/** Outcome of one link storm at one loss-rate point. */
+struct LinkStormResult
+{
+    double lossRate = 0.0;
+    std::uint64_t uplinkDropped = 0;
+    std::uint64_t downlinkDropped = 0;
+    std::uint64_t retransmits = 0;
+    std::uint64_t planMisses = 0;
+    std::uint64_t statesExtrapolated = 0;
+    std::uint64_t staleDemotions = 0;
+    std::uint64_t linkDownEvents = 0;
+    std::uint64_t servedFromBackup = 0;
+    std::uint64_t shed = 0;
+    double maxTrackingError = 0.0;
+    double meanTrackingError = 0.0;
+};
+
+/** One closed-loop storm over the lossy link: compute is underloaded
+ *  (offered load 0.5, virtual time) so every demotion below comes from
+ *  the link layer — dropped uplinks forcing extrapolation and staleness
+ *  demotions, dropped plans forcing the robots onto buffered tails. */
+LinkStormResult
+runLinkStorm(const robox::dsl::ModelSpec &model, const MpcOptions &opt,
+             double loss, std::uint64_t seed, int batches,
+             std::size_t threads, FleetTimeline *timeline_out)
+{
+    ChaosSpec spec;
+    spec.seed = seed;
+    spec.uplinkDropRate = loss;
+    spec.downlinkDropRate = loss;
+    spec.uplinkDelayRate = 0.5 * loss;
+    spec.downlinkDelayRate = 0.5 * loss;
+    spec.linkDelayPeriodsMax = 2;
+    spec.uplinkDupRate = 0.25 * loss;
+    spec.downlinkDupRate = 0.25 * loss;
+    spec.linkBlackoutRate = 0.05 * loss;
+    spec.linkBlackoutBatches = 4;
+    spec.virtualSolveCostSeconds =
+        0.5 * kBudgetSeconds * kParallelism / kRobots;
+    ChaosEngine chaos(spec);
+
+    MpcOptions link_opt = opt;
+    link_opt.linkEnabled = true;
+
+    BatchController batch(model, link_opt, kRobots, threads);
+    batch.setCostHook(chaos.costHook());
+    batch.setLinkChaos(&chaos);
+    batch.enableTimeline(timeline_out != nullptr);
+
+    Plant plant(model);
+    std::vector<Vector> truth, meas, refs;
+    for (std::size_t i = 0; i < kRobots; ++i) {
+        double s = static_cast<double>(i);
+        truth.push_back(Vector{0.1 * s, -0.03 * s});
+        meas.push_back(Vector{0.0, 0.0});
+        refs.push_back(Vector{1.0 + 0.2 * s});
+    }
+
+    LinkStormResult result;
+    result.lossRate = loss;
+    const int settle = batches / 3;
+    double err_sum = 0.0;
+    std::uint64_t err_n = 0;
+
+    for (int b = 0; b < batches; ++b) {
+        chaos.setBatch(static_cast<std::uint64_t>(b));
+        for (std::size_t i = 0; i < kRobots; ++i)
+            meas[i].copyFrom(truth[i]);
+        const auto &results = batch.solveAll(meas, refs);
+        for (std::size_t i = 0; i < kRobots; ++i) {
+            // In link mode every result carries the command the robot
+            // actually executes — a fresh plan head or its buffered
+            // open-loop tail (shed robots included; see mpc/link.hh).
+            truth[i] =
+                plant.step(truth[i], results[i].u0, refs[i], opt.dt);
+            if (b >= settle) {
+                double e = std::abs(truth[i][0] - refs[i][0]);
+                result.maxTrackingError =
+                    std::max(result.maxTrackingError, e);
+                err_sum += e;
+                ++err_n;
+            }
+        }
+    }
+
+    const robox::mpc::BatchReport &report = batch.report();
+    const robox::mpc::LinkReport &link = report.overload.link;
+    result.uplinkDropped = link.uplinkDropped;
+    result.downlinkDropped = link.downlinkDropped;
+    result.retransmits = link.retransmits;
+    result.planMisses = link.planMisses;
+    result.statesExtrapolated = link.statesExtrapolated;
+    result.staleDemotions = link.staleDemotions;
+    result.linkDownEvents = link.linkDownEvents;
+    result.servedFromBackup = report.overload.servedFromBackup;
+    result.shed = report.overload.shed;
+    result.meanTrackingError =
+        err_n > 0 ? err_sum / static_cast<double>(err_n) : 0.0;
+    if (timeline_out)
+        *timeline_out = batch.timeline();
+    return result;
+}
+
 /** One sweep point in the uniform StatGroup::toJson() schema. No
  *  wall-clock quantity and no thread count appear, so the report
  *  diffs byte-for-byte across runs and across --threads values. */
@@ -253,9 +366,60 @@ stormPointJson(const StormResult &r)
     return group.toJson();
 }
 
+/** One link-sweep point, same diffable StatGroup::toJson() schema. */
 std::string
-reportJson(const std::vector<StormResult> &sweep, std::uint64_t seed,
-           int batches)
+linkStormPointJson(const LinkStormResult &r)
+{
+    using robox::stats::Scalar;
+    using robox::stats::StatGroup;
+
+    auto scalar = [](const char *name, const char *desc, double v) {
+        Scalar s(name, desc);
+        s.set(v);
+        return s;
+    };
+    std::vector<Scalar> scalars;
+    scalars.reserve(12);
+    scalars.push_back(scalar("lossRate", "per-message drop probability",
+                             r.lossRate));
+    scalars.push_back(scalar("uplinkDropped", "state uplinks lost",
+                             static_cast<double>(r.uplinkDropped)));
+    scalars.push_back(scalar("downlinkDropped", "plan downlinks lost",
+                             static_cast<double>(r.downlinkDropped)));
+    scalars.push_back(scalar("retransmits", "backoff plan retransmits",
+                             static_cast<double>(r.retransmits)));
+    scalars.push_back(scalar("planMisses",
+                             "periods a robot flew its buffered tail",
+                             static_cast<double>(r.planMisses)));
+    scalars.push_back(scalar("statesExtrapolated",
+                             "stale states served via rollout",
+                             static_cast<double>(r.statesExtrapolated)));
+    scalars.push_back(scalar("staleDemotions",
+                             "states past the staleness bound",
+                             static_cast<double>(r.staleDemotions)));
+    scalars.push_back(scalar("linkDownEvents", "heartbeat loss events",
+                             static_cast<double>(r.linkDownEvents)));
+    scalars.push_back(scalar("servedFromBackup", "backup-tail serves",
+                             static_cast<double>(r.servedFromBackup)));
+    scalars.push_back(scalar("shed", "robots shed",
+                             static_cast<double>(r.shed)));
+    scalars.push_back(scalar("maxTrackingError",
+                             "worst post-settle tracking error",
+                             r.maxTrackingError));
+    scalars.push_back(scalar("meanTrackingError",
+                             "mean post-settle tracking error",
+                             r.meanTrackingError));
+
+    StatGroup group("link_storm");
+    for (Scalar &s : scalars)
+        group.add(&s);
+    return group.toJson();
+}
+
+std::string
+reportJson(const std::vector<StormResult> &sweep,
+           const std::vector<LinkStormResult> &link_sweep,
+           std::uint64_t seed, int batches)
 {
     std::ostringstream os;
     os << "{\n\"benchmark\": \"overload_storm\",\n"
@@ -269,6 +433,10 @@ reportJson(const std::vector<StormResult> &sweep, std::uint64_t seed,
     for (std::size_t i = 0; i < sweep.size(); ++i)
         os << stormPointJson(sweep[i])
            << (i + 1 < sweep.size() ? ",\n" : "\n");
+    os << "],\n\"link_sweep\": [\n";
+    for (std::size_t i = 0; i < link_sweep.size(); ++i)
+        os << linkStormPointJson(link_sweep[i])
+           << (i + 1 < link_sweep.size() ? ",\n" : "\n");
     os << "]\n}\n";
     return os.str();
 }
@@ -282,6 +450,7 @@ main(int argc, char **argv)
     std::size_t threads = kDefaultThreads;
     const char *timeline_path = nullptr;
     const char *metrics_path = nullptr;
+    const char *link_timeline_path = nullptr;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--smoke") == 0) {
             smoke = true;
@@ -295,10 +464,14 @@ main(int argc, char **argv)
         } else if (std::strcmp(argv[i], "--metrics") == 0 &&
                    i + 1 < argc) {
             metrics_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--link-timeline") == 0 &&
+                   i + 1 < argc) {
+            link_timeline_path = argv[++i];
         } else {
             std::fprintf(stderr,
                          "usage: overload_storm [--smoke] [--threads N]"
-                         " [--metrics PATH] [--timeline PATH]\n");
+                         " [--metrics PATH] [--timeline PATH]"
+                         " [--link-timeline PATH]\n");
             return 2;
         }
     }
@@ -323,6 +496,9 @@ main(int argc, char **argv)
     const std::vector<double> loads =
         smoke ? std::vector<double>{0.5, 2.0, 8.0}
               : std::vector<double>{0.5, 1.0, 1.5, 2.0, 4.0, 8.0};
+    const std::vector<double> losses =
+        smoke ? std::vector<double>{0.0, 0.35}
+              : std::vector<double>{0.0, 0.1, 0.25, 0.5};
 
     // The fleet timeline is recorded for the highest-load storm — the
     // one whose ladder activity is worth looking at.
@@ -335,12 +511,25 @@ main(int argc, char **argv)
                                  timeline_path && last ? &timeline
                                                        : nullptr));
     }
-    const std::string report = reportJson(sweep, kSeed, batches);
+    // Likewise the link timeline for the worst-loss link storm.
+    FleetTimeline link_timeline;
+    std::vector<LinkStormResult> link_sweep;
+    for (std::size_t i = 0; i < losses.size(); ++i) {
+        const bool last = i + 1 == losses.size();
+        link_sweep.push_back(
+            runLinkStorm(model, opt, losses[i], kSeed, batches, threads,
+                         link_timeline_path && last ? &link_timeline
+                                                    : nullptr));
+    }
+    const std::string report =
+        reportJson(sweep, link_sweep, kSeed, batches);
     std::fputs(report.c_str(), stdout);
     if (metrics_path)
         robox::trace::writeTextFile(metrics_path, report);
     if (timeline_path)
         timeline.writeChromeJson(timeline_path);
+    if (link_timeline_path)
+        link_timeline.writeChromeJson(link_timeline_path);
 
     // Sanity gates: a storm study whose underloaded point degrades
     // service, whose overloaded point doesn't, or whose loop blows up
@@ -375,6 +564,40 @@ main(int argc, char **argv)
                                  "tripped the sensor gate\n");
             return 1;
         }
+    }
+
+    // Link-sweep gates: a perfect link must look exactly like the
+    // direct path, and the worst-loss point must exercise every
+    // degraded-comms mechanism, without the loop going non-finite.
+    const LinkStormResult &clean = link_sweep.front();
+    if (clean.uplinkDropped != 0 || clean.downlinkDropped != 0 ||
+        clean.retransmits != 0 || clean.planMisses != 0 ||
+        clean.statesExtrapolated != 0 || clean.servedFromBackup != 0) {
+        std::fprintf(stderr, "overload_storm: lossless link point was "
+                             "impaired\n");
+        return 1;
+    }
+    const LinkStormResult &worst_link = link_sweep.back();
+    if (worst_link.uplinkDropped == 0 ||
+        worst_link.downlinkDropped == 0 || worst_link.retransmits == 0 ||
+        worst_link.planMisses == 0 ||
+        worst_link.statesExtrapolated == 0) {
+        std::fprintf(stderr, "overload_storm: max-loss point did not "
+                             "exercise the degraded-comms path\n");
+        return 1;
+    }
+    for (const LinkStormResult &r : link_sweep) {
+        if (!std::isfinite(r.maxTrackingError) ||
+            !std::isfinite(r.meanTrackingError)) {
+            std::fprintf(stderr, "overload_storm: link-storm loop went "
+                                 "non-finite\n");
+            return 1;
+        }
+    }
+    if (clean.meanTrackingError > worst_link.meanTrackingError + 1e-9) {
+        std::fprintf(stderr, "overload_storm: loss made tracking "
+                             "better than the lossless link\n");
+        return 1;
     }
     return 0;
 }

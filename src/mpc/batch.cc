@@ -50,6 +50,10 @@ BatchController::BatchController(const dsl::ModelSpec &model,
                    options.sensorJumpThreshold > 0.0 ||
                    options.sensorFrozenPeriods > 0;
 
+    if (options.linkEnabled)
+        link_ = std::make_unique<FleetLink>(
+            solvers_.front()->problem().model(), options, num_robots);
+
     report_.overload.budgetSeconds = options.batchDeadlineSeconds;
     const double latency_hi = options.batchDeadlineSeconds > 0.0
                                   ? 4.0 * options.batchDeadlineSeconds
@@ -97,6 +101,11 @@ BatchController::validateInputs()
     std::fill(poisoned_.begin(), poisoned_.end(), 0);
 
     for (std::size_t i = 0; i < solvers_.size(); ++i) {
+        // Robots the link layer already demoted (stale measurement,
+        // link down) keep their decision; validation only concerns
+        // robots that would otherwise be solved.
+        if (decisions_[i] != Admit::Full)
+            continue;
         if (i >= states_->size() || i >= refs_->size() ||
             (*states_)[i].size() != nx || (*refs_)[i].size() != nref) {
             decisions_[i] = Admit::BadInput;
@@ -104,8 +113,14 @@ BatchController::validateInputs()
         }
         // The sensor gate demotes a poisoned robot to its backup plan
         // *before* the solve, instead of letting the solver spend its
-        // budget diverging on an implausible measurement.
-        if (gate_active_ &&
+        // budget diverging on an implausible measurement. In link mode
+        // only genuinely fresh measurements are gated: an extrapolated
+        // state is the controller's own rollout, plausible by
+        // construction, and feeding it to the stateful gate would
+        // corrupt the jump/frozen baselines.
+        const bool gateable =
+            !link_ || link_->service(i) == FleetLink::Service::Fresh;
+        if (gate_active_ && gateable &&
             gates_[i].check((*states_)[i]) != SensorVerdict::Ok) {
             decisions_[i] = Admit::Backup;
             poisoned_[i] = 1;
@@ -383,6 +398,42 @@ BatchController::workerLoop()
 }
 
 void
+BatchController::finishLinkPeriod()
+{
+    // Downlink half of the period, on the coordinator in robot-index
+    // order (the determinism contract): every usable fresh solve
+    // becomes a sequence-numbered plan downlink, then the link runs
+    // retransmits, drains deliveries into the robot-side buffers, and
+    // decides what each robot actually executed.
+    for (std::size_t i = 0; i < solvers_.size(); ++i) {
+        const bool solved = decisions_[i] == Admit::Full ||
+                            decisions_[i] == Admit::Degraded;
+        if (solved && statusUsable(results_[i].status))
+            link_->sendPlan(i, solvers_[i]->inputTrajectory());
+    }
+    link_->finishPeriod();
+
+    for (std::size_t i = 0; i < solvers_.size(); ++i) {
+        if (link_->executedFreshPlan(i))
+            continue;
+        // The robot-side buffer is authoritative: whatever the
+        // controller computed, what reached the actuators this period
+        // is the buffered open-loop tail.
+        IpmSolver::Result &r = results_[i];
+        const Vector &u = link_->executedCommand(i);
+        if (r.u0.size() != u.size())
+            r.u0.resize(u.size());
+        r.u0.copyFrom(u);
+        if (statusUsable(r.status)) {
+            // Solved fine, but the plan missed its delivery deadline —
+            // the fleet-visible outcome is backup service.
+            r.status = SolveStatus::ServedFromBackup;
+            r.degraded = true;
+        }
+    }
+}
+
+void
 BatchController::updateCostModel()
 {
     const double alpha =
@@ -486,6 +537,26 @@ BatchController::recordTimeline()
                 timeline_.recordMarker(m);
             }
         }
+        if (timeline_enabled_ && link_) {
+            auto mark = [&](TimelineMarker kind) {
+                FleetTimeline::Marker m;
+                m.robot = static_cast<std::uint32_t>(i);
+                m.batch = batch;
+                m.atSeconds = virtual_now_;
+                m.kind = kind;
+                timeline_.recordMarker(m);
+            };
+            if (link_->wentDown(i))
+                mark(TimelineMarker::LinkDown);
+            if (link_->cameUp(i))
+                mark(TimelineMarker::LinkUp);
+            if (link_->wasExtrapolated(i))
+                mark(TimelineMarker::StateExtrapolated);
+            if (link_->wasStaleDemoted(i))
+                mark(TimelineMarker::StaleDemoted);
+            if (link_->wasPlanMissed(i))
+                mark(TimelineMarker::PlanMissed);
+        }
         prev_decisions_[i] = d;
     }
 
@@ -509,6 +580,27 @@ BatchController::solveAll(const std::vector<Vector> &states,
 
     std::fill(decisions_.begin(), decisions_.end(), Admit::Full);
     std::fill(scale_.begin(), scale_.end(), 1.0);
+    if (link_) {
+        // Uplink half of the period: robots transmit, channels impair,
+        // the coordinator drains and classifies. Solves run against
+        // the link's served view (delivered or extrapolated states);
+        // robots past the staleness bound drop into the existing
+        // admission ladder, dead links are shed.
+        link_->beginPeriod(report_.batches, states, refs);
+        states_ = &link_->servedStates();
+        for (std::size_t i = 0; i < solvers_.size(); ++i) {
+            switch (link_->service(i)) {
+              case FleetLink::Service::Stale:
+                decisions_[i] = Admit::Backup;
+                break;
+              case FleetLink::Service::Down:
+                decisions_[i] = Admit::Shed;
+                break;
+              default:
+                break;
+            }
+        }
+    }
     validateInputs();
     runAdmission();
     applyBudgets();
@@ -527,6 +619,9 @@ BatchController::solveAll(const std::vector<Vector> &states,
         std::unique_lock<std::mutex> lock(mutex_);
         cv_done_.wait(lock, [&] { return pending_ == 0; });
     }
+
+    if (link_)
+        finishLinkPeriod();
 
     const double seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -609,6 +704,8 @@ BatchController::solveAll(const std::vector<Vector> &states,
                          ? seconds / ov.budgetSeconds
                          : 0.0;
     ov.batchLatency.sample(seconds);
+    if (link_)
+        ov.link = link_->report();
 
     updateCostModel();
     recordTimeline();
@@ -636,6 +733,8 @@ BatchController::resetAll()
         backups_[i].clear();
         gates_[i].reset();
     }
+    if (link_)
+        link_->reset();
 }
 
 std::string
@@ -707,6 +806,56 @@ batchMetricsJson(const BatchReport &report, bool include_timing)
     scalars.push_back(count("poisoned",
                             "lifetime sensor-gate demotions",
                             ov.poisoned));
+    // Link-health counters are virtual-time-derived (periods and pure
+    // chaos decisions, never the wall clock), so unlike the timing
+    // fields below they are part of the replay-stable snapshot.
+    const LinkReport &ln = ov.link;
+    scalars.push_back(count("linkUplinkSent", "uplink transmissions",
+                            ln.uplinkSent));
+    scalars.push_back(count("linkUplinkDropped", "uplinks lost",
+                            ln.uplinkDropped));
+    scalars.push_back(count("linkUplinkDelivered", "uplinks delivered",
+                            ln.uplinkDelivered));
+    scalars.push_back(count("linkUplinkDuplicates",
+                            "uplink duplicate copies",
+                            ln.uplinkDuplicates));
+    scalars.push_back(count("linkUplinkReordered",
+                            "uplinks delivered behind a newer seq",
+                            ln.uplinkReordered));
+    scalars.push_back(count("linkDownlinkSent",
+                            "downlink transmissions", ln.downlinkSent));
+    scalars.push_back(count("linkDownlinkDropped", "downlinks lost",
+                            ln.downlinkDropped));
+    scalars.push_back(count("linkDownlinkDelivered",
+                            "downlinks delivered",
+                            ln.downlinkDelivered));
+    scalars.push_back(count("linkDownlinkDuplicates",
+                            "downlink duplicate copies",
+                            ln.downlinkDuplicates));
+    scalars.push_back(count("linkDownlinkReordered",
+                            "downlinks delivered behind a newer seq",
+                            ln.downlinkReordered));
+    scalars.push_back(count("linkRetransmits",
+                            "plan retransmissions", ln.retransmits));
+    scalars.push_back(count("linkAcksDelivered",
+                            "acks that advanced the acked seq",
+                            ln.acksDelivered));
+    scalars.push_back(count("linkPlanMisses",
+                            "robot-periods on the buffered tail",
+                            ln.planMisses));
+    scalars.push_back(count("linkStatesExtrapolated",
+                            "controller-side dynamics rollouts",
+                            ln.statesExtrapolated));
+    scalars.push_back(count("linkStaleDemotions",
+                            "robot-periods past the staleness bound",
+                            ln.staleDemotions));
+    scalars.push_back(count("linkDownEvents", "up -> down transitions",
+                            ln.linkDownEvents));
+    scalars.push_back(count("linkUpEvents", "down -> up transitions",
+                            ln.linkUpEvents));
+    scalars.push_back(count("linkDownRobotPeriods",
+                            "robot-periods with the link down",
+                            ln.linkDownRobotPeriods));
     if (include_timing) {
         // Environment-dependent fields: worker-pool size and wall
         // clocks vary across machines and thread counts, so the
@@ -730,8 +879,14 @@ batchMetricsJson(const BatchReport &report, bool include_timing)
     StatGroup group("batch");
     for (Scalar &s : scalars)
         group.add(&s);
-    // The latency histogram is wall-clock-derived by construction, so
-    // it rides the include_timing switch with the other wall fields.
+    // The link histograms count virtual periods, so they are
+    // replay-stable and always included; the latency histogram is
+    // wall-clock-derived by construction, so it rides the
+    // include_timing switch with the other wall fields.
+    stats::Histogram link_latency = ln.deliveryLatency;
+    stats::Histogram link_staleness = ln.staleness;
+    group.add(&link_latency);
+    group.add(&link_staleness);
     stats::Histogram latency = ov.batchLatency;
     if (include_timing)
         group.add(&latency);

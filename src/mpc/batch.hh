@@ -59,6 +59,7 @@
 
 #include "mpc/failsafe.hh"
 #include "mpc/ipm.hh"
+#include "mpc/link.hh"
 #include "mpc/sensor_gate.hh"
 #include "mpc/status.hh"
 #include "mpc/timeline.hh"
@@ -104,6 +105,11 @@ struct OverloadReport
     /** Batch wall-time distribution; p50/p99 via
      *  Histogram::percentile(0.5/0.99). */
     stats::Histogram batchLatency;
+
+    /** Link-health snapshot (all zero unless MpcOptions::linkEnabled).
+     *  Virtual-time-derived, so unlike the wall fields it belongs in
+     *  the replay-stable metrics snapshot. */
+    LinkReport link;
 };
 
 /** Aggregate statistics over the controller's lifetime, refreshed by
@@ -227,6 +233,25 @@ class BatchController
     const SensorGate &gate(std::size_t i) const { return gates_[i]; }
 
     /**
+     * The degraded-comms link fabric, present when
+     * MpcOptions::linkEnabled (nullptr otherwise). When present,
+     * solveAll() routes all fleet I/O through it: measurements arrive
+     * as sequence-numbered uplinks (solving against the delivered,
+     * extrapolated, or demoted view), computed plans leave as acked /
+     * retransmitted downlinks, and a robot's effective command is what
+     * its side of the link actually executed. See mpc/link.hh.
+     */
+    const FleetLink *link() const { return link_.get(); }
+
+    /** Attach the chaos engine whose link channels impair the fabric;
+     *  no-op unless MpcOptions::linkEnabled. */
+    void setLinkChaos(const ChaosEngine *chaos)
+    {
+        if (link_)
+            link_->setChaos(chaos);
+    }
+
+    /**
      * Admission priority of robot i (default 0). Higher priorities are
      * protected longer by the overload ladder; degradation, backup
      * demotion, and shedding start from the lowest priority (ties
@@ -298,6 +323,10 @@ class BatchController
     void solveOne(std::size_t i);
     /** Fold measured (or injected) solve costs into the EWMA model. */
     void updateCostModel();
+    /** Downlink half of a link-enabled batch: transmit fresh plans,
+     *  run retransmits and robot-side execution, and relabel robots
+     *  whose plan missed its delivery deadline. */
+    void finishLinkPeriod();
     /** Append this batch's spans/markers and advance the virtual
      *  clock; runs on the coordinating thread after updateCostModel. */
     void recordTimeline();
@@ -306,6 +335,7 @@ class BatchController
     std::vector<IpmSolver::Result> results_;
     std::vector<BackupPlan> backups_;
     std::vector<SensorGate> gates_;
+    std::unique_ptr<FleetLink> link_; //!< Present iff linkEnabled.
     BatchReport report_;
 
     MpcOptions options_;   //!< Shared options (base budget values).

@@ -49,6 +49,21 @@ uniform(std::uint64_t h)
 constexpr std::uint64_t kStallSalt = 0x7c1592a6b3d84e0full;
 constexpr std::uint64_t kBurstSalt = 0x2f8d3a915c6e47b1ull;
 constexpr std::uint64_t kPoisonSalt = 0xa64b8e2d19f7c353ull;
+constexpr std::uint64_t kLinkDropSalt = 0x5e93d7b02a48c16dull;
+constexpr std::uint64_t kLinkDelaySalt = 0xc2a17f3e86b5d409ull;
+constexpr std::uint64_t kLinkDupSalt = 0x39f6c48b5d12e7a0ull;
+constexpr std::uint64_t kLinkBlackoutSalt = 0x84d2a90f6e3c51b7ull;
+
+/** Link-channel decision hash: one (dir, batch, robot, nonce)
+ *  transmission identity under one per-class salt. */
+std::uint64_t
+linkHash(std::uint64_t seed, std::uint64_t salt, robox::mpc::LinkDirection dir,
+         std::uint64_t batch, std::uint64_t robot, std::uint64_t nonce)
+{
+    std::uint64_t h = chaosHash(seed, salt, batch, robot);
+    h = mix64(h ^ static_cast<std::uint64_t>(dir));
+    return mix64(h ^ nonce);
+}
 
 } // namespace
 
@@ -63,6 +78,94 @@ toString(PoisonKind kind)
       case PoisonKind::Frozen: return "frozen";
     }
     return "unknown";
+}
+
+const char *
+toString(LinkDirection dir)
+{
+    switch (dir) {
+      case LinkDirection::Uplink: return "uplink";
+      case LinkDirection::Downlink: return "downlink";
+    }
+    return "unknown";
+}
+
+bool
+ChaosEngine::linkBlackoutAt(std::uint64_t batch, std::size_t robot) const
+{
+    if (spec_.linkBlackoutRate <= 0.0)
+        return false;
+    // Same pure episode-window scan as poisonAt(): an episode started
+    // at batch s covers [s, s + length), so scanning the candidate
+    // starts keeps this a function of (spec, batch, robot) only.
+    const std::uint64_t len = static_cast<std::uint64_t>(
+        spec_.linkBlackoutBatches > 0 ? spec_.linkBlackoutBatches : 1);
+    for (std::uint64_t d = 0; d < len && d <= batch; ++d) {
+        std::uint64_t h = chaosHash(spec_.seed, kLinkBlackoutSalt,
+                                    batch - d,
+                                    static_cast<std::uint64_t>(robot));
+        if (uniform(h) < spec_.linkBlackoutRate)
+            return true;
+    }
+    return false;
+}
+
+bool
+ChaosEngine::linkDropAt(LinkDirection dir, std::uint64_t batch,
+                        std::size_t robot, std::uint64_t nonce) const
+{
+    if (linkBlackoutAt(batch, robot))
+        return true;
+    const double rate = dir == LinkDirection::Uplink
+                            ? spec_.uplinkDropRate
+                            : spec_.downlinkDropRate;
+    if (rate <= 0.0)
+        return false;
+    return uniform(linkHash(spec_.seed, kLinkDropSalt, dir, batch,
+                            static_cast<std::uint64_t>(robot), nonce)) <
+           rate;
+}
+
+int
+ChaosEngine::linkDelayAt(LinkDirection dir, std::uint64_t batch,
+                         std::size_t robot, std::uint64_t nonce) const
+{
+    const double rate = dir == LinkDirection::Uplink
+                            ? spec_.uplinkDelayRate
+                            : spec_.downlinkDelayRate;
+    if (rate <= 0.0 || spec_.linkDelayPeriodsMax < 1)
+        return 0;
+    std::uint64_t h = linkHash(spec_.seed, kLinkDelaySalt, dir, batch,
+                               static_cast<std::uint64_t>(robot), nonce);
+    if (uniform(h) >= rate)
+        return 0;
+    // Magnitude from an independent mix so it is uncorrelated with
+    // the fire decision; uniform over 1..max.
+    const auto max = static_cast<std::uint64_t>(spec_.linkDelayPeriodsMax);
+    return static_cast<int>(1 + mix64(h) % max);
+}
+
+bool
+ChaosEngine::linkDupAt(LinkDirection dir, std::uint64_t batch,
+                       std::size_t robot, std::uint64_t nonce) const
+{
+    const double rate = dir == LinkDirection::Uplink
+                            ? spec_.uplinkDupRate
+                            : spec_.downlinkDupRate;
+    if (rate <= 0.0)
+        return false;
+    return uniform(linkHash(spec_.seed, kLinkDupSalt, dir, batch,
+                            static_cast<std::uint64_t>(robot), nonce)) <
+           rate;
+}
+
+bool
+ChaosEngine::linkImpaired() const
+{
+    return spec_.uplinkDropRate > 0.0 || spec_.downlinkDropRate > 0.0 ||
+           spec_.uplinkDelayRate > 0.0 || spec_.downlinkDelayRate > 0.0 ||
+           spec_.uplinkDupRate > 0.0 || spec_.downlinkDupRate > 0.0 ||
+           spec_.linkBlackoutRate > 0.0;
 }
 
 bool

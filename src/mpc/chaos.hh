@@ -56,6 +56,16 @@ enum class PoisonKind : std::uint8_t
 /** Human-readable poison-kind name. */
 const char *toString(PoisonKind kind);
 
+/** The two directions of a robot <-> controller link channel. */
+enum class LinkDirection : std::uint8_t
+{
+    Uplink = 0,   //!< Robot -> controller (state measurements, acks).
+    Downlink = 1, //!< Controller -> robot (plans, retransmits).
+};
+
+/** Human-readable direction name. */
+const char *toString(LinkDirection dir);
+
 /** Specification of one reproducible chaos campaign. Every field
  *  participates in the pure decision hash; equal specs replay equal
  *  campaigns. */
@@ -85,6 +95,38 @@ struct ChaosSpec
     int poisonEpisodeBatches = 3;
     /** Magnitude used by OutOfRange/Jump corruption. */
     double poisonMagnitude = 1e3;
+
+    // ---- Link-channel episodes (consumed by mpc/link.hh) ----------
+    // Every decision is keyed on (seed, direction, batch, robot,
+    // nonce), where the nonce distinguishes the transmissions of one
+    // period (retransmits, duplicates), so link storms replay bitwise
+    // across runs and thread counts like every other chaos class.
+
+    /** Probability a given uplink transmission is dropped. */
+    double uplinkDropRate = 0.0;
+    /** Probability a given downlink transmission is dropped. */
+    double downlinkDropRate = 0.0;
+
+    /** Probability a surviving uplink transmission is delayed. */
+    double uplinkDelayRate = 0.0;
+    /** Probability a surviving downlink transmission is delayed. */
+    double downlinkDelayRate = 0.0;
+    /** Delayed messages arrive 1..linkDelayPeriodsMax periods late
+     *  (uniform over the range); delays > 1 reorder the stream. */
+    int linkDelayPeriodsMax = 2;
+
+    /** Probability a surviving uplink transmission is duplicated (the
+     *  copy gets an independent delay decision). */
+    double uplinkDupRate = 0.0;
+    /** Probability a surviving downlink transmission is duplicated. */
+    double downlinkDupRate = 0.0;
+
+    /** Probability a link-blackout episode *starts* at a given
+     *  (batch, robot); during a blackout both directions drop every
+     *  transmission, so heartbeat-based link-down detection trips. */
+    double linkBlackoutRate = 0.0;
+    /** Batches a blackout episode lasts once started. */
+    int linkBlackoutBatches = 4;
 
     /**
      * Deterministic per-robot base solve cost, seconds. When > 0 the
@@ -129,6 +171,31 @@ class ChaosEngine
      *  time (used only when no virtual base is configured). */
     double virtualCost(std::uint64_t batch, std::size_t robot,
                        double measured) const;
+
+    /** Pure decision: is (batch, robot)'s link blacked out, honoring
+     *  episode persistence (same window-scan discipline as
+     *  poisonAt())? Blackout drops both directions entirely. */
+    bool linkBlackoutAt(std::uint64_t batch, std::size_t robot) const;
+
+    /** Pure decision: is this transmission dropped? Blackout implies
+     *  dropped. The nonce distinguishes the transmissions of one
+     *  (dir, batch, robot) — retransmits and duplicate copies draw
+     *  independent decisions. */
+    bool linkDropAt(LinkDirection dir, std::uint64_t batch,
+                    std::size_t robot, std::uint64_t nonce) const;
+
+    /** Pure decision: delivery delay of this (surviving) transmission
+     *  in whole periods — 0 is on time, 1..linkDelayPeriodsMax late
+     *  otherwise. */
+    int linkDelayAt(LinkDirection dir, std::uint64_t batch,
+                    std::size_t robot, std::uint64_t nonce) const;
+
+    /** Pure decision: is this (surviving) transmission duplicated? */
+    bool linkDupAt(LinkDirection dir, std::uint64_t batch,
+                   std::size_t robot, std::uint64_t nonce) const;
+
+    /** True when any link impairment can ever fire under this spec. */
+    bool linkImpaired() const;
 
     /**
      * Corrupt a measurement in place according to poisonAt(). prev is

@@ -63,6 +63,14 @@ BackupPlan::command()
 }
 
 void
+BackupPlan::skip(std::size_t stages)
+{
+    if (plan_.size() <= 1)
+        return; // Nothing to advance within; command() already pins.
+    cursor_ = std::min(cursor_ + stages, plan_.size() - 1);
+}
+
+void
 BackupPlan::clear()
 {
     plan_.clear();

@@ -60,8 +60,38 @@ class BackupPlan
      */
     const Vector &command();
 
+    /**
+     * Advance the tail cursor by `stages` without issuing a command,
+     * clamped to the final stage. Used by the link layer when a plan
+     * is delivered late: the stages that elapsed while the message was
+     * in flight were (open-loop) consumed by the plant, so the next
+     * command() must resume that many stages into the tail.
+     */
+    void skip(std::size_t stages);
+
     /** True once accept() has stored at least one plan. */
     bool available() const { return !plan_.empty(); }
+
+    /**
+     * Distinct tail stages still unreplayed before command() pins to
+     * the plan's final input: how much genuine open-loop plan is left.
+     * 0 when no plan is stored or the cursor reached the last stage.
+     */
+    std::size_t remainingTail() const
+    {
+        if (plan_.empty())
+            return 0;
+        return plan_.size() - 1 - std::min(cursor_, plan_.size() - 1);
+    }
+
+    /** Distinct tail stages consumed since the last accept(): how deep
+     *  into open-loop execution this plan is. Unlike
+     *  consecutiveDegraded(), stops growing once the tail is pinned to
+     *  its final stage. */
+    std::size_t stagesReplayed() const
+    {
+        return plan_.empty() || cursor_ == 0 ? 0 : cursor_ - 1;
+    }
 
     /** Backup commands issued since the last accept(). */
     int consecutiveDegraded() const { return consecutive_; }

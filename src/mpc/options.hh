@@ -160,6 +160,53 @@ struct MpcOptions
     int sensorFrozenPeriods = 0;
 
     /**
+     * Route BatchController I/O through the deterministic lossy link
+     * layer (mpc/link.hh): per-robot sequence-numbered state uplinks
+     * and plan downlinks, with drop/delay/duplicate/reorder decided by
+     * a ChaosEngine's link channels. Off (the default), solveAll()
+     * consumes measurements and emits commands directly. With the link
+     * enabled but every impairment rate zero, results are bitwise
+     * identical to the direct path. See the "Degraded comms" section
+     * of ARCHITECTURE.md.
+     */
+    bool linkEnabled = false;
+
+    /**
+     * Maximum age, in control periods, of the newest delivered state
+     * the controller will still serve a robot on (compensated by a
+     * bounded dynamics-rollout extrapolation when
+     * linkExtrapolateState is set). A robot whose measurement is older
+     * is demoted to its backup-plan tail (SolveStatus::ServedFromBackup)
+     * instead of being served a solve against garbage.
+     */
+    int linkStalenessBoundPeriods = 3;
+
+    /**
+     * Heartbeat bound: consecutive periods without *any* delivered
+     * uplink before the robot's link is declared down and the robot is
+     * shed (SolveStatus::Shed) rather than served from an ever-staler
+     * plan. Re-delivery brings the link back up immediately.
+     */
+    int linkDownPeriods = 6;
+
+    /**
+     * Controller-side compensation for a missing uplink: roll the
+     * model dynamics forward from the last fresh state, applying the
+     * stages of the last computed plan, for up to
+     * linkStalenessBoundPeriods periods, and solve against the
+     * extrapolated state. Off, a robot with a missing uplink is served
+     * from its backup tail immediately.
+     */
+    bool linkExtrapolateState = true;
+
+    /** Periods to wait before the first retransmit of an unacked plan
+     *  downlink; subsequent retransmits back off exponentially. */
+    int linkRetransmitBackoffBase = 1;
+
+    /** Cap on the retransmit backoff interval, periods. */
+    int linkRetransmitBackoffCap = 8;
+
+    /**
      * Escalating in-solve recovery (the failsafe ladder): how many
      * regularization bumps to attempt when a KKT factorization fails
      * before escalating to a step backoff and then a cold restart.

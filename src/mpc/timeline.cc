@@ -35,9 +35,36 @@ toString(TimelineMarker marker)
       case TimelineMarker::Shed: return "shed";
       case TimelineMarker::BadInput: return "bad-input";
       case TimelineMarker::SensorDemoted: return "sensor-demoted";
+      case TimelineMarker::PlanMissed: return "plan-missed";
+      case TimelineMarker::StateExtrapolated: return "state-extrapolated";
+      case TimelineMarker::StaleDemoted: return "stale-demoted";
+      case TimelineMarker::LinkDown: return "link-down";
+      case TimelineMarker::LinkUp: return "link-up";
     }
     return "?";
 }
+
+namespace
+{
+
+/** Link events get their own trace category so a viewer can filter
+ *  comms health separately from admission decisions. */
+bool
+isLinkMarker(TimelineMarker kind)
+{
+    switch (kind) {
+      case TimelineMarker::PlanMissed:
+      case TimelineMarker::StateExtrapolated:
+      case TimelineMarker::StaleDemoted:
+      case TimelineMarker::LinkDown:
+      case TimelineMarker::LinkUp:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace
 
 namespace
 {
@@ -89,8 +116,9 @@ FleetTimeline::toChromeJson() const
             args << ",\"from\":\"" << toString(m.from) << "\",\"to\":\""
                  << toString(m.to) << "\"";
         args << "}";
-        writer.instantEvent(toString(m.kind), "admission", kFleetPid,
-                            static_cast<int>(m.robot),
+        writer.instantEvent(toString(m.kind),
+                            isLinkMarker(m.kind) ? "link" : "admission",
+                            kFleetPid, static_cast<int>(m.robot),
                             m.atSeconds * kMicrosPerSecond, args.str());
     }
     return writer.json();

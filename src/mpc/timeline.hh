@@ -52,6 +52,14 @@ enum class TimelineMarker : std::uint8_t
     Shed,             //!< Overload ladder shed the robot.
     BadInput,         //!< Input validation rejected the robot.
     SensorDemoted,    //!< Sensor gate demoted the robot pre-solve.
+
+    // Degraded-comms events (mpc/link.hh); exported under the "link"
+    // trace category so admission and comms lanes filter separately.
+    PlanMissed,        //!< No fresh plan arrived; buffered tail executed.
+    StateExtrapolated, //!< Served on a bounded dynamics rollout.
+    StaleDemoted,      //!< Measurement aged past the staleness bound.
+    LinkDown,          //!< Heartbeat bound exceeded; link declared down.
+    LinkUp,            //!< Uplink delivery resumed after a down spell.
 };
 
 const char *toString(TimelineMarker marker);

@@ -50,6 +50,32 @@ Histogram::sample(double v, std::uint64_t count)
     }
 }
 
+void
+Histogram::merge(const Histogram &other)
+{
+    if (other.lo_ != lo_ || other.hi_ != hi_ ||
+        other.counts_.size() != counts_.size())
+        fatal("histogram '{}' cannot merge '{}': bucket configuration "
+              "differs ([{}, {}] x {} vs [{}, {}] x {})",
+              name_, other.name_, lo_, hi_, counts_.size(), other.lo_,
+              other.hi_, other.counts_.size());
+    if (other.samples_ == 0)
+        return;
+    if (samples_ == 0) {
+        min_ = other.min_;
+        max_ = other.max_;
+    } else {
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+        counts_[i] += other.counts_[i];
+    underflow_ += other.underflow_;
+    overflow_ += other.overflow_;
+    samples_ += other.samples_;
+    sum_ += other.sum_;
+}
+
 double
 Histogram::mean() const
 {

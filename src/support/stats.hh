@@ -67,6 +67,19 @@ class Histogram
 
     void sample(double v, std::uint64_t count = 1);
 
+    /**
+     * Fold another histogram with the *identical* bucket configuration
+     * (lo, hi, bucket count) into this one; fatal() on a mismatch.
+     * Counts, underflow/overflow, sample totals, and min/max combine
+     * exactly, so merging a set of histograms yields the same buckets
+     * in whatever order the merges run — the property per-worker (or
+     * per-robot) histograms rely on when they are combined on drain.
+     * The running sum behind mean() is a floating-point accumulation
+     * and is only order-independent when the partial sums are exactly
+     * representable.
+     */
+    void merge(const Histogram &other);
+
     std::uint64_t totalSamples() const { return samples_; }
     double mean() const;
     /**

@@ -67,6 +67,71 @@ TEST(Histogram, RejectsBadConfig)
     EXPECT_THROW(stats::Histogram("b", "", 2.0, 1.0, 4), FatalError);
 }
 
+TEST(Histogram, MergeIsExactAndOrderIndependent)
+{
+    const std::vector<double> samples{-1.0, 0.5, 0.5,  3.0, 3.5,
+                                      7.25, 9.99, 10.0, 12.0};
+    // Three partials filled round-robin, merged in two different
+    // orders, against one histogram fed every sample directly.
+    auto make = [] {
+        return stats::Histogram("lat", "latency", 0.0, 10.0, 5);
+    };
+    stats::Histogram direct = make();
+    stats::Histogram parts[3] = {make(), make(), make()};
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        direct.sample(samples[i]);
+        parts[i % 3].sample(samples[i]);
+    }
+
+    stats::Histogram fwd = make(), rev = make();
+    for (int i = 0; i < 3; ++i)
+        fwd.merge(parts[i]);
+    for (int i = 2; i >= 0; --i)
+        rev.merge(parts[i]);
+
+    for (stats::Histogram *m : {&fwd, &rev}) {
+        EXPECT_EQ(m->totalSamples(), direct.totalSamples());
+        EXPECT_EQ(m->underflow(), direct.underflow());
+        EXPECT_EQ(m->overflow(), direct.overflow());
+        for (int b = 0; b < direct.numBuckets(); ++b)
+            EXPECT_EQ(m->bucketCount(b), direct.bucketCount(b));
+        EXPECT_DOUBLE_EQ(m->min(), direct.min());
+        EXPECT_DOUBLE_EQ(m->max(), direct.max());
+        EXPECT_NEAR(m->mean(), direct.mean(), 1e-12);
+        EXPECT_DOUBLE_EQ(m->percentile(0.5), direct.percentile(0.5));
+    }
+}
+
+TEST(Histogram, MergeEmptyIsIdentityAndIntoEmptyCopies)
+{
+    stats::Histogram a("h", "", 0.0, 10.0, 5);
+    stats::Histogram empty("h", "", 0.0, 10.0, 5);
+    a.sample(2.0);
+    a.sample(7.0);
+
+    a.merge(empty); // No-op: min/max/samples untouched.
+    EXPECT_EQ(a.totalSamples(), 2u);
+    EXPECT_DOUBLE_EQ(a.min(), 2.0);
+    EXPECT_DOUBLE_EQ(a.max(), 7.0);
+
+    stats::Histogram b("h", "", 0.0, 10.0, 5);
+    b.merge(a); // Into-empty adopts the source min/max exactly.
+    EXPECT_EQ(b.totalSamples(), 2u);
+    EXPECT_DOUBLE_EQ(b.min(), 2.0);
+    EXPECT_DOUBLE_EQ(b.max(), 7.0);
+}
+
+TEST(Histogram, MergeRejectsMismatchedBucketConfig)
+{
+    stats::Histogram a("a", "", 0.0, 10.0, 5);
+    EXPECT_THROW(a.merge(stats::Histogram("b", "", 0.0, 10.0, 4)),
+                 FatalError);
+    EXPECT_THROW(a.merge(stats::Histogram("b", "", 0.0, 8.0, 5)),
+                 FatalError);
+    EXPECT_THROW(a.merge(stats::Histogram("b", "", 1.0, 10.0, 5)),
+                 FatalError);
+}
+
 TEST(Histogram, PercentileWalksCumulativeCounts)
 {
     stats::Histogram h("p", "percentiles", 0.0, 100.0, 100);

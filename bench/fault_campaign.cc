@@ -14,11 +14,18 @@
  * the upsets cost in tracking error — as JSON on stdout, so campaign
  * results can be diffed and plotted.
  *
+ * A second sweep re-runs every rate with MpcOptions::accelSelfCheck
+ * on: upsets are then caught by parity inside the faulted evaluation
+ * and retried through the recovery ladder (re-execute, reload,
+ * CPU fallback), so those points report detection coverage and the
+ * recovery-rung histogram instead of a cross-check latency.
+ *
  * Deterministic: the campaign seed is fixed, so two runs emit
  * byte-identical JSON. `--smoke` shrinks the sweep to a ~1 s check
- * suitable for CI. The per-point metrics render through
- * stats::StatGroup::toJson(), the same schema the overload storm and
- * the batch controller's overload report use.
+ * suitable for CI, diffed byte-for-byte against
+ * tests/golden/fault_campaign_smoke.json. The per-point metrics render
+ * through stats::StatGroup::toJson(), the same schema the overload
+ * storm and the batch controller's overload report use.
  */
 
 #include <algorithm>
@@ -31,6 +38,7 @@
 
 #include "accel/faults.hh"
 #include "dsl/sema.hh"
+#include "fixed/selfcheck.hh"
 #include "mpc/failsafe.hh"
 #include "mpc/ipm.hh"
 #include "mpc/simulate.hh"
@@ -153,6 +161,76 @@ runCampaign(const robox::dsl::ModelSpec &model,
     return result;
 }
 
+/** Outcome of one rollout with the self-checking ladder armed. */
+struct SelfCheckResult
+{
+    double upsetRate = 0.0;
+    std::uint64_t faultsInjected = 0;
+    robox::SelfCheckStats selfCheck; //!< Summed across all solves.
+    int accelFaultSolves = 0;  //!< Solves condemned on the CPU rung.
+    int degradedSteps = 0;     //!< Backup commands issued.
+    double detectionCoverage = 1.0; //!< Detected / injected upsets.
+    double maxTrackingError = 0.0;
+    double finalTrackingError = 0.0;
+};
+
+/**
+ * The same closed-loop rollout with MpcOptions::accelSelfCheck on: an
+ * upset is now caught by parity inside the faulted evaluation (instead
+ * of periods later by the cross-check) and retried through the
+ * recovery ladder, so the sweep reports detection coverage and the
+ * recovery-rung histogram rather than a detection latency.
+ */
+SelfCheckResult
+runSelfCheckCampaign(const robox::dsl::ModelSpec &model,
+                     const robox::mpc::MpcOptions &base,
+                     double upset_rate, std::uint64_t seed, int steps)
+{
+    FaultCampaign campaign;
+    campaign.seed = seed;
+    campaign.upsetRate = upset_rate;
+    FaultInjector injector(campaign);
+
+    robox::mpc::MpcOptions opt = base;
+    opt.accelSelfCheck = true;
+    IpmSolver solver(model, opt);
+    solver.setTapeFaultHook(injector.tapeHook());
+    BackupPlan backup(model);
+    Plant plant(model);
+    const Vector ref{1.0};
+    Vector x{0.0, 0.0};
+
+    SelfCheckResult result;
+    result.upsetRate = upset_rate;
+    const int settle = steps / 3;
+
+    for (int step = 0; step < steps; ++step) {
+        const IpmSolver::Result &r = solver.solve(x, ref);
+        result.selfCheck.merge(solver.lastStats().numeric.selfCheck);
+        if (r.status == SolveStatus::AccelFault)
+            ++result.accelFaultSolves;
+
+        Vector u = r.u0;
+        if (robox::mpc::statusUsable(r.status)) {
+            backup.accept(solver.inputTrajectory());
+        } else {
+            ++result.degradedSteps;
+            u = backup.command();
+        }
+        x = plant.step(x, u, ref, opt.dt);
+        if (step >= settle)
+            result.maxTrackingError = std::max(result.maxTrackingError,
+                                               std::abs(x[0] - ref[0]));
+    }
+    result.faultsInjected = injector.faultsInjected();
+    result.finalTrackingError = std::abs(x[0] - ref[0]);
+    if (result.faultsInjected > 0)
+        result.detectionCoverage =
+            static_cast<double>(result.selfCheck.detections()) /
+            static_cast<double>(result.faultsInjected);
+    return result;
+}
+
 /** One sweep point in the uniform StatGroup::toJson() schema. */
 std::string
 campaignPointJson(const CampaignResult &r)
@@ -199,9 +277,66 @@ campaignPointJson(const CampaignResult &r)
     return group.toJson();
 }
 
+/** One self-check sweep point in the same schema. */
+std::string
+selfCheckPointJson(const SelfCheckResult &r)
+{
+    using robox::stats::Scalar;
+    using robox::stats::StatGroup;
+
+    auto scalar = [](const char *name, const char *desc, double v) {
+        Scalar s(name, desc);
+        s.set(v);
+        return s;
+    };
+    auto count = [&](const char *name, const char *desc,
+                     std::uint64_t v) {
+        return scalar(name, desc, static_cast<double>(v));
+    };
+    const robox::SelfCheckStats &sc = r.selfCheck;
+    std::vector<Scalar> scalars;
+    scalars.reserve(13);
+    scalars.push_back(scalar("upsetRate", "per-access upset probability",
+                             r.upsetRate));
+    scalars.push_back(count("faultsInjected", "bit flips landed",
+                            r.faultsInjected));
+    scalars.push_back(count("parityChecks", "words parity-verified",
+                            sc.parityChecks));
+    scalars.push_back(count("parityErrors", "upsets caught by parity",
+                            sc.parityErrors));
+    scalars.push_back(scalar("detectionCoverage",
+                             "detected fraction of injected upsets",
+                             r.detectionCoverage));
+    scalars.push_back(count("reexecutions",
+                            "recovery rung-1 re-executions",
+                            sc.reexecutions));
+    scalars.push_back(count("reloads", "recovery rung-2 image reloads",
+                            sc.reloads));
+    scalars.push_back(count("cpuFallbacks",
+                            "recovery rung-3 CPU fallbacks",
+                            sc.cpuFallbacks));
+    scalars.push_back(scalar("accelFaultSolves",
+                             "solves condemned as AccelFault",
+                             r.accelFaultSolves));
+    scalars.push_back(scalar("degradedSteps", "backup commands issued",
+                             r.degradedSteps));
+    scalars.push_back(scalar("maxTrackingError",
+                             "worst post-settle tracking error",
+                             r.maxTrackingError));
+    scalars.push_back(scalar("finalTrackingError",
+                             "tracking error at the last step",
+                             r.finalTrackingError));
+
+    StatGroup group("selfcheck");
+    for (Scalar &s : scalars)
+        group.add(&s);
+    return group.toJson();
+}
+
 void
-printJson(const std::vector<CampaignResult> &sweep, std::uint64_t seed,
-          int steps)
+printJson(const std::vector<CampaignResult> &sweep,
+          const std::vector<SelfCheckResult> &selfcheck,
+          std::uint64_t seed, int steps)
 {
     std::ostringstream os;
     os << "{\n\"benchmark\": \"fault_campaign\",\n"
@@ -212,6 +347,10 @@ printJson(const std::vector<CampaignResult> &sweep, std::uint64_t seed,
     for (std::size_t i = 0; i < sweep.size(); ++i)
         os << campaignPointJson(sweep[i])
            << (i + 1 < sweep.size() ? ",\n" : "\n");
+    os << "],\n\"selfcheckSweep\": [\n";
+    for (std::size_t i = 0; i < selfcheck.size(); ++i)
+        os << selfCheckPointJson(selfcheck[i])
+           << (i + 1 < selfcheck.size() ? ",\n" : "\n");
     os << "]\n}\n";
     std::fputs(os.str().c_str(), stdout);
 }
@@ -244,9 +383,13 @@ main(int argc, char **argv)
                                     3e-5, 1e-4, 1e-3};
 
     std::vector<CampaignResult> sweep;
-    for (double rate : rates)
+    std::vector<SelfCheckResult> selfcheck;
+    for (double rate : rates) {
         sweep.push_back(runCampaign(model, opt, rate, kSeed, steps));
-    printJson(sweep, kSeed, steps);
+        selfcheck.push_back(
+            runSelfCheckCampaign(model, opt, rate, kSeed, steps));
+    }
+    printJson(sweep, selfcheck, kSeed, steps);
 
     // A campaign that landed faults but never tripped the cross-check
     // (or destabilized tracking without detection) would make the
@@ -267,6 +410,36 @@ main(int argc, char **argv)
     if (!std::isfinite(worst.finalTrackingError)) {
         std::fprintf(stderr,
                      "fault_campaign: closed loop went non-finite\n");
+        return 1;
+    }
+
+    // The self-checking sweep has its own contract: the zero-rate
+    // point must be untouched by the detectors, and at the highest
+    // rate at least 95% of injected upsets must be caught on-line
+    // (each strike flips one bit of a word the parity pass verifies,
+    // so anything below that is a detection-layer regression).
+    const SelfCheckResult &sc_clean = selfcheck.front();
+    if (sc_clean.faultsInjected != 0 ||
+        sc_clean.selfCheck.detections() != 0 ||
+        sc_clean.accelFaultSolves != 0) {
+        std::fprintf(stderr,
+                     "fault_campaign: zero-rate self-check campaign "
+                     "was not clean\n");
+        return 1;
+    }
+    const SelfCheckResult &sc_worst = selfcheck.back();
+    if (sc_worst.faultsInjected == 0 ||
+        sc_worst.detectionCoverage < 0.95) {
+        std::fprintf(stderr,
+                     "fault_campaign: self-check detection coverage "
+                     "%.3f below 0.95\n",
+                     sc_worst.detectionCoverage);
+        return 1;
+    }
+    if (!std::isfinite(sc_worst.finalTrackingError)) {
+        std::fprintf(stderr,
+                     "fault_campaign: self-checked loop went "
+                     "non-finite\n");
         return 1;
     }
     return 0;

@@ -13,6 +13,8 @@
 #ifndef ROBOX_ACCEL_CONFIG_HH
 #define ROBOX_ACCEL_CONFIG_HH
 
+#include <cstdint>
+
 namespace robox::accel
 {
 
@@ -34,6 +36,18 @@ struct AcceleratorConfig
     int aluLatency = 1;       //!< Pipelined add/sub/mul throughput.
     int busLatency = 1;       //!< Intra-CC shared-bus transfer.
     int hopLatency = 1;       //!< Neighbor-hop / tree-level latency.
+
+    /** Per-engine watchdog budget: a node or transfer that waits more
+     *  than this many cycles with no forward progress counts a
+     *  watchdog trip in CycleStats (0 = watchdogs disabled). Healthy
+     *  schedules never approach a sane budget; trips flag deadlocked
+     *  namespace queues or a starved engine. */
+    std::uint64_t watchdogBudgetCycles = 0;
+    /** Hard cap on simulated cycles: node issue stops once the
+     *  critical path passes this and CycleStats::cycleLimitHit is set
+     *  (0 = uncapped). A backstop so a pathological workload or model
+     *  bug cannot hang the simulator. */
+    std::uint64_t maxSimCycles = 0;
 
     int totalCus() const { return numCcs * cusPerCc; }
 

@@ -38,17 +38,6 @@ accessHash(std::uint64_t seed, FaultSite site, std::uint64_t cycle,
 
 } // namespace
 
-const char *
-faultSiteName(FaultSite site)
-{
-    switch (site) {
-      case FaultSite::RegisterFile: return "register-file";
-      case FaultSite::Scratchpad: return "scratchpad";
-      case FaultSite::Interconnect: return "interconnect";
-    }
-    return "unknown";
-}
-
 int
 FaultInjector::faultBitAt(FaultSite site, std::uint64_t cycle,
                           std::uint64_t word) const

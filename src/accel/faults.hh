@@ -28,21 +28,17 @@
 #include <vector>
 
 #include "fixed/fixed.hh"
+#include "fixed/selfcheck.hh"
 
 namespace robox::accel
 {
 
-/** Storage structure a fault strikes. Values are bit positions so a
- *  campaign can select sites with a mask. */
-enum class FaultSite : std::uint32_t
-{
-    RegisterFile = 1u << 0, //!< CU-local result registers.
-    Scratchpad = 1u << 1,   //!< Access-engine scratchpad words.
-    Interconnect = 1u << 2, //!< Messages between CUs.
-};
-
-/** Human-readable site name ("register-file", "scratchpad", ...). */
-const char *faultSiteName(FaultSite site);
+// FaultSite and faultSiteName now live in fixed/selfcheck.hh (below
+// both mpc and accel) so the solver's self-checking tape path can name
+// sites without depending on the accelerator library. These
+// using-declarations keep accel::FaultSite spelling valid.
+using robox::FaultSite;
+using robox::faultSiteName;
 
 /**
  * Specification of one reproducible fault campaign.
@@ -71,9 +67,15 @@ struct FaultCampaign
     int targetBit = -1;
     /** First cycle (inclusive) at which faults may occur. */
     std::uint64_t cycleBegin = 0;
-    /** Last cycle (exclusive); default covers all cycles. */
+    /** One past the last strikeable cycle (exclusive): an access at
+     *  cycle == cycleEnd is never struck, and cycleBegin == cycleEnd
+     *  is an empty window that strikes nothing. The default covers
+     *  every representable cycle. */
     std::uint64_t cycleEnd = std::uint64_t(-1);
-    /** Stop injecting after this many faults (0 = unlimited). */
+    /** Stop injecting after this many faults (0 = unlimited). The
+     *  budget is consulted before each access, so exactly maxFaults
+     *  flips land: the access that would be flip maxFaults + 1 passes
+     *  through unmodified even if its hash qualifies. */
     std::uint64_t maxFaults = 0;
 
     bool operator==(const FaultCampaign &o) const = default;

@@ -62,13 +62,15 @@ apply(const sym::Tape::Instr &in, Fixed a, Fixed b, const FixedMath &fm)
 FunctionalResult
 executeTapeMapped(const sym::Tape &tape, const std::vector<Fixed> &inputs,
                   const FixedMath &fm, const AcceleratorConfig &config,
-                  FaultInjector *faults)
+                  FaultInjector *faults, const SelfCheckPolicy *selfcheck,
+                  std::uint64_t faultCycleOffset)
 {
     robox_assert(static_cast<int>(inputs.size()) == tape.numVars());
 
     const std::uint64_t sat0 = Fixed::saturationCount();
     const std::uint64_t div0 = Fixed::divByZeroCount();
     const std::uint64_t faults0 = faults ? faults->faultsInjected() : 0;
+    const bool parity_on = selfcheck && selfcheck->parity;
 
     // Lower the tape into an M-DFG so Algorithm 1 can place it. Node i
     // corresponds to tape instruction i because every variable slot is
@@ -94,32 +96,67 @@ executeTapeMapped(const sym::Tape &tape, const std::vector<Fixed> &inputs,
     result.slotPeakAbs.assign(
         static_cast<std::size_t>(tape.numSlots()), 0.0);
 
+    // Parity bit per slot, computed from the fault-free value at store
+    // time. An SEU flips a data bit but not the parity bit, so the
+    // first read of a corrupted word mismatches.
+    std::vector<std::uint8_t> slot_parity(
+        static_cast<std::size_t>(tape.numSlots()), 0);
+
     // Record one stored word: peak-magnitude tracking feeds the
-    // per-variable range-utilization report.
-    auto store = [&](int slot, Fixed v) {
+    // per-variable range-utilization report. `truth` is the fault-free
+    // value the parity bit is computed from; `v` is what the storage
+    // structure actually holds after the fault filter.
+    auto store = [&](int slot, Fixed truth, Fixed v) {
         slot_value[slot] = v;
+        if (parity_on)
+            slot_parity[slot] = static_cast<std::uint8_t>(
+                parity32(static_cast<std::uint32_t>(truth.raw())));
         double a = std::abs(v.toDouble());
         if (a > result.slotPeakAbs[slot])
             result.slotPeakAbs[slot] = a;
         result.health.trackValue(a);
     };
 
+    // Verify one word against its parity bit; on mismatch, record the
+    // detection and re-adopt the corrupted word's parity so each upset
+    // is reported exactly once (scrub-on-detect).
+    auto parity_check = [&](int slot, FaultSite site,
+                            std::uint64_t cycle, std::uint64_t word) {
+        if (!parity_on)
+            return;
+        ++result.health.selfCheck.parityChecks;
+        std::uint32_t raw =
+            static_cast<std::uint32_t>(slot_value[slot].raw());
+        if (parity32(raw) == slot_parity[slot])
+            return;
+        ++result.health.selfCheck.parityErrors;
+        result.faultReports.push_back(
+            {site, cycle, word, FaultDetector::Parity,
+             AccelRecoveryRung::None});
+        slot_parity[slot] =
+            static_cast<std::uint8_t>(parity32(raw));
+    };
+
     // Inputs and preloads land in the access-engine scratchpad before
-    // execution starts: fault cycle 0, word = slot.
+    // execution starts: fault cycle 0 (+ attempt offset), word = slot.
     for (int i = 0; i < tape.numVars(); ++i) {
-        Fixed v = inputs[i];
+        Fixed truth = inputs[i];
+        Fixed v = truth;
         if (faults)
-            v = faults->access(v, FaultSite::Scratchpad, 0,
+            v = faults->access(v, FaultSite::Scratchpad,
+                               faultCycleOffset,
                                static_cast<std::uint64_t>(i));
-        store(i, v);
+        store(i, truth, v);
         slot_global[i] = true;
     }
     for (const sym::Tape::Preload &p : tape.preloads()) {
-        Fixed v = Fixed::fromDouble(p.value);
+        Fixed truth = Fixed::fromDouble(p.value);
+        Fixed v = truth;
         if (faults)
-            v = faults->access(v, FaultSite::Scratchpad, 0,
+            v = faults->access(v, FaultSite::Scratchpad,
+                               faultCycleOffset,
                                static_cast<std::uint64_t>(p.slot));
-        store(p.slot, v);
+        store(p.slot, truth, v);
         slot_global[p.slot] = true;
     }
 
@@ -133,10 +170,26 @@ executeTapeMapped(const sym::Tape &tape, const std::vector<Fixed> &inputs,
     std::vector<std::uint32_t> slot_node(
         static_cast<std::size_t>(tape.numSlots()), kExternal);
 
-    for (std::uint32_t id = 0; id < graph.size(); ++id) {
+    // Undelivered-operand handling: a mapping that never delivers a
+    // consumed value is a compiler bug and panics — unless a self-check
+    // policy is attached, in which case the same condition is what a
+    // fault-corrupted namespace queue looks like from the consumer:
+    // the watchdog trips, the run is flagged, and the recovery ladder
+    // (accel/selfcheck.hh) takes over instead of the process dying.
+    auto watchdog_trip = [&](std::uint64_t cycle, std::uint64_t word) {
+        ++result.health.selfCheck.watchdogTrips;
+        result.faultReports.push_back(
+            {FaultSite::Interconnect, cycle, word,
+             FaultDetector::Watchdog, AccelRecoveryRung::None});
+        result.deadlock = true;
+    };
+
+    for (std::uint32_t id = 0;
+         id < graph.size() && !result.deadlock; ++id) {
         const sym::Tape::Instr &in = tape.instrs()[id];
         const compiler::Placement &pl = map.placement[id];
         int gcu = pl.cc * ncu + pl.cu;
+        const std::uint64_t fcycle = id + faultCycleOffset;
 
         // Deliver any transfers scheduled before this consumer runs.
         while (transfer_cursor < map.transfers.size() &&
@@ -146,55 +199,89 @@ executeTapeMapped(const sym::Tape &tape, const std::vector<Fixed> &inputs,
             if (!available.count({t.producer,
                                   t.srcCc * ncu +
                                       std::max(0, t.srcCu)})) {
+                if (selfcheck) {
+                    watchdog_trip(fcycle, t.producer);
+                    break;
+                }
                 panic("functional: transfer of node {} from a CU that "
                       "does not hold it", t.producer);
             }
+            int slot = tape.instrs()[t.producer].dst;
             if (faults) {
                 // The message rides the interconnect: upset the word
                 // as delivered (cycle = consumer id, word = producer).
-                int slot = tape.instrs()[t.producer].dst;
                 Fixed v = faults->access(
-                    slot_value[slot], FaultSite::Interconnect, id,
+                    slot_value[slot], FaultSite::Interconnect, fcycle,
                     static_cast<std::uint64_t>(t.producer));
-                if (v.raw() != slot_value[slot].raw())
-                    store(slot, v);
+                if (v.raw() != slot_value[slot].raw()) {
+                    // Corrupted in transit: the data word changes but
+                    // the parity bit computed at the producer rides
+                    // along unchanged, so the delivery check below (or
+                    // the first fetch) sees the mismatch.
+                    slot_value[slot] = v;
+                    result.health.trackValue(std::abs(v.toDouble()));
+                }
             }
+            parity_check(slot, FaultSite::Interconnect, fcycle,
+                         static_cast<std::uint64_t>(t.producer));
             available.insert({t.producer, dst});
             ++result.transfersApplied;
             ++transfer_cursor;
         }
+        if (result.deadlock)
+            break;
 
         auto fetch = [&](int slot) -> Fixed {
-            if (slot_global[slot])
+            if (slot_global[slot]) {
+                parity_check(slot, FaultSite::Scratchpad, fcycle,
+                             static_cast<std::uint64_t>(slot));
                 return slot_value[slot];
+            }
             std::uint32_t producer = slot_node[slot];
             robox_assert(producer != kExternal);
             if (!available.count({producer, gcu})) {
+                if (selfcheck) {
+                    watchdog_trip(fcycle, producer);
+                    return Fixed();
+                }
                 panic("functional: node {} consumes node {} on cu {} "
                       "but the communication map never delivered it",
                       id, producer, gcu);
             }
             ++result.localReads;
+            parity_check(slot, FaultSite::RegisterFile, fcycle,
+                         static_cast<std::uint64_t>(slot));
             return slot_value[slot];
         };
 
         Fixed a = fetch(in.a);
         Fixed b = in.b >= 0 ? fetch(in.b) : Fixed();
-        Fixed out = apply(in, a, b, fm);
+        if (result.deadlock)
+            break;
+        Fixed truth = apply(in, a, b, fm);
+        Fixed out = truth;
         if (faults) {
             // The result lands in the CU's register file: cycle =
             // instruction id, word = destination slot.
-            out = faults->access(out, FaultSite::RegisterFile, id,
+            out = faults->access(out, FaultSite::RegisterFile, fcycle,
                                  static_cast<std::uint64_t>(in.dst));
         }
-        store(in.dst, out);
+        store(in.dst, truth, out);
         slot_node[in.dst] = id;
         available.insert({id, gcu});
     }
 
     result.outputs.reserve(tape.outputSlots().size());
-    for (int slot : tape.outputSlots())
+    for (int slot : tape.outputSlots()) {
+        // Handing an output to the host is a read too: an upset on a
+        // result no later instruction consumed is still caught here.
+        parity_check(slot,
+                     slot_global[slot] ? FaultSite::Scratchpad
+                                       : FaultSite::RegisterFile,
+                     graph.size() + faultCycleOffset,
+                     static_cast<std::uint64_t>(slot));
         result.outputs.push_back(slot_value[slot]);
+    }
 
     result.health.tapeEvals = 1;
     result.health.saturations = Fixed::saturationCount() - sat0;

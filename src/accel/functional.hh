@@ -32,6 +32,26 @@
 namespace robox::accel
 {
 
+/**
+ * Knobs of the self-checking execution layer (fixed/selfcheck.hh).
+ * With every detector enabled and no faults injected, a self-checked
+ * run is bitwise identical to an unchecked one: detection is pure
+ * overhead, never perturbation.
+ */
+struct SelfCheckPolicy
+{
+    /** Maintain a parity bit per stored word (register file and
+     *  scratchpad) and per interconnect transfer, checked on read /
+     *  delivery so an upset is caught at first use. */
+    bool parity = true;
+    /** Recovery rung 1: re-executions of the tape from the same
+     *  inputs before escalating to a program-image reload. */
+    int maxReexecutions = 2;
+    /** Recovery rung 3: serve the run from the CPU double-precision
+     *  path when re-execution and reload both stay corrupted. */
+    bool cpuFallback = true;
+};
+
 /** Result of a functional run. */
 struct FunctionalResult
 {
@@ -40,11 +60,25 @@ struct FunctionalResult
     std::size_t localReads = 0;       //!< Operands already resident.
 
     /** Numeric-integrity report for this run: saturation/div-by-zero
-     *  deltas, peak magnitude over every stored word, faults taken. */
+     *  deltas, peak magnitude over every stored word, faults taken,
+     *  and (with a SelfCheckPolicy) parity/watchdog detections. */
     NumericHealth health;
     /** Peak |value| ever stored per tape slot, for per-variable range
      *  utilization (slot i of the tape -> slotPeakAbs[i]). */
     std::vector<double> slotPeakAbs;
+
+    /** One entry per on-line detection (parity mismatch or watchdog
+     *  deadlock trip), in detection order. The recovery rung is
+     *  stamped by executeTapeSelfChecked (accel/selfcheck.hh);
+     *  detection-only runs leave it AccelRecoveryRung::None. */
+    std::vector<AccelFaultReport> faultReports;
+
+    /** An operand was never delivered to its consumer (namespace-queue
+     *  deadlock): execution aborted at the consuming instruction and
+     *  outputs are untrustworthy. Only possible under a fault campaign
+     *  with self-checking on; without a policy the same condition is a
+     *  mapping bug and panics. */
+    bool deadlock = false;
 };
 
 /**
@@ -63,12 +97,26 @@ struct FunctionalResult
  *               flip corrupts the delivered value for all later
  *               consumers on that CU — a pessimistic but valid SEU
  *               model.
+ * @param selfcheck Optional self-checking policy; when given (and
+ *               parity is on), every stored word carries a parity bit
+ *               computed from the fault-free value and verified on
+ *               read/delivery, detections land in
+ *               FunctionalResult::faultReports, and an undelivered
+ *               operand becomes a watchdog deadlock report instead of
+ *               a panic.
+ * @param faultCycleOffset Added to every fault-injection cycle
+ *               coordinate. Re-execution attempts pass a fresh offset
+ *               so the deterministic campaign hash re-rolls — a
+ *               transient upset does not recur on replay, exactly like
+ *               a real SEU.
  */
 FunctionalResult executeTapeMapped(const sym::Tape &tape,
                                    const std::vector<Fixed> &inputs,
                                    const FixedMath &fm,
                                    const AcceleratorConfig &config,
-                                   FaultInjector *faults = nullptr);
+                                   FaultInjector *faults = nullptr,
+                                   const SelfCheckPolicy *selfcheck = nullptr,
+                                   std::uint64_t faultCycleOffset = 0);
 
 } // namespace robox::accel
 

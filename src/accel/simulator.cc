@@ -53,8 +53,25 @@ simulate(const translator::Workload &workload,
     const int ncu = config.cusPerCc;
     const int nccs = config.numCcs;
     const int tree_levels = log2Ceil(std::max(2, nccs));
+    const std::uint64_t wd_budget = config.watchdogBudgetCycles;
 
     CycleStats stats;
+
+    // Watchdogs: any engine that keeps a node or transfer waiting past
+    // the budget with no forward progress trips, counting once per
+    // offending wait and dropping an "accel" marker on the timeline.
+    auto watchdog = [&](std::uint64_t waited, std::uint64_t &counter,
+                        const char *engine, std::uint64_t cycle,
+                        int cc) {
+        if (!wd_budget || waited <= wd_budget)
+            return;
+        ++counter;
+        if (trace) {
+            std::string name = "watchdog:";
+            name += engine;
+            trace->mark(std::move(name), cycle, cc);
+        }
+    };
 
     // Resource availability.
     std::vector<std::uint64_t> cu_free(
@@ -175,6 +192,9 @@ simulate(const translator::Workload &workload,
                     t = std::max(t, hit->second);
                 } else {
                     std::uint64_t start = std::max(t, bus_free[pl.cc]);
+                    watchdog(start - t,
+                             stats.interconnectWatchdogTrips,
+                             "interconnect", start, pl.cc);
                     bus_free[pl.cc] = start + config.busLatency;
                     t = start + config.busLatency;
                     ++stats.busTransfers;
@@ -189,6 +209,9 @@ simulate(const translator::Workload &workload,
                 } else {
                     std::uint64_t &chan = tree_channel();
                     std::uint64_t start = std::max(t, chan);
+                    watchdog(start - t,
+                             stats.interconnectWatchdogTrips,
+                             "interconnect", start, pl.cc);
                     chan = start + config.busLatency;
                     t = start + config.busLatency +
                         static_cast<std::uint64_t>(tree_levels) *
@@ -200,11 +223,18 @@ simulate(const translator::Workload &workload,
             operands = std::max(operands, t);
         }
 
-        // Tape inputs stream from external memory.
+        // Tape inputs stream from external memory. A stall on the
+        // access engine beyond the budget is a memory watchdog trip
+        // (the engine is "making progress" in the sense of streaming,
+        // but the compute side sees no forward progress).
         if (node.phase == mdfg::Phase::Dynamics ||
             node.phase == mdfg::Phase::Cost ||
             node.phase == mdfg::Phase::Constraint) {
-            operands = std::max(operands, load_done(node.stage));
+            std::uint64_t ld = load_done(node.stage);
+            if (ld > operands)
+                watchdog(ld - operands, stats.memoryWatchdogTrips,
+                         "memory", ld, pl.cc);
+            operands = std::max(operands, ld);
         }
 
         // ----------------------------------------------------------
@@ -331,6 +361,11 @@ simulate(const translator::Workload &workload,
           }
         }
 
+        // A CU/cluster that sat on ready operands past the budget is a
+        // compute-engine watchdog trip.
+        watchdog(start - std::min(start, operands),
+                 stats.computeWatchdogTrips, "compute", start, pl.cc);
+
         ready[id] = finish;
         stats.busyCyclesPerPhase[static_cast<int>(node.phase)] +=
             finish - start;
@@ -349,8 +384,24 @@ simulate(const translator::Workload &workload,
             event.finish = finish;
             trace->record(event);
         }
+
+        // Hard cap: stop issuing once the critical path passes the
+        // limit, so a runaway workload bounds the simulation instead
+        // of hanging it.
+        if (config.maxSimCycles && finish > config.maxSimCycles) {
+            stats.cycleLimitHit = true;
+            if (trace)
+                trace->mark("cycle-limit", config.maxSimCycles, pl.cc);
+            break;
+        }
     }
 
+    if (stats.cycleLimitHit) {
+        stats.computeCycles =
+            std::min(stats.computeCycles, config.maxSimCycles);
+        stats.memoryCycles =
+            std::min(stats.memoryCycles, config.maxSimCycles);
+    }
     stats.cycles = std::max(stats.computeCycles, stats.memoryCycles);
     return stats;
 }
@@ -382,6 +433,14 @@ extrapolate(const CycleStats &slice, int slice_stages, int horizon)
         std::llround(slice.aggregations * factor));
     out.externalBytes = static_cast<std::uint64_t>(
         std::llround(slice.externalBytes * factor));
+    // The per-stage schedule repeats, so slice watchdog trips repeat
+    // with it; cycleLimitHit copies through unscaled.
+    out.computeWatchdogTrips = static_cast<std::uint64_t>(
+        std::llround(slice.computeWatchdogTrips * factor));
+    out.interconnectWatchdogTrips = static_cast<std::uint64_t>(
+        std::llround(slice.interconnectWatchdogTrips * factor));
+    out.memoryWatchdogTrips = static_cast<std::uint64_t>(
+        std::llround(slice.memoryWatchdogTrips * factor));
     return out;
 }
 

@@ -48,6 +48,24 @@ struct CycleStats
     std::uint64_t aggregations = 0;      //!< GROUP reductions executed.
     std::uint64_t externalBytes = 0;     //!< Off-chip traffic.
 
+    // Per-engine watchdog trips (config.watchdogBudgetCycles > 0): a
+    // node or transfer that waited past the budget with no forward
+    // progress. Zero on every healthy schedule.
+    std::uint64_t computeWatchdogTrips = 0; //!< CU/cluster issue stalls.
+    std::uint64_t interconnectWatchdogTrips = 0; //!< Bus/tree waits.
+    std::uint64_t memoryWatchdogTrips = 0;  //!< Access-engine stalls.
+    /** The config.maxSimCycles hard cap stopped node issue early;
+     *  cycle counts cover only the issued prefix. */
+    bool cycleLimitHit = false;
+
+    /** Total watchdog trips across the three engines. */
+    std::uint64_t
+    watchdogTrips() const
+    {
+        return computeWatchdogTrips + interconnectWatchdogTrips +
+               memoryWatchdogTrips;
+    }
+
     /** Wall-clock seconds at the configured clock. */
     double seconds(const AcceleratorConfig &config) const;
     /** Energy in joules under the busy-power model. */

@@ -25,6 +25,8 @@ Trace::toChromeJson() const
     std::map<int, std::set<int>> lanes;
     for (const TraceEvent &e : events_)
         lanes[e.cc].insert(e.cu >= 0 ? e.cu : kCcWideLane);
+    for (const TraceMarker &m : markers_)
+        lanes[m.cc].insert(kCcWideLane);
 
     for (const auto &[cc, cus] : lanes) {
         std::ostringstream pname;
@@ -57,6 +59,13 @@ Trace::toChromeJson() const
             static_cast<double>(e.finish > e.start ? e.finish - e.start
                                                    : 1),
             args.str());
+    }
+
+    // Self-check markers ride the CC-wide lane under the "accel"
+    // category so viewers can filter to detections alone.
+    for (const TraceMarker &m : markers_) {
+        writer.instantEvent(m.name, "accel", m.cc, kCcWideLane,
+                            static_cast<double>(m.cycle));
     }
     return writer.json();
 }

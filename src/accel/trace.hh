@@ -47,6 +47,19 @@ struct TraceEvent
     std::uint64_t finish = 0;
 };
 
+/**
+ * A zero-duration self-check marker: a watchdog trip, a parity or
+ * checksum detection, or the recovery ladder engaging. Rendered as an
+ * "accel" category instant event on the cluster's CC-wide lane so
+ * detections line up against the work that was executing.
+ */
+struct TraceMarker
+{
+    std::string name;        //!< e.g. "watchdog:compute".
+    std::uint64_t cycle = 0; //!< Cycle the detector fired.
+    int cc = 0;              //!< Cluster lane to pin the marker to.
+};
+
 /** An append-only execution trace. */
 class Trace
 {
@@ -57,9 +70,17 @@ class Trace
         events_.push_back(event);
     }
 
+    /** Record one self-check marker. */
+    void
+    mark(std::string name, std::uint64_t cycle, int cc = 0)
+    {
+        markers_.push_back({std::move(name), cycle, cc});
+    }
+
     const std::vector<TraceEvent> &events() const { return events_; }
+    const std::vector<TraceMarker> &markers() const { return markers_; }
     std::size_t size() const { return events_.size(); }
-    bool empty() const { return events_.empty(); }
+    bool empty() const { return events_.empty() && markers_.empty(); }
 
     /**
      * Export as Chrome trace-event JSON ("traceEvents" array of "X"
@@ -72,6 +93,7 @@ class Trace
 
   private:
     std::vector<TraceEvent> events_;
+    std::vector<TraceMarker> markers_;
 };
 
 } // namespace robox::accel

@@ -5,8 +5,14 @@
  *
  * The image is what the host would flash into the accelerator's
  * INSTRUCTION namespace: a fixed header (magic, version, stream
- * lengths) followed by the three streams of 32-bit little-endian
- * words in compute / communication / memory order.
+ * lengths, CRC-32 of everything but the checksum word itself) followed
+ * by the three streams of 32-bit little-endian words in compute /
+ * communication / memory order.
+ *
+ * The checksum makes the program store self-checking: the loader
+ * refuses a corrupted image at flash time, and a resident image can be
+ * re-verified mid-run (verifyImage) — the detection half of the
+ * reload rung of the recovery ladder (accel/selfcheck.hh).
  */
 
 #ifndef ROBOX_COMPILER_BINARY_HH
@@ -23,15 +29,55 @@ namespace robox::compiler
 
 /** Magic number at the head of a RoboX program image ("RBX1"). */
 constexpr std::uint32_t kImageMagic = 0x31584252;
-/** Current image format version. */
-constexpr std::uint32_t kImageVersion = 1;
+/** Current image format version (2 added the header CRC-32). */
+constexpr std::uint32_t kImageVersion = 2;
+/** Header size in bytes: magic, version, three stream lengths, CRC. */
+constexpr std::size_t kImageHeaderBytes = 24;
+/** Byte offset of the CRC-32 word within the header. */
+constexpr std::size_t kImageCrcOffset = 20;
 
-/** Serialize the streams into a flat binary image. */
+/** Why an image failed to load (Ok = it didn't). */
+enum class ImageStatus : std::uint8_t
+{
+    Ok = 0,
+    Truncated,        //!< Shorter than the fixed header.
+    BadMagic,         //!< First word is not "RBX1".
+    BadVersion,       //!< Unsupported format version.
+    BadSectionLength, //!< Stream lengths disagree with the image size.
+    BadChecksum,      //!< CRC-32 mismatch: the image bits are corrupt.
+    BadInstruction,   //!< A word the hardware decoder would reject.
+};
+
+const char *imageStatusName(ImageStatus status);
+
+/** Serialize the streams into a flat binary image (checksummed). */
 std::vector<std::uint8_t> packImage(const IsaStreams &streams);
 
 /**
- * Parse a binary image back into instruction streams. fatal() on a
- * bad magic number, unsupported version, or truncated image.
+ * Parse a binary image back into instruction streams, validating the
+ * header, the checksum, and every instruction word. On failure `out`
+ * is left empty and the reason is returned; nothing is thrown and
+ * nothing terminates, so callers can route a bad image into the
+ * recovery ladder instead of dying.
+ */
+ImageStatus unpackImageChecked(const std::vector<std::uint8_t> &image,
+                               IsaStreams &out);
+
+/**
+ * Integrity-check an image without decoding it: header fields and
+ * CRC-32 only. Cheap enough to re-run against the resident image
+ * mid-flight, which is how program-store corruption is detected after
+ * load time.
+ */
+ImageStatus verifyImage(const std::vector<std::uint8_t> &image);
+
+/** Recompute the CRC-32 an intact image would carry in its header. */
+std::uint32_t imageChecksum(const std::vector<std::uint8_t> &image);
+
+/**
+ * Parse a binary image back into instruction streams. fatal() on any
+ * non-Ok ImageStatus (convenience wrapper over unpackImageChecked for
+ * tools that want to die loudly on a bad file).
  */
 IsaStreams unpackImage(const std::vector<std::uint8_t> &image);
 

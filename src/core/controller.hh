@@ -139,7 +139,10 @@ class Controller
      * (e.g. accel::FaultInjector::tapeHook()), so seeded SEU campaigns
      * can be run against the end-to-end controller. Detected
      * corruption surfaces as SolveStatus::NumericDegraded and step()
-     * substitutes the backup command like any other failure.
+     * substitutes the backup command like any other failure. With
+     * MpcOptions::accelSelfCheck on, upsets are instead caught by the
+     * parity detectors and retried through the recovery ladder; only
+     * solves that exhaust it surface, as SolveStatus::AccelFault.
      */
     void setTapeFaultHook(mpc::MpcProblem::TapeFaultHook hook)
     {

@@ -25,6 +25,7 @@
 #include <cstdint>
 
 #include "fixed/fixed.hh"
+#include "fixed/selfcheck.hh"
 
 namespace robox
 {
@@ -64,6 +65,11 @@ struct NumericHealth
      *  count classifies the run as numerically degraded. */
     std::uint64_t toleranceBreaches = 0;
 
+    /** On-line detection/recovery counters (parity, checksum,
+     *  watchdog, ladder rungs); see fixed/selfcheck.hh. All zero when
+     *  self-checking execution is disabled. */
+    SelfCheckStats selfCheck;
+
     /** Fraction of the representable Q14.17 magnitude ever used;
      *  values near 1.0 mean the workload is about to saturate. */
     double rangeUtilization() const { return peakAbs / Fixed::maxAbs; }
@@ -95,6 +101,7 @@ struct NumericHealth
         maxAbsError = std::max(maxAbsError, o.maxAbsError);
         toleranceWarnings += o.toleranceWarnings;
         toleranceBreaches += o.toleranceBreaches;
+        selfCheck.merge(o.selfCheck);
     }
 
     /** Bitwise equality; fault campaigns assert reproducibility with

@@ -386,6 +386,79 @@ MemInstr::decode(std::uint32_t word)
     return in;
 }
 
+bool
+computeWordValid(std::uint32_t word)
+{
+    if (bits(word, 31, 29) >
+        static_cast<std::uint32_t>(ComputeOpcode::VectorImm))
+        return false; // Opcodes 4..7 unassigned.
+    // dst/src1 namespaces are 3-bit; REFERENCE (7) is memory-only.
+    if (bits(word, 24, 22) ==
+            static_cast<std::uint32_t>(Namespace::Reference) ||
+        bits(word, 21, 19) ==
+            static_cast<std::uint32_t>(Namespace::Reference))
+        return false;
+    if (bits(word, 18, 17) > static_cast<std::uint32_t>(PopMode::PopRewrite))
+        return false; // Pop mode 3 unassigned.
+    auto op = static_cast<ComputeOpcode>(bits(word, 31, 29));
+    bool imm = op == ComputeOpcode::ScalarImm ||
+               op == ComputeOpcode::VectorImm;
+    if (!imm) {
+        if (bits(word, 13, 11) ==
+            static_cast<std::uint32_t>(Namespace::Reference))
+            return false;
+        if (bits(word, 10, 9) >
+            static_cast<std::uint32_t>(PopMode::PopRewrite))
+            return false;
+    }
+    return bits(word, 0, 0) == 0; // Reserved bit.
+}
+
+bool
+commWordValid(std::uint32_t word)
+{
+    std::uint32_t opcode = bits(word, 31, 29);
+    if (opcode == 6)
+        return false; // The one unassigned communication opcode.
+    // Communication reaches only the seven CU-visible namespaces.
+    if (bits(word, 28, 26) ==
+            static_cast<std::uint32_t>(Namespace::Reference) ||
+        bits(word, 4, 2) ==
+            static_cast<std::uint32_t>(Namespace::Reference))
+        return false;
+    if (bits(word, 25, 24) > static_cast<std::uint32_t>(PopMode::PopRewrite))
+        return false;
+    auto op = static_cast<CommOpcode>(opcode);
+    if (op == CommOpcode::Broadcast || op == CommOpcode::EndOfCode) {
+        if (bits(word, 12, 5) != 0)
+            return false; // Routing fields unused by these opcodes.
+    }
+    return bits(word, 1, 0) == 0; // Reserved bits.
+}
+
+bool
+memWordValid(std::uint32_t word)
+{
+    if (bits(word, 31, 29) >
+        static_cast<std::uint32_t>(MemOpcode::EndOfCode))
+        return false; // Opcodes 4..7 unassigned.
+    std::uint32_t ns = bits(word, 28, 25);
+    if (ns > static_cast<std::uint32_t>(Namespace::Instruction))
+        return false; // 4-bit field; 9..15 name no namespace.
+    auto op = static_cast<MemOpcode>(bits(word, 31, 29));
+    if (op == MemOpcode::Load || op == MemOpcode::Store) {
+        // CU-local namespaces never touch external memory.
+        if (ns == static_cast<std::uint32_t>(Namespace::Interm) ||
+            ns == static_cast<std::uint32_t>(Namespace::LeftNeighbor) ||
+            ns == static_cast<std::uint32_t>(Namespace::RightNeighbor))
+            return false;
+        return bits(word, 1, 0) == 0;
+    }
+    if (op == MemOpcode::SetBlock)
+        return bits(word, 8, 0) == 0;
+    return bits(word, 24, 0) == 0; // EndOfCode: only opcode + ns live.
+}
+
 std::string
 MemInstr::str() const
 {

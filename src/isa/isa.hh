@@ -188,6 +188,24 @@ struct MemInstr
     bool operator==(const MemInstr &) const = default;
 };
 
+// ---------------------------------------------------------------------
+// Encoding validity.
+//
+// decode() is total — any 32-bit word yields *some* struct — which is
+// the wrong contract for a loader validating a program image that may
+// have been corrupted in storage or transit. These predicates answer
+// "would the hardware decoder accept this word": assigned opcode,
+// in-range namespaces for the category, assigned pop modes, and
+// reserved bits zero (everything encode() can produce passes).
+// ---------------------------------------------------------------------
+
+/** True when `word` is a well-formed compute instruction. */
+bool computeWordValid(std::uint32_t word);
+/** True when `word` is a well-formed communication instruction. */
+bool commWordValid(std::uint32_t word);
+/** True when `word` is a well-formed memory instruction. */
+bool memWordValid(std::uint32_t word);
+
 } // namespace robox::isa
 
 #endif // ROBOX_ISA_ISA_HH

@@ -640,6 +640,8 @@ BatchController::solveAll(const std::vector<Vector> &states,
     report_.lastBatchDivByZeros = 0;
     report_.lastBatchFaultsInjected = 0;
     report_.lastBatchNumericDegraded = 0;
+    report_.lastBatchAccelFaults = 0;
+    report_.lastBatchSelfCheck = SelfCheckStats();
     OverloadReport &ov = report_.overload;
     ov.lastBatchDegraded = 0;
     ov.lastBatchServedFromBackup = 0;
@@ -663,6 +665,7 @@ BatchController::solveAll(const std::vector<Vector> &states,
             report_.lastBatchSaturations += st.numeric.saturations;
             report_.lastBatchDivByZeros += st.numeric.divByZeros;
             report_.lastBatchFaultsInjected += st.numeric.faultsInjected;
+            report_.lastBatchSelfCheck.merge(st.numeric.selfCheck);
         }
         // results_[i].status is authoritative: the overload ladder,
         // sensor gate, and exception path all stamp it without going
@@ -674,6 +677,9 @@ BatchController::solveAll(const std::vector<Vector> &states,
         switch (status) {
           case SolveStatus::NumericDegraded:
             report_.lastBatchNumericDegraded += 1;
+            break;
+          case SolveStatus::AccelFault:
+            report_.lastBatchAccelFaults += 1;
             break;
           case SolveStatus::DegradedBudget:
             ov.lastBatchDegraded += 1;
@@ -695,6 +701,8 @@ BatchController::solveAll(const std::vector<Vector> &states,
     report_.saturations += report_.lastBatchSaturations;
     report_.divByZeros += report_.lastBatchDivByZeros;
     report_.faultsInjected += report_.lastBatchFaultsInjected;
+    report_.accelFaults += report_.lastBatchAccelFaults;
+    report_.selfCheck.merge(report_.lastBatchSelfCheck);
     ov.degraded += ov.lastBatchDegraded;
     ov.servedFromBackup += ov.lastBatchServedFromBackup;
     ov.shed += ov.lastBatchShed;
@@ -783,6 +791,26 @@ batchMetricsJson(const BatchReport &report, bool include_timing)
     scalars.push_back(count("numericDegraded",
                             "NumericDegraded solves, last batch",
                             report.lastBatchNumericDegraded));
+    scalars.push_back(count("accelFaults",
+                            "lifetime AccelFault solves",
+                            report.accelFaults));
+    const SelfCheckStats &sc = report.selfCheck;
+    scalars.push_back(count("parityErrors", "self-check parity hits",
+                            sc.parityErrors));
+    scalars.push_back(count("checksumErrors",
+                            "self-check image-checksum hits",
+                            sc.checksumErrors));
+    scalars.push_back(count("watchdogTrips", "self-check watchdog trips",
+                            sc.watchdogTrips));
+    scalars.push_back(count("accelReexecutions",
+                            "recovery rung-1 re-executions",
+                            sc.reexecutions));
+    scalars.push_back(count("accelReloads",
+                            "recovery rung-2 image reloads",
+                            sc.reloads));
+    scalars.push_back(count("accelCpuFallbacks",
+                            "recovery rung-3 CPU fallbacks",
+                            sc.cpuFallbacks));
     scalars.push_back(scalar("budgetSeconds",
                              "batch budget (< 0 = admission off)",
                              ov.budgetSeconds));

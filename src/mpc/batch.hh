@@ -157,6 +157,20 @@ struct BatchReport
     std::uint64_t faultsInjected = 0;
     /** Robots in the last batch whose solve was NumericDegraded. */
     std::uint64_t lastBatchNumericDegraded = 0;
+    /** Robots in the last batch whose solve was AccelFault (the
+     *  self-check recovery ladder hit the CPU-fallback rung). */
+    std::uint64_t lastBatchAccelFaults = 0;
+    /** Lifetime AccelFault solves. */
+    std::uint64_t accelFaults = 0;
+
+    /**
+     * Self-checking execution detections and recovery-ladder activity
+     * (MpcOptions::accelSelfCheck), summed over every robot's
+     * SolveStats::numeric.selfCheck. All zero with self-checking off.
+     */
+    SelfCheckStats lastBatchSelfCheck;
+    /** Lifetime sums of the per-batch self-check counters above. */
+    SelfCheckStats selfCheck;
 
     /** Overload-management decisions and budget accounting. */
     OverloadReport overload;

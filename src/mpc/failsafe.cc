@@ -89,6 +89,8 @@ SolverHealth::SolverHealth(const std::string &name, double latency_hi)
       badInput_("bad_input", "Solves refused for NaN/Inf inputs"),
       numericDegraded_("numeric_degraded",
                        "Solves failing the fixed-point golden cross-check"),
+      accelFaults_("accel_faults",
+                   "Solves condemned by the accelerator recovery ladder"),
       degradedBudget_("degraded_budget",
                       "Solves run under a tightened overload budget"),
       servedFromBackup_("served_from_backup",
@@ -100,6 +102,16 @@ SolverHealth::SolverHealth(const std::string &name, double latency_hi)
       saturations_("saturations", "Fixed-point saturation events"),
       divByZeros_("div_by_zeros", "Fixed-point division-by-zero events"),
       faultsInjected_("faults_injected", "Injected fault-engine bit flips"),
+      parityErrors_("parity_errors",
+                    "Self-check parity detections on accelerator words"),
+      watchdogTrips_("watchdog_trips",
+                     "Self-check watchdog trips (engine stalls/deadlock)"),
+      accelReexecutions_("accel_reexecutions",
+                         "Recovery rung 1: tape re-executions"),
+      accelReloads_("accel_reloads",
+                    "Recovery rung 2: program-image reloads"),
+      accelCpuFallbacks_("accel_cpu_fallbacks",
+                         "Recovery rung 3: CPU double-precision fallbacks"),
       latency_("solve_seconds", "Per-solve wall time", 0.0, latency_hi, 64)
 {
     group_.add(&solves_);
@@ -110,6 +122,7 @@ SolverHealth::SolverHealth(const std::string &name, double latency_hi)
     group_.add(&diverged_);
     group_.add(&badInput_);
     group_.add(&numericDegraded_);
+    group_.add(&accelFaults_);
     group_.add(&degradedBudget_);
     group_.add(&servedFromBackup_);
     group_.add(&shed_);
@@ -119,6 +132,11 @@ SolverHealth::SolverHealth(const std::string &name, double latency_hi)
     group_.add(&saturations_);
     group_.add(&divByZeros_);
     group_.add(&faultsInjected_);
+    group_.add(&parityErrors_);
+    group_.add(&watchdogTrips_);
+    group_.add(&accelReexecutions_);
+    group_.add(&accelReloads_);
+    group_.add(&accelCpuFallbacks_);
     group_.add(&latency_);
 }
 
@@ -134,6 +152,7 @@ SolverHealth::record(const SolveStats &stats)
       case SolveStatus::Diverged: ++diverged_; break;
       case SolveStatus::BadInput: ++badInput_; break;
       case SolveStatus::NumericDegraded: ++numericDegraded_; break;
+      case SolveStatus::AccelFault: ++accelFaults_; break;
       case SolveStatus::DegradedBudget: ++degradedBudget_; break;
       case SolveStatus::ServedFromBackup: ++servedFromBackup_; break;
       case SolveStatus::Shed: ++shed_; break;
@@ -144,6 +163,12 @@ SolverHealth::record(const SolveStats &stats)
     saturations_ += static_cast<double>(stats.numeric.saturations);
     divByZeros_ += static_cast<double>(stats.numeric.divByZeros);
     faultsInjected_ += static_cast<double>(stats.numeric.faultsInjected);
+    const SelfCheckStats &sc = stats.numeric.selfCheck;
+    parityErrors_ += static_cast<double>(sc.parityErrors);
+    watchdogTrips_ += static_cast<double>(sc.watchdogTrips);
+    accelReexecutions_ += static_cast<double>(sc.reexecutions);
+    accelReloads_ += static_cast<double>(sc.reloads);
+    accelCpuFallbacks_ += static_cast<double>(sc.cpuFallbacks);
     latency_.sample(stats.solveSeconds);
 }
 
@@ -158,6 +183,7 @@ SolverHealth::statusCount(SolveStatus status) const
       case SolveStatus::Diverged: return diverged_.value();
       case SolveStatus::BadInput: return badInput_.value();
       case SolveStatus::NumericDegraded: return numericDegraded_.value();
+      case SolveStatus::AccelFault: return accelFaults_.value();
       case SolveStatus::DegradedBudget: return degradedBudget_.value();
       case SolveStatus::ServedFromBackup: return servedFromBackup_.value();
       case SolveStatus::Shed: return shed_.value();

@@ -154,6 +154,7 @@ class SolverHealth
     stats::Scalar diverged_;
     stats::Scalar badInput_;
     stats::Scalar numericDegraded_;
+    stats::Scalar accelFaults_;
     stats::Scalar degradedBudget_;
     stats::Scalar servedFromBackup_;
     stats::Scalar shed_;
@@ -163,6 +164,14 @@ class SolverHealth
     stats::Scalar saturations_;
     stats::Scalar divByZeros_;
     stats::Scalar faultsInjected_;
+    // Self-checking execution (MpcOptions::accelSelfCheck): on-line
+    // detections and recovery-ladder activity, from
+    // SolveStats::numeric.selfCheck.
+    stats::Scalar parityErrors_;
+    stats::Scalar watchdogTrips_;
+    stats::Scalar accelReexecutions_;
+    stats::Scalar accelReloads_;
+    stats::Scalar accelCpuFallbacks_;
     stats::Histogram latency_;
 };
 

@@ -919,6 +919,16 @@ IpmSolver::solve(const Vector &x0, const std::vector<Vector> &refs)
 
     stats_.objective = problem_.objective(xs_, us_, refs);
 
+    // Self-check verdict: the accelerator recovery ladder fell through
+    // to the CPU fallback at least once, so the iterate mixes pre- and
+    // post-detection arithmetic. This outranks the cross-check verdict
+    // below because it names the cause (a detected hardware fault),
+    // not just the symptom.
+    if (opt.fixedPointTapes && statusUsable(final_status) &&
+        problem_.accelFaultDetected()) {
+        final_status = SolveStatus::AccelFault;
+    }
+
     // Golden cross-check verdict: an iterate computed through a
     // fixed-point path that diverged from the double-precision model
     // beyond the fail band must not reach the actuators (or seed the

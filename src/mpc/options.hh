@@ -278,6 +278,27 @@ struct MpcOptions
 
     /** Relative half of the fail band (see crossCheckFailAbs). */
     double crossCheckFailRel = 5e-2;
+
+    /**
+     * Self-checking accelerator execution for the fixed-point tape
+     * path: every quantized environment word carries a parity bit
+     * computed at host write time and verified when the accelerator
+     * reads it, so an upset is caught at first use instead of flowing
+     * silently into the iterate. A detection engages the recovery
+     * ladder: re-execute the evaluation (up to accelMaxReexecutions,
+     * re-rolling the deterministic fault hash each attempt), then a
+     * simulated program-image reload with one more attempt, then the
+     * CPU double-precision fallback — which marks the solve
+     * SolveStatus::AccelFault so the failsafe ladder replaces the
+     * command. With no faults injected the checks change nothing:
+     * detection is pure overhead, never perturbation. Only meaningful
+     * with fixedPointTapes.
+     */
+    bool accelSelfCheck = false;
+
+    /** Recovery rung 1 depth: tape re-executions per detection before
+     *  escalating to reload and then CPU fallback. */
+    int accelMaxReexecutions = 2;
 };
 
 } // namespace robox::mpc

@@ -275,15 +275,95 @@ MpcProblem::runTape(const sym::Tape &tape) const
     // Accelerator datapath: quantize inputs, evaluate with saturating
     // Q14.17 arithmetic and LUT nonlinears, and dequantize the results.
     fixed_env_.resize(env_.size());
-    for (std::size_t i = 0; i < env_.size(); ++i)
-        fixed_env_[i] = Fixed::fromDouble(env_[i]);
-    if (fault_hook_) {
+
+    // One evaluation attempt: quantize afresh from the (uncorrupted)
+    // host-side environment, run the fault hook at the current cycle
+    // coordinate, and — under self-checking execution — verify the
+    // parity bit each quantized word carried from host write time.
+    // Returns the number of parity detections; the cycle coordinate
+    // advances per attempt, so a retry re-rolls the deterministic
+    // fault hash exactly like a transient SEU clearing.
+    auto attempt = [&]() -> std::uint64_t {
+        const std::uint64_t cycle = tape_eval_counter_++;
+        for (std::size_t i = 0; i < env_.size(); ++i)
+            fixed_env_[i] = Fixed::fromDouble(env_[i]);
+        if (!fault_hook_)
+            return 0;
+        if (!options_.accelSelfCheck) {
+            numeric_health_.faultsInjected +=
+                fault_hook_(fixed_env_, cycle);
+            return 0;
+        }
+        parity_scratch_.resize(fixed_env_.size());
+        for (std::size_t i = 0; i < fixed_env_.size(); ++i)
+            parity_scratch_[i] = static_cast<std::uint8_t>(parity32(
+                static_cast<std::uint32_t>(fixed_env_[i].raw())));
         numeric_health_.faultsInjected +=
-            fault_hook_(fixed_env_, tape_eval_counter_);
+            fault_hook_(fixed_env_, cycle);
+        std::uint64_t errors = 0;
+        for (std::size_t i = 0; i < fixed_env_.size(); ++i) {
+            ++numeric_health_.selfCheck.parityChecks;
+            if (parity32(static_cast<std::uint32_t>(
+                    fixed_env_[i].raw())) == parity_scratch_[i])
+                continue;
+            ++numeric_health_.selfCheck.parityErrors;
+            ++errors;
+            if (accel_fault_reports_.size() < kMaxAccelFaultReports) {
+                accel_fault_reports_.push_back(
+                    {FaultSite::Scratchpad, cycle,
+                     static_cast<std::uint64_t>(i),
+                     FaultDetector::Parity, AccelRecoveryRung::None});
+            }
+        }
+        return errors;
+    };
+
+    // Stamp the reports a failed attempt produced with the recovery
+    // rung that answers them.
+    auto stamp = [&](std::size_t from, AccelRecoveryRung rung) {
+        for (std::size_t i = from; i < accel_fault_reports_.size(); ++i)
+            accel_fault_reports_[i].rung = rung;
+    };
+
+    std::size_t mark = accel_fault_reports_.size();
+    std::uint64_t errors = attempt();
+    if (errors > 0) {
+        // Rung 1: re-execute; the upset was transient unless the hash
+        // says otherwise.
+        int reexec = 0;
+        while (errors > 0 && reexec < options_.accelMaxReexecutions) {
+            stamp(mark, AccelRecoveryRung::Reexecute);
+            ++numeric_health_.selfCheck.reexecutions;
+            ++reexec;
+            mark = accel_fault_reports_.size();
+            errors = attempt();
+        }
+        // Rung 2: reload the program image (its checksum re-verified
+        // on the way in; the streams here are known-good by
+        // construction, so only the check is modeled) and try once
+        // more.
+        if (errors > 0) {
+            stamp(mark, AccelRecoveryRung::Reload);
+            ++numeric_health_.selfCheck.reloads;
+            ++numeric_health_.selfCheck.checksumChecks;
+            mark = accel_fault_reports_.size();
+            errors = attempt();
+        }
+        // Rung 3: abandon the accelerator for this evaluation and
+        // serve it from the CPU double-precision path. The solve is
+        // condemned to SolveStatus::AccelFault by the solver.
+        if (errors > 0) {
+            stamp(mark, AccelRecoveryRung::CpuFallback);
+            ++numeric_health_.selfCheck.cpuFallbacks;
+            accel_fault_ = true;
+            ++numeric_health_.tapeEvals;
+            tape.evalInto(env_, tape_work_, tape_out_);
+            return tape_out_;
+        }
     }
+
     for (const Fixed &v : fixed_env_)
         numeric_health_.trackValue(v.toDouble());
-    ++tape_eval_counter_;
     tape.evalFixedInto(fixed_env_, *fixed_math_, fixed_work_, fixed_out_);
     tape_out_.resize(fixed_out_.size());
     for (std::size_t i = 0; i < fixed_out_.size(); ++i) {

@@ -199,7 +199,32 @@ class MpcProblem
      */
     const NumericHealth &numericHealth() const { return numeric_health_; }
     /** Clear the accumulated report (the solver does this per solve). */
-    void resetNumericHealth() const { numeric_health_ = NumericHealth(); }
+    void
+    resetNumericHealth() const
+    {
+        numeric_health_ = NumericHealth();
+        accel_fault_ = false;
+        accel_fault_reports_.clear();
+    }
+
+    /**
+     * True when self-checking execution (MpcOptions::accelSelfCheck)
+     * escalated to the CPU-fallback rung since the last
+     * resetNumericHealth(): corruption survived re-execution and
+     * reload, so the solver marks the solve SolveStatus::AccelFault.
+     */
+    bool accelFaultDetected() const { return accel_fault_; }
+
+    /**
+     * Detection reports accumulated since the last
+     * resetNumericHealth(), each stamped with the recovery rung that
+     * answered it (capped at kMaxAccelFaultReports entries; the
+     * SelfCheckStats counters in numericHealth() remain exact).
+     */
+    const std::vector<AccelFaultReport> &accelFaultReports() const
+    {
+        return accel_fault_reports_;
+    }
 
   private:
     /** Build the symbolic discrete-time dynamics F(x, u, ref). */
@@ -246,9 +271,17 @@ class MpcProblem
     mutable std::vector<Fixed> fixed_out_;
     mutable std::vector<double> golden_work_;
     mutable std::vector<double> golden_out_;
+    /** Per-word parity bits of the quantized environment, computed at
+     *  host write time (accelSelfCheck). */
+    mutable std::vector<std::uint8_t> parity_scratch_;
+
+    /** Bound on retained AccelFaultReport entries per solve. */
+    static constexpr std::size_t kMaxAccelFaultReports = 256;
 
     TapeFaultHook fault_hook_;
     mutable NumericHealth numeric_health_;
+    mutable bool accel_fault_ = false;
+    mutable std::vector<AccelFaultReport> accel_fault_reports_;
     /** Monotone fixed-point evaluation counter; the fault engine's
      *  cycle coordinate. Never reset, so identically-constructed
      *  problems see identical cycles (campaign reproducibility). */

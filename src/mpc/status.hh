@@ -44,6 +44,15 @@ enum class SolveStatus
      *  error, saturation cascade, or overflow); the plan must not be
      *  trusted. See MpcOptions::crossCheckFixedPoint. */
     NumericDegraded,
+    /** The accelerator's self-checking execution (parity, checksum,
+     *  watchdog; see MpcOptions::accelSelfCheck) detected corruption
+     *  that re-execution and reload could not clear — rung 3 of the
+     *  accelerator recovery ladder. Evaluations after the escalation
+     *  were served from the CPU double-precision fallback, but the
+     *  iterate mixes pre- and post-detection arithmetic, so it is
+     *  routed exactly like NumericDegraded: not trusted, failsafe
+     *  ladder engaged. */
+    AccelFault,
     /** The batch admission pass solved this robot under a tightened
      *  iteration/deadline budget to keep the fleet inside
      *  MpcOptions::batchDeadlineSeconds. The iterate is feasible but
@@ -73,6 +82,7 @@ toString(SolveStatus status)
       case SolveStatus::Diverged: return "diverged";
       case SolveStatus::BadInput: return "bad-input";
       case SolveStatus::NumericDegraded: return "numeric-degraded";
+      case SolveStatus::AccelFault: return "accel-fault";
       case SolveStatus::DegradedBudget: return "degraded-budget";
       case SolveStatus::ServedFromBackup: return "served-from-backup";
       case SolveStatus::Shed: return "shed";

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Implementation of the table-driven CRC-32.
+ */
+
+#include "support/crc32.hh"
+
+namespace robox::support
+{
+
+namespace
+{
+
+/** 256-entry lookup table for the reflected IEEE polynomial. */
+struct Crc32Table
+{
+    std::uint32_t entry[256];
+
+    Crc32Table()
+    {
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int bit = 0; bit < 8; ++bit)
+                c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+            entry[i] = c;
+        }
+    }
+};
+
+} // namespace
+
+std::uint32_t
+crc32(const std::uint8_t *data, std::size_t size, std::uint32_t seed)
+{
+    static const Crc32Table table;
+    std::uint32_t c = seed ^ 0xFFFFFFFFu;
+    for (std::size_t i = 0; i < size; ++i)
+        c = table.entry[(c ^ data[i]) & 0xFFu] ^ (c >> 8);
+    return c ^ 0xFFFFFFFFu;
+}
+
+} // namespace robox::support

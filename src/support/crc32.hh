@@ -1,0 +1,31 @@
+/**
+ * @file
+ * CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+ *
+ * Used as the integrity checksum of serialized program images
+ * (compiler/binary.hh): the host computes the CRC when packing, the
+ * load path verifies it before decoding, and a running accelerator
+ * re-verifies it to catch instruction-store corruption mid-flight.
+ * The implementation is a plain table-driven software CRC so every
+ * build (including sanitizers) computes identical values.
+ */
+
+#ifndef ROBOX_SUPPORT_CRC32_HH
+#define ROBOX_SUPPORT_CRC32_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace robox::support
+{
+
+/**
+ * CRC-32 of a byte range. Pass the previous return value as `seed` to
+ * checksum a message in chunks; the default seed starts a fresh CRC.
+ */
+std::uint32_t crc32(const std::uint8_t *data, std::size_t size,
+                    std::uint32_t seed = 0);
+
+} // namespace robox::support
+
+#endif // ROBOX_SUPPORT_CRC32_HH

@@ -213,7 +213,8 @@ TEST(Binary, PackUnpackRoundTrip)
     IsaStreams streams = emitStreams(wl, map, cfg);
 
     auto image = packImage(streams);
-    EXPECT_EQ(image.size(), 20 + streams.codeBytes());
+    EXPECT_EQ(image.size(), kImageHeaderBytes + streams.codeBytes());
+    EXPECT_EQ(verifyImage(image), ImageStatus::Ok);
     IsaStreams back = unpackImage(image);
     ASSERT_EQ(back.compute.size(), streams.compute.size());
     ASSERT_EQ(back.comm.size(), streams.comm.size());
@@ -245,6 +246,86 @@ TEST(Binary, RejectsCorruptImages)
     auto bad_version = image;
     bad_version[4] = 99;
     EXPECT_THROW(unpackImage(bad_version), robox::FatalError);
+}
+
+TEST(Binary, CheckedUnpackNamesEachFailureMode)
+{
+    translator::Workload wl = makeWorkload("MobileRobot", 2);
+    accel::AcceleratorConfig cfg;
+    ProgramMap map = mapGraph(wl.graph, cfg);
+    IsaStreams streams = emitStreams(wl, map, cfg);
+    auto image = packImage(streams);
+
+    IsaStreams out;
+    EXPECT_EQ(unpackImageChecked(image, out), ImageStatus::Ok);
+    EXPECT_EQ(out.compute.size(), streams.compute.size());
+
+    // Shorter than the fixed header: truncated.
+    auto stub = image;
+    stub.resize(kImageHeaderBytes - 1);
+    EXPECT_EQ(unpackImageChecked(stub, out), ImageStatus::Truncated);
+    EXPECT_TRUE(out.compute.empty());
+
+    // Bad magic / version are reported before anything else.
+    auto bad_magic = image;
+    bad_magic[0] ^= 0xFF;
+    EXPECT_EQ(unpackImageChecked(bad_magic, out),
+              ImageStatus::BadMagic);
+    auto bad_version = image;
+    bad_version[4] = 99;
+    EXPECT_EQ(unpackImageChecked(bad_version, out),
+              ImageStatus::BadVersion);
+
+    // A section length that disagrees with the image size.
+    auto bad_len = image;
+    bad_len[8] ^= 0x01; // compute stream count
+    EXPECT_EQ(unpackImageChecked(bad_len, out),
+              ImageStatus::BadSectionLength);
+    auto chopped = image;
+    chopped.resize(chopped.size() - 4);
+    EXPECT_EQ(unpackImageChecked(chopped, out),
+              ImageStatus::BadSectionLength);
+
+    // A payload bit flip fails the CRC before instruction decode.
+    auto flipped = image;
+    flipped[kImageHeaderBytes + 2] ^= 0x10;
+    EXPECT_EQ(unpackImageChecked(flipped, out),
+              ImageStatus::BadChecksum);
+    EXPECT_EQ(verifyImage(flipped), ImageStatus::BadChecksum);
+
+    // A corrupted CRC word itself is also a checksum failure.
+    auto bad_crc = image;
+    bad_crc[kImageCrcOffset] ^= 0x01;
+    EXPECT_EQ(verifyImage(bad_crc), ImageStatus::BadChecksum);
+}
+
+TEST(Binary, ChecksummedCorruptionCannotMasquerade)
+{
+    // Rewriting a payload word AND patching the CRC to match makes the
+    // checksum pass, so the instruction validator is the next line of
+    // defense: an unassigned opcode is refused at decode.
+    translator::Workload wl = makeWorkload("MobileRobot", 2);
+    accel::AcceleratorConfig cfg;
+    ProgramMap map = mapGraph(wl.graph, cfg);
+    IsaStreams streams = emitStreams(wl, map, cfg);
+    auto image = packImage(streams);
+
+    // Compute opcode lives at [31:29]; 7 is unassigned.
+    image[kImageHeaderBytes + 3] |= 0xE0;
+    std::uint32_t crc = imageChecksum(image);
+    image[kImageCrcOffset] = static_cast<std::uint8_t>(crc & 0xFF);
+    image[kImageCrcOffset + 1] =
+        static_cast<std::uint8_t>((crc >> 8) & 0xFF);
+    image[kImageCrcOffset + 2] =
+        static_cast<std::uint8_t>((crc >> 16) & 0xFF);
+    image[kImageCrcOffset + 3] =
+        static_cast<std::uint8_t>((crc >> 24) & 0xFF);
+
+    EXPECT_EQ(verifyImage(image), ImageStatus::Ok);
+    IsaStreams out;
+    EXPECT_EQ(unpackImageChecked(image, out),
+              ImageStatus::BadInstruction);
+    EXPECT_THROW(unpackImage(image), robox::FatalError);
 }
 
 TEST(Binary, FileRoundTrip)

@@ -167,6 +167,76 @@ TEST(FaultInjector, TargetWordBitAndCycleWindowAreRespected)
     EXPECT_EQ(inj.log()[0].after, flipped.raw());
 }
 
+TEST(FaultInjector, CycleWindowBoundariesAreBeginInclusiveEndExclusive)
+{
+    FaultCampaign campaign;
+    campaign.seed = 13;
+    campaign.upsetRate = 1.0;
+    campaign.cycleBegin = 10;
+    campaign.cycleEnd = 20;
+    FaultInjector inj(campaign);
+
+    // The window's own edges: first cycle in, last cycle in, one past.
+    EXPECT_GE(inj.faultBitAt(FaultSite::RegisterFile, 10, 0), 0);
+    EXPECT_GE(inj.faultBitAt(FaultSite::RegisterFile, 19, 0), 0);
+    EXPECT_EQ(inj.faultBitAt(FaultSite::RegisterFile, 20, 0), -1);
+    EXPECT_EQ(inj.faultBitAt(FaultSite::RegisterFile, 9, 0), -1);
+
+    // The default cycleEnd = uint64(-1) is itself exclusive, so the
+    // final representable cycle is the one cycle a default campaign
+    // can never strike.
+    FaultCampaign open;
+    open.upsetRate = 1.0;
+    FaultInjector wide(open);
+    EXPECT_GE(wide.faultBitAt(FaultSite::RegisterFile,
+                              std::uint64_t(-2), 0),
+              0);
+    EXPECT_EQ(wide.faultBitAt(FaultSite::RegisterFile,
+                              std::uint64_t(-1), 0),
+              -1);
+}
+
+TEST(FaultInjector, EmptyCycleWindowStrikesNothing)
+{
+    FaultCampaign campaign;
+    campaign.upsetRate = 1.0;
+    campaign.cycleBegin = 15;
+    campaign.cycleEnd = 15;
+    FaultInjector inj(campaign);
+
+    for (std::uint64_t cycle = 0; cycle < 32; ++cycle)
+        for (FaultSite site :
+             {FaultSite::RegisterFile, FaultSite::Scratchpad,
+              FaultSite::Interconnect})
+            EXPECT_EQ(inj.faultBitAt(site, cycle, 0), -1)
+                << "cycle " << cycle;
+    inj.access(Fixed::fromDouble(1.0), FaultSite::Scratchpad, 15, 0);
+    EXPECT_TRUE(inj.log().empty());
+}
+
+TEST(FaultInjector, BudgetConsultedBeforeAccessLandsExactlyMaxFaults)
+{
+    FaultCampaign campaign;
+    campaign.upsetRate = 1.0;
+    campaign.targetBit = 3;
+    campaign.maxFaults = 2;
+    FaultInjector inj(campaign);
+
+    const Fixed value = Fixed::fromDouble(0.75);
+    // Every access qualifies (rate 1.0), yet only the first two flip;
+    // the would-be third passes through bit-identical even though its
+    // hash qualifies.
+    const Fixed first = inj.access(value, FaultSite::RegisterFile, 0, 0);
+    const Fixed second = inj.access(value, FaultSite::RegisterFile, 1, 0);
+    const Fixed third = inj.access(value, FaultSite::RegisterFile, 2, 0);
+    EXPECT_EQ(first.raw(), value.raw() ^ (1 << 3));
+    EXPECT_EQ(second.raw(), value.raw() ^ (1 << 3));
+    EXPECT_EQ(third.raw(), value.raw());
+    EXPECT_EQ(inj.faultsInjected(), 2u);
+    EXPECT_GE(inj.faultBitAt(FaultSite::RegisterFile, 2, 0), 0)
+        << "decision function must ignore the budget";
+}
+
 TEST(FaultInjector, MaxFaultsBudgetStopsInjection)
 {
     FaultCampaign campaign;

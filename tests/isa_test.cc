@@ -190,6 +190,216 @@ TEST(MemInstr, RejectsBadBurst)
     EXPECT_THROW(in.encode(), FatalError);
 }
 
+// ---------------------------------------------------------------------
+// Randomized round trips: a seeded splitmix64 stream drives hundreds of
+// field-valid instructions per category through
+// encode -> decode -> re-encode -> validity -> disassembly. The stream
+// is deterministic, so a failure names a reproducible seed offset.
+// ---------------------------------------------------------------------
+
+class SplitMix
+{
+  public:
+    explicit SplitMix(std::uint64_t seed) : state_(seed) {}
+
+    std::uint64_t next()
+    {
+        std::uint64_t x = (state_ += 0x9e3779b97f4a7c15ull);
+        x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+        x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+        return x ^ (x >> 31);
+    }
+
+    /** Uniform integer in [0, bound). */
+    std::uint32_t below(std::uint32_t bound)
+    {
+        return static_cast<std::uint32_t>(next() % bound);
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+// Namespaces legal for compute/communication operands, including both
+// edge values (Input = 0, RightNeighbor = 6) adjacent to the
+// memory-only codes.
+Namespace
+cuNamespace(SplitMix &rng)
+{
+    return static_cast<Namespace>(rng.below(7));
+}
+
+TEST(ComputeInstr, RandomizedRoundTripAndValidity)
+{
+    SplitMix rng(0xC0FFEE01);
+    for (int trial = 0; trial < 500; ++trial) {
+        ComputeInstr in;
+        in.opcode = static_cast<ComputeOpcode>(rng.below(4));
+        in.function = static_cast<AluFunction>(rng.below(16));
+        in.dst = cuNamespace(rng);
+        in.src1 = cuNamespace(rng);
+        in.src1Pop = static_cast<PopMode>(rng.below(3));
+        in.src1Index = static_cast<std::uint8_t>(rng.below(8));
+        in.vectorLength = static_cast<std::uint8_t>(rng.below(32));
+        const bool imm = in.opcode == ComputeOpcode::ScalarImm ||
+                         in.opcode == ComputeOpcode::VectorImm;
+        if (imm) {
+            in.immediate = static_cast<std::uint8_t>(rng.below(256));
+        } else {
+            in.src2 = cuNamespace(rng);
+            in.src2Pop = static_cast<PopMode>(rng.below(3));
+            in.src2Index = static_cast<std::uint8_t>(rng.below(8));
+        }
+
+        const std::uint32_t word = in.encode();
+        const ComputeInstr out = ComputeInstr::decode(word);
+        EXPECT_EQ(out, in) << "trial " << trial;
+        EXPECT_EQ(out.encode(), word) << "trial " << trial;
+        EXPECT_TRUE(computeWordValid(word)) << "trial " << trial;
+        EXPECT_FALSE(in.str().empty()) << "trial " << trial;
+    }
+}
+
+TEST(CommInstr, RandomizedRoundTripAndValidity)
+{
+    SplitMix rng(0xC0FFEE02);
+    constexpr CommOpcode kOpcodes[] = {
+        CommOpcode::Unicast,       CommOpcode::Broadcast,
+        CommOpcode::CuMulticast,   CommOpcode::CcMulticast,
+        CommOpcode::CuAggregation, CommOpcode::CcAggregation,
+        CommOpcode::EndOfCode,
+    };
+    for (int trial = 0; trial < 500; ++trial) {
+        CommInstr in;
+        in.opcode = kOpcodes[rng.below(7)];
+        in.srcNamespace = cuNamespace(rng);
+        in.srcPop = static_cast<PopMode>(rng.below(3));
+        in.srcIndex = static_cast<std::uint8_t>(rng.below(8));
+        in.srcCc = static_cast<std::uint8_t>(rng.below(16));
+        in.srcCu = static_cast<std::uint8_t>(rng.below(16));
+        in.dstNamespace = cuNamespace(rng);
+        switch (in.opcode) {
+          case CommOpcode::Unicast:
+            in.dstCc = static_cast<std::uint8_t>(rng.below(16));
+            in.dstCu = static_cast<std::uint8_t>(rng.below(16));
+            break;
+          case CommOpcode::CuMulticast:
+          case CommOpcode::CcMulticast:
+            in.quarter = static_cast<std::uint8_t>(rng.below(4));
+            in.mask = static_cast<std::uint8_t>(rng.below(16));
+            break;
+          case CommOpcode::CuAggregation:
+          case CommOpcode::CcAggregation:
+            in.aggFunction = static_cast<AggFunction>(rng.below(4));
+            in.mask = static_cast<std::uint8_t>(rng.below(16));
+            break;
+          case CommOpcode::Broadcast:
+          case CommOpcode::EndOfCode:
+            break;
+        }
+
+        const std::uint32_t word = in.encode();
+        const CommInstr out = CommInstr::decode(word);
+        EXPECT_EQ(out, in) << "trial " << trial;
+        EXPECT_EQ(out.encode(), word) << "trial " << trial;
+        EXPECT_TRUE(commWordValid(word)) << "trial " << trial;
+        EXPECT_FALSE(in.str().empty()) << "trial " << trial;
+    }
+}
+
+TEST(MemInstr, RandomizedRoundTripAndValidity)
+{
+    SplitMix rng(0xC0FFEE03);
+    // Load/store reach the six external-memory-backed namespaces,
+    // including both memory-only edge codes Reference (7) and
+    // Instruction (8).
+    constexpr Namespace kLoadStoreNs[] = {
+        Namespace::Input,    Namespace::State,
+        Namespace::Gradient, Namespace::Hessian,
+        Namespace::Reference, Namespace::Instruction,
+    };
+    for (int trial = 0; trial < 500; ++trial) {
+        MemInstr in;
+        in.opcode = static_cast<MemOpcode>(rng.below(4));
+        switch (in.opcode) {
+          case MemOpcode::Load:
+          case MemOpcode::Store:
+            in.ns = kLoadStoreNs[rng.below(6)];
+            in.offset = static_cast<std::uint16_t>(rng.below(65536));
+            in.shift = static_cast<std::uint8_t>(rng.below(8));
+            in.burst = static_cast<std::uint8_t>(1 + rng.below(16));
+            break;
+          case MemOpcode::SetBlock:
+            in.ns = static_cast<Namespace>(rng.below(9));
+            in.block = static_cast<std::uint16_t>(rng.below(65536));
+            break;
+          case MemOpcode::EndOfCode:
+            in.ns = static_cast<Namespace>(rng.below(9));
+            break;
+        }
+
+        const std::uint32_t word = in.encode();
+        const MemInstr out = MemInstr::decode(word);
+        EXPECT_EQ(out, in) << "trial " << trial;
+        EXPECT_EQ(out.encode(), word) << "trial " << trial;
+        EXPECT_TRUE(memWordValid(word)) << "trial " << trial;
+        EXPECT_FALSE(in.str().empty()) << "trial " << trial;
+    }
+}
+
+TEST(Isa, ValidityPredicatesRejectMalformedWords)
+{
+    // Unassigned opcodes.
+    EXPECT_FALSE(computeWordValid(4u << 29));
+    EXPECT_FALSE(commWordValid(6u << 29));
+    EXPECT_FALSE(memWordValid(4u << 29));
+
+    // Namespace edges: Reference (7) is memory-only, so a compute or
+    // communication word naming it is invalid even though the struct
+    // encoders can never produce one.
+    ComputeInstr compute;
+    std::uint32_t word = compute.encode();
+    EXPECT_TRUE(computeWordValid(word));
+    EXPECT_FALSE(computeWordValid(
+        (word & ~(7u << 22)) | (7u << 22))); // dst = Reference.
+    EXPECT_FALSE(computeWordValid(word | 1u)); // Reserved bit 0.
+    EXPECT_FALSE(computeWordValid(
+        (word & ~(3u << 17)) | (3u << 17))); // src1 pop mode 3.
+
+    CommInstr comm;
+    comm.opcode = CommOpcode::Unicast;
+    word = comm.encode();
+    EXPECT_TRUE(commWordValid(word));
+    EXPECT_FALSE(commWordValid(
+        (word & ~(7u << 26)) | (7u << 26))); // src ns = Reference.
+    EXPECT_FALSE(commWordValid(word | 2u)); // Reserved bits [1:0].
+
+    // Broadcast with stale routing bits must be rejected: the hardware
+    // ignores [12:5], so a flip there is silent corruption.
+    CommInstr bcast;
+    bcast.opcode = CommOpcode::Broadcast;
+    word = bcast.encode();
+    EXPECT_TRUE(commWordValid(word));
+    EXPECT_FALSE(commWordValid(word | (1u << 9)));
+
+    MemInstr mem;
+    mem.opcode = MemOpcode::Load;
+    mem.ns = Namespace::State;
+    word = mem.encode();
+    EXPECT_TRUE(memWordValid(word));
+    EXPECT_FALSE(memWordValid(
+        (word & ~(15u << 25)) | (4u << 25))); // Load from Interm.
+    EXPECT_FALSE(memWordValid(
+        (word & ~(15u << 25)) | (9u << 25))); // Namespace 9 unnamed.
+    EXPECT_FALSE(memWordValid(word | 1u)); // Reserved bits [1:0].
+
+    MemInstr end;
+    end.opcode = MemOpcode::EndOfCode;
+    word = end.encode();
+    EXPECT_TRUE(memWordValid(word));
+    EXPECT_FALSE(memWordValid(word | (1u << 9))); // Payload must be 0.
+}
+
 TEST(Isa, InstructionsAre32Bits)
 {
     // Encodings must fit (and use) one 32-bit word: check the helpers

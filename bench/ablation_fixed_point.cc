@@ -22,8 +22,10 @@
 using namespace robox;
 
 int
-main()
+main(int argc, char **argv)
 {
+    if (int rc = bench::requireNoFlags(argc, argv, "ablation_fixed_point"))
+        return rc;
     bench::banner("Ablation: fixed-point datapath fidelity",
                   "LUT-size sweep with the solver on Q14.17 "
                   "arithmetic (Sec. VIII-A claim).");

@@ -40,8 +40,10 @@ timedSolveSeconds(const robots::Benchmark &bench, mpc::MpcOptions opt)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    if (int rc = bench::requireNoFlags(argc, argv, "ablation_solver"))
+        return rc;
     bench::banner("Ablation: solver design choices",
                   "Riccati vs. dense KKT backend; plain barrier vs. "
                   "predictor-corrector.");

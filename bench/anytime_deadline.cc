@@ -68,8 +68,10 @@ rollout(IpmSolver &solver, const Plant &plant,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    if (int rc = robox::bench::requireNoFlags(argc, argv, "anytime_deadline"))
+        return rc;
     robox::bench::banner(
         "anytime deadline",
         "Deadline-bounded MPC: miss rate and tracking vs budget");

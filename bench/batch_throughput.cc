@@ -44,8 +44,10 @@ makeFleetInputs(const robox::robots::Benchmark &bench,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    if (int rc = robox::bench::requireNoFlags(argc, argv, "batch_throughput"))
+        return rc;
     robox::bench::banner(
         "batch throughput",
         "Batched multi-robot MPC: robots/sec vs worker threads");

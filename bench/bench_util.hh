@@ -30,6 +30,23 @@ banner(const char *artifact, const char *description)
                 "=============================\n");
 }
 
+/**
+ * Argv discipline for reproduction binaries that take no flags: any
+ * argument is unknown, so print a usage line and hand main() a
+ * nonzero exit code instead of silently ignoring it (a typoed
+ * `--smoke` must not run the full sweep and look like a CI pass).
+ * Returns 0 when the command line is clean.
+ */
+inline int
+requireNoFlags(int argc, char **argv, const char *name)
+{
+    if (argc <= 1)
+        return 0;
+    std::fprintf(stderr, "usage: %s (takes no flags; got \"%s\")\n",
+                 name, argv[1]);
+    return 2;
+}
+
 /** Accelerator configuration with a given total CU count. CU counts
  *  below 16 shrink one cluster; larger counts add 16-CU clusters. */
 inline accel::AcceleratorConfig

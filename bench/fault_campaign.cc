@@ -361,8 +361,14 @@ int
 main(int argc, char **argv)
 {
     bool smoke = false;
-    for (int i = 1; i < argc; ++i)
-        smoke = smoke || std::strcmp(argv[i], "--smoke") == 0;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            smoke = true;
+        } else {
+            std::fprintf(stderr, "usage: fault_campaign [--smoke]\n");
+            return 2;
+        }
+    }
 
     robox::dsl::ModelSpec model =
         robox::dsl::analyzeSource(kDoubleIntegrator);

@@ -12,8 +12,10 @@
 using namespace robox;
 
 int
-main()
+main(int argc, char **argv)
 {
+    if (int rc = bench::requireNoFlags(argc, argv, "fig05_cpu_speedup"))
+        return rc;
     bench::banner("Figure 5",
                   "Speedup of Xeon E3 and RoboX over the ARM Cortex A57 "
                   "baseline (N = 32).");

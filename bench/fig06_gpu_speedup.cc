@@ -13,8 +13,10 @@
 using namespace robox;
 
 int
-main()
+main(int argc, char **argv)
 {
+    if (int rc = bench::requireNoFlags(argc, argv, "fig06_gpu_speedup"))
+        return rc;
     bench::banner("Figure 6",
                   "Speedup of GPUs and RoboX over the GTX 650 Ti "
                   "baseline (N = 32).");

@@ -12,8 +12,10 @@
 using namespace robox;
 
 int
-main()
+main(int argc, char **argv)
 {
+    if (int rc = bench::requireNoFlags(argc, argv, "fig07_cpu_ppw"))
+        return rc;
     bench::banner("Figure 7",
                   "Performance-per-Watt improvement of Xeon E3 and "
                   "RoboX over the ARM Cortex A57 baseline (N = 32).");

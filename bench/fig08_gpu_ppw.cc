@@ -12,8 +12,10 @@
 using namespace robox;
 
 int
-main()
+main(int argc, char **argv)
 {
+    if (int rc = bench::requireNoFlags(argc, argv, "fig08_gpu_ppw"))
+        return rc;
     bench::banner("Figure 8",
                   "Performance-per-Watt improvement of GPUs and RoboX "
                   "over the GTX 650 Ti baseline (N = 32).");

@@ -13,8 +13,10 @@
 using namespace robox;
 
 int
-main()
+main(int argc, char **argv)
 {
+    if (int rc = bench::requireNoFlags(argc, argv, "fig09_horizon_sweep"))
+        return rc;
     bench::banner("Figure 9",
                   "Speedup of RoboX over the ARM A57 baseline across "
                   "prediction horizon lengths.");

@@ -14,8 +14,10 @@
 using namespace robox;
 
 int
-main()
+main(int argc, char **argv)
 {
+    if (int rc = bench::requireNoFlags(argc, argv, "fig10_interconnect_ablation"))
+        return rc;
     bench::banner("Figure 10",
                   "RoboX speedup over ARM A57 with and without the "
                   "compute-enabled on-chip interconnect (N = 1024).");

@@ -13,8 +13,10 @@
 using namespace robox;
 
 int
-main()
+main(int argc, char **argv)
 {
+    if (int rc = bench::requireNoFlags(argc, argv, "fig11_cu_sweep"))
+        return rc;
     bench::banner("Figure 11",
                   "Sensitivity of RoboX speedup over ARM A57 to the "
                   "number of Compute Units (N = 1024).");

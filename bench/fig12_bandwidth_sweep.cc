@@ -14,8 +14,10 @@
 using namespace robox;
 
 int
-main()
+main(int argc, char **argv)
 {
+    if (int rc = bench::requireNoFlags(argc, argv, "fig12_bandwidth_sweep"))
+        return rc;
     bench::banner("Figure 12",
                   "Sensitivity of RoboX speedup over ARM A57 to "
                   "off-chip memory bandwidth (N = 1024).");

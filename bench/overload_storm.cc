@@ -37,6 +37,19 @@
  *   --timeline PATH   write the highest-load storm's fleet timeline
  *                     (Chrome trace-event JSON; see mpc/timeline.hh)
  *   --link-timeline PATH  write the worst-loss link storm's timeline
+ *   --kill-resume     kill-and-resume chaos mode: checkpoint each
+ *                     storm's controller + harness state every
+ *                     --checkpoint-every batches (atomic rename,
+ *                     support/checkpoint.hh), then at splitmix64-
+ *                     scheduled batches destroy the BatchController,
+ *                     dump its flight recorder as a postmortem, and
+ *                     resume a fresh instance from the latest
+ *                     checkpoint. The report must byte-match the
+ *                     uninterrupted run — that is the crash-safety
+ *                     gate CI diffs against the golden.
+ *   --checkpoint-every N  batches between checkpoints (default 7)
+ *   --checkpoint-dir PATH where checkpoint + postmortem files land
+ *                     (default ".")
  *
  * The per-point metrics render through stats::StatGroup::toJson(), the
  * same schema the fault campaign and the batch controller's overload
@@ -45,9 +58,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -55,9 +70,11 @@
 #include "dsl/sema.hh"
 #include "mpc/batch.hh"
 #include "mpc/chaos.hh"
+#include "mpc/checkpoint_io.hh"
 #include "mpc/simulate.hh"
 #include "mpc/status.hh"
 #include "mpc/timeline.hh"
+#include "support/checkpoint.hh"
 #include "support/stats.hh"
 #include "support/trace.hh"
 
@@ -99,6 +116,50 @@ constexpr std::size_t kDefaultThreads = 4;
 constexpr int kParallelism = 4;        //!< Pinned admission math.
 constexpr double kBudgetSeconds = 1e-3; //!< Batch deadline.
 
+/** Kill-and-resume chaos configuration (--kill-resume). */
+struct CrashPlan
+{
+    int checkpointEvery = 7; //!< Batches between checkpoints.
+    int crashes = 2;         //!< Simulated kills per storm.
+    std::string dir = ".";   //!< Checkpoint / postmortem directory.
+};
+
+/** The same splitmix64 finalizer the chaos and fault engines use, so
+ *  the crash schedule is a pure function of (seed, storm, index). */
+std::uint64_t
+splitmix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/** Deterministic, sorted, deduplicated batch indices at which a storm
+ *  is killed. Every index lands after the first checkpoint exists, so
+ *  each kill resumes from a real file (the corrupt/cold-start path is
+ *  exercised separately). */
+std::vector<int>
+crashSchedule(std::uint64_t seed, std::uint64_t storm_nonce, int batches,
+              const CrashPlan &plan)
+{
+    std::vector<int> out;
+    const int lo = plan.checkpointEvery + 1;
+    const int span = batches - lo;
+    if (span <= 0)
+        return out;
+    for (int k = 0; k < plan.crashes; ++k) {
+        std::uint64_t h = splitmix64(
+            seed ^ (storm_nonce << 20) ^ (0xC4A5ull << 40) ^
+            static_cast<std::uint64_t>(k));
+        out.push_back(lo + static_cast<int>(h % static_cast<std::uint64_t>(
+                                                    span)));
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+}
+
 /** Outcome of one storm at one offered-load point. */
 struct StormResult
 {
@@ -119,11 +180,15 @@ struct StormResult
 
 /** One closed-loop storm: `batches` control periods of `kRobots`
  *  robots under chaos, at a virtual solve cost sized so the fleet's
- *  demand is `load` times the batch compute budget. */
+ *  demand is `load` times the batch compute budget. With a CrashPlan,
+ *  the controller is periodically checkpointed and deterministically
+ *  killed + resumed mid-sweep; the returned result must be identical
+ *  either way. */
 StormResult
 runStorm(const robox::dsl::ModelSpec &model, const MpcOptions &opt,
          double load, std::uint64_t seed, int batches,
-         std::size_t threads, FleetTimeline *timeline_out)
+         std::size_t threads, FleetTimeline *timeline_out,
+         const CrashPlan *crash = nullptr, std::size_t storm_index = 0)
 {
     ChaosSpec spec;
     spec.seed = seed;
@@ -137,13 +202,21 @@ runStorm(const robox::dsl::ModelSpec &model, const MpcOptions &opt,
         load * kBudgetSeconds * kParallelism / kRobots;
     ChaosEngine chaos(spec);
 
-    BatchController batch(model, opt, kRobots, threads);
-    batch.setCostHook(chaos.costHook());
-    batch.setStallHook(chaos.stallHook());
-    batch.enableTimeline(timeline_out != nullptr);
-    // Robots 0 and 1 are high priority: the ladder must shed them last.
-    batch.setPriority(0, 1.0);
-    batch.setPriority(1, 1.0);
+    // The runtime wiring (hooks, priorities, timeline) is not part of
+    // a checkpoint — a resumed "process" re-applies it exactly as a
+    // restarted serving binary would.
+    auto make_batch = [&] {
+        auto p = std::make_unique<BatchController>(model, opt, kRobots,
+                                                   threads);
+        p->setCostHook(chaos.costHook());
+        p->setStallHook(chaos.stallHook());
+        p->enableTimeline(timeline_out != nullptr);
+        // Robots 0 and 1 are high priority: shed them last.
+        p->setPriority(0, 1.0);
+        p->setPriority(1, 1.0);
+        return p;
+    };
+    std::unique_ptr<BatchController> batch = make_batch();
 
     Plant plant(model);
     std::vector<Vector> truth, meas, prev_meas, refs;
@@ -162,7 +235,73 @@ runStorm(const robox::dsl::ModelSpec &model, const MpcOptions &opt,
     double err_sum = 0.0;
     std::uint64_t err_n = 0;
 
-    for (int b = 0; b < batches; ++b) {
+    const std::string tag = "storm_" + std::to_string(storm_index);
+    const std::string ckpt_path =
+        crash ? crash->dir + "/" + tag + ".rbcp" : std::string();
+    const std::vector<int> kills =
+        crash ? crashSchedule(seed, storm_index, batches, *crash)
+              : std::vector<int>();
+    std::size_t next_kill = 0;
+
+    // Reset the harness loop to batch 0 (cold start after a restore
+    // failure: no checkpoint survived, so the storm replays whole).
+    auto cold_start = [&] {
+        for (std::size_t i = 0; i < kRobots; ++i) {
+            double s = static_cast<double>(i);
+            truth[i] = Vector{0.1 * s, -0.03 * s};
+            prev_meas[i] = Vector{0.0, 0.0};
+            last_u[i] = Vector{0.0};
+        }
+        err_sum = 0.0;
+        err_n = 0;
+        result = StormResult();
+        result.offeredLoad = load;
+        return 0;
+    };
+
+    int b = 0;
+    while (b < batches) {
+        if (crash && next_kill < kills.size() && b == kills[next_kill]) {
+            ++next_kill;
+            // Black box first: the postmortem is the flight recorder
+            // recovered from the instance being killed.
+            robox::support::writeFileAtomic(
+                crash->dir + "/postmortem_" + tag + "_" +
+                    std::to_string(next_kill) + ".json",
+                batch->flightRecorder().toJson());
+            batch = make_batch(); // The "new process".
+            std::string blob;
+            bool restored = false;
+            std::uint64_t saved_b = 0;
+            if (robox::support::readFile(ckpt_path, &blob)) {
+                robox::support::CheckpointReader r(blob);
+                std::uint64_t saved_shed = 0;
+                restored =
+                    r.status() ==
+                        robox::support::CheckpointStatus::Ok &&
+                    r.u64(&saved_b) &&
+                    robox::mpc::readVectorList(r, truth) &&
+                    robox::mpc::readVectorList(r, prev_meas) &&
+                    robox::mpc::readVectorList(r, last_u) &&
+                    r.f64(&err_sum) && r.u64(&err_n) &&
+                    r.f64(&result.maxTrackingError) &&
+                    r.u64(&saved_shed) && batch->restore(r) && r.atEnd();
+                if (restored)
+                    result.protectedShed = saved_shed;
+            }
+            if (!restored) {
+                std::fprintf(stderr,
+                             "overload_storm: %s checkpoint unusable, "
+                             "cold-starting\n",
+                             tag.c_str());
+                batch = make_batch(); // restore() left it cold anyway.
+                b = cold_start();
+            } else {
+                b = static_cast<int>(saved_b);
+            }
+            continue;
+        }
+
         chaos.setBatch(static_cast<std::uint64_t>(b));
         for (std::size_t i = 0; i < kRobots; ++i) {
             meas[i].copyFrom(truth[i]);
@@ -170,7 +309,7 @@ runStorm(const robox::dsl::ModelSpec &model, const MpcOptions &opt,
                               prev_meas[i], meas[i]);
             prev_meas[i].copyFrom(meas[i]);
         }
-        const auto &results = batch.solveAll(meas, refs);
+        const auto &results = batch->solveAll(meas, refs);
         for (std::size_t i = 0; i < kRobots; ++i) {
             if (results[i].status == SolveStatus::Shed) {
                 if (i < 2)
@@ -189,9 +328,23 @@ runStorm(const robox::dsl::ModelSpec &model, const MpcOptions &opt,
                 ++err_n;
             }
         }
+        ++b;
+        if (crash && b % crash->checkpointEvery == 0) {
+            robox::support::CheckpointWriter w;
+            w.u64(static_cast<std::uint64_t>(b));
+            robox::mpc::writeVectorList(w, truth);
+            robox::mpc::writeVectorList(w, prev_meas);
+            robox::mpc::writeVectorList(w, last_u);
+            w.f64(err_sum);
+            w.u64(err_n);
+            w.f64(result.maxTrackingError);
+            w.u64(result.protectedShed);
+            batch->checkpoint(w);
+            robox::support::writeFileAtomic(ckpt_path, w.finish());
+        }
     }
 
-    const robox::mpc::BatchReport &report = batch.report();
+    const robox::mpc::BatchReport &report = batch->report();
     result.overloadedBatches = report.overload.overloadedBatches;
     result.degraded = report.overload.degraded;
     result.servedFromBackup = report.overload.servedFromBackup;
@@ -204,7 +357,7 @@ runStorm(const robox::dsl::ModelSpec &model, const MpcOptions &opt,
     result.meanTrackingError =
         err_n > 0 ? err_sum / static_cast<double>(err_n) : 0.0;
     if (timeline_out)
-        *timeline_out = batch.timeline();
+        *timeline_out = batch->timeline();
     return result;
 }
 
@@ -232,7 +385,8 @@ struct LinkStormResult
 LinkStormResult
 runLinkStorm(const robox::dsl::ModelSpec &model, const MpcOptions &opt,
              double loss, std::uint64_t seed, int batches,
-             std::size_t threads, FleetTimeline *timeline_out)
+             std::size_t threads, FleetTimeline *timeline_out,
+             const CrashPlan *crash = nullptr, std::size_t storm_index = 0)
 {
     ChaosSpec spec;
     spec.seed = seed;
@@ -252,10 +406,15 @@ runLinkStorm(const robox::dsl::ModelSpec &model, const MpcOptions &opt,
     MpcOptions link_opt = opt;
     link_opt.linkEnabled = true;
 
-    BatchController batch(model, link_opt, kRobots, threads);
-    batch.setCostHook(chaos.costHook());
-    batch.setLinkChaos(&chaos);
-    batch.enableTimeline(timeline_out != nullptr);
+    auto make_batch = [&] {
+        auto p = std::make_unique<BatchController>(model, link_opt,
+                                                   kRobots, threads);
+        p->setCostHook(chaos.costHook());
+        p->setLinkChaos(&chaos);
+        p->enableTimeline(timeline_out != nullptr);
+        return p;
+    };
+    std::unique_ptr<BatchController> batch = make_batch();
 
     Plant plant(model);
     std::vector<Vector> truth, meas, refs;
@@ -272,11 +431,68 @@ runLinkStorm(const robox::dsl::ModelSpec &model, const MpcOptions &opt,
     double err_sum = 0.0;
     std::uint64_t err_n = 0;
 
-    for (int b = 0; b < batches; ++b) {
+    const std::string tag = "link_storm_" + std::to_string(storm_index);
+    const std::string ckpt_path =
+        crash ? crash->dir + "/" + tag + ".rbcp" : std::string();
+    // A distinct nonce channel from the compute storms, so the two
+    // sweeps are killed at independent batch indices.
+    const std::vector<int> kills =
+        crash ? crashSchedule(seed, 0x100 + storm_index, batches, *crash)
+              : std::vector<int>();
+    std::size_t next_kill = 0;
+
+    auto cold_start = [&] {
+        for (std::size_t i = 0; i < kRobots; ++i) {
+            double s = static_cast<double>(i);
+            truth[i] = Vector{0.1 * s, -0.03 * s};
+        }
+        err_sum = 0.0;
+        err_n = 0;
+        result = LinkStormResult();
+        result.lossRate = loss;
+        return 0;
+    };
+
+    int b = 0;
+    while (b < batches) {
+        if (crash && next_kill < kills.size() && b == kills[next_kill]) {
+            ++next_kill;
+            robox::support::writeFileAtomic(
+                crash->dir + "/postmortem_" + tag + "_" +
+                    std::to_string(next_kill) + ".json",
+                batch->flightRecorder().toJson());
+            batch = make_batch();
+            std::string blob;
+            bool restored = false;
+            std::uint64_t saved_b = 0;
+            if (robox::support::readFile(ckpt_path, &blob)) {
+                robox::support::CheckpointReader r(blob);
+                restored =
+                    r.status() ==
+                        robox::support::CheckpointStatus::Ok &&
+                    r.u64(&saved_b) &&
+                    robox::mpc::readVectorList(r, truth) &&
+                    r.f64(&err_sum) && r.u64(&err_n) &&
+                    r.f64(&result.maxTrackingError) &&
+                    batch->restore(r) && r.atEnd();
+            }
+            if (!restored) {
+                std::fprintf(stderr,
+                             "overload_storm: %s checkpoint unusable, "
+                             "cold-starting\n",
+                             tag.c_str());
+                batch = make_batch();
+                b = cold_start();
+            } else {
+                b = static_cast<int>(saved_b);
+            }
+            continue;
+        }
+
         chaos.setBatch(static_cast<std::uint64_t>(b));
         for (std::size_t i = 0; i < kRobots; ++i)
             meas[i].copyFrom(truth[i]);
-        const auto &results = batch.solveAll(meas, refs);
+        const auto &results = batch->solveAll(meas, refs);
         for (std::size_t i = 0; i < kRobots; ++i) {
             // In link mode every result carries the command the robot
             // actually executes — a fresh plan head or its buffered
@@ -291,9 +507,20 @@ runLinkStorm(const robox::dsl::ModelSpec &model, const MpcOptions &opt,
                 ++err_n;
             }
         }
+        ++b;
+        if (crash && b % crash->checkpointEvery == 0) {
+            robox::support::CheckpointWriter w;
+            w.u64(static_cast<std::uint64_t>(b));
+            robox::mpc::writeVectorList(w, truth);
+            w.f64(err_sum);
+            w.u64(err_n);
+            w.f64(result.maxTrackingError);
+            batch->checkpoint(w);
+            robox::support::writeFileAtomic(ckpt_path, w.finish());
+        }
     }
 
-    const robox::mpc::BatchReport &report = batch.report();
+    const robox::mpc::BatchReport &report = batch->report();
     const robox::mpc::LinkReport &link = report.overload.link;
     result.uplinkDropped = link.uplinkDropped;
     result.downlinkDropped = link.downlinkDropped;
@@ -307,7 +534,7 @@ runLinkStorm(const robox::dsl::ModelSpec &model, const MpcOptions &opt,
     result.meanTrackingError =
         err_n > 0 ? err_sum / static_cast<double>(err_n) : 0.0;
     if (timeline_out)
-        *timeline_out = batch.timeline();
+        *timeline_out = batch->timeline();
     return result;
 }
 
@@ -447,13 +674,24 @@ int
 main(int argc, char **argv)
 {
     bool smoke = false;
+    bool kill_resume = false;
     std::size_t threads = kDefaultThreads;
     const char *timeline_path = nullptr;
     const char *metrics_path = nullptr;
     const char *link_timeline_path = nullptr;
+    CrashPlan plan;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--smoke") == 0) {
             smoke = true;
+        } else if (std::strcmp(argv[i], "--kill-resume") == 0) {
+            kill_resume = true;
+        } else if (std::strcmp(argv[i], "--checkpoint-every") == 0 &&
+                   i + 1 < argc) {
+            plan.checkpointEvery = static_cast<int>(
+                std::max(1L, std::atol(argv[++i])));
+        } else if (std::strcmp(argv[i], "--checkpoint-dir") == 0 &&
+                   i + 1 < argc) {
+            plan.dir = argv[++i];
         } else if (std::strcmp(argv[i], "--threads") == 0 &&
                    i + 1 < argc) {
             threads = static_cast<std::size_t>(
@@ -471,7 +709,9 @@ main(int argc, char **argv)
             std::fprintf(stderr,
                          "usage: overload_storm [--smoke] [--threads N]"
                          " [--metrics PATH] [--timeline PATH]"
-                         " [--link-timeline PATH]\n");
+                         " [--link-timeline PATH] [--kill-resume]"
+                         " [--checkpoint-every N] [--checkpoint-dir"
+                         " PATH]\n");
             return 2;
         }
     }
@@ -490,6 +730,11 @@ main(int argc, char **argv)
     opt.sensorRangeMargin = 0.5;
     opt.sensorJumpThreshold = 5.0;
     opt.sensorFrozenPeriods = 2;
+    // The black box rides along in kill-resume mode so each simulated
+    // kill leaves a postmortem. It records, never decides, so the
+    // report stays byte-identical to a run without it.
+    if (kill_resume)
+        opt.flightRecorderCapacity = 32;
 
     constexpr std::uint64_t kSeed = 20260806;
     const int batches = smoke ? 40 : 120;
@@ -500,6 +745,8 @@ main(int argc, char **argv)
         smoke ? std::vector<double>{0.0, 0.35}
               : std::vector<double>{0.0, 0.1, 0.25, 0.5};
 
+    const CrashPlan *crash = kill_resume ? &plan : nullptr;
+
     // The fleet timeline is recorded for the highest-load storm — the
     // one whose ladder activity is worth looking at.
     FleetTimeline timeline;
@@ -509,7 +756,8 @@ main(int argc, char **argv)
         sweep.push_back(runStorm(model, opt, loads[i], kSeed, batches,
                                  threads,
                                  timeline_path && last ? &timeline
-                                                       : nullptr));
+                                                       : nullptr,
+                                 crash, i));
     }
     // Likewise the link timeline for the worst-loss link storm.
     FleetTimeline link_timeline;
@@ -519,7 +767,8 @@ main(int argc, char **argv)
         link_sweep.push_back(
             runLinkStorm(model, opt, losses[i], kSeed, batches, threads,
                          link_timeline_path && last ? &link_timeline
-                                                    : nullptr));
+                                                    : nullptr,
+                         crash, i));
     }
     const std::string report =
         reportJson(sweep, link_sweep, kSeed, batches);
@@ -598,6 +847,44 @@ main(int argc, char **argv)
         std::fprintf(stderr, "overload_storm: loss made tracking "
                              "better than the lossless link\n");
         return 1;
+    }
+
+    // Kill-resume leaves each storm's last checkpoint on disk. Gate
+    // the corrupt-blob path on the real artifact: one flipped payload
+    // byte must be rejected (CRC) and leave the fresh controller
+    // serving from a clean cold start — never a crash.
+    if (kill_resume) {
+        const std::string last_ckpt =
+            plan.dir + "/storm_" + std::to_string(loads.size() - 1) +
+            ".rbcp";
+        std::string blob;
+        if (!robox::support::readFile(last_ckpt, &blob) ||
+            blob.size() <= 20) {
+            std::fprintf(stderr, "overload_storm: kill-resume left no "
+                                 "checkpoint at %s\n",
+                         last_ckpt.c_str());
+            return 1;
+        }
+        blob[blob.size() / 2] =
+            static_cast<char>(blob[blob.size() / 2] ^ 0x5a);
+        BatchController fresh(model, opt, kRobots, threads);
+        robox::support::CheckpointReader r(blob);
+        if (fresh.restore(r)) {
+            std::fprintf(stderr, "overload_storm: corrupt checkpoint "
+                                 "was accepted\n");
+            return 1;
+        }
+        std::vector<Vector> meas(kRobots, Vector{0.0, 0.0});
+        std::vector<Vector> refs(kRobots, Vector{1.0});
+        const auto &results = fresh.solveAll(meas, refs);
+        for (std::size_t i = 0; i < kRobots; ++i) {
+            if (!robox::mpc::statusUsable(results[i].status)) {
+                std::fprintf(stderr,
+                             "overload_storm: cold start after corrupt "
+                             "checkpoint did not serve\n");
+                return 1;
+            }
+        }
     }
     return 0;
 }

@@ -11,8 +11,10 @@
 using namespace robox;
 
 int
-main()
+main(int argc, char **argv)
 {
+    if (int rc = bench::requireNoFlags(argc, argv, "table3_benchmarks"))
+        return rc;
     bench::banner("Table III",
                   "Benchmarks and their model/task parameters, derived "
                   "from the DSL programs.");

@@ -12,8 +12,10 @@
 using namespace robox;
 
 int
-main()
+main(int argc, char **argv)
 {
+    if (int rc = bench::requireNoFlags(argc, argv, "table4_platforms"))
+        return rc;
     bench::banner("Table IV",
                   "Specifications of the baselines and RoboX as "
                   "configured in this reproduction.");

@@ -21,6 +21,27 @@ Controller::Controller(const std::string &source,
                    options.sensorJumpThreshold > 0.0 ||
                    options.sensorFrozenPeriods > 0)
 {
+    if (options.flightRecorderCapacity > 0)
+        recorder_.configure(options.flightRecorderCapacity);
+}
+
+void
+Controller::recordFlight(const Vector &x,
+                         const mpc::IpmSolver::Result &result)
+{
+    if (!recorder_.enabled())
+        return;
+    mpc::FlightRecord rec;
+    rec.period = periods_ - 1; // periods_ was bumped by step().
+    rec.robot = -1;
+    rec.status = result.status;
+    rec.sensorVerdict =
+        gate_active_ ? static_cast<std::int32_t>(gate_.lastVerdict())
+                     : -1;
+    rec.degraded = result.degraded;
+    rec.state = x;
+    rec.command = result.u0;
+    recorder_.push(rec);
 }
 
 mpc::IpmSolver::Result
@@ -59,19 +80,63 @@ Controller::gateRejects(const Vector &x, mpc::IpmSolver::Result *rejected)
 mpc::IpmSolver::Result
 Controller::step(const Vector &x, const Vector &ref)
 {
+    ++periods_;
     mpc::IpmSolver::Result rejected;
-    if (gateRejects(x, &rejected))
+    if (gateRejects(x, &rejected)) {
+        recordFlight(x, rejected);
         return rejected;
-    return applyFailsafe(solver_->solve(x, ref));
+    }
+    mpc::IpmSolver::Result result = applyFailsafe(solver_->solve(x, ref));
+    recordFlight(x, result);
+    return result;
 }
 
 mpc::IpmSolver::Result
 Controller::step(const Vector &x, const std::vector<Vector> &refs)
 {
+    ++periods_;
     mpc::IpmSolver::Result rejected;
-    if (gateRejects(x, &rejected))
+    if (gateRejects(x, &rejected)) {
+        recordFlight(x, rejected);
         return rejected;
-    return applyFailsafe(solver_->solve(x, refs));
+    }
+    mpc::IpmSolver::Result result =
+        applyFailsafe(solver_->solve(x, refs));
+    recordFlight(x, result);
+    return result;
+}
+
+void
+Controller::checkpoint(support::CheckpointWriter &w) const
+{
+    w.u64(periods_);
+    w.u32(static_cast<std::uint32_t>(last_status_));
+    solver_->checkpoint(w);
+    backup_.checkpoint(w);
+    gate_.checkpoint(w);
+    recorder_.checkpoint(w);
+}
+
+bool
+Controller::restore(support::CheckpointReader &r)
+{
+    auto fail = [&] {
+        reset();
+        recorder_.clear();
+        periods_ = 0;
+        return false;
+    };
+    if (r.status() != support::CheckpointStatus::Ok)
+        return fail();
+    std::uint32_t status = 0;
+    if (!r.u64(&periods_) || !r.u32(&status) ||
+        status > static_cast<std::uint32_t>(mpc::SolveStatus::Shed))
+        return fail();
+    last_status_ = static_cast<mpc::SolveStatus>(status);
+    if (!solver_->restore(r) || !backup_.restore(r) ||
+        !gate_.restore(r) || !recorder_.restore(r))
+        return fail();
+    return true;
 }
 
 compiler::IsaStreams

@@ -25,10 +25,12 @@
 #include "compiler/codegen.hh"
 #include "dsl/model_spec.hh"
 #include "mpc/failsafe.hh"
+#include "mpc/flight_recorder.hh"
 #include "mpc/ipm.hh"
 #include "mpc/sensor_gate.hh"
 #include "mpc/simulate.hh"
 #include "mpc/status.hh"
+#include "support/checkpoint.hh"
 
 namespace robox::core
 {
@@ -82,7 +84,9 @@ class Controller
                                 const std::vector<Vector> &refs);
 
     /** Drop the warm start (e.g. after teleporting the robot), the
-     *  stored backup plan, and the sensor-gate baseline. */
+     *  stored backup plan, and the sensor-gate baseline. The flight
+     *  recorder and period counter are preserved (a reset is itself a
+     *  moment worth remembering in a postmortem). */
     void reset()
     {
         solver_->reset();
@@ -90,6 +94,35 @@ class Controller
         gate_.reset();
         last_status_ = mpc::SolveStatus::Unsolved;
     }
+
+    /**
+     * The single-robot black-box flight recorder: one record per
+     * step() (measured state, issued command, status, sensor verdict)
+     * when MpcOptions::flightRecorderCapacity > 0. Embedded in every
+     * checkpoint; dump with flightRecorder().toJson().
+     */
+    const mpc::FlightRecorder &flightRecorder() const
+    {
+        return recorder_;
+    }
+
+    /** step() invocations since construction (the flight recorder's
+     *  period axis; survives checkpoint/restore). */
+    std::uint64_t periods() const { return periods_; }
+
+    /**
+     * Serialize the complete resumable state: solver warm start,
+     * backup-plan tail, sensor-gate baselines and streaks, last
+     * status, period counter, and the flight recorder. A controller
+     * restored from this payload and stepped on the same inputs
+     * continues bitwise-identically to one that never stopped.
+     */
+    void checkpoint(support::CheckpointWriter &w) const;
+
+    /** Restore state written by checkpoint(). False — with the
+     *  controller reset() to a clean cold start — on any layout
+     *  mismatch; never throws on bad bytes. */
+    bool restore(support::CheckpointReader &r);
 
     /** Structured outcome of the last step() (the solver's status, or
      *  BadInput when the sensor gate refused the measurement before
@@ -184,12 +217,18 @@ class Controller
      *  the solve must be skipped this period. */
     bool gateRejects(const Vector &x, mpc::IpmSolver::Result *rejected);
 
+    /** Append one flight record for this period's step(). */
+    void recordFlight(const Vector &x,
+                      const mpc::IpmSolver::Result &result);
+
     dsl::ModelSpec model_;
     std::unique_ptr<mpc::IpmSolver> solver_;
     mpc::BackupPlan backup_;
     mpc::SensorGate gate_;
     bool gate_active_ = false;
     mpc::SolveStatus last_status_ = mpc::SolveStatus::Unsolved;
+    mpc::FlightRecorder recorder_;
+    std::uint64_t periods_ = 0; //!< step() invocations so far.
 };
 
 } // namespace robox::core

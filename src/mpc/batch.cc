@@ -54,6 +54,9 @@ BatchController::BatchController(const dsl::ModelSpec &model,
         link_ = std::make_unique<FleetLink>(
             solvers_.front()->problem().model(), options, num_robots);
 
+    if (options.flightRecorderCapacity > 0)
+        recorder_.configure(options.flightRecorderCapacity);
+
     report_.overload.budgetSeconds = options.batchDeadlineSeconds;
     const double latency_hi = options.batchDeadlineSeconds > 0.0
                                   ? 4.0 * options.batchDeadlineSeconds
@@ -346,13 +349,20 @@ BatchController::drainQueue()
         } catch (...) {
             // solve() handles numeric failures via SolveStatus, so
             // anything arriving here is unexpected. Quarantine it to
-            // this robot: record the fault and keep draining so the
-            // rest of the fleet still gets its commands.
+            // this robot: stamp the failure, serve its backup command,
+            // and keep draining so the rest of the fleet still gets
+            // its commands. Nothing is rethrown — the incident lands
+            // in report().lastBatchExceptions for postmortems.
             results_[i].status = SolveStatus::NumericFailure;
             results_[i].converged = false;
             results_[i].degraded = true;
+            const Vector &u = backups_[i].command();
+            if (results_[i].u0.size() != u.size())
+                results_[i].u0.resize(u.size());
+            results_[i].u0.copyFrom(u);
             std::lock_guard<std::mutex> lock(mutex_);
-            // Deterministic rethrow policy: whatever the thread
+            ++thrown_;
+            // Deterministic postmortem policy: whatever the thread
             // schedule, the recorded fault is the lowest robot index
             // that threw.
             if (!error_ || i < error_robot_) {
@@ -577,6 +587,7 @@ BatchController::solveAll(const std::vector<Vector> &states,
     refs_ = &refs;
     error_ = nullptr;
     error_robot_ = 0;
+    thrown_ = 0;
 
     std::fill(decisions_.begin(), decisions_.end(), Admit::Full);
     std::fill(scale_.begin(), scale_.end(), 1.0);
@@ -698,6 +709,23 @@ BatchController::solveAll(const std::vector<Vector> &states,
         }
     }
     report_.failures += report_.lastBatchFailures;
+    report_.lastBatchExceptions = thrown_;
+    report_.exceptions += thrown_;
+    report_.lastExceptionRobot = -1;
+    report_.lastExceptionMessage.clear();
+    if (error_) {
+        std::string what = "unknown exception";
+        try {
+            std::rethrow_exception(error_);
+        } catch (const std::exception &e) {
+            what = e.what();
+        } catch (...) {
+        }
+        report_.lastExceptionRobot =
+            static_cast<std::int64_t>(error_robot_);
+        report_.lastExceptionMessage = what;
+        error_ = nullptr;
+    }
     report_.saturations += report_.lastBatchSaturations;
     report_.divByZeros += report_.lastBatchDivByZeros;
     report_.faultsInjected += report_.lastBatchFaultsInjected;
@@ -717,20 +745,40 @@ BatchController::solveAll(const std::vector<Vector> &states,
 
     updateCostModel();
     recordTimeline();
+    recordFlight();
 
     states_ = nullptr;
     refs_ = nullptr;
-    if (error_) {
-        std::string what = "unknown exception";
-        try {
-            std::rethrow_exception(error_);
-        } catch (const std::exception &e) {
-            what = e.what();
-        } catch (...) {
-        }
-        fatal("batch: robot {} threw: {}", error_robot_, what);
-    }
     return results_;
+}
+
+void
+BatchController::recordFlight()
+{
+    if (!recorder_.enabled())
+        return;
+    FlightRecord rec;
+    rec.period = report_.batches - 1;
+    for (std::size_t i = 0; i < solvers_.size(); ++i) {
+        rec.robot = static_cast<std::int32_t>(i);
+        rec.status = results_[i].status;
+        rec.rung = static_cast<std::int32_t>(decisions_[i]);
+        rec.sensorVerdict =
+            poisoned_[i]
+                ? static_cast<std::int32_t>(gates_[i].lastVerdict())
+                : -1;
+        rec.linkService =
+            link_ ? static_cast<std::int32_t>(link_->service(i)) : -1;
+        rec.degraded = results_[i].degraded;
+        // states_ already points at the link-served view when the link
+        // fabric is on: the recorder logs what the solver actually saw.
+        if (i < states_->size())
+            rec.state = (*states_)[i];
+        else
+            rec.state = Vector();
+        rec.command = results_[i].u0;
+        recorder_.push(rec);
+    }
 }
 
 void
@@ -743,6 +791,229 @@ BatchController::resetAll()
     }
     if (link_)
         link_->reset();
+}
+
+namespace
+{
+
+void
+checkpointSelfCheck(support::CheckpointWriter &w,
+                    const SelfCheckStats &sc)
+{
+    w.u64(sc.parityChecks);
+    w.u64(sc.parityErrors);
+    w.u64(sc.checksumChecks);
+    w.u64(sc.checksumErrors);
+    w.u64(sc.watchdogTrips);
+    w.u64(sc.reexecutions);
+    w.u64(sc.reloads);
+    w.u64(sc.cpuFallbacks);
+}
+
+bool
+restoreSelfCheck(support::CheckpointReader &r, SelfCheckStats &sc)
+{
+    return r.u64(&sc.parityChecks) && r.u64(&sc.parityErrors) &&
+           r.u64(&sc.checksumChecks) && r.u64(&sc.checksumErrors) &&
+           r.u64(&sc.watchdogTrips) && r.u64(&sc.reexecutions) &&
+           r.u64(&sc.reloads) && r.u64(&sc.cpuFallbacks);
+}
+
+bool
+readDoubles(support::CheckpointReader &r, std::vector<double> &v)
+{
+    return r.f64Array(v.data(), v.size());
+}
+
+} // namespace
+
+void
+BatchController::coldStart()
+{
+    resetAll();
+    const std::size_t n = solvers_.size();
+    report_ = BatchReport();
+    report_.robots = n;
+    report_.threads = workers_.size();
+    report_.statuses.assign(n, SolveStatus::Unsolved);
+    report_.overload.budgetSeconds = options_.batchDeadlineSeconds;
+    const double latency_hi = options_.batchDeadlineSeconds > 0.0
+                                  ? 4.0 * options_.batchDeadlineSeconds
+                                  : 0.25;
+    report_.overload.batchLatency = stats::Histogram(
+        "batch_seconds", "Batch wall time", 0.0, latency_hi, 64);
+    priority_.assign(n, 0.0);
+    ewma_.assign(n, 0.0);
+    prev_decisions_.assign(n, Admit::Full);
+    poisoned_.assign(n, 0);
+    batch_cost_.assign(n, 0.0);
+    virtual_now_ = 0.0;
+    timeline_.clear();
+    recorder_.clear();
+}
+
+void
+BatchController::checkpoint(support::CheckpointWriter &w) const
+{
+    const BatchReport &rp = report_;
+    w.u64(solvers_.size());
+    w.boolean(link_ != nullptr);
+
+    // Lifetime report: every counter, the last-batch snapshot, and
+    // the histograms. The worker-pool size is deliberately NOT stored
+    // — a checkpoint written at --threads 4 must restore bitwise into
+    // a --threads 1 controller (the determinism contract).
+    w.u64(rp.batches);
+    w.u64(rp.solves);
+    w.u64(rp.totalIterations);
+    w.u64(rp.totalKktFlops);
+    w.u64(rp.unconverged);
+    w.f64(rp.lastBatchSeconds);
+    w.f64(rp.totalBatchSeconds);
+    w.f64(rp.robotsPerSecond);
+    w.u64(rp.lastBatchAllocations);
+    for (SolveStatus s : rp.statuses)
+        w.u32(static_cast<std::uint32_t>(s));
+    w.u64(rp.lastBatchFailures);
+    w.u64(rp.failures);
+    w.u64(rp.lastBatchExceptions);
+    w.u64(rp.exceptions);
+    w.i64(rp.lastExceptionRobot);
+    w.str(rp.lastExceptionMessage);
+    w.u64(rp.lastBatchSaturations);
+    w.u64(rp.lastBatchDivByZeros);
+    w.u64(rp.lastBatchFaultsInjected);
+    w.u64(rp.saturations);
+    w.u64(rp.divByZeros);
+    w.u64(rp.faultsInjected);
+    w.u64(rp.lastBatchNumericDegraded);
+    w.u64(rp.lastBatchAccelFaults);
+    w.u64(rp.accelFaults);
+    checkpointSelfCheck(w, rp.lastBatchSelfCheck);
+    checkpointSelfCheck(w, rp.selfCheck);
+    const OverloadReport &ov = rp.overload;
+    w.f64(ov.budgetSeconds);
+    w.f64(ov.projectedSeconds);
+    w.f64(ov.admittedSeconds);
+    w.f64(ov.utilization);
+    w.u64(ov.overloadedBatches);
+    w.u64(ov.lastBatchDegraded);
+    w.u64(ov.lastBatchServedFromBackup);
+    w.u64(ov.lastBatchShed);
+    w.u64(ov.lastBatchBadInput);
+    w.u64(ov.lastBatchPoisoned);
+    w.u64(ov.degraded);
+    w.u64(ov.servedFromBackup);
+    w.u64(ov.shed);
+    w.u64(ov.badInput);
+    w.u64(ov.poisoned);
+    ov.batchLatency.checkpoint(w);
+    checkpointLinkReport(w, ov.link);
+
+    // Admission cost model and timeline baselines.
+    w.f64Array(priority_.data(), priority_.size());
+    w.f64Array(ewma_.data(), ewma_.size());
+    w.f64Array(batch_cost_.data(), batch_cost_.size());
+    w.f64(virtual_now_);
+    for (Admit d : prev_decisions_)
+        w.u8(static_cast<std::uint8_t>(d));
+    for (std::uint8_t p : poisoned_)
+        w.u8(p);
+
+    // Per-robot serving stacks: solver warm start, backup tail,
+    // sensor gate.
+    for (std::size_t i = 0; i < solvers_.size(); ++i) {
+        solvers_[i]->checkpoint(w);
+        backups_[i].checkpoint(w);
+        gates_[i].checkpoint(w);
+    }
+    if (link_)
+        link_->checkpoint(w);
+    w.boolean(timeline_enabled_);
+    timeline_.checkpoint(w);
+    recorder_.checkpoint(w);
+}
+
+bool
+BatchController::restore(support::CheckpointReader &r)
+{
+    auto fail = [&] {
+        coldStart();
+        return false;
+    };
+    if (r.status() != support::CheckpointStatus::Ok)
+        return fail();
+    std::uint64_t robots = 0;
+    bool has_link = false;
+    if (!r.u64(&robots) || robots != solvers_.size() ||
+        !r.boolean(&has_link) || has_link != (link_ != nullptr))
+        return fail();
+
+    BatchReport &rp = report_;
+    if (!r.u64(&rp.batches) || !r.u64(&rp.solves) ||
+        !r.u64(&rp.totalIterations) || !r.u64(&rp.totalKktFlops) ||
+        !r.u64(&rp.unconverged) || !r.f64(&rp.lastBatchSeconds) ||
+        !r.f64(&rp.totalBatchSeconds) || !r.f64(&rp.robotsPerSecond) ||
+        !r.u64(&rp.lastBatchAllocations))
+        return fail();
+    constexpr auto kMaxStatus =
+        static_cast<std::uint32_t>(SolveStatus::Shed);
+    for (SolveStatus &s : rp.statuses) {
+        std::uint32_t v = 0;
+        if (!r.u32(&v) || v > kMaxStatus)
+            return fail();
+        s = static_cast<SolveStatus>(v);
+    }
+    if (!r.u64(&rp.lastBatchFailures) || !r.u64(&rp.failures) ||
+        !r.u64(&rp.lastBatchExceptions) || !r.u64(&rp.exceptions) ||
+        !r.i64(&rp.lastExceptionRobot) ||
+        !r.str(&rp.lastExceptionMessage) ||
+        !r.u64(&rp.lastBatchSaturations) ||
+        !r.u64(&rp.lastBatchDivByZeros) ||
+        !r.u64(&rp.lastBatchFaultsInjected) ||
+        !r.u64(&rp.saturations) || !r.u64(&rp.divByZeros) ||
+        !r.u64(&rp.faultsInjected) ||
+        !r.u64(&rp.lastBatchNumericDegraded) ||
+        !r.u64(&rp.lastBatchAccelFaults) || !r.u64(&rp.accelFaults) ||
+        !restoreSelfCheck(r, rp.lastBatchSelfCheck) ||
+        !restoreSelfCheck(r, rp.selfCheck))
+        return fail();
+    OverloadReport &ov = rp.overload;
+    if (!r.f64(&ov.budgetSeconds) || !r.f64(&ov.projectedSeconds) ||
+        !r.f64(&ov.admittedSeconds) || !r.f64(&ov.utilization) ||
+        !r.u64(&ov.overloadedBatches) || !r.u64(&ov.lastBatchDegraded) ||
+        !r.u64(&ov.lastBatchServedFromBackup) ||
+        !r.u64(&ov.lastBatchShed) || !r.u64(&ov.lastBatchBadInput) ||
+        !r.u64(&ov.lastBatchPoisoned) || !r.u64(&ov.degraded) ||
+        !r.u64(&ov.servedFromBackup) || !r.u64(&ov.shed) ||
+        !r.u64(&ov.badInput) || !r.u64(&ov.poisoned) ||
+        !ov.batchLatency.restore(r) || !restoreLinkReport(r, ov.link))
+        return fail();
+
+    if (!readDoubles(r, priority_) || !readDoubles(r, ewma_) ||
+        !readDoubles(r, batch_cost_) || !r.f64(&virtual_now_))
+        return fail();
+    constexpr auto kMaxAdmit = static_cast<std::uint8_t>(Admit::BadInput);
+    for (Admit &d : prev_decisions_) {
+        std::uint8_t v = 0;
+        if (!r.u8(&v) || v > kMaxAdmit)
+            return fail();
+        d = static_cast<Admit>(v);
+    }
+    for (std::uint8_t &p : poisoned_)
+        if (!r.u8(&p))
+            return fail();
+
+    for (std::size_t i = 0; i < solvers_.size(); ++i)
+        if (!solvers_[i]->restore(r) || !backups_[i].restore(r) ||
+            !gates_[i].restore(r))
+            return fail();
+    if (link_ && !link_->restore(r))
+        return fail();
+    if (!r.boolean(&timeline_enabled_) || !timeline_.restore(r) ||
+        !recorder_.restore(r))
+        return fail();
+    return true;
 }
 
 std::string
@@ -782,6 +1053,9 @@ batchMetricsJson(const BatchReport &report, bool include_timing)
                             report.lastBatchFailures));
     scalars.push_back(count("failures", "lifetime non-usable solves",
                             report.failures));
+    scalars.push_back(count("exceptions",
+                            "lifetime quarantined exceptions",
+                            report.exceptions));
     scalars.push_back(count("saturations", "fixed-point saturations",
                             report.saturations));
     scalars.push_back(count("divByZeros", "fixed-point div-by-zeros",

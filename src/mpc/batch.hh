@@ -58,11 +58,13 @@
 #include <vector>
 
 #include "mpc/failsafe.hh"
+#include "mpc/flight_recorder.hh"
 #include "mpc/ipm.hh"
 #include "mpc/link.hh"
 #include "mpc/sensor_gate.hh"
 #include "mpc/status.hh"
 #include "mpc/timeline.hh"
+#include "support/checkpoint.hh"
 #include "support/stats.hh"
 
 namespace robox::mpc
@@ -138,6 +140,21 @@ struct BatchReport
     std::uint64_t lastBatchFailures = 0;
     /** Lifetime count of non-usable solves. */
     std::uint64_t failures = 0;
+
+    /**
+     * Unexpected exceptions escaping a robot's solve in the last batch.
+     * Such a robot is quarantined (SolveStatus::NumericFailure plus its
+     * backup command) and the batch completes; nothing is rethrown —
+     * the serving loop must outlive any single robot's bug. The lowest
+     * throwing robot's index and message are kept for postmortems.
+     */
+    std::uint64_t lastBatchExceptions = 0;
+    /** Lifetime count of quarantined exceptions. */
+    std::uint64_t exceptions = 0;
+    /** Lowest robot index that threw in the last batch (-1 = none). */
+    std::int64_t lastExceptionRobot = -1;
+    /** what() of that robot's exception (empty = none). */
+    std::string lastExceptionMessage;
 
     /**
      * Fixed-point numeric events of the last batch, summed over every
@@ -220,10 +237,12 @@ class BatchController
      * state, numeric breakdown, deadline miss) reports that failure in
      * its own Result::status and in report().statuses — the batch
      * still completes and every healthy robot's result is bitwise
-     * identical to what a serial solve would produce. Only genuinely
-     * unexpected exceptions (bugs, resource exhaustion) are rethrown,
-     * and then only after all robots finished, wrapped with the
-     * lowest index among the robots that threw.
+     * identical to what a serial solve would produce. Even genuinely
+     * unexpected exceptions (bugs, resource exhaustion) never escape
+     * the serving path: the throwing robot is quarantined with
+     * SolveStatus::NumericFailure and its backup command, and the
+     * incident is recorded in report().lastBatchExceptions /
+     * lastExceptionRobot / lastExceptionMessage for postmortems.
      */
     const std::vector<IpmSolver::Result> &
     solveAll(const std::vector<Vector> &states,
@@ -308,6 +327,39 @@ class BatchController
      *  rung-change baselines are preserved). */
     void clearTimeline() { timeline_.clear(); }
 
+    /**
+     * The black-box flight recorder: a bounded ring of the most recent
+     * per-robot service records (rung, sensor verdict, link service,
+     * status, state, command), appended by the coordinator after each
+     * batch when MpcOptions::flightRecorderCapacity > 0. Rides inside
+     * every checkpoint so a postmortem of a crashed or corrupted fleet
+     * can replay the final moments; dump with
+     * flightRecorder().toJson().
+     */
+    const FlightRecorder &flightRecorder() const { return recorder_; }
+
+    /**
+     * Serialize the complete resumable serving state: every robot's
+     * solver warm start, backup plan, and sensor gate; the admission
+     * cost model, priorities, and rung-change baselines; the virtual
+     * clock; the lifetime report (histograms included); the link
+     * fabric's full protocol state; recorded timeline; and the flight
+     * recorder. A controller restored from this payload and fed the
+     * same subsequent inputs produces bitwise-identical results and
+     * replay-stable metrics to one that never stopped.
+     */
+    void checkpoint(support::CheckpointWriter &w) const;
+
+    /**
+     * Restore from a checkpoint() payload. Returns false — leaving the
+     * controller in a clean cold-start state (resetAll semantics plus
+     * zeroed lifetime counters) — when the payload's layout does not
+     * match this controller's configuration (robot count, horizon,
+     * link enablement, histogram shapes). Never throws on bad bytes;
+     * header-level corruption is already rejected by CheckpointReader.
+     */
+    bool restore(support::CheckpointReader &r);
+
   private:
     /** Admission decision for one robot in the current batch. */
     enum class Admit : std::uint8_t
@@ -344,6 +396,12 @@ class BatchController
     /** Append this batch's spans/markers and advance the virtual
      *  clock; runs on the coordinating thread after updateCostModel. */
     void recordTimeline();
+    /** Append one flight-recorder record per robot for this batch;
+     *  coordinator only, after the batch drained. */
+    void recordFlight();
+    /** Return to the as-constructed state (resetAll plus zeroed
+     *  lifetime counters); the landing spot of a failed restore(). */
+    void coldStart();
 
     std::vector<std::unique_ptr<IpmSolver>> solvers_;
     std::vector<IpmSolver::Result> results_;
@@ -370,12 +428,15 @@ class BatchController
     std::vector<std::uint8_t> poisoned_; //!< Sensor-gate demotions.
     std::vector<double> batch_cost_; //!< Modeled cost of this batch.
 
+    FlightRecorder recorder_; //!< Black-box ring (coordinator only).
+
     // Current batch inputs (valid only while solveAll is running).
     const std::vector<Vector> *states_ = nullptr;
     const std::vector<Vector> *refs_ = nullptr;
     std::atomic<std::size_t> next_{0}; //!< Next unclaimed robot index.
     std::exception_ptr error_;
     std::size_t error_robot_ = 0; //!< Lowest robot index that threw.
+    std::uint64_t thrown_ = 0;    //!< Robots that threw this batch.
 
     // Worker pool: workers park on cv_work_ between batches; a batch
     // is announced by bumping generation_ under the mutex.

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Checkpoint serialization helpers for linalg types.
+ *
+ * support/checkpoint deliberately knows nothing about the linear
+ * algebra layer; these free functions bridge the gap for the MPC and
+ * control layers. Vectors are stored as a u64 length followed by the
+ * bitwise (u64 object representation) doubles, so a restored vector is
+ * exactly — not approximately — the one checkpointed.
+ */
+
+#ifndef ROBOX_MPC_CHECKPOINT_IO_HH
+#define ROBOX_MPC_CHECKPOINT_IO_HH
+
+#include <vector>
+
+#include "linalg/matrix.hh"
+#include "support/checkpoint.hh"
+
+namespace robox::mpc
+{
+
+inline void
+writeVector(support::CheckpointWriter &w, const Vector &v)
+{
+    w.u64(v.size());
+    w.f64Array(v.data(), v.size());
+}
+
+inline bool
+readVector(support::CheckpointReader &r, Vector &v)
+{
+    std::uint64_t n = 0;
+    if (!r.u64(&n))
+        return false;
+    if (v.size() != n)
+        v.resize(static_cast<std::size_t>(n));
+    return r.f64Array(v.data(), v.size());
+}
+
+inline void
+writeVectorList(support::CheckpointWriter &w,
+                const std::vector<Vector> &vs)
+{
+    w.u64(vs.size());
+    for (const Vector &v : vs)
+        writeVector(w, v);
+}
+
+inline bool
+readVectorList(support::CheckpointReader &r, std::vector<Vector> &vs)
+{
+    std::uint64_t n = 0;
+    if (!r.u64(&n))
+        return false;
+    if (vs.size() != n)
+        vs.resize(static_cast<std::size_t>(n));
+    for (Vector &v : vs)
+        if (!readVector(r, v))
+            return false;
+    return true;
+}
+
+} // namespace robox::mpc
+
+#endif // ROBOX_MPC_CHECKPOINT_IO_HH

@@ -17,9 +17,7 @@ solveDenseKkt(const std::vector<StageQp> &stages, const Matrix &qn,
 {
     DenseKktWorkspace ws;
     RiccatiSolution sol;
-    FactorStatus status = solveDenseKkt(stages, qn, qnv, dx0, ws, sol);
-    if (status != FactorStatus::Ok)
-        fatal("solveDenseKkt: {} KKT system", toString(status));
+    sol.status = solveDenseKkt(stages, qn, qnv, dx0, ws, sol);
     return sol;
 }
 

@@ -28,6 +28,7 @@
 #include "linalg/matrix.hh"
 #include "mpc/ipm.hh"
 #include "mpc/status.hh"
+#include "support/checkpoint.hh"
 #include "support/stats.hh"
 
 namespace robox::mpc
@@ -102,6 +103,13 @@ class BackupPlan
     /** Forget the stored plan and the streak (e.g. after reset()). */
     void clear();
 
+    /** Serialize the stored tail, cursor, and streak counters. */
+    void checkpoint(support::CheckpointWriter &w) const;
+
+    /** Restore state written by checkpoint(); false on a short or
+     *  mismatched payload (the plan is left cleared in that case). */
+    bool restore(support::CheckpointReader &r);
+
   private:
     const dsl::ModelSpec *model_;
     std::vector<Vector> plan_; //!< Last accepted input trajectory.
@@ -143,6 +151,13 @@ class SolverHealth
     /** Render the group (gem5-style aligned dump). */
     std::string dump() const { return group_.dump(); }
     void reset() { group_.resetAll(); }
+
+    /** Serialize every counter and the latency histogram. */
+    void checkpoint(support::CheckpointWriter &w) const;
+
+    /** Restore state written by checkpoint(); false on a short or
+     *  mismatched payload. */
+    bool restore(support::CheckpointReader &r);
 
   private:
     stats::StatGroup group_;

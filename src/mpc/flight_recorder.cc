@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Implementation of the black-box flight recorder.
+ */
+
+#include "mpc/flight_recorder.hh"
+
+#include <sstream>
+
+#include "mpc/checkpoint_io.hh"
+#include "support/logging.hh"
+#include "support/strings.hh"
+
+namespace robox::mpc
+{
+
+void
+FlightRecorder::configure(int capacity)
+{
+    ring_.assign(capacity > 0 ? static_cast<std::size_t>(capacity) : 0,
+                 FlightRecord());
+    clear();
+}
+
+void
+FlightRecorder::clear()
+{
+    head_ = 0;
+    count_ = 0;
+    total_ = 0;
+}
+
+void
+FlightRecorder::push(const FlightRecord &rec)
+{
+    ++total_;
+    if (ring_.empty())
+        return;
+    ring_[head_] = rec;
+    head_ = (head_ + 1) % ring_.size();
+    if (count_ < ring_.size())
+        ++count_;
+}
+
+const FlightRecord &
+FlightRecorder::record(int i) const
+{
+    robox_assert(i >= 0 && i < size());
+    std::size_t idx =
+        (head_ + ring_.size() - count_ + static_cast<std::size_t>(i)) %
+        ring_.size();
+    return ring_[idx];
+}
+
+namespace
+{
+
+void
+appendVector(std::ostringstream &os, const Vector &v)
+{
+    os << "[";
+    for (std::size_t i = 0; i < v.size(); ++i)
+        os << (i ? "," : "") << jsonNumber(v[i]);
+    os << "]";
+}
+
+} // namespace
+
+std::string
+FlightRecorder::toJson() const
+{
+    std::ostringstream os;
+    os << "{\n  \"flight_recorder\": {\"capacity\": " << capacity()
+       << ", \"recorded\": " << total_ << ", \"dropped\": " << dropped()
+       << ", \"records\": [";
+    for (int i = 0; i < size(); ++i) {
+        const FlightRecord &rec = record(i);
+        os << (i ? ",\n    " : "\n    ") << "{\"period\": " << rec.period
+           << ", \"robot\": " << rec.robot << ", \"status\": \""
+           << toString(rec.status) << "\", \"rung\": " << rec.rung
+           << ", \"sensor_verdict\": " << rec.sensorVerdict
+           << ", \"link_service\": " << rec.linkService
+           << ", \"degraded\": " << (rec.degraded ? "true" : "false")
+           << ", \"state\": ";
+        appendVector(os, rec.state);
+        os << ", \"command\": ";
+        appendVector(os, rec.command);
+        os << "}";
+    }
+    os << (empty() ? "]}" : "\n  ]}") << "\n}";
+    return os.str();
+}
+
+void
+FlightRecorder::checkpoint(support::CheckpointWriter &w) const
+{
+    w.u64(ring_.size());
+    w.u64(total_);
+    w.u64(count_);
+    for (int i = 0; i < size(); ++i) {
+        const FlightRecord &rec = record(i);
+        w.u64(rec.period);
+        w.i32(rec.robot);
+        w.u32(static_cast<std::uint32_t>(rec.status));
+        w.i32(rec.rung);
+        w.i32(rec.sensorVerdict);
+        w.i32(rec.linkService);
+        w.boolean(rec.degraded);
+        writeVector(w, rec.state);
+        writeVector(w, rec.command);
+    }
+}
+
+bool
+FlightRecorder::restore(support::CheckpointReader &r)
+{
+    std::uint64_t capacity = 0;
+    std::uint64_t total = 0;
+    std::uint64_t count = 0;
+    if (!r.u64(&capacity) || !r.u64(&total) || !r.u64(&count) ||
+        capacity != ring_.size() || count > capacity) {
+        clear();
+        return false;
+    }
+    clear();
+    FlightRecord rec;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        std::uint32_t status = 0;
+        if (!r.u64(&rec.period) || !r.i32(&rec.robot) ||
+            !r.u32(&status) ||
+            status > static_cast<std::uint32_t>(SolveStatus::Shed) ||
+            !r.i32(&rec.rung) || !r.i32(&rec.sensorVerdict) ||
+            !r.i32(&rec.linkService) || !r.boolean(&rec.degraded) ||
+            !readVector(r, rec.state) || !readVector(r, rec.command)) {
+            clear();
+            return false;
+        }
+        rec.status = static_cast<SolveStatus>(status);
+        push(rec);
+    }
+    total_ = total;
+    return true;
+}
+
+} // namespace robox::mpc

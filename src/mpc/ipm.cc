@@ -12,6 +12,7 @@
 #include <cmath>
 #include <limits>
 
+#include "mpc/checkpoint_io.hh"
 #include "support/alloc_hook.hh"
 #include "support/logging.hh"
 
@@ -331,8 +332,6 @@ IpmSolver::solve(const Vector &x0, const std::vector<Vector> &refs)
     const std::uint64_t allocs_start = support::allocCount();
 
     const MpcOptions &opt = problem_.options();
-    robox_assert(static_cast<int>(refs.size()) ==
-                 problem_.horizon() + 1);
     const int n_stages = opt.horizon;
     const int nx = problem_.nx();
     const int nu = problem_.nu();
@@ -382,6 +381,18 @@ IpmSolver::solve(const Vector &x0, const std::vector<Vector> &refs)
         stats_.heapAllocations = support::allocCount() - allocs_start;
         return result_;
     };
+
+    // Refuse mis-shaped inputs before touching anything: a malformed
+    // robot must surface as a structured BadInput on the serving path,
+    // never abort the fleet process. The warm start is left untouched
+    // so the next well-formed sample resumes normally.
+    bool shapes_ok = static_cast<int>(refs.size()) == n_stages + 1 &&
+                     static_cast<int>(x0.size()) == nx;
+    const auto nref = static_cast<std::size_t>(problem_.nref());
+    for (std::size_t r = 0; shapes_ok && r < refs.size(); ++r)
+        shapes_ok = refs[r].size() == nref;
+    if (!shapes_ok)
+        return finish(SolveStatus::BadInput);
 
     // Refuse NaN/Inf measurements and references outright: the warm
     // start is left untouched so the next valid sample resumes
@@ -947,6 +958,97 @@ IpmSolver::solve(const Vector &x0, const std::vector<Vector> &refs)
     if (usable || allFinite(us_[0]))
         result_.u0.copyFrom(us_[0]);
     return finish(final_status);
+}
+
+namespace
+{
+
+/** readVector with a layout check: the destination keeps its
+ *  construction-time size, so a mismatched payload fails instead of
+ *  silently resizing solver storage. */
+bool
+readVectorExact(support::CheckpointReader &r, Vector &v)
+{
+    std::uint64_t n = 0;
+    if (!r.u64(&n) || n != v.size())
+        return false;
+    return r.f64Array(v.data(), v.size());
+}
+
+
+} // namespace
+
+void
+IpmSolver::checkpoint(support::CheckpointWriter &w) const
+{
+    w.boolean(warm_);
+    writeVectorList(w, xs_);
+    writeVectorList(w, us_);
+    w.u64(ineq_.size());
+    for (const IneqBlock &blk : ineq_) {
+        writeVector(w, blk.s);
+        writeVector(w, blk.lam);
+    }
+    writeVector(w, result_.u0);
+    w.boolean(result_.converged);
+    w.i32(result_.iterations);
+    w.f64(result_.objective);
+    w.u32(static_cast<std::uint32_t>(result_.status));
+    w.boolean(result_.degraded);
+}
+
+bool
+IpmSolver::restore(support::CheckpointReader &r)
+{
+    std::uint64_t blocks = 0;
+    std::uint32_t status = 0;
+    // xs_/us_ stay empty until the first solve(), so the payload may
+    // carry either nothing or a full trajectory; size the in-memory
+    // storage from the problem dimensions, never from the payload.
+    const auto stages = static_cast<std::uint64_t>(problem_.horizon());
+    const auto nx = static_cast<std::uint64_t>(problem_.nx());
+    const auto nu = static_cast<std::uint64_t>(problem_.nu());
+    auto read_traj = [&](std::vector<Vector> &vs, std::uint64_t count,
+                         std::uint64_t dim) {
+        std::uint64_t n = 0;
+        if (!r.u64(&n) || (n != 0 && n != count))
+            return false;
+        vs.assign(static_cast<std::size_t>(n),
+                  Vector(static_cast<std::size_t>(dim)));
+        for (Vector &v : vs)
+            if (!readVectorExact(r, v))
+                return false;
+        return true;
+    };
+    bool ok = r.boolean(&warm_) && read_traj(xs_, stages + 1, nx) &&
+              read_traj(us_, stages, nu) && r.u64(&blocks) &&
+              blocks == ineq_.size();
+    for (std::size_t k = 0; ok && k < ineq_.size(); ++k)
+        ok = readVectorExact(r, ineq_[k].s) &&
+             readVectorExact(r, ineq_[k].lam);
+    // result_.u0 is empty until the first solve, so the restored size
+    // may legitimately differ from the in-memory one — but only ever
+    // 0 (never solved) or the input dimension.
+    auto read_u0 = [&] {
+        std::uint64_t n = 0;
+        if (!r.u64(&n) ||
+            (n != 0 && n != static_cast<std::uint64_t>(problem_.nu())))
+            return false;
+        if (result_.u0.size() != n)
+            result_.u0.resize(static_cast<std::size_t>(n));
+        return r.f64Array(result_.u0.data(), result_.u0.size());
+    };
+    ok = ok && read_u0() &&
+         r.boolean(&result_.converged) && r.i32(&result_.iterations) &&
+         r.f64(&result_.objective) && r.u32(&status) &&
+         status <= static_cast<std::uint32_t>(SolveStatus::Shed) &&
+         r.boolean(&result_.degraded);
+    if (!ok) {
+        warm_ = false;
+        return false;
+    }
+    result_.status = static_cast<SolveStatus>(status);
+    return true;
 }
 
 } // namespace robox::mpc

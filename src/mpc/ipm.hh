@@ -30,6 +30,7 @@
 #include "mpc/riccati.hh"
 #include "mpc/solve_trace.hh"
 #include "mpc/status.hh"
+#include "support/checkpoint.hh"
 
 namespace robox::mpc
 {
@@ -174,6 +175,24 @@ class IpmSolver
     /** Planned trajectories from the last solve. */
     const std::vector<Vector> &stateTrajectory() const { return xs_; }
     const std::vector<Vector> &inputTrajectory() const { return us_; }
+
+    /**
+     * Serialize the resumable solver state: the warm-start flag, the
+     * state/input trajectories, the per-block slacks and duals the
+     * warm shift reads, and the last Result. Everything else the solve
+     * loop touches lives in the pre-sized workspace and is recomputed,
+     * so a restored solver's next solve() is bitwise-identical to the
+     * one an uninterrupted solver would have run.
+     */
+    void checkpoint(support::CheckpointWriter &w) const;
+
+    /**
+     * Restore state written by checkpoint() into a solver constructed
+     * from the same model and options. Returns false — with the warm
+     * start dropped, equivalent to a cold reset() — when the payload
+     * is short or its shapes disagree with this solver's layout.
+     */
+    bool restore(support::CheckpointReader &r);
 
   private:
     /** Per-stage slack/dual block. */

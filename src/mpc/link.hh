@@ -65,6 +65,7 @@
 #include "mpc/failsafe.hh"
 #include "mpc/options.hh"
 #include "mpc/simulate.hh"
+#include "support/checkpoint.hh"
 #include "support/stats.hh"
 
 namespace robox::mpc
@@ -123,6 +124,14 @@ struct LinkReport
                                "Served measurement age, periods", 0.0,
                                16.0, 16};
 };
+
+/** Serialize every LinkReport counter and histogram. */
+void checkpointLinkReport(support::CheckpointWriter &w,
+                          const LinkReport &report);
+
+/** Restore a LinkReport written by checkpointLinkReport(); false on a
+ *  short payload or histogram-shape mismatch. */
+bool restoreLinkReport(support::CheckpointReader &r, LinkReport &report);
 
 /**
  * The duplex link fabric for one fleet: per-robot uplink/downlink
@@ -255,6 +264,21 @@ class FleetLink
      *  link-down flags). Lifetime counters keep accumulating, matching
      *  BatchController::resetAll()'s contract. */
     void reset();
+
+    /**
+     * Serialize the complete protocol state: every in-flight message
+     * (both directions), the controller-side seq/ack/backoff/staleness
+     * state, the robot-side plan buffers, per-endpoint histograms, and
+     * the lifetime counters. A link restored from this payload carries
+     * every retransmit timer and reorder baseline forward, so a
+     * resumed chaos campaign replays bitwise.
+     */
+    void checkpoint(support::CheckpointWriter &w) const;
+
+    /** Restore state written by checkpoint(). Returns false — with
+     *  the protocol state reset() and lifetime counters zeroed — when
+     *  the payload's robot count or histogram shapes mismatch. */
+    bool restore(support::CheckpointReader &r);
 
   private:
     /** Sentinel for "no sequence number seen yet". */

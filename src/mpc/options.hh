@@ -237,6 +237,28 @@ struct MpcOptions
     int solveTraceCapacity = 64;
 
     /**
+     * Capacity of the black-box flight recorder (mpc/flight_recorder):
+     * a fixed-capacity in-place ring of the most recent per-period
+     * records (state, command, status, admission rung, link/sensor
+     * verdicts) kept by core::Controller and BatchController. The ring
+     * is embedded in every checkpoint and dumped as a deterministic
+     * JSON postmortem when the failsafe ladder exhausts or a restore
+     * rejects a torn/corrupt checkpoint. 0 (the default) disables
+     * recording.
+     */
+    int flightRecorderCapacity = 0;
+
+    /**
+     * Checkpoint cadence for crash-safe serving harnesses: write a
+     * checkpoint every N control periods (batches). The knob is
+     * consumed by the harness that owns the files (e.g.
+     * bench/overload_storm --kill-resume), not by the controller
+     * itself — checkpoint()/restore() can be called at any period
+     * boundary. 0 disables periodic checkpointing.
+     */
+    int checkpointEveryPeriods = 0;
+
+    /**
      * Evaluate all problem tapes in the accelerator's Q14.17 fixed
      * point with LUT nonlinears instead of double precision. Used to
      * validate the paper's claim that 32-bit fixed point with 17

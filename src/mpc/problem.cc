@@ -241,9 +241,13 @@ void
 MpcProblem::packRunning(const Vector &x, const Vector &u,
                         const Vector &ref) const
 {
-    robox_assert(static_cast<int>(x.size()) == nx_);
-    robox_assert(static_cast<int>(u.size()) == nu_);
-    robox_assert(static_cast<int>(ref.size()) == nref_);
+    // Shape validation happens once per solve at the IpmSolver::solve
+    // entry (SolveStatus::BadInput); these per-stage hot-path checks
+    // are debug-only so a malformed robot can never abort the shared
+    // fleet process from in here.
+    robox_assert_dbg(static_cast<int>(x.size()) == nx_);
+    robox_assert_dbg(static_cast<int>(u.size()) == nu_);
+    robox_assert_dbg(static_cast<int>(ref.size()) == nref_);
     env_.assign(static_cast<std::size_t>(nx_ + nu_ + nref_), 0.0);
     for (int i = 0; i < nx_; ++i)
         env_[i] = x[i];
@@ -256,8 +260,8 @@ MpcProblem::packRunning(const Vector &x, const Vector &u,
 void
 MpcProblem::packTerminal(const Vector &x, const Vector &ref) const
 {
-    robox_assert(static_cast<int>(x.size()) == nx_);
-    robox_assert(static_cast<int>(ref.size()) == nref_);
+    robox_assert_dbg(static_cast<int>(x.size()) == nx_);
+    robox_assert_dbg(static_cast<int>(ref.size()) == nref_);
     env_.assign(static_cast<std::size_t>(nx_ + nu_ + nref_), 0.0);
     for (int i = 0; i < nx_; ++i)
         env_[i] = x[i];
@@ -482,7 +486,7 @@ MpcProblem::objective(const std::vector<Vector> &xs,
                       const std::vector<Vector> &us,
                       const std::vector<Vector> &refs) const
 {
-    robox_assert(xs.size() == us.size() + 1);
+    robox_assert_dbg(xs.size() == us.size() + 1);
     double total = 0.0;
     for (std::size_t k = 0; k < us.size(); ++k) {
         // Value-only use of the tapes; Jacobian slots are ignored.

@@ -181,10 +181,8 @@ solveRiccati(const std::vector<StageQp> &stages, const Matrix &qn,
 {
     RiccatiWorkspace ws;
     RiccatiSolution sol;
-    FactorStatus status = solveRiccati(stages, qn, qnv, dx0,
-                                       initial_regularization, ws, sol);
-    if (status != FactorStatus::Ok)
-        fatal("solveRiccati: {} stage Hessian", toString(status));
+    sol.status = solveRiccati(stages, qn, qnv, dx0,
+                              initial_regularization, ws, sol);
     return sol;
 }
 

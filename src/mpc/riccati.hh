@@ -42,6 +42,12 @@ struct RiccatiSolution
     std::vector<Vector> du; //!< Input steps, size N.
     double regularization = 0.0; //!< Total Levenberg shift applied.
     std::uint64_t flops = 0;     //!< Approximate floating-point ops.
+    /** Outcome of the factorization that produced the steps. Set by
+     *  the value-returning convenience wrappers (which used to abort
+     *  on failure); when not Ok the steps are unspecified and must be
+     *  discarded. The workspace overloads report the same verdict via
+     *  their return value. */
+    FactorStatus status = FactorStatus::Ok;
 };
 
 /**

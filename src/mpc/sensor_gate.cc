@@ -7,6 +7,8 @@
 
 #include <cmath>
 
+#include "mpc/checkpoint_io.hh"
+
 namespace robox::mpc
 {
 
@@ -126,6 +128,33 @@ SensorGate::check(const Vector &x)
     }
     last_verdict_ = verdict;
     return verdict;
+}
+
+void
+SensorGate::checkpoint(support::CheckpointWriter &w) const
+{
+    writeVector(w, baseline_);
+    w.boolean(has_baseline_);
+    w.i32(frozen_streak_);
+    w.i32(jump_streak_);
+    w.u32(static_cast<std::uint32_t>(last_verdict_));
+    w.u64(rejected_);
+}
+
+bool
+SensorGate::restore(support::CheckpointReader &r)
+{
+    std::uint32_t verdict = 0;
+    if (!readVector(r, baseline_) || !r.boolean(&has_baseline_) ||
+        !r.i32(&frozen_streak_) || !r.i32(&jump_streak_) ||
+        !r.u32(&verdict) || !r.u64(&rejected_) ||
+        verdict > static_cast<std::uint32_t>(SensorVerdict::Frozen)) {
+        reset();
+        rejected_ = 0;
+        return false;
+    }
+    last_verdict_ = static_cast<SensorVerdict>(verdict);
+    return true;
 }
 
 void

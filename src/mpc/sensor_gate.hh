@@ -34,6 +34,7 @@
 #include "dsl/model_spec.hh"
 #include "linalg/matrix.hh"
 #include "mpc/options.hh"
+#include "support/checkpoint.hh"
 
 namespace robox::mpc
 {
@@ -80,6 +81,15 @@ class SensorGate
 
     /** Consecutive Jump verdicts before the baseline re-homes. */
     static constexpr int kJumpRehomePeriods = 3;
+
+    /** Serialize the baseline and every streak counter, so a restored
+     *  gate continues frozen/jump streaks exactly where they stood —
+     *  neither resetting them nor double-counting. */
+    void checkpoint(support::CheckpointWriter &w) const;
+
+    /** Restore state written by checkpoint(); false on a short
+     *  payload (the gate is reset() in that case). */
+    bool restore(support::CheckpointReader &r);
 
   private:
     const dsl::ModelSpec *model_;

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "mpc/status.hh"
+#include "support/checkpoint.hh"
 
 namespace robox::mpc
 {
@@ -118,6 +119,13 @@ class FleetTimeline
 
     /** Write toChromeJson() to a file; fatal() on I/O failure. */
     void writeChromeJson(const std::string &path) const;
+
+    /** Serialize every recorded span and marker (bitwise doubles). */
+    void checkpoint(support::CheckpointWriter &w) const;
+
+    /** Restore records written by checkpoint(); false — with the
+     *  timeline cleared — on a short payload or out-of-range enum. */
+    bool restore(support::CheckpointReader &r);
 
   private:
     std::vector<SolveSpan> spans_;

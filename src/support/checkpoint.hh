@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Versioned, CRC-32-protected binary checkpoint format.
+ *
+ * The crash-safe serving layer serializes resumable controller state
+ * (warm starts, admission-ladder history, link protocol state, the
+ * flight recorder) into a single self-validating blob with the same
+ * header discipline as the accelerator program image (compiler/binary):
+ *
+ *   bytes 0..3   magic "RBCP" (little-endian 0x50434252)
+ *   bytes 4..7   format version (u32)
+ *   bytes 8..15  payload length in bytes (u64)
+ *   bytes 16..19 CRC-32 (IEEE 802.3) of the payload
+ *   bytes 20..   payload
+ *
+ * The payload is a flat little-endian stream written by
+ * CheckpointWriter and consumed in the same order by CheckpointReader.
+ * Doubles are stored *bitwise* (the u64 object representation), never
+ * through text formatting, so a restore reproduces the exact floating
+ * point state and a resumed run continues bitwise-identically to an
+ * uninterrupted one.
+ *
+ * Failure handling is status-returning, never fatal: a truncated,
+ * corrupt, or version-skewed blob yields a CheckpointStatus the caller
+ * maps to a clean cold start (plus a flight-recorder postmortem).
+ * writeFileAtomic() gives checkpoint files the torn-write guarantee —
+ * the bytes land in a temporary sibling that is renamed over the
+ * destination, so a crash mid-write always leaves either the old valid
+ * checkpoint or the new one, never a hybrid.
+ */
+
+#ifndef ROBOX_SUPPORT_CHECKPOINT_HH
+#define ROBOX_SUPPORT_CHECKPOINT_HH
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace robox::support
+{
+
+/** Outcome of validating or consuming a checkpoint blob. */
+enum class CheckpointStatus
+{
+    Ok = 0,      //!< Header valid, payload intact.
+    Truncated,   //!< Blob shorter than the header + declared payload.
+    BadMagic,    //!< Leading bytes are not "RBCP".
+    BadVersion,  //!< Format version this build does not understand.
+    BadChecksum, //!< Payload CRC-32 mismatch (torn or corrupt write).
+    BadLayout,   //!< Payload shape disagrees with the consumer.
+};
+
+/** Human-readable status name (stable, greppable). */
+const char *toString(CheckpointStatus status);
+
+/** Current checkpoint format version. */
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+/** Checkpoint magic, "RBCP" little-endian. */
+inline constexpr std::uint32_t kCheckpointMagic = 0x50434252u;
+
+/** Append-only little-endian payload builder; finish() prepends the
+ *  validated header. */
+class CheckpointWriter
+{
+  public:
+    void u8(std::uint8_t v) { payload_.push_back(static_cast<char>(v)); }
+    void u32(std::uint32_t v);
+    void u64(std::uint64_t v);
+    void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+    void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+    void boolean(bool v) { u8(v ? 1 : 0); }
+
+    /** Store a double bitwise (object representation, not text). */
+    void f64(double v)
+    {
+        std::uint64_t bits;
+        std::memcpy(&bits, &v, sizeof bits);
+        u64(bits);
+    }
+
+    /** Store n doubles bitwise, back to back. */
+    void f64Array(const double *p, std::size_t n)
+    {
+        for (std::size_t i = 0; i < n; ++i)
+            f64(p[i]);
+    }
+
+    /** Store a length-prefixed string. */
+    void str(const std::string &s);
+
+    std::size_t payloadSize() const { return payload_.size(); }
+
+    /** Render header + payload as the final blob. */
+    std::string finish() const;
+
+  private:
+    std::string payload_;
+};
+
+/**
+ * Header-validating payload consumer. Construction checks the magic,
+ * version, declared length, and CRC; status() reports the verdict.
+ * Typed reads return false once the payload is exhausted (and latch
+ * failed()), so a structurally short payload surfaces as BadLayout in
+ * the consumer rather than undefined behavior.
+ */
+class CheckpointReader
+{
+  public:
+    explicit CheckpointReader(const std::string &blob);
+
+    /** Header validation verdict; reads only succeed when Ok. */
+    CheckpointStatus status() const { return status_; }
+
+    bool u8(std::uint8_t *out);
+    bool u32(std::uint32_t *out);
+    bool u64(std::uint64_t *out);
+    bool i32(std::int32_t *out);
+    bool i64(std::int64_t *out);
+    bool boolean(bool *out);
+    bool f64(double *out);
+    bool f64Array(double *p, std::size_t n);
+    bool str(std::string *out);
+
+    /** True once any read ran past the payload end. */
+    bool failed() const { return failed_; }
+
+    /** Payload bytes consumed so far (mirrors
+     *  CheckpointWriter::payloadSize() at the same stream point). */
+    std::size_t consumed() const { return pos_; }
+
+    /** True when every payload byte has been consumed. */
+    bool atEnd() const { return pos_ == payload_.size(); }
+
+  private:
+    bool take(void *out, std::size_t n);
+
+    std::string payload_;
+    std::size_t pos_ = 0;
+    CheckpointStatus status_ = CheckpointStatus::Truncated;
+    bool failed_ = false;
+};
+
+/**
+ * Write a blob to path via a temporary sibling + rename, so a crash
+ * mid-write never leaves a torn file at path. Returns false (with the
+ * temporary cleaned up) on any I/O failure; never throws.
+ */
+bool writeFileAtomic(const std::string &path, const std::string &data);
+
+/**
+ * Read an entire file into *out. Returns false when the file does not
+ * exist or cannot be read; never throws.
+ */
+bool readFile(const std::string &path, std::string *out);
+
+} // namespace robox::support
+
+#endif // ROBOX_SUPPORT_CHECKPOINT_HH

@@ -40,7 +40,9 @@ Histogram::sample(double v, std::uint64_t count)
     sum_ += v * static_cast<double>(count);
     if (v < lo_) {
         underflow_ += count;
-    } else if (v >= hi_) {
+    } else if (v >= hi_ || counts_.empty()) {
+        // A default-constructed histogram has no buckets; count
+        // in-range samples as overflow instead of indexing nothing.
         overflow_ += count;
     } else {
         double width = (hi_ - lo_) / static_cast<double>(counts_.size());
@@ -53,14 +55,28 @@ Histogram::sample(double v, std::uint64_t count)
 void
 Histogram::merge(const Histogram &other)
 {
+    // Self-merge is a no-op: there is nothing new to fold, and the
+    // natural way to hit it (a merge loop that includes its own
+    // destination) wants idempotence, not silent doubling.
+    if (&other == this)
+        return;
+    // An empty source carries no bucket information, so it merges
+    // cleanly regardless of configuration.
+    if (other.samples_ == 0)
+        return;
+    // An empty default-constructed destination adopts the source's
+    // bucket configuration instead of rejecting every merge.
+    if (counts_.empty() && samples_ == 0) {
+        lo_ = other.lo_;
+        hi_ = other.hi_;
+        counts_.assign(other.counts_.size(), 0);
+    }
     if (other.lo_ != lo_ || other.hi_ != hi_ ||
         other.counts_.size() != counts_.size())
         fatal("histogram '{}' cannot merge '{}': bucket configuration "
               "differs ([{}, {}] x {} vs [{}, {}] x {})",
               name_, other.name_, lo_, hi_, counts_.size(), other.lo_,
               other.hi_, other.counts_.size());
-    if (other.samples_ == 0)
-        return;
     if (samples_ == 0) {
         min_ = other.min_;
         max_ = other.max_;
@@ -120,6 +136,40 @@ Histogram::bucketCount(int i) const
 {
     robox_assert(i >= 0 && i < numBuckets());
     return counts_[static_cast<std::size_t>(i)];
+}
+
+void
+Histogram::checkpoint(support::CheckpointWriter &w) const
+{
+    w.f64(lo_);
+    w.f64(hi_);
+    w.u64(counts_.size());
+    for (std::uint64_t c : counts_)
+        w.u64(c);
+    w.u64(underflow_);
+    w.u64(overflow_);
+    w.u64(samples_);
+    w.f64(sum_);
+    w.f64(min_);
+    w.f64(max_);
+}
+
+bool
+Histogram::restore(support::CheckpointReader &r)
+{
+    double lo = 0.0;
+    double hi = 0.0;
+    std::uint64_t buckets = 0;
+    if (!r.f64(&lo) || !r.f64(&hi) || !r.u64(&buckets))
+        return false;
+    if (lo != lo_ || hi != hi_ || buckets != counts_.size())
+        return false;
+    for (std::uint64_t &c : counts_)
+        if (!r.u64(&c))
+            return false;
+    return r.u64(&underflow_) && r.u64(&overflow_) &&
+           r.u64(&samples_) && r.f64(&sum_) && r.f64(&min_) &&
+           r.f64(&max_);
 }
 
 void

@@ -17,6 +17,8 @@
 #include <string>
 #include <vector>
 
+#include "support/checkpoint.hh"
+
 namespace robox::stats
 {
 
@@ -77,6 +79,14 @@ class Histogram
      * The running sum behind mean() is a floating-point accumulation
      * and is only order-independent when the partial sums are exactly
      * representable.
+     *
+     * Edge cases are defined, not fatal: merging a histogram into
+     * itself is a no-op (there is nothing *new* to fold — the natural
+     * hazard when a merge loop includes its own destination); merging
+     * an empty source is a no-op even when the configurations differ
+     * (zero samples carry no bucket information); and merging into an
+     * empty default-constructed destination first adopts the source's
+     * bucket configuration.
      */
     void merge(const Histogram &other);
 
@@ -102,6 +112,19 @@ class Histogram
     const std::string &name() const { return name_; }
     const std::string &description() const { return desc_; }
     void reset();
+
+    /** Serialize the full sample state (bitwise doubles) so a restored
+     *  histogram renders byte-identical JSON. */
+    void checkpoint(support::CheckpointWriter &w) const;
+
+    /**
+     * Restore state written by checkpoint(). The destination must be
+     * constructed with the same bucket configuration; returns false
+     * (leaving the histogram unchanged or partially read — callers
+     * treat any false as BadLayout and cold-start) on a configuration
+     * mismatch or a short payload.
+     */
+    bool restore(support::CheckpointReader &r);
 
   private:
     std::string name_;

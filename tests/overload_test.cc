@@ -506,7 +506,7 @@ TEST(Overload, MalformedInputsGetBadInputInsteadOfCrashing)
     EXPECT_EQ(batch.report().overload.badInput, 3u);
 }
 
-TEST(Overload, RethrowReportsLowestThrowingRobotDeterministically)
+TEST(Overload, ExceptionsAreQuarantinedAndReportedDeterministically)
 {
     dsl::ModelSpec model = dsl::analyzeSource(kDoubleIntegrator);
     BatchController batch(model, smallOptions(), 8, 4);
@@ -517,22 +517,34 @@ TEST(Overload, RethrowReportsLowestThrowingRobotDeterministically)
 
     std::vector<Vector> states, refs;
     makeFleetInputs(8, states, refs);
-    try {
-        batch.solveAll(states, refs);
-        FAIL() << "expected the batch to rethrow the injected fault";
-    } catch (const FatalError &e) {
-        // Whatever the thread schedule, the lowest thrower is named.
-        EXPECT_NE(std::string(e.what()).find("robot 3"),
-                  std::string::npos)
-            << e.what();
-    }
+    // The serving loop must outlive any single robot's bug: nothing is
+    // rethrown, the incident is recorded in the report instead.
+    const auto &results = batch.solveAll(states, refs);
+
     const BatchReport &report = batch.report();
-    EXPECT_EQ(report.statuses[3], SolveStatus::NumericFailure);
-    EXPECT_EQ(report.statuses[5], SolveStatus::NumericFailure);
-    EXPECT_EQ(report.statuses[6], SolveStatus::NumericFailure);
+    EXPECT_EQ(report.lastBatchExceptions, 3u);
+    EXPECT_EQ(report.exceptions, 3u);
+    // Whatever the thread schedule, the lowest thrower is named.
+    EXPECT_EQ(report.lastExceptionRobot, 3);
+    EXPECT_EQ(report.lastExceptionMessage, "injected worker fault");
+    for (std::size_t i : {3u, 5u, 6u}) {
+        EXPECT_EQ(report.statuses[i], SolveStatus::NumericFailure);
+        EXPECT_TRUE(results[i].degraded);
+    }
     // The fault was quarantined: every other robot was still served.
     for (std::size_t i : {0u, 1u, 2u, 4u, 7u})
         EXPECT_TRUE(statusUsable(report.statuses[i])) << i;
+
+    // A clean follow-up batch clears the last-batch incident fields
+    // but keeps the lifetime count.
+    batch.setStallHook(nullptr);
+    batch.solveAll(states, refs);
+    EXPECT_EQ(batch.report().lastBatchExceptions, 0u);
+    EXPECT_EQ(batch.report().lastExceptionRobot, -1);
+    EXPECT_TRUE(batch.report().lastExceptionMessage.empty());
+    EXPECT_EQ(batch.report().exceptions, 3u);
+    for (std::size_t i = 0; i < 8; ++i)
+        EXPECT_TRUE(statusUsable(batch.report().statuses[i])) << i;
 }
 
 TEST(Overload, ReportLifetimeCountersAccumulateAcrossResetAll)

@@ -299,7 +299,23 @@ TEST(StageReferences, WrongSizeIsRejected)
     opt.horizon = 10;
     IpmSolver solver(model, opt);
     std::vector<Vector> refs(4, mobile().reference); // Too short.
-    EXPECT_DEATH(solver.solve(mobile().initialState, refs), "");
+    // Shape errors are a serving-path input fault, not a programmer
+    // error: the solve is refused as BadInput (warm start untouched)
+    // instead of aborting the process.
+    auto r = solver.solve(mobile().initialState, refs);
+    EXPECT_EQ(r.status, SolveStatus::BadInput);
+    EXPECT_FALSE(r.converged);
+
+    // A mis-sized stage entry inside an otherwise well-shaped preview
+    // is rejected the same way.
+    std::vector<Vector> ragged(opt.horizon + 1, mobile().reference);
+    ragged[3] = Vector(1);
+    EXPECT_EQ(solver.solve(mobile().initialState, ragged).status,
+              SolveStatus::BadInput);
+
+    // The solver stays serviceable afterwards.
+    auto ok = solver.solve(mobile().initialState, mobile().reference);
+    EXPECT_TRUE(statusUsable(ok.status));
 }
 
 TEST(SolveTrace, RingKeepsNewestAndCountsDropped)

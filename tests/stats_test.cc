@@ -123,13 +123,49 @@ TEST(Histogram, MergeEmptyIsIdentityAndIntoEmptyCopies)
 
 TEST(Histogram, MergeRejectsMismatchedBucketConfig)
 {
+    // An *empty* mismatched source is a no-op (nothing to misfile), so
+    // the config check only fires once the source carries samples.
+    auto mismatched = [](double lo, double hi, std::size_t buckets) {
+        stats::Histogram h("b", "", lo, hi, buckets);
+        h.sample(1.5);
+        return h;
+    };
     stats::Histogram a("a", "", 0.0, 10.0, 5);
-    EXPECT_THROW(a.merge(stats::Histogram("b", "", 0.0, 10.0, 4)),
-                 FatalError);
-    EXPECT_THROW(a.merge(stats::Histogram("b", "", 0.0, 8.0, 5)),
-                 FatalError);
-    EXPECT_THROW(a.merge(stats::Histogram("b", "", 1.0, 10.0, 5)),
-                 FatalError);
+    a.sample(3.0);
+    EXPECT_THROW(a.merge(mismatched(0.0, 10.0, 4)), FatalError);
+    EXPECT_THROW(a.merge(mismatched(0.0, 8.0, 5)), FatalError);
+    EXPECT_THROW(a.merge(mismatched(1.0, 10.0, 5)), FatalError);
+    EXPECT_NO_THROW(
+        a.merge(stats::Histogram("b", "", 1.0, 99.0, 3))); // Empty.
+    EXPECT_EQ(a.totalSamples(), 1u);
+}
+
+TEST(Histogram, MergeWithSelfIsIdempotent)
+{
+    stats::Histogram h("h", "", 0.0, 10.0, 5);
+    h.sample(2.0);
+    h.sample(7.0);
+    h.sample(11.0); // Overflow bucket.
+    // Merging a histogram into itself must not double-count: a fold
+    // loop that accidentally includes its own destination stays
+    // correct.
+    const double p50 = h.percentile(0.5);
+    h.merge(h);
+    EXPECT_EQ(h.totalSamples(), 3u);
+    EXPECT_DOUBLE_EQ(h.min(), 2.0);
+    EXPECT_DOUBLE_EQ(h.max(), 11.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), p50);
+}
+
+TEST(Histogram, SampleOnDefaultConstructedCountsOverflow)
+{
+    // A default-constructed histogram has no buckets; samples must
+    // land in overflow instead of indexing an empty counts array.
+    stats::Histogram h;
+    h.sample(0.5);
+    h.sample(0.25);
+    EXPECT_EQ(h.totalSamples(), 2u);
+    EXPECT_DOUBLE_EQ(h.percentile(0.99), h.max());
 }
 
 TEST(Histogram, PercentileWalksCumulativeCounts)

@@ -28,6 +28,17 @@
  * extrapolations, staleness demotions, link-down events, and the
  * closed-loop tracking cost of flying on buffered plan tails.
  *
+ * A third sweep (behind --upgrade, so the default report keeps its
+ * exact bytes) exercises live controller upgrades (mpc/upgrade.hh):
+ * the same fleet at a fixed underloaded compute point stages a
+ * candidate controller mid-storm and rides the shadow -> canary ->
+ * commit rollout, one scenario per failure mode — a benign candidate
+ * that commits, a CRC-corrupt image rejected at admission, a retuned
+ * candidate rejected for command divergence during shadow, and a slow
+ * candidate rolled back from canary by the latency guard. Rollout
+ * decisions are pure functions of virtual time and the upgrade seed,
+ * so the upgrade sweep is byte-deterministic like the others.
+ *
  * `--smoke` shrinks the sweep to a ~1 s check suitable for CI, which
  * diffs two runs byte-for-byte as a determinism gate. Flags:
  *   --smoke           shrink the sweep for CI
@@ -37,6 +48,11 @@
  *   --timeline PATH   write the highest-load storm's fleet timeline
  *                     (Chrome trace-event JSON; see mpc/timeline.hh)
  *   --link-timeline PATH  write the worst-loss link storm's timeline
+ *   --upgrade         also run the live-upgrade scenario sweep and
+ *                     gate its outcomes (commit / reject / rollback,
+ *                     with zero sheds attributable to the rollout)
+ *   --upgrade-timeline PATH  write the committing upgrade scenario's
+ *                     timeline (upgrade-category markers included)
  *   --kill-resume     kill-and-resume chaos mode: checkpoint each
  *                     storm's controller + harness state every
  *                     --checkpoint-every batches (atomic rename,
@@ -67,6 +83,7 @@
 #include <string>
 #include <vector>
 
+#include "compiler/binary.hh"
 #include "dsl/sema.hh"
 #include "mpc/batch.hh"
 #include "mpc/chaos.hh"
@@ -74,6 +91,7 @@
 #include "mpc/simulate.hh"
 #include "mpc/status.hh"
 #include "mpc/timeline.hh"
+#include "mpc/upgrade.hh"
 #include "support/checkpoint.hh"
 #include "support/stats.hh"
 #include "support/trace.hh"
@@ -89,6 +107,10 @@ using robox::mpc::FleetTimeline;
 using robox::mpc::MpcOptions;
 using robox::mpc::Plant;
 using robox::mpc::SolveStatus;
+using robox::mpc::UpgradeCandidate;
+using robox::mpc::UpgradePhase;
+using robox::mpc::UpgradeReport;
+using robox::mpc::UpgradeScheduleStatus;
 
 const char *kDoubleIntegrator = R"(
 System DoubleIntegrator( param a_max ) {
@@ -109,6 +131,30 @@ System DoubleIntegrator( param a_max ) {
 reference target;
 DoubleIntegrator plant(1.0);
 plant.moveTo(target, 1.0, 0.05);
+)";
+
+/** Same plant interface, very different tuning: the upgrade sweep's
+ *  divergence scenario stages this as a candidate whose commands
+ *  disagree with the incumbent's. */
+const char *kDoubleIntegratorRetuned = R"(
+System DoubleIntegrator( param a_max ) {
+  state pos, vel;
+  input acc;
+  pos.dt = vel;
+  vel.dt = acc;
+  acc.lower_bound <= -a_max;
+  acc.upper_bound <= a_max;
+  Task moveTo( reference target, param w_pos, param w_u ) {
+    penalty track, effort;
+    track.running = pos - target;
+    track.weight <= w_pos;
+    effort.running = acc;
+    effort.weight <= w_u;
+  }
+}
+reference target;
+DoubleIntegrator plant(1.0);
+plant.moveTo(target, 40.0, 0.001);
 )";
 
 constexpr std::size_t kRobots = 12;
@@ -538,6 +584,138 @@ runLinkStorm(const robox::dsl::ModelSpec &model, const MpcOptions &opt,
     return result;
 }
 
+/** One live-upgrade scenario: which candidate is staged against the
+ *  incumbent, and with which rollout knobs. */
+struct UpgradeScenario
+{
+    const char *name;         //!< JSON group suffix and gate key.
+    const char *source;       //!< Candidate model source.
+    bool corruptImage;        //!< Flip a header byte past the CRC seal.
+    double modeledCostScale;  //!< Candidate solve-cost multiplier.
+    int shadowPeriods;
+    int canaryPeriods;
+    double canaryFraction;
+    double failAbs;           //!< Divergence fail band (absolute).
+    double failRel;           //!< Divergence fail band (relative).
+};
+
+/** The four rollout outcomes the sweep pins down. */
+const UpgradeScenario kUpgradeScenarios[] = {
+    // Benign retime of the same controller: must commit.
+    {"commit", kDoubleIntegrator, false, 1.0, 2, 3, 0.5, 0.25, 5e-2},
+    // One flipped image byte: CRC admission gate, nothing else runs.
+    {"reject_image", kDoubleIntegrator, true, 1.0, 2, 3, 0.5, 0.25,
+     5e-2},
+    // Retuned weights under a strict band: rejected during shadow.
+    {"reject_divergence", kDoubleIntegratorRetuned, false, 1.0, 4, 4,
+     0.5, 1e-9, 0.0},
+    // 4x modeled cost against a 2x budget ratio: canary rollback.
+    {"rollback_latency", kDoubleIntegrator, false, 4.0, 1, 8, 0.25,
+     0.25, 5e-2},
+};
+
+/** Outcome of one upgrade scenario. */
+struct UpgradeStormResult
+{
+    std::string name;
+    bool scheduled = false; //!< scheduleUpgrade() accepted the stage.
+    UpgradeReport upgrade;
+    std::uint64_t shed = 0;
+    std::uint64_t servedFromBackup = 0;
+    double maxTrackingError = 0.0;
+    double meanTrackingError = 0.0;
+};
+
+/** One closed-loop upgrade storm: compute is underloaded (offered
+ *  load 0.5, virtual time) and chaos injection is off, so every
+ *  admission decision below is attributable to the rollout itself —
+ *  the zero-shed gate is exact, not statistical. The candidate is
+ *  staged a few batches in and the rollout left to run its course. */
+UpgradeStormResult
+runUpgradeStorm(const robox::dsl::ModelSpec &model, const MpcOptions &opt,
+                const UpgradeScenario &scenario, std::uint64_t seed,
+                int batches, std::size_t threads,
+                FleetTimeline *timeline_out)
+{
+    ChaosSpec spec;
+    spec.seed = seed;
+    spec.virtualSolveCostSeconds =
+        0.5 * kBudgetSeconds * kParallelism / kRobots;
+    ChaosEngine chaos(spec);
+
+    // Rollout knobs live on the incumbent's options.
+    MpcOptions up_opt = opt;
+    up_opt.upgradeShadowPeriods = scenario.shadowPeriods;
+    up_opt.upgradeCanaryPeriods = scenario.canaryPeriods;
+    up_opt.upgradeCanaryFraction = scenario.canaryFraction;
+    up_opt.upgradeFailAbs = scenario.failAbs;
+    up_opt.upgradeFailRel = scenario.failRel;
+    up_opt.upgradeSeed = seed;
+
+    BatchController batch(model, up_opt, kRobots, threads);
+    batch.setCostHook(chaos.costHook());
+    batch.enableTimeline(timeline_out != nullptr);
+
+    Plant plant(model);
+    std::vector<Vector> truth, meas, refs;
+    std::vector<Vector> last_u(kRobots, Vector{0.0});
+    for (std::size_t i = 0; i < kRobots; ++i) {
+        double s = static_cast<double>(i);
+        truth.push_back(Vector{0.1 * s, -0.03 * s});
+        meas.push_back(Vector{0.0, 0.0});
+        refs.push_back(Vector{1.0 + 0.2 * s});
+    }
+
+    UpgradeStormResult result;
+    result.name = scenario.name;
+    const int settle = batches / 3;
+    const int upgrade_at = 5; //!< Stage after the loop has settled in.
+    double err_sum = 0.0;
+    std::uint64_t err_n = 0;
+
+    for (int b = 0; b < batches; ++b) {
+        if (b == upgrade_at) {
+            UpgradeCandidate cand;
+            cand.model = robox::dsl::analyzeSource(scenario.source);
+            cand.options = up_opt;
+            cand.image =
+                robox::compiler::packImage(robox::compiler::IsaStreams());
+            if (scenario.corruptImage)
+                cand.image[robox::compiler::kImageHeaderBytes - 1] ^=
+                    0x01;
+            cand.modeledCostScale = scenario.modeledCostScale;
+            result.scheduled = batch.scheduleUpgrade(cand) ==
+                               UpgradeScheduleStatus::Scheduled;
+        }
+        chaos.setBatch(static_cast<std::uint64_t>(b));
+        for (std::size_t i = 0; i < kRobots; ++i)
+            meas[i].copyFrom(truth[i]);
+        const auto &results = batch.solveAll(meas, refs);
+        for (std::size_t i = 0; i < kRobots; ++i) {
+            if (results[i].status != SolveStatus::Shed)
+                last_u[i].copyFrom(results[i].u0);
+            truth[i] = plant.step(truth[i], last_u[i], refs[i], opt.dt);
+            if (b >= settle) {
+                double e = std::abs(truth[i][0] - refs[i][0]);
+                result.maxTrackingError =
+                    std::max(result.maxTrackingError, e);
+                err_sum += e;
+                ++err_n;
+            }
+        }
+    }
+
+    const robox::mpc::BatchReport &report = batch.report();
+    result.upgrade = report.upgrade;
+    result.shed = report.overload.shed;
+    result.servedFromBackup = report.overload.servedFromBackup;
+    result.meanTrackingError =
+        err_n > 0 ? err_sum / static_cast<double>(err_n) : 0.0;
+    if (timeline_out)
+        *timeline_out = batch.timeline();
+    return result;
+}
+
 /** One sweep point in the uniform StatGroup::toJson() schema. No
  *  wall-clock quantity and no thread count appear, so the report
  *  diffs byte-for-byte across runs and across --threads values. */
@@ -643,9 +821,71 @@ linkStormPointJson(const LinkStormResult &r)
     return group.toJson();
 }
 
+/** One upgrade-scenario point; the group name carries the scenario so
+ *  the schema stays pure StatGroup::toJson() like the other sweeps. */
+std::string
+upgradeStormPointJson(const UpgradeStormResult &r)
+{
+    using robox::stats::Scalar;
+    using robox::stats::StatGroup;
+
+    auto scalar = [](const char *name, const char *desc, double v) {
+        Scalar s(name, desc);
+        s.set(v);
+        return s;
+    };
+    auto count = [&scalar](const char *name, const char *desc,
+                           std::uint64_t v) {
+        return scalar(name, desc, static_cast<double>(v));
+    };
+    const UpgradeReport &up = r.upgrade;
+    std::vector<Scalar> scalars;
+    scalars.reserve(14);
+    scalars.push_back(scalar("scheduled", "scheduleUpgrade() accepted",
+                             r.scheduled ? 1.0 : 0.0));
+    scalars.push_back(count("phase", "final UpgradePhase value",
+                            up.phase));
+    scalars.push_back(count("committed", "candidates committed",
+                            up.committed));
+    scalars.push_back(count("rolledBack", "canary rollbacks",
+                            up.rolledBack));
+    scalars.push_back(count("rejectedCandidates", "shadow rejections",
+                            up.rejectedCandidates));
+    scalars.push_back(count("rejectedImages",
+                            "images failing the CRC admission gate",
+                            up.rejectedImages));
+    scalars.push_back(count("shadowSolves", "candidate shadow solves",
+                            up.shadowSolves));
+    scalars.push_back(count("canaryRobots",
+                            "robots that served the candidate",
+                            up.canaryRobots));
+    scalars.push_back(count("divergenceFails",
+                            "solves past the divergence fail band",
+                            up.divergenceFails));
+    scalars.push_back(scalar("maxDivergence",
+                             "worst command divergence seen",
+                             up.maxDivergence));
+    scalars.push_back(count("rollbackDivergence",
+                            "failures charged to divergence",
+                            up.rollbackDivergence));
+    scalars.push_back(count("rollbackLatency",
+                            "failures charged to the latency guard",
+                            up.rollbackLatency));
+    scalars.push_back(count("shed", "robots shed (must be 0)", r.shed));
+    scalars.push_back(scalar("maxTrackingError",
+                             "worst post-settle tracking error",
+                             r.maxTrackingError));
+
+    StatGroup group("upgrade_" + r.name);
+    for (Scalar &s : scalars)
+        group.add(&s);
+    return group.toJson();
+}
+
 std::string
 reportJson(const std::vector<StormResult> &sweep,
            const std::vector<LinkStormResult> &link_sweep,
+           const std::vector<UpgradeStormResult> &upgrade_sweep,
            std::uint64_t seed, int batches)
 {
     std::ostringstream os;
@@ -664,7 +904,17 @@ reportJson(const std::vector<StormResult> &sweep,
     for (std::size_t i = 0; i < link_sweep.size(); ++i)
         os << linkStormPointJson(link_sweep[i])
            << (i + 1 < link_sweep.size() ? ",\n" : "\n");
-    os << "]\n}\n";
+    os << "]";
+    // Present only under --upgrade, so the default report's bytes are
+    // unchanged from before live upgrades existed.
+    if (!upgrade_sweep.empty()) {
+        os << ",\n\"upgrade_sweep\": [\n";
+        for (std::size_t i = 0; i < upgrade_sweep.size(); ++i)
+            os << upgradeStormPointJson(upgrade_sweep[i])
+               << (i + 1 < upgrade_sweep.size() ? ",\n" : "\n");
+        os << "]";
+    }
+    os << "\n}\n";
     return os.str();
 }
 
@@ -675,10 +925,12 @@ main(int argc, char **argv)
 {
     bool smoke = false;
     bool kill_resume = false;
+    bool upgrade = false;
     std::size_t threads = kDefaultThreads;
     const char *timeline_path = nullptr;
     const char *metrics_path = nullptr;
     const char *link_timeline_path = nullptr;
+    const char *upgrade_timeline_path = nullptr;
     CrashPlan plan;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--smoke") == 0) {
@@ -705,11 +957,18 @@ main(int argc, char **argv)
         } else if (std::strcmp(argv[i], "--link-timeline") == 0 &&
                    i + 1 < argc) {
             link_timeline_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--upgrade") == 0) {
+            upgrade = true;
+        } else if (std::strcmp(argv[i], "--upgrade-timeline") == 0 &&
+                   i + 1 < argc) {
+            upgrade_timeline_path = argv[++i];
+            upgrade = true;
         } else {
             std::fprintf(stderr,
                          "usage: overload_storm [--smoke] [--threads N]"
                          " [--metrics PATH] [--timeline PATH]"
-                         " [--link-timeline PATH] [--kill-resume]"
+                         " [--link-timeline PATH] [--upgrade]"
+                         " [--upgrade-timeline PATH] [--kill-resume]"
                          " [--checkpoint-every N] [--checkpoint-dir"
                          " PATH]\n");
             return 2;
@@ -770,8 +1029,25 @@ main(int argc, char **argv)
                                                     : nullptr,
                          crash, i));
     }
+    // The upgrade sweep: one storm per rollout scenario, at a fixed
+    // underloaded point. The timeline (upgrade-category markers) is
+    // recorded for the committing scenario — the only one that walks
+    // the whole shadow -> canary -> commit path.
+    FleetTimeline upgrade_timeline;
+    std::vector<UpgradeStormResult> upgrade_sweep;
+    if (upgrade) {
+        for (std::size_t i = 0;
+             i < sizeof(kUpgradeScenarios) / sizeof(kUpgradeScenarios[0]);
+             ++i) {
+            upgrade_sweep.push_back(runUpgradeStorm(
+                model, opt, kUpgradeScenarios[i], kSeed, batches,
+                threads,
+                upgrade_timeline_path && i == 0 ? &upgrade_timeline
+                                                : nullptr));
+        }
+    }
     const std::string report =
-        reportJson(sweep, link_sweep, kSeed, batches);
+        reportJson(sweep, link_sweep, upgrade_sweep, kSeed, batches);
     std::fputs(report.c_str(), stdout);
     if (metrics_path)
         robox::trace::writeTextFile(metrics_path, report);
@@ -779,6 +1055,8 @@ main(int argc, char **argv)
         timeline.writeChromeJson(timeline_path);
     if (link_timeline_path)
         link_timeline.writeChromeJson(link_timeline_path);
+    if (upgrade_timeline_path)
+        upgrade_timeline.writeChromeJson(upgrade_timeline_path);
 
     // Sanity gates: a storm study whose underloaded point degrades
     // service, whose overloaded point doesn't, or whose loop blows up
@@ -847,6 +1125,67 @@ main(int argc, char **argv)
         std::fprintf(stderr, "overload_storm: loss made tracking "
                              "better than the lossless link\n");
         return 1;
+    }
+
+    // Upgrade-sweep gates: each scenario must land on its designed
+    // outcome, and none may shed a robot — the rollout machinery
+    // promises that no robot misses a command, so a single Shed here
+    // is a regression, not noise.
+    if (upgrade) {
+        for (const UpgradeStormResult &r : upgrade_sweep) {
+            if (r.shed != 0) {
+                std::fprintf(stderr,
+                             "overload_storm: upgrade scenario %s shed "
+                             "a robot\n",
+                             r.name.c_str());
+                return 1;
+            }
+            if (!std::isfinite(r.maxTrackingError) ||
+                !std::isfinite(r.meanTrackingError)) {
+                std::fprintf(stderr,
+                             "overload_storm: upgrade scenario %s went "
+                             "non-finite\n",
+                             r.name.c_str());
+                return 1;
+            }
+        }
+        const UpgradeStormResult &commit = upgrade_sweep[0];
+        const UpgradeStormResult &bad_image = upgrade_sweep[1];
+        const UpgradeStormResult &diverged = upgrade_sweep[2];
+        const UpgradeStormResult &slow = upgrade_sweep[3];
+        if (!commit.scheduled || commit.upgrade.committed != 1 ||
+            commit.upgrade.canaryRobots == 0 ||
+            commit.upgrade.shadowSolves == 0 ||
+            commit.upgrade.divergenceFails != 0 ||
+            commit.upgrade.version != 2) {
+            std::fprintf(stderr, "overload_storm: benign candidate did "
+                                 "not commit cleanly\n");
+            return 1;
+        }
+        if (bad_image.scheduled ||
+            bad_image.upgrade.rejectedImages != 1 ||
+            bad_image.upgrade.shadowSolves != 0) {
+            std::fprintf(stderr, "overload_storm: corrupt image was not "
+                                 "stopped at the admission gate\n");
+            return 1;
+        }
+        if (!diverged.scheduled ||
+            diverged.upgrade.rejectedCandidates != 1 ||
+            diverged.upgrade.rollbackDivergence != 1 ||
+            diverged.upgrade.divergenceFails == 0 ||
+            diverged.upgrade.committed != 0) {
+            std::fprintf(stderr, "overload_storm: divergent candidate "
+                                 "was not rejected in shadow\n");
+            return 1;
+        }
+        if (!slow.scheduled || slow.upgrade.rolledBack != 1 ||
+            slow.upgrade.rollbackLatency != 1 ||
+            slow.upgrade.canaryRobots == 0 ||
+            slow.upgrade.committed != 0) {
+            std::fprintf(stderr, "overload_storm: slow candidate was "
+                                 "not rolled back from canary\n");
+            return 1;
+        }
     }
 
     // Kill-resume leaves each storm's last checkpoint on disk. Gate

@@ -39,30 +39,6 @@ getWord(const std::vector<std::uint8_t> &in, std::size_t &cursor)
     return word;
 }
 
-/** Shared header validation for verifyImage / unpackImageChecked. */
-ImageStatus
-checkHeader(const std::vector<std::uint8_t> &image)
-{
-    if (image.size() < kImageHeaderBytes)
-        return ImageStatus::Truncated;
-    std::size_t cursor = 0;
-    if (getWord(image, cursor) != kImageMagic)
-        return ImageStatus::BadMagic;
-    if (getWord(image, cursor) != kImageVersion)
-        return ImageStatus::BadVersion;
-    std::uint64_t n_compute = getWord(image, cursor);
-    std::uint64_t n_comm = getWord(image, cursor);
-    std::uint64_t n_memory = getWord(image, cursor);
-    std::uint64_t expected =
-        kImageHeaderBytes + 4 * (n_compute + n_comm + n_memory);
-    if (image.size() != expected)
-        return ImageStatus::BadSectionLength;
-    std::uint32_t stored = getWord(image, cursor);
-    if (stored != imageChecksum(image))
-        return ImageStatus::BadChecksum;
-    return ImageStatus::Ok;
-}
-
 } // namespace
 
 const char *
@@ -78,16 +54,6 @@ imageStatusName(ImageStatus status)
       case ImageStatus::BadInstruction: return "bad-instruction";
     }
     return "?";
-}
-
-std::uint32_t
-imageChecksum(const std::vector<std::uint8_t> &image)
-{
-    // CRC over everything except the checksum word itself, chained
-    // across the gap so no scratch copy is needed.
-    std::uint32_t c = support::crc32(image.data(), kImageCrcOffset);
-    return support::crc32(image.data() + kImageHeaderBytes,
-                          image.size() - kImageHeaderBytes, c);
 }
 
 std::vector<std::uint8_t>
@@ -120,17 +86,11 @@ packImage(const IsaStreams &streams)
 }
 
 ImageStatus
-verifyImage(const std::vector<std::uint8_t> &image)
-{
-    return checkHeader(image);
-}
-
-ImageStatus
 unpackImageChecked(const std::vector<std::uint8_t> &image,
                    IsaStreams &out)
 {
     out = IsaStreams{};
-    ImageStatus status = checkHeader(image);
+    ImageStatus status = verifyImage(image);
     if (status != ImageStatus::Ok)
         return status;
 

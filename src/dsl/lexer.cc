@@ -74,10 +74,12 @@ const std::unordered_map<std::string, TokenKind> kKeywords = {
 
 } // namespace
 
-std::vector<Token>
-tokenize(const std::string &source)
+bool
+tokenizeChecked(const std::string &source, std::vector<Token> *out,
+                std::vector<Diagnostic> *diagnostics)
 {
     std::vector<Token> tokens;
+    const std::size_t first_diag = diagnostics->size();
     int line = 1;
     int column = 1;
     std::size_t i = 0;
@@ -103,6 +105,13 @@ tokenize(const std::string &source)
         t.line = tline;
         t.column = tcolumn;
         tokens.push_back(std::move(t));
+    };
+    auto diagnose = [&](int dline, int dcolumn, std::string message) {
+        Diagnostic d;
+        d.line = dline;
+        d.column = dcolumn;
+        d.message = std::move(message);
+        diagnostics->push_back(std::move(d));
     };
 
     while (i < n) {
@@ -207,19 +216,39 @@ tokenize(const std::string &source)
                 text = "<=";
                 advance();
             } else {
-                fatal("lex error at {}:{}: stray '<' (did you mean '<='?)",
-                      tline, tcolumn);
+                diagnose(tline, tcolumn,
+                         detail::format(
+                             "lex error at {}:{}: stray '<' (did you "
+                             "mean '<='?)",
+                             tline, tcolumn));
+                advance();
+                continue;
             }
             break;
           default:
-            fatal("lex error at {}:{}: unexpected character '{}'",
-                  tline, tcolumn, std::string(1, c));
+            diagnose(tline, tcolumn,
+                     detail::format(
+                         "lex error at {}:{}: unexpected character '{}'",
+                         tline, tcolumn, std::string(1, c)));
+            advance();
+            continue;
         }
         advance();
         push(kind, text, tline, tcolumn);
     }
 
     push(TokenKind::EndOfFile, "", line, column);
+    *out = std::move(tokens);
+    return diagnostics->size() == first_diag;
+}
+
+std::vector<Token>
+tokenize(const std::string &source)
+{
+    std::vector<Token> tokens;
+    std::vector<Diagnostic> diagnostics;
+    if (!tokenizeChecked(source, &tokens, &diagnostics))
+        fatal("{}", diagnostics.front().message);
     return tokens;
 }
 

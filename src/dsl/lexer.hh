@@ -5,7 +5,8 @@
  * Converts program text into a token stream. Supports C++-style line
  * comments, decimal and scientific number literals, and the keyword set
  * of Table I. Lexical errors (stray characters, malformed numbers) are
- * reported through fatal() with source locations.
+ * collected as Diagnostic records by tokenizeChecked(); the classic
+ * tokenize() entry point reports the first one through fatal().
  */
 
 #ifndef ROBOX_DSL_LEXER_HH
@@ -14,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "dsl/diagnostic.hh"
 #include "dsl/token.hh"
 
 namespace robox::dsl
@@ -21,6 +23,16 @@ namespace robox::dsl
 
 /** Tokenize an entire RoboX program; the result ends with EndOfFile. */
 std::vector<Token> tokenize(const std::string &source);
+
+/**
+ * Tokenize, collecting every lexical error instead of throwing: a bad
+ * character is recorded and skipped so lexing continues. `tokens`
+ * always receives a complete EndOfFile-terminated stream (minus the
+ * offending characters). Returns true when no diagnostics were added.
+ */
+bool tokenizeChecked(const std::string &source,
+                     std::vector<Token> *tokens,
+                     std::vector<Diagnostic> *diagnostics);
 
 } // namespace robox::dsl
 

@@ -45,12 +45,19 @@ const std::unordered_set<std::string> kFields = {
     "running", "terminal",
 };
 
+/** Thrown on the first syntax error; caught by parseChecked(), which
+ *  converts it into a collected Diagnostic. */
+struct ParseError
+{
+    Diagnostic diagnostic;
+};
+
 /** Token-stream cursor with error helpers. */
 class Parser
 {
   public:
-    explicit Parser(const std::string &source)
-        : tokens_(tokenize(source)) {}
+    explicit Parser(std::vector<Token> tokens)
+        : tokens_(std::move(tokens)) {}
 
     ProgramAst parseProgram();
 
@@ -74,13 +81,26 @@ class Parser
         return true;
     }
 
+    [[noreturn]] void
+    raise(int line, int column, std::string message)
+    {
+        ParseError err;
+        err.diagnostic.line = line;
+        err.diagnostic.column = column;
+        err.diagnostic.message = std::move(message);
+        throw err;
+    }
+
     const Token &
     expect(TokenKind kind, const char *context)
     {
         if (!check(kind)) {
-            fatal("parse error at {}: expected {} {} but found {} '{}'",
-                  peek().location(), tokenKindName(kind), context,
-                  tokenKindName(peek().kind), peek().text);
+            raise(peek().line, peek().column,
+                  detail::format(
+                      "parse error at {}: expected {} {} but found "
+                      "{} '{}'",
+                      peek().location(), tokenKindName(kind), context,
+                      tokenKindName(peek().kind), peek().text));
         }
         return advance();
     }
@@ -88,8 +108,10 @@ class Parser
     [[noreturn]] void
     errorHere(const std::string &what)
     {
-        fatal("parse error at {}: {} (found {} '{}')", peek().location(),
-              what, tokenKindName(peek().kind), peek().text);
+        raise(peek().line, peek().column,
+              detail::format("parse error at {}: {} (found {} '{}')",
+                             peek().location(), what,
+                             tokenKindName(peek().kind), peek().text));
     }
 
     /** True when the current token starts a declaration. */
@@ -189,8 +211,11 @@ Parser::parseDeclStmt()
             ExprAstPtr first = parseExpr();
             if (match(TokenKind::Colon)) {
                 if (stmt.kind != DeclKind::Range) {
-                    fatal("parse error at {}: '[lo:hi]' bounds are only "
-                          "valid on range declarations", kw.line);
+                    raise(kw.line, 0,
+                          detail::format(
+                              "parse error at {}: '[lo:hi]' bounds are "
+                              "only valid on range declarations",
+                              kw.line));
                 }
                 d.rangeLo = std::move(first);
                 d.rangeHi = parseExpr();
@@ -200,8 +225,11 @@ Parser::parseDeclStmt()
             expect(TokenKind::RBracket, "after dimension");
         }
         if (stmt.kind == DeclKind::Range && !d.rangeHi) {
-            fatal("parse error at line {}: range '{}' needs '[lo:hi]' "
-                  "bounds", stmt.line, d.name);
+            raise(stmt.line, 0,
+                  detail::format(
+                      "parse error at line {}: range '{}' needs "
+                      "'[lo:hi]' bounds",
+                      stmt.line, d.name));
         }
         stmt.decls.push_back(std::move(d));
     } while (match(TokenKind::Comma));
@@ -225,9 +253,12 @@ Parser::parseLValue()
         const Token &field =
             expect(TokenKind::Identifier, "as field name after '.'");
         if (!kFields.count(field.text)) {
-            fatal("parse error at {}: unknown field '{}'; valid fields "
-                  "are dt, lower_bound, upper_bound, equals, weight, "
-                  "running, terminal", field.location(), field.text);
+            raise(field.line, field.column,
+                  detail::format(
+                      "parse error at {}: unknown field '{}'; valid "
+                      "fields are dt, lower_bound, upper_bound, "
+                      "equals, weight, running, terminal",
+                      field.location(), field.text));
         }
         lv.field = field.text;
     }
@@ -297,8 +328,11 @@ Parser::parsePowExpr()
         const Token &expo = expect(TokenKind::Number, "as exponent of '^'");
         double intpart = 0.0;
         if (std::modf(expo.number, &intpart) != 0.0) {
-            fatal("parse error at {}: '^' requires an integer exponent, "
-                  "got {}", expo.location(), expo.text);
+            raise(expo.line, expo.column,
+                  detail::format(
+                      "parse error at {}: '^' requires an integer "
+                      "exponent, got {}",
+                      expo.location(), expo.text));
         }
         ExprAstPtr node = makeNode(ExprAstKind::Binary, op);
         node->op = '^';
@@ -508,11 +542,30 @@ Parser::parseProgram()
 
 } // namespace
 
+ParseResult
+parseChecked(const std::string &source)
+{
+    ParseResult result;
+    std::vector<Token> tokens;
+    if (!tokenizeChecked(source, &tokens, &result.diagnostics))
+        return result;
+    Parser parser(std::move(tokens));
+    try {
+        result.program = parser.parseProgram();
+    } catch (ParseError &err) {
+        result.program = ProgramAst();
+        result.diagnostics.push_back(std::move(err.diagnostic));
+    }
+    return result;
+}
+
 ProgramAst
 parseProgram(const std::string &source)
 {
-    Parser parser(source);
-    return parser.parseProgram();
+    ParseResult result = parseChecked(source);
+    if (!result.ok())
+        fatal("{}", result.diagnostics.front().message);
+    return std::move(result.program);
 }
 
 } // namespace robox::dsl

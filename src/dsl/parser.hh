@@ -2,22 +2,45 @@
  * @file
  * Recursive-descent parser for the RoboX DSL.
  *
- * Produces a ProgramAst from source text. All syntax errors are reported
- * via fatal() with line:column locations and the expected token.
+ * Produces a ProgramAst from source text. parseChecked() collects
+ * syntax errors as Diagnostic records with line:column locations and
+ * the expected token; the classic parseProgram() entry point reports
+ * the first one via fatal(). Semantic checks (sema.cc) still fatal()
+ * directly; converting those is tracked as follow-up work.
  */
 
 #ifndef ROBOX_DSL_PARSER_HH
 #define ROBOX_DSL_PARSER_HH
 
 #include <string>
+#include <vector>
 
 #include "dsl/ast.hh"
+#include "dsl/diagnostic.hh"
 
 namespace robox::dsl
 {
 
 /** Parse a complete RoboX program. */
 ProgramAst parseProgram(const std::string &source);
+
+/** Outcome of parseChecked(): the AST is meaningful only when ok(). */
+struct ParseResult
+{
+    ProgramAst program;
+    std::vector<Diagnostic> diagnostics;
+
+    bool ok() const { return diagnostics.empty(); }
+};
+
+/**
+ * Parse without throwing on malformed input. Every lexical error is
+ * collected (the lexer skips bad characters and keeps going); if any
+ * were found the parse is not attempted, since a recovered token
+ * stream would only produce cascading noise. Otherwise the first
+ * syntax error, if any, is collected and the partial AST discarded.
+ */
+ParseResult parseChecked(const std::string &source);
 
 } // namespace robox::dsl
 

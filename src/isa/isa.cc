@@ -15,17 +15,45 @@ namespace robox::isa
 namespace
 {
 
-/** Insert `value` at [hi:lo], checking the range fits. */
-std::uint32_t
-field(std::uint32_t value, int hi, int lo, const char *what)
+/**
+ * Accumulates fields into a 32-bit word, remembering the first
+ * failure (its status and formatted diagnostic) instead of aborting.
+ * Fields are inserted in encoding order, so the remembered failure is
+ * the same one the old fatal()-based encoders reported first.
+ */
+struct Encoder
 {
-    std::uint32_t width = static_cast<std::uint32_t>(hi - lo + 1);
-    std::uint32_t limit = width >= 32 ? 0xFFFFFFFFu : ((1u << width) - 1);
-    if (value > limit)
-        fatal("ISA encode: {} value {} exceeds {}-bit field", what, value,
-              width);
-    return value << lo;
-}
+    std::uint32_t word = 0;
+    EncodeStatus status = EncodeStatus::Ok;
+    std::string *error = nullptr;
+
+    void
+    fail(EncodeStatus s, std::string message)
+    {
+        if (status != EncodeStatus::Ok)
+            return;
+        status = s;
+        if (error)
+            *error = std::move(message);
+    }
+
+    /** Insert `value` at [hi:lo], checking the range fits. */
+    void
+    field(std::uint32_t value, int hi, int lo, const char *what)
+    {
+        std::uint32_t width = static_cast<std::uint32_t>(hi - lo + 1);
+        std::uint32_t limit =
+            width >= 32 ? 0xFFFFFFFFu : ((1u << width) - 1);
+        if (value > limit) {
+            fail(EncodeStatus::FieldOverflow,
+                 detail::format(
+                     "ISA encode: {} value {} exceeds {}-bit field",
+                     what, value, width));
+            return;
+        }
+        word |= value << lo;
+    }
+};
 
 /** Extract [hi:lo]. */
 std::uint32_t
@@ -109,6 +137,18 @@ popModeName(PopMode mode)
 }
 
 const char *
+toString(EncodeStatus status)
+{
+    switch (status) {
+      case EncodeStatus::Ok: return "ok";
+      case EncodeStatus::FieldOverflow: return "field-overflow";
+      case EncodeStatus::BadNamespace: return "bad-namespace";
+      case EncodeStatus::BadBurst: return "bad-burst";
+    }
+    return "?";
+}
+
+const char *
 aggFunctionName(AggFunction fn)
 {
     switch (fn) {
@@ -130,33 +170,53 @@ aggFunctionName(AggFunction fn)
 // [5:1] vector length  [0] reserved
 // ---------------------------------------------------------------------
 
-std::uint32_t
-ComputeInstr::encode() const
+EncodeStatus
+ComputeInstr::encodeChecked(std::uint32_t *word,
+                            std::string *error) const
 {
-    if (dst >= Namespace::Reference || src1 >= Namespace::Reference)
-        fatal("compute instructions cannot address namespace {}",
-              namespaceName(dst >= Namespace::Reference ? dst : src1));
-    std::uint32_t word = 0;
-    word |= field(static_cast<std::uint32_t>(opcode), 31, 29, "opcode");
-    word |= field(static_cast<std::uint32_t>(function), 28, 25, "function");
-    word |= field(static_cast<std::uint32_t>(dst), 24, 22, "dst ns");
-    word |= field(static_cast<std::uint32_t>(src1), 21, 19, "src1 ns");
-    word |= field(static_cast<std::uint32_t>(src1Pop), 18, 17, "src1 pop");
-    word |= field(src1Index, 16, 14, "src1 index");
+    Encoder e;
+    e.error = error;
+    if (dst >= Namespace::Reference || src1 >= Namespace::Reference) {
+        e.fail(EncodeStatus::BadNamespace,
+               detail::format(
+                   "compute instructions cannot address namespace {}",
+                   namespaceName(dst >= Namespace::Reference ? dst
+                                                             : src1)));
+    }
+    e.field(static_cast<std::uint32_t>(opcode), 31, 29, "opcode");
+    e.field(static_cast<std::uint32_t>(function), 28, 25, "function");
+    e.field(static_cast<std::uint32_t>(dst), 24, 22, "dst ns");
+    e.field(static_cast<std::uint32_t>(src1), 21, 19, "src1 ns");
+    e.field(static_cast<std::uint32_t>(src1Pop), 18, 17, "src1 pop");
+    e.field(src1Index, 16, 14, "src1 index");
     bool imm = opcode == ComputeOpcode::ScalarImm ||
                opcode == ComputeOpcode::VectorImm;
     if (imm) {
-        word |= field(immediate, 13, 6, "immediate");
+        e.field(immediate, 13, 6, "immediate");
     } else {
-        if (src2 >= Namespace::Reference)
-            fatal("compute instructions cannot address namespace {}",
-                  namespaceName(src2));
-        word |= field(static_cast<std::uint32_t>(src2), 13, 11, "src2 ns");
-        word |= field(static_cast<std::uint32_t>(src2Pop), 10, 9,
-                      "src2 pop");
-        word |= field(src2Index, 8, 6, "src2 index");
+        if (src2 >= Namespace::Reference) {
+            e.fail(EncodeStatus::BadNamespace,
+                   detail::format("compute instructions cannot address "
+                                  "namespace {}",
+                                  namespaceName(src2)));
+        }
+        e.field(static_cast<std::uint32_t>(src2), 13, 11, "src2 ns");
+        e.field(static_cast<std::uint32_t>(src2Pop), 10, 9, "src2 pop");
+        e.field(src2Index, 8, 6, "src2 index");
     }
-    word |= field(vectorLength, 5, 1, "vector length");
+    e.field(vectorLength, 5, 1, "vector length");
+    if (e.status == EncodeStatus::Ok)
+        *word = e.word;
+    return e.status;
+}
+
+std::uint32_t
+ComputeInstr::encode() const
+{
+    std::uint32_t word = 0;
+    std::string error;
+    if (encodeChecked(&word, &error) != EncodeStatus::Ok)
+        fatal("{}", error);
     return word;
 }
 
@@ -216,39 +276,50 @@ ComputeInstr::str() const
 // [4:2] dst ns
 // ---------------------------------------------------------------------
 
-std::uint32_t
-CommInstr::encode() const
+EncodeStatus
+CommInstr::encodeChecked(std::uint32_t *word, std::string *error) const
 {
-    std::uint32_t word = 0;
-    word |= field(static_cast<std::uint32_t>(opcode), 31, 29, "opcode");
-    word |= field(static_cast<std::uint32_t>(srcNamespace), 28, 26,
-                  "src ns");
-    word |= field(static_cast<std::uint32_t>(srcPop), 25, 24, "src pop");
-    word |= field(srcIndex, 23, 21, "src index");
-    word |= field(srcCc, 20, 17, "src CC");
-    word |= field(srcCu, 16, 13, "src CU");
+    Encoder e;
+    e.error = error;
+    e.field(static_cast<std::uint32_t>(opcode), 31, 29, "opcode");
+    e.field(static_cast<std::uint32_t>(srcNamespace), 28, 26, "src ns");
+    e.field(static_cast<std::uint32_t>(srcPop), 25, 24, "src pop");
+    e.field(srcIndex, 23, 21, "src index");
+    e.field(srcCc, 20, 17, "src CC");
+    e.field(srcCu, 16, 13, "src CU");
     switch (opcode) {
       case CommOpcode::Unicast:
-        word |= field(dstCc, 12, 9, "dst CC");
-        word |= field(dstCu, 8, 5, "dst CU");
+        e.field(dstCc, 12, 9, "dst CC");
+        e.field(dstCu, 8, 5, "dst CU");
         break;
       case CommOpcode::CuMulticast:
       case CommOpcode::CcMulticast:
-        word |= field(quarter, 12, 11, "quarter");
-        word |= field(mask, 10, 7, "mask");
+        e.field(quarter, 12, 11, "quarter");
+        e.field(mask, 10, 7, "mask");
         break;
       case CommOpcode::CuAggregation:
       case CommOpcode::CcAggregation:
-        word |= field(static_cast<std::uint32_t>(aggFunction), 12, 11,
-                      "agg fn");
-        word |= field(mask, 10, 7, "mask");
+        e.field(static_cast<std::uint32_t>(aggFunction), 12, 11,
+                "agg fn");
+        e.field(mask, 10, 7, "mask");
         break;
       case CommOpcode::Broadcast:
       case CommOpcode::EndOfCode:
         break;
     }
-    word |= field(static_cast<std::uint32_t>(dstNamespace), 4, 2,
-                  "dst ns");
+    e.field(static_cast<std::uint32_t>(dstNamespace), 4, 2, "dst ns");
+    if (e.status == EncodeStatus::Ok)
+        *word = e.word;
+    return e.status;
+}
+
+std::uint32_t
+CommInstr::encode() const
+{
+    std::uint32_t word = 0;
+    std::string error;
+    if (encodeChecked(&word, &error) != EncodeStatus::Ok)
+        fatal("{}", error);
     return word;
 }
 
@@ -334,33 +405,52 @@ CommInstr::str() const
 // set block:  [24:9] block number
 // ---------------------------------------------------------------------
 
-std::uint32_t
-MemInstr::encode() const
+EncodeStatus
+MemInstr::encodeChecked(std::uint32_t *word, std::string *error) const
 {
-    std::uint32_t word = 0;
-    word |= field(static_cast<std::uint32_t>(opcode), 31, 29, "opcode");
-    word |= field(static_cast<std::uint32_t>(ns), 28, 25, "namespace");
+    Encoder e;
+    e.error = error;
+    e.field(static_cast<std::uint32_t>(opcode), 31, 29, "opcode");
+    e.field(static_cast<std::uint32_t>(ns), 28, 25, "namespace");
     switch (opcode) {
       case MemOpcode::Load:
       case MemOpcode::Store:
         if (ns == Namespace::Interm || ns == Namespace::LeftNeighbor ||
             ns == Namespace::RightNeighbor) {
-            fatal("memory instructions cannot address namespace {}",
-                  namespaceName(ns));
+            e.fail(EncodeStatus::BadNamespace,
+                   detail::format("memory instructions cannot address "
+                                  "namespace {}",
+                                  namespaceName(ns)));
         }
-        word |= field(offset, 24, 9, "offset");
-        word |= field(shift, 8, 6, "shift");
-        if (burst < 1 || burst > 16)
-            fatal("memory burst {} out of range [1, 16]", burst);
-        word |= field(static_cast<std::uint32_t>(burst - 1), 5, 2,
-                      "burst");
+        e.field(offset, 24, 9, "offset");
+        e.field(shift, 8, 6, "shift");
+        if (burst < 1 || burst > 16) {
+            e.fail(EncodeStatus::BadBurst,
+                   detail::format("memory burst {} out of range [1, 16]",
+                                  static_cast<int>(burst)));
+        } else {
+            e.field(static_cast<std::uint32_t>(burst - 1), 5, 2,
+                    "burst");
+        }
         break;
       case MemOpcode::SetBlock:
-        word |= field(block, 24, 9, "block");
+        e.field(block, 24, 9, "block");
         break;
       case MemOpcode::EndOfCode:
         break;
     }
+    if (e.status == EncodeStatus::Ok)
+        *word = e.word;
+    return e.status;
+}
+
+std::uint32_t
+MemInstr::encode() const
+{
+    std::uint32_t word = 0;
+    std::string error;
+    if (encodeChecked(&word, &error) != EncodeStatus::Ok)
+        fatal("{}", error);
     return word;
 }
 

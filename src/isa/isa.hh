@@ -76,6 +76,24 @@ enum class PopMode : std::uint8_t
 
 const char *popModeName(PopMode mode);
 
+/**
+ * Outcome of the checked encoders. decode() is total, but encode() is
+ * not: an instruction struct populated from untrusted input (an
+ * assembler, a fuzzer, a staged upgrade image being rebuilt) can name
+ * fields the 32-bit layouts cannot hold. encodeChecked() reports that
+ * as a status; the classic encode() wraps it and fatal()s, matching
+ * the loader-side unpackImageChecked() discipline.
+ */
+enum class EncodeStatus : std::uint8_t
+{
+    Ok = 0,
+    FieldOverflow, //!< A field value exceeds its bit width.
+    BadNamespace,  //!< Namespace not addressable by this category.
+    BadBurst,      //!< Memory burst outside [1, 16].
+};
+
+const char *toString(EncodeStatus status);
+
 // ---------------------------------------------------------------------
 // Compute instructions.
 // ---------------------------------------------------------------------
@@ -104,6 +122,10 @@ struct ComputeInstr
     std::uint8_t vectorLength = 0; //!< SIMD repeat count (0 => 1).
 
     std::uint32_t encode() const;
+    /** Encode without aborting; `*word` is written only on Ok. When
+     *  `error` is non-null it receives the diagnostic on failure. */
+    EncodeStatus encodeChecked(std::uint32_t *word,
+                               std::string *error = nullptr) const;
     static ComputeInstr decode(std::uint32_t word);
     std::string str() const;
 
@@ -153,6 +175,10 @@ struct CommInstr
     AggFunction aggFunction = AggFunction::Add; //!< Aggregations.
 
     std::uint32_t encode() const;
+    /** Encode without aborting; `*word` is written only on Ok. When
+     *  `error` is non-null it receives the diagnostic on failure. */
+    EncodeStatus encodeChecked(std::uint32_t *word,
+                               std::string *error = nullptr) const;
     static CommInstr decode(std::uint32_t word);
     std::string str() const;
 
@@ -182,6 +208,10 @@ struct MemInstr
     std::uint16_t block = 0;     //!< SetBlock target block number.
 
     std::uint32_t encode() const;
+    /** Encode without aborting; `*word` is written only on Ok. When
+     *  `error` is non-null it receives the diagnostic on failure. */
+    EncodeStatus encodeChecked(std::uint32_t *word,
+                               std::string *error = nullptr) const;
     static MemInstr decode(std::uint32_t word);
     std::string str() const;
 

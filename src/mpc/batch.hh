@@ -64,6 +64,7 @@
 #include "mpc/sensor_gate.hh"
 #include "mpc/status.hh"
 #include "mpc/timeline.hh"
+#include "mpc/upgrade.hh"
 #include "support/checkpoint.hh"
 #include "support/stats.hh"
 
@@ -191,6 +192,10 @@ struct BatchReport
 
     /** Overload-management decisions and budget accounting. */
     OverloadReport overload;
+
+    /** Live-upgrade rollout accounting (all zero until an upgrade is
+     *  scheduled; see mpc/upgrade.hh). */
+    UpgradeReport upgrade;
 };
 
 /**
@@ -357,8 +362,51 @@ class BatchController
      * match this controller's configuration (robot count, horizon,
      * link enablement, histogram shapes). Never throws on bad bytes;
      * header-level corruption is already rejected by CheckpointReader.
+     *
+     * A checkpoint taken with an upgrade in flight (or committed)
+     * additionally needs the candidate re-supplied: its image, shape,
+     * and modeledCostScale must match the checkpoint or the restore
+     * cold-starts. Pass nullptr (the default) when no upgrade was
+     * ever scheduled.
      */
-    bool restore(support::CheckpointReader &r);
+    bool restore(support::CheckpointReader &r,
+                 const UpgradeCandidate *candidate = nullptr);
+
+    /**
+     * Stage a live controller upgrade (see mpc/upgrade.hh): the
+     * candidate's image is CRC-verified and its problem shape checked
+     * against the incumbent's, then the shadow -> canary -> commit
+     * rollout runs across subsequent solveAll() calls with automatic
+     * rollback on divergence, fault-rate regression, or latency
+     * violation. The staging knobs are this controller's
+     * MpcOptions::upgrade* settings. With no upgrade scheduled the
+     * serving path is bitwise-identical to a controller without this
+     * feature.
+     */
+    UpgradeScheduleStatus scheduleUpgrade(const UpgradeCandidate &candidate);
+
+    /** Operator-initiated abort of an in-flight upgrade: rejects a
+     *  shadowing candidate, rolls back a canarying one. */
+    void abortUpgrade();
+
+    /** True while a rollout is in flight (Shadow or Canary). */
+    bool upgradeActive() const
+    {
+        return upgrade_ && upgrade_->doubleSolve();
+    }
+
+    /** The rollout state machine's phase (Idle when none scheduled). */
+    UpgradePhase upgradePhase() const
+    {
+        return upgrade_ ? upgrade_->phase() : UpgradePhase::Idle;
+    }
+
+    /** Controller version serving robot i: 1 = incumbent,
+     *  2 = candidate (canary or committed). */
+    std::uint32_t servingVersion(std::size_t i) const
+    {
+        return upgrade_ ? upgrade_->servingVersion(i) : 1;
+    }
 
   private:
     /** Admission decision for one robot in the current batch. */
@@ -389,6 +437,17 @@ class BatchController
     void solveOne(std::size_t i);
     /** Fold measured (or injected) solve costs into the EWMA model. */
     void updateCostModel();
+    /** Fold the upgrade scratch, run the rollout guards and phase
+     *  transitions; coordinator only, after updateCostModel. */
+    void finishUpgradePeriod();
+    /** The solver whose commands robot i executes this period: the
+     *  candidate for canary/committed robots, else the incumbent. */
+    IpmSolver &servingSolver(std::size_t i)
+    {
+        return upgrade_ && upgrade_->servesCandidate(i)
+                   ? upgrade_->candidateSolver(i)
+                   : *solvers_[i];
+    }
     /** Downlink half of a link-enabled batch: transmit fresh plans,
      *  run retransmits and robot-side execution, and relabel robots
      *  whose plan missed its delivery deadline. */
@@ -429,6 +488,11 @@ class BatchController
     std::vector<double> batch_cost_; //!< Modeled cost of this batch.
 
     FlightRecorder recorder_; //!< Black-box ring (coordinator only).
+
+    /** Live-upgrade state machine; created by the first
+     *  scheduleUpgrade() so the no-upgrade serving path stays
+     *  bitwise-identical to the pre-upgrade controller. */
+    std::unique_ptr<UpgradeManager> upgrade_;
 
     // Current batch inputs (valid only while solveAll is running).
     const std::vector<Vector> *states_ = nullptr;

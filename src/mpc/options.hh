@@ -11,6 +11,8 @@
 #ifndef ROBOX_MPC_OPTIONS_HH
 #define ROBOX_MPC_OPTIONS_HH
 
+#include <cstdint>
+
 namespace robox::mpc
 {
 
@@ -321,6 +323,60 @@ struct MpcOptions
     /** Recovery rung 1 depth: tape re-executions per detection before
      *  escalating to reload and then CPU fallback. */
     int accelMaxReexecutions = 2;
+
+    /**
+     * Live-upgrade staging (mpc/upgrade.hh): control periods a
+     * scheduled candidate controller shadow-solves copies of the live
+     * inputs — zero effect on commands — before any robot switches
+     * over. See the "Live upgrades" section of ARCHITECTURE.md.
+     */
+    int upgradeShadowPeriods = 8;
+
+    /** Control periods the deterministic canary fraction serves on the
+     *  candidate before the fleet-wide commit. */
+    int upgradeCanaryPeriods = 8;
+
+    /** Fraction of the fleet selected (splitmix64 on upgradeSeed and
+     *  the robot index) as canaries; clamped to (0, 1], and at least
+     *  one robot is always selected. */
+    double upgradeCanaryFraction = 0.25;
+
+    /** Seed for the deterministic canary selection hash. */
+    std::uint64_t upgradeSeed = 0;
+
+    /**
+     * Shadow/canary divergence warn band: absolute per-component
+     * difference between the incumbent's and the candidate's first
+     * commands beyond which a comparison counts as a warning
+     * (mirrors crossCheckWarnAbs for the fixed-point path).
+     */
+    double upgradeWarnAbs = 1e-2;
+
+    /**
+     * Divergence fail band: a compared command component is a breach
+     * when it diverges by more than upgradeFailAbs AND more than
+     * upgradeFailRel x the incumbent magnitude. Any breach rejects a
+     * shadowing candidate or rolls back a canarying one.
+     */
+    double upgradeFailAbs = 0.25;
+
+    /** Relative half of the divergence fail band. */
+    double upgradeFailRel = 5e-2;
+
+    /**
+     * Latency guard: the candidate is rolled back when its fleet-level
+     * EWMA solve cost exceeds this multiple of the incumbent's (after
+     * at least two periods of both models being warm).
+     */
+    double upgradeMaxCostRatio = 2.0;
+
+    /**
+     * Fault-rate guard: the candidate is rolled back when its rate of
+     * bad solves (non-usable status, NumericDegraded, or AccelFault)
+     * over the current phase exceeds the incumbent's by more than this
+     * margin, once each version has at least a fleet-sized sample.
+     */
+    double upgradeFaultRateMargin = 0.10;
 };
 
 } // namespace robox::mpc

@@ -40,6 +40,15 @@ toString(TimelineMarker marker)
       case TimelineMarker::StaleDemoted: return "stale-demoted";
       case TimelineMarker::LinkDown: return "link-down";
       case TimelineMarker::LinkUp: return "link-up";
+      case TimelineMarker::UpgradeShadowStart:
+        return "upgrade-shadow-start";
+      case TimelineMarker::UpgradeCanaryStart:
+        return "upgrade-canary-start";
+      case TimelineMarker::UpgradeCommitted: return "upgrade-committed";
+      case TimelineMarker::UpgradeRolledBack:
+        return "upgrade-rolled-back";
+      case TimelineMarker::UpgradeRejected: return "upgrade-rejected";
+      case TimelineMarker::CanarySwitched: return "canary-switched";
     }
     return "?";
 }
@@ -62,6 +71,34 @@ isLinkMarker(TimelineMarker kind)
       default:
         return false;
     }
+}
+
+/** Live-upgrade events likewise get their own category so rollout
+ *  campaigns filter separately from admission and comms. */
+bool
+isUpgradeMarker(TimelineMarker kind)
+{
+    switch (kind) {
+      case TimelineMarker::UpgradeShadowStart:
+      case TimelineMarker::UpgradeCanaryStart:
+      case TimelineMarker::UpgradeCommitted:
+      case TimelineMarker::UpgradeRolledBack:
+      case TimelineMarker::UpgradeRejected:
+      case TimelineMarker::CanarySwitched:
+        return true;
+      default:
+        return false;
+    }
+}
+
+const char *
+markerCategory(TimelineMarker kind)
+{
+    if (isLinkMarker(kind))
+        return "link";
+    if (isUpgradeMarker(kind))
+        return "upgrade";
+    return "admission";
 }
 
 } // namespace
@@ -116,8 +153,7 @@ FleetTimeline::toChromeJson() const
             args << ",\"from\":\"" << toString(m.from) << "\",\"to\":\""
                  << toString(m.to) << "\"";
         args << "}";
-        writer.instantEvent(toString(m.kind),
-                            isLinkMarker(m.kind) ? "link" : "admission",
+        writer.instantEvent(toString(m.kind), markerCategory(m.kind),
                             kFleetPid, static_cast<int>(m.robot),
                             m.atSeconds * kMicrosPerSecond, args.str());
     }
@@ -166,7 +202,7 @@ FleetTimeline::restore(support::CheckpointReader &r)
     constexpr auto kMaxStatus =
         static_cast<std::uint32_t>(SolveStatus::Shed);
     constexpr auto kMaxMarker =
-        static_cast<std::uint8_t>(TimelineMarker::LinkUp);
+        static_cast<std::uint8_t>(TimelineMarker::CanarySwitched);
 
     clear();
     std::uint64_t n = 0;

@@ -557,5 +557,122 @@ INSTANTIATE_TEST_SUITE_P(
                    "System S(){ state x; input u; x.dt = sum[u](x); "
                    "Task t(){ penalty p; p.terminal = x; } } S s(); s.t();"}));
 
+// ---------------------------------------------------------------------
+// Checked (diagnostic-collecting) frontend entry points.
+// ---------------------------------------------------------------------
+
+TEST(CheckedFrontend, LexerCollectsEveryBadCharacterAndKeepsGoing)
+{
+    std::vector<Token> tokens;
+    std::vector<Diagnostic> diags;
+    EXPECT_FALSE(tokenizeChecked("a ? b\n c < d @", &tokens, &diags));
+    // All three offenders reported with locations, in source order...
+    ASSERT_EQ(3u, diags.size());
+    EXPECT_EQ(1, diags[0].line);
+    EXPECT_EQ(3, diags[0].column);
+    EXPECT_EQ("lex error at 1:3: unexpected character '?'",
+              diags[0].message);
+    EXPECT_EQ(2, diags[1].line);
+    EXPECT_EQ(4, diags[1].column);
+    EXPECT_EQ("lex error at 2:4: stray '<' (did you mean '<='?)",
+              diags[1].message);
+    EXPECT_EQ(2, diags[2].line);
+    EXPECT_EQ(8, diags[2].column);
+    // ...and the surviving tokens still stream through.
+    ASSERT_EQ(5u, tokens.size()); // a b c d EOF
+    EXPECT_EQ("a", tokens[0].text);
+    EXPECT_EQ("d", tokens[3].text);
+    EXPECT_EQ(TokenKind::EndOfFile, tokens.back().kind);
+
+    // A clean source adds nothing.
+    diags.clear();
+    EXPECT_TRUE(tokenizeChecked("a b", &tokens, &diags));
+    EXPECT_TRUE(diags.empty());
+}
+
+TEST(CheckedFrontend, ParseCheckedReportsWithoutThrowing)
+{
+    // Syntax error: collected, not thrown.
+    ParseResult bad = parseChecked(
+        "System S(){ state x; input u; x.dt = ; }\nS s(); s.t();");
+    EXPECT_FALSE(bad.ok());
+    ASSERT_EQ(1u, bad.diagnostics.size());
+    EXPECT_EQ(1, bad.diagnostics[0].line);
+    EXPECT_NE(std::string::npos,
+              bad.diagnostics[0].message.find("parse error at 1:38"));
+
+    // The fatal()-throwing wrapper reports the same first diagnostic.
+    try {
+        parseProgram(
+            "System S(){ state x; input u; x.dt = ; }\nS s(); s.t();");
+        FAIL() << "parseProgram should have thrown";
+    } catch (const FatalError &err) {
+        EXPECT_EQ(bad.diagnostics[0].message, err.what());
+    }
+
+    // A good program parses with an empty diagnostic list.
+    ParseResult good = parseChecked(kMobileRobotSource);
+    EXPECT_TRUE(good.ok());
+    EXPECT_EQ(1u, good.program.systems.size());
+
+    // Lexical errors short-circuit the parse: every bad character is
+    // reported, with no cascading syntax noise appended.
+    ParseResult lex = parseChecked("System @ S(){ # }");
+    EXPECT_FALSE(lex.ok());
+    ASSERT_EQ(2u, lex.diagnostics.size());
+    EXPECT_EQ("lex error at 1:8: unexpected character '@'",
+              lex.diagnostics[0].message);
+    EXPECT_EQ("lex error at 1:15: unexpected character '#'",
+              lex.diagnostics[1].message);
+}
+
+TEST(CheckedFrontend, SeededMutationCorpusNeverThrowsAndIsDeterministic)
+{
+    // splitmix64: deterministic cross-platform mutation stream.
+    auto mix = [](std::uint64_t x) {
+        x += 0x9e3779b97f4a7c15ull;
+        x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+        x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+        return x ^ (x >> 31);
+    };
+    const std::string base = kMobileRobotSource;
+    const char pool[] = "@#$?<~`\\|&!%\";={}[]().,:+-*/^ \n0aZ_";
+    int parsed_ok = 0;
+    for (std::uint64_t seed = 0; seed < 200; ++seed) {
+        std::string src = base;
+        std::uint64_t h = mix(seed);
+        const int edits = 1 + static_cast<int>(h % 3);
+        for (int e = 0; e < edits; ++e) {
+            h = mix(h);
+            const std::size_t at = h % src.size();
+            const char c = pool[mix(h ^ 0x5bu) % (sizeof(pool) - 1)];
+            switch (mix(h ^ 0xa7u) % 3) {
+              case 0: src[at] = c; break;
+              case 1: src.insert(at, 1, c); break;
+              default: src.erase(at, 1); break;
+            }
+        }
+        ParseResult first = parseChecked(src);
+        ParseResult second = parseChecked(src);
+        // No crash, no throw, and byte-for-byte repeatable verdicts.
+        ASSERT_EQ(first.ok(), second.ok()) << "seed " << seed;
+        ASSERT_EQ(first.diagnostics.size(), second.diagnostics.size())
+            << "seed " << seed;
+        for (std::size_t i = 0; i < first.diagnostics.size(); ++i) {
+            EXPECT_EQ(first.diagnostics[i].line,
+                      second.diagnostics[i].line);
+            EXPECT_EQ(first.diagnostics[i].column,
+                      second.diagnostics[i].column);
+            EXPECT_EQ(first.diagnostics[i].message,
+                      second.diagnostics[i].message);
+        }
+        parsed_ok += first.ok() ? 1 : 0;
+    }
+    // The corpus exercises both outcomes: some mutants still parse
+    // (comments, whitespace, benign swaps), many do not.
+    EXPECT_GT(parsed_ok, 0);
+    EXPECT_LT(parsed_ok, 200);
+}
+
 } // namespace
 } // namespace robox::dsl

@@ -423,5 +423,133 @@ TEST(Isa, NonlinearClassification)
     EXPECT_FALSE(isNonlinear(AluFunction::Mac));
 }
 
+// ---------------------------------------------------------------------
+// Checked (non-aborting) encoders.
+// ---------------------------------------------------------------------
+
+TEST(EncodeChecked, OkMatchesFatalEncoder)
+{
+    ComputeInstr c;
+    c.opcode = ComputeOpcode::VectorQueue;
+    c.function = AluFunction::Mac;
+    c.src1Index = 3;
+    c.vectorLength = 7;
+    std::uint32_t word = 0;
+    EXPECT_EQ(EncodeStatus::Ok, c.encodeChecked(&word));
+    EXPECT_EQ(c.encode(), word);
+
+    CommInstr m;
+    m.opcode = CommOpcode::CcAggregation;
+    m.aggFunction = AggFunction::Max;
+    m.mask = 0xF;
+    word = 0;
+    EXPECT_EQ(EncodeStatus::Ok, m.encodeChecked(&word));
+    EXPECT_EQ(m.encode(), word);
+
+    MemInstr mem;
+    mem.opcode = MemOpcode::Store;
+    mem.ns = Namespace::Gradient;
+    mem.burst = 16;
+    word = 0;
+    EXPECT_EQ(EncodeStatus::Ok, mem.encodeChecked(&word));
+    EXPECT_EQ(mem.encode(), word);
+}
+
+TEST(EncodeChecked, ReportsBadNamespace)
+{
+    ComputeInstr c;
+    c.dst = Namespace::Reference; // Memory-only namespace.
+    std::uint32_t word = 0xdeadbeef;
+    std::string error;
+    EXPECT_EQ(EncodeStatus::BadNamespace, c.encodeChecked(&word, &error));
+    EXPECT_EQ("compute instructions cannot address namespace REFERENCE",
+              error);
+    EXPECT_EQ(0xdeadbeefu, word); // Untouched on failure.
+
+    ComputeInstr s;
+    s.src2 = Namespace::Instruction; // Queue variant checks src2 too.
+    EXPECT_EQ(EncodeStatus::BadNamespace, s.encodeChecked(&word));
+
+    MemInstr mem;
+    mem.opcode = MemOpcode::Load;
+    mem.ns = Namespace::Interm; // Compute/comm-only namespace.
+    error.clear();
+    EXPECT_EQ(EncodeStatus::BadNamespace,
+              mem.encodeChecked(&word, &error));
+    EXPECT_EQ("memory instructions cannot address namespace INTERM",
+              error);
+    EXPECT_EQ(0xdeadbeefu, word);
+}
+
+TEST(EncodeChecked, ReportsFieldOverflow)
+{
+    ComputeInstr c;
+    c.src1Index = 9; // Only the top 8 queue slots are addressable.
+    std::uint32_t word = 0;
+    std::string error;
+    EXPECT_EQ(EncodeStatus::FieldOverflow,
+              c.encodeChecked(&word, &error));
+    EXPECT_EQ("ISA encode: src1 index value 9 exceeds 3-bit field",
+              error);
+
+    CommInstr m;
+    m.opcode = CommOpcode::Unicast;
+    m.srcIndex = 8;
+    error.clear();
+    EXPECT_EQ(EncodeStatus::FieldOverflow,
+              m.encodeChecked(&word, &error));
+    EXPECT_EQ("ISA encode: src index value 8 exceeds 3-bit field",
+              error);
+}
+
+TEST(EncodeChecked, ReportsBadBurst)
+{
+    MemInstr mem;
+    mem.opcode = MemOpcode::Load;
+    mem.ns = Namespace::State;
+    std::uint32_t word = 0;
+    std::string error;
+
+    mem.burst = 0;
+    EXPECT_EQ(EncodeStatus::BadBurst, mem.encodeChecked(&word, &error));
+    EXPECT_EQ("memory burst 0 out of range [1, 16]", error);
+
+    mem.burst = 17;
+    error.clear();
+    EXPECT_EQ(EncodeStatus::BadBurst, mem.encodeChecked(&word, &error));
+    EXPECT_EQ("memory burst 17 out of range [1, 16]", error);
+
+    // SetBlock/EndOfCode carry no burst field; an out-of-range value in
+    // the struct is simply not encoded.
+    mem.opcode = MemOpcode::SetBlock;
+    mem.burst = 0;
+    EXPECT_EQ(EncodeStatus::Ok, mem.encodeChecked(&word));
+}
+
+TEST(EncodeChecked, FatalWrapperThrowsSameMessage)
+{
+    MemInstr mem;
+    mem.opcode = MemOpcode::Store;
+    mem.ns = Namespace::State;
+    mem.burst = 0;
+    std::uint32_t word = 0;
+    std::string error;
+    ASSERT_EQ(EncodeStatus::BadBurst, mem.encodeChecked(&word, &error));
+    try {
+        mem.encode();
+        FAIL() << "encode() should have thrown";
+    } catch (const FatalError &err) {
+        EXPECT_EQ(error, err.what());
+    }
+}
+
+TEST(EncodeChecked, StatusNames)
+{
+    EXPECT_STREQ("ok", toString(EncodeStatus::Ok));
+    EXPECT_STREQ("field-overflow", toString(EncodeStatus::FieldOverflow));
+    EXPECT_STREQ("bad-namespace", toString(EncodeStatus::BadNamespace));
+    EXPECT_STREQ("bad-burst", toString(EncodeStatus::BadBurst));
+}
+
 } // namespace
 } // namespace robox::isa
